@@ -1,0 +1,35 @@
+// Shared utilities for the benchmark harnesses that regenerate the
+// paper's tables and figures.
+//
+// Every harness runs at a reduced scale by default so the full suite
+// finishes in minutes; set SND_BENCH_FULL=1 in the environment to use the
+// paper's original parameters (Section 6.1 scales: networks of 10k-200k
+// users).
+#ifndef SND_BENCH_BENCH_COMMON_H_
+#define SND_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace snd {
+namespace bench {
+
+inline bool FullScale() {
+  const char* value = std::getenv("SND_BENCH_FULL");
+  return value != nullptr && std::strcmp(value, "0") != 0;
+}
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("%s\n", description);
+  std::printf("scale: %s (set SND_BENCH_FULL=1 for paper scale)\n",
+              FullScale() ? "FULL (paper parameters)" : "reduced");
+  std::printf("==================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace snd
+
+#endif  // SND_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,76 @@
+// Figure 11: time computing SND as the network grows, with the number of
+// changed users fixed.
+//
+// Paper setup: n_delta = 1000 fixed, n up to 200k; the fast Theorem-4
+// method is compared against a direct computation (the paper used CPLEX;
+// our baseline is the dense reference path: all-pairs ground distance +
+// full EMD*). The reference is only run at small n - at the paper's
+// scales it is prohibitively expensive, which is the figure's point.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "snd/core/snd.h"
+#include "snd/graph/generators.h"
+#include "snd/opinion/evolution.h"
+#include "snd/util/stopwatch.h"
+#include "snd/util/table.h"
+
+int main() {
+  using snd::bench::FullScale;
+  snd::bench::PrintHeader(
+      "Figure 11 - SND computation time vs number of users n",
+      "Fast Theorem-4 path vs direct dense computation; n_delta fixed.");
+
+  const std::vector<int32_t> sizes =
+      FullScale()
+          ? std::vector<int32_t>{1000, 2000, 5000, 10000, 30000, 50000,
+                                 90000, 200000}
+          : std::vector<int32_t>{1000, 2000, 4000, 8000, 16000, 32000};
+  const int32_t n_delta = FullScale() ? 1000 : 250;
+  const int32_t reference_cap = FullScale() ? 5000 : 2000;
+
+  snd::TablePrinter table({"n", "m", "fast s", "reference s"});
+  for (int32_t n : sizes) {
+    snd::Rng rng(41 + static_cast<uint64_t>(n));
+    snd::ScaleFreeOptions graph_options;
+    graph_options.num_nodes = n;
+    graph_options.exponent = -2.5;
+    graph_options.avg_degree = 10.0;
+    const snd::Graph graph = snd::GenerateScaleFree(graph_options, &rng);
+
+    const snd::SndCalculator calculator(&graph, snd::SndOptions{});
+    // Base state with 10% adopters; perturb exactly n_delta users.
+    snd::SyntheticEvolution evolution(&graph, 42);
+    const snd::NetworkState base = evolution.InitialState(n / 10);
+    const snd::NetworkState next =
+        snd::RandomTransition(base, n_delta, evolution.rng());
+
+    snd::Stopwatch fast_watch;
+    const snd::SndResult fast = calculator.Compute(base, next);
+    const double fast_seconds = fast_watch.ElapsedSeconds();
+
+    std::string reference_cell = "-";
+    if (n <= reference_cap) {
+      snd::Stopwatch ref_watch;
+      const snd::SndResult reference = calculator.ComputeReference(base, next);
+      reference_cell = snd::TablePrinter::Fmt(ref_watch.ElapsedSeconds(), 2);
+      if (std::abs(reference.value - fast.value) >
+          1e-6 * (1.0 + fast.value)) {
+        std::printf("WARNING: fast/reference mismatch at n=%d\n", n);
+      }
+    }
+    table.AddRow({snd::TablePrinter::Fmt(int64_t{n}),
+                  snd::TablePrinter::Fmt(graph.num_edges()),
+                  snd::TablePrinter::Fmt(fast_seconds, 3), reference_cell});
+    std::printf("n=%-7d fast=%.3fs reference=%s\n", n, fast_seconds,
+                reference_cell.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nThe fast path grows near-linearly in n (n_delta SSSP runs "
+      "dominate);\nthe direct method's all-pairs stage grows "
+      "quadratically and is culled at n > %d.\n",
+      reference_cap);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 5 (design example): why EMD* beats the earlier EMD extensions.
+//
+// Three histograms over a two-cluster network joined by bridge edges. The
+// mass over cluster C1 is identical everywhere; in G2 the extra mass
+// "propagated" into C2 through the bridges, in G3 the same amount was
+// placed deep inside C2. Intuition (and the paper's claim):
+//   EMD*(G1,G2) < EMD*(G1,G3), EMDalpha/EMDhat tie, EMD sees distance 0.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+#include "snd/emd/emd.h"
+#include "snd/emd/emd_star.h"
+#include "snd/emd/emd_variants.h"
+#include "snd/flow/simplex_solver.h"
+#include "snd/graph/generators.h"
+#include "snd/paths/dijkstra.h"
+#include "snd/util/table.h"
+
+namespace {
+
+snd::DenseMatrix AllPairs(const snd::Graph& g) {
+  const std::vector<int32_t> unit(static_cast<size_t>(g.num_edges()), 1);
+  snd::DenseMatrix d(g.num_nodes(), g.num_nodes(), 0.0);
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = snd::Dijkstra(g, unit, u);
+    for (int32_t v = 0; v < g.num_nodes(); ++v) {
+      d.Set(u, v,
+            dist[static_cast<size_t>(v)] == snd::kUnreachableDistance
+                ? 1e6
+                : static_cast<double>(dist[static_cast<size_t>(v)]));
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  snd::bench::PrintHeader(
+      "Figure 5 - EMD* vs EMDalpha / EMDhat / EMD",
+      "Propagated vs randomly placed extra mass in a two-cluster network.");
+
+  snd::Rng rng(61);
+  snd::PlantedPartitionOptions options;
+  options.num_clusters = 2;
+  options.nodes_per_cluster = snd::bench::FullScale() ? 100 : 40;
+  options.intra_degree = 6.0;
+  options.bridges = 3;
+  const snd::Graph g = snd::GeneratePlantedPartition(options, &rng);
+  const snd::DenseMatrix d = AllPairs(g);
+  const int32_t per_cluster = options.nodes_per_cluster;
+
+  // G1: cluster 1 fully active. G2: extra mass at C2's bridge endpoints.
+  // G3: the same amount of extra mass deep inside C2.
+  std::vector<int32_t> bridge_nodes;
+  for (int32_t u = 0; u < per_cluster; ++u) {
+    for (int32_t v : g.OutNeighbors(u)) {
+      if (v >= per_cluster) bridge_nodes.push_back(v);
+    }
+  }
+  std::vector<double> g1(static_cast<size_t>(g.num_nodes()), 0.0);
+  for (int32_t u = 0; u < per_cluster; ++u) g1[static_cast<size_t>(u)] = 1.0;
+  std::vector<double> g2 = g1, g3 = g1;
+  for (int32_t b : bridge_nodes) g2[static_cast<size_t>(b)] += 1.0;
+  // Deep nodes: farthest from the bridges.
+  std::vector<std::pair<double, int32_t>> far;
+  for (int32_t v = per_cluster; v < g.num_nodes(); ++v) {
+    double dist = 1e18;
+    for (int32_t b : bridge_nodes) dist = std::min(dist, d.At(b, v));
+    far.push_back({dist, v});
+  }
+  std::sort(far.begin(), far.end(), std::greater<>());
+  for (size_t k = 0; k < bridge_nodes.size(); ++k) {
+    g3[static_cast<size_t>(far[k].second)] += 1.0;
+  }
+
+  std::vector<int32_t> labels(static_cast<size_t>(g.num_nodes()), 0);
+  for (int32_t v = per_cluster; v < g.num_nodes(); ++v) {
+    labels[static_cast<size_t>(v)] = 1;
+  }
+  const snd::BankSpec banks =
+      snd::MakeClusterBanks(labels, 1, 0.5 * d.Max());
+  const snd::SimplexSolver solver;
+
+  const double star_12 = snd::ComputeEmdStar(g1, g2, d, banks, solver);
+  const double star_13 = snd::ComputeEmdStar(g1, g3, d, banks, solver);
+  const double alpha_12 = snd::ComputeEmdAlpha(g1, g2, d, 0.5, solver);
+  const double alpha_13 = snd::ComputeEmdAlpha(g1, g3, d, 0.5, solver);
+  const double hat_12 = snd::ComputeEmdHat(g1, g2, d, 0.5, solver);
+  const double hat_13 = snd::ComputeEmdHat(g1, g3, d, 0.5, solver);
+  const double emd_12 = snd::ComputeEmd(g1, g2, d, solver).work;
+  const double emd_13 = snd::ComputeEmd(g1, g3, d, solver).work;
+
+  snd::TablePrinter table({"measure", "d(G1,G2) propagated",
+                           "d(G1,G3) random", "separates?"});
+  auto row = [&](const char* name, double a, double b) {
+    table.AddRow({name, snd::TablePrinter::Fmt(a, 2),
+                  snd::TablePrinter::Fmt(b, 2),
+                  a < b - 1e-9 ? "yes (G2 closer)"
+                               : (std::abs(a - b) <= 1e-9 ? "no (tie)"
+                                                          : "inverted")});
+  };
+  row("EMD*", star_12, star_13);
+  row("EMDalpha", alpha_12, alpha_13);
+  row("EMDhat", hat_12, hat_13);
+  row("EMD", emd_12, emd_13);
+  table.Print();
+  std::printf(
+      "\npaper claim: only EMD* orders the propagated state closer; "
+      "EMDalpha and EMDhat tie,\nplain EMD sees both as identical to "
+      "G1.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Microbenchmark (google-benchmark): the three transportation solvers on
+// dense EMD*-shaped instances of growing size. The simplex is the default
+// for a reason; SSP's dense Dijkstra is quadratic per augmentation and
+// cost-scaling pays for its integrality guarantees.
+#include <benchmark/benchmark.h>
+
+#include "snd/flow/solver.h"
+#include "snd/util/random.h"
+
+namespace {
+
+snd::TransportProblem MakeInstance(int32_t s, int32_t t, uint64_t seed) {
+  snd::Rng rng(seed);
+  std::vector<double> supply(static_cast<size_t>(s), 1.0);
+  std::vector<double> demand(static_cast<size_t>(t), 0.0);
+  // Unit supplies (the SND fast-path shape); demands integral summing to s.
+  for (int32_t k = 0; k < s; ++k) {
+    demand[static_cast<size_t>(rng.UniformInt(0, t - 1))] += 1.0;
+  }
+  std::vector<double> cost(static_cast<size_t>(s) * static_cast<size_t>(t));
+  for (auto& c : cost) c = static_cast<double>(rng.UniformInt(1, 500));
+  return snd::TransportProblem(std::move(supply), std::move(demand),
+                               std::move(cost));
+}
+
+void RunSolver(benchmark::State& state, snd::TransportAlgorithm algorithm) {
+  const auto s = static_cast<int32_t>(state.range(0));
+  const auto t = static_cast<int32_t>(state.range(1));
+  const snd::TransportProblem problem = MakeInstance(s, t, 97);
+  const auto solver = snd::MakeTransportSolver(algorithm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->Solve(problem).total_cost);
+  }
+  state.SetLabel(std::string("suppliers=") + std::to_string(s) +
+                 " consumers=" + std::to_string(t));
+}
+
+void BM_Simplex(benchmark::State& state) {
+  RunSolver(state, snd::TransportAlgorithm::kSimplex);
+}
+void BM_Ssp(benchmark::State& state) {
+  RunSolver(state, snd::TransportAlgorithm::kSsp);
+}
+void BM_CostScaling(benchmark::State& state) {
+  RunSolver(state, snd::TransportAlgorithm::kCostScaling);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Simplex)
+    ->Args({32, 64})
+    ->Args({128, 256})
+    ->Args({512, 1024})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ssp)
+    ->Args({32, 64})
+    ->Args({128, 256})
+    ->Args({512, 1024})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CostScaling)
+    ->Args({32, 64})
+    ->Args({128, 256})
+    ->Args({512, 1024})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,65 @@
+// Microbenchmark (google-benchmark): Dijkstra's binary heap vs Dial's
+// bucket queue on the integer-cost ground-distance graphs of Assumption 2.
+// The Dial variant plays the role of the radix-heap Dijkstra in the
+// Theorem 4 complexity bound.
+#include <benchmark/benchmark.h>
+
+#include "snd/graph/generators.h"
+#include "snd/paths/dial.h"
+#include "snd/paths/dijkstra.h"
+#include "snd/util/random.h"
+
+namespace {
+
+struct Instance {
+  snd::Graph graph;
+  std::vector<int32_t> costs;
+};
+
+Instance MakeInstance(int32_t n, int32_t max_cost) {
+  snd::Rng rng(113);
+  snd::ScaleFreeOptions options;
+  options.num_nodes = n;
+  options.avg_degree = 10.0;
+  Instance instance;
+  instance.graph = snd::GenerateScaleFree(options, &rng);
+  instance.costs.resize(static_cast<size_t>(instance.graph.num_edges()));
+  for (auto& c : instance.costs) {
+    c = static_cast<int32_t>(rng.UniformInt(1, max_cost));
+  }
+  return instance;
+}
+
+void BM_DijkstraBinaryHeap(benchmark::State& state) {
+  const Instance instance =
+      MakeInstance(static_cast<int32_t>(state.range(0)), 65);
+  snd::DijkstraWorkspace ws(instance.graph.num_nodes());
+  int32_t source = 0;
+  for (auto _ : state) {
+    const snd::SsspSource s{source, 0};
+    benchmark::DoNotOptimize(
+        ws.Run(instance.graph, instance.costs,
+               std::span<const snd::SsspSource>(&s, 1)));
+    source = (source + 1) % instance.graph.num_nodes();
+  }
+}
+
+void BM_DialBuckets(benchmark::State& state) {
+  const Instance instance =
+      MakeInstance(static_cast<int32_t>(state.range(0)), 65);
+  int32_t source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        snd::DialShortestPaths(instance.graph, instance.costs, source, 65));
+    source = (source + 1) % instance.graph.num_nodes();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DijkstraBinaryHeap)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DialBuckets)->Arg(10000)->Arg(50000)->Unit(
+    benchmark::kMillisecond);

@@ -1,0 +1,104 @@
+// Anomalous-network-state detection on a synthetic opinion series
+// (the Section 6.2 application).
+//
+// A scale-free network evolves under the neighbor-adoption process; at one
+// step the dynamics silently switch to mostly-random adoption with the
+// same overall activation rate. The example prints the per-transition
+// distances of SND and the baseline measures and marks which transition
+// each of them would flag.
+//
+//   ./anomaly_detection
+#include <cstdio>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/baselines/baselines.h"
+#include "snd/core/snd.h"
+#include "snd/graph/generators.h"
+#include "snd/opinion/evolution.h"
+#include "snd/util/stats.h"
+#include "snd/util/table.h"
+
+int main() {
+  snd::Rng rng(1);
+  snd::ScaleFreeOptions graph_options;
+  graph_options.num_nodes = 2000;
+  graph_options.exponent = -2.3;
+  graph_options.avg_degree = 8.0;
+  const snd::Graph graph = snd::GenerateScaleFree(graph_options, &rng);
+
+  // The first steps after random seeding are reorganization-heavy; drop
+  // them so the analyzed series starts from a relaxed state.
+  const int32_t kWarmup = 6;
+  const int32_t kAnomalousStep = 9;  // Within the analyzed window.
+  snd::SyntheticEvolution evolution(&graph, 2);
+  const int32_t attempts = graph.num_nodes() / 5;
+  auto series = evolution.GenerateSeries(
+      16 + kWarmup, /*num_adopters=*/graph.num_nodes() / 5,
+      /*normal=*/{0.10, 0.01, attempts},
+      /*anomalous=*/{0.02, 0.07, attempts}, {kWarmup + kAnomalousStep});
+  series.erase(series.begin(), series.begin() + kWarmup);
+
+  const snd::SndCalculator calculator(&graph, snd::SndOptions{});
+  const snd::BaselineDistances baselines(&graph);
+  struct Method {
+    const char* name;
+    snd::DistanceFn fn;
+  };
+  const Method methods[] = {
+      {"SND",
+       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+         return calculator.Distance(a, b);
+       }},
+      {"hamming",
+       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+         return baselines.Hamming(a, b);
+       }},
+      {"quad-form",
+       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+         return baselines.QuadForm(a, b);
+       }},
+      {"walk-dist",
+       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+         return baselines.WalkDist(a, b);
+       }},
+  };
+
+  std::printf("Planted anomaly: transition %d -> %d\n\n", kAnomalousStep - 1,
+              kAnomalousStep);
+  snd::TablePrinter table(
+      {"transition", "SND", "hamming", "quad-form", "walk-dist"});
+  std::vector<std::vector<double>> scaled;
+  for (const Method& method : methods) {
+    const auto distances = snd::AdjacentDistances(series, method.fn);
+    scaled.push_back(snd::MinMaxScale(
+        snd::NormalizeByActiveUsers(distances, series)));
+  }
+  for (size_t t = 0; t < scaled[0].size(); ++t) {
+    std::vector<std::string> row;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu->%zu%s", t, t + 1,
+                  (static_cast<int32_t>(t) == kAnomalousStep - 1) ? " *"
+                                                                   : "");
+    row.push_back(label);
+    for (size_t m = 0; m < scaled.size(); ++m) {
+      row.push_back(snd::TablePrinter::Fmt(scaled[m][t], 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nTransition flagged by each measure (highest anomaly score):\n");
+  for (size_t m = 0; m < scaled.size(); ++m) {
+    const auto scores = snd::AnomalyScores(scaled[m]);
+    size_t argmax = 0;
+    for (size_t t = 1; t < scores.size(); ++t) {
+      if (scores[t] > scores[argmax]) argmax = t;
+    }
+    std::printf("  %-10s -> transition %zu->%zu %s\n", methods[m].name,
+                argmax, argmax + 1,
+                (static_cast<int32_t>(argmax) == kAnomalousStep - 1)
+                    ? "(correct)"
+                    : "(missed)");
+  }
+  return 0;
+}

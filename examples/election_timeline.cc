@@ -1,0 +1,63 @@
+// The Fig. 9 scenario on the simulated Twitter political dataset: a
+// quarterly timeline with consensus events (election, bin Laden) that
+// every measure notices, and polarized events (Stimulus Bill, Obama Care)
+// that only SND separates from ordinary drift.
+//
+//   ./election_timeline
+#include <cstdio>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/baselines/baselines.h"
+#include "snd/core/snd.h"
+#include "snd/data/twitter_sim.h"
+#include "snd/util/stats.h"
+#include "snd/util/table.h"
+
+int main() {
+  snd::TwitterSimOptions options;
+  options.num_users = 1500;
+  options.avg_degree = 24.0;
+  const snd::TwitterDataset data = snd::GenerateTwitterDataset(options);
+
+  const snd::SndCalculator calculator(&data.graph, snd::SndOptions{});
+  const snd::BaselineDistances baselines(&data.graph);
+
+  const auto snd_series = snd::MinMaxScale(snd::NormalizeByActiveUsers(
+      snd::AdjacentDistances(
+          data.states,
+          [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+            return calculator.Distance(a, b);
+          }),
+      data.states));
+  const auto hamming_series = snd::MinMaxScale(snd::NormalizeByActiveUsers(
+      snd::AdjacentDistances(
+          data.states,
+          [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+            return baselines.Hamming(a, b);
+          }),
+      data.states));
+
+  std::printf("Quarterly timeline (topic \"Obama\", simulated)\n\n");
+  snd::TablePrinter table(
+      {"quarter", "interest", "SND", "hamming", "event"});
+  for (size_t t = 0; t < snd_series.size(); ++t) {
+    std::string event_name = "-";
+    for (const snd::TwitterEvent& event : data.events) {
+      if (static_cast<size_t>(event.quarter) == t) {
+        event_name = event.name + std::string(" [") +
+                     snd::EventKindName(event.kind) + "]";
+      }
+    }
+    table.AddRow({data.quarter_labels[t + 1],
+                  snd::TablePrinter::Fmt(data.interest[t + 1], 2),
+                  snd::TablePrinter::Fmt(snd_series[t], 3),
+                  snd::TablePrinter::Fmt(hamming_series[t], 3), event_name});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPolarized events keep the activation volume ordinary (hamming "
+      "stays flat)\nbut place opinions against the local majority, which "
+      "SND prices highly.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// User opinion prediction (the Section 6.3 application): hide the opinions
+// of a sample of active users in the latest snapshot and predict them with
+// the SND-based distance method, the baseline-distance variants, and the
+// two non-distance baselines.
+//
+//   ./opinion_prediction
+#include <cstdio>
+#include <memory>
+
+#include "snd/analysis/prediction.h"
+#include "snd/core/snd.h"
+#include "snd/graph/generators.h"
+#include "snd/opinion/evolution.h"
+#include "snd/util/table.h"
+
+int main() {
+  snd::Rng rng(3);
+  snd::ScaleFreeOptions graph_options;
+  graph_options.num_nodes = 1500;
+  graph_options.exponent = -2.5;
+  graph_options.avg_degree = 10.0;
+  const snd::Graph graph = snd::GenerateScaleFree(graph_options, &rng);
+
+  snd::SyntheticEvolution evolution(&graph, 4);
+  const auto series = evolution.GenerateSeries(
+      8, /*num_adopters=*/120, {0.10, 0.01}, {0.10, 0.01}, {});
+
+  const snd::SndCalculator calculator(&graph, snd::SndOptions{});
+  const snd::BaselineDistances baselines(&graph);
+
+  std::vector<std::unique_ptr<snd::OpinionPredictor>> predictors;
+  predictors.push_back(std::make_unique<snd::DistanceBasedPredictor>(
+      "SND",
+      [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+        return calculator.Distance(a, b);
+      },
+      100, 11));
+  predictors.push_back(std::make_unique<snd::DistanceBasedPredictor>(
+      "hamming",
+      [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+        return baselines.Hamming(a, b);
+      },
+      100, 12));
+  predictors.push_back(std::make_unique<snd::DistanceBasedPredictor>(
+      "quad-form",
+      [&](const snd::NetworkState& a, const snd::NetworkState& b) {
+        return baselines.QuadForm(a, b);
+      },
+      100, 13));
+  predictors.push_back(
+      std::make_unique<snd::NeighborhoodVotingPredictor>(&graph, 14));
+  predictors.push_back(
+      std::make_unique<snd::CommunityLpPredictor>(&graph, 15));
+
+  snd::PredictionEvalOptions eval;
+  eval.num_targets = 20;
+  eval.repetitions = 10;
+  eval.history = 3;
+
+  std::printf(
+      "Predicting the hidden opinions of %d active users over %d "
+      "repetitions\n\n",
+      eval.num_targets, eval.repetitions);
+  snd::TablePrinter table({"method", "accuracy %", "stddev"});
+  for (auto& predictor : predictors) {
+    const snd::MeanStddev accuracy =
+        snd::EvaluatePredictor(series, predictor.get(), eval);
+    table.AddRow({predictor->name(),
+                  snd::TablePrinter::Fmt(accuracy.mean, 2),
+                  snd::TablePrinter::Fmt(accuracy.stddev, 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "snd/analysis/anomaly.h"
+
+#include <algorithm>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+std::vector<double> AdjacentDistances(const std::vector<NetworkState>& states,
+                                      const DistanceFn& fn) {
+  SND_CHECK(states.size() >= 2);
+  std::vector<double> distances;
+  distances.reserve(states.size() - 1);
+  for (size_t t = 0; t + 1 < states.size(); ++t) {
+    distances.push_back(fn(states[t], states[t + 1]));
+  }
+  return distances;
+}
+
+std::vector<double> NormalizeByActiveUsers(
+    const std::vector<double>& distances,
+    const std::vector<NetworkState>& states) {
+  SND_CHECK(distances.size() + 1 == states.size());
+  std::vector<double> normalized(distances.size());
+  for (size_t t = 0; t < distances.size(); ++t) {
+    const int32_t active = states[t + 1].CountActive();
+    normalized[t] = distances[t] / static_cast<double>(std::max(1, active));
+  }
+  return normalized;
+}
+
+std::vector<double> NormalizeByChangedUsers(
+    const std::vector<double>& distances,
+    const std::vector<NetworkState>& states) {
+  SND_CHECK(distances.size() + 1 == states.size());
+  std::vector<double> normalized(distances.size());
+  for (size_t t = 0; t < distances.size(); ++t) {
+    const int32_t changed =
+        NetworkState::CountDiffering(states[t], states[t + 1]);
+    normalized[t] =
+        distances[t] / static_cast<double>(std::max(1, changed));
+  }
+  return normalized;
+}
+
+std::vector<double> AnomalyScores(const std::vector<double>& distances) {
+  std::vector<double> scores(distances.size(), 0.0);
+  for (size_t t = 0; t < distances.size(); ++t) {
+    double score = 0.0;
+    if (t > 0) score += distances[t] - distances[t - 1];
+    if (t + 1 < distances.size()) score += distances[t] - distances[t + 1];
+    scores[t] = score;
+  }
+  return scores;
+}
+
+}  // namespace snd

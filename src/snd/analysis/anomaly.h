@@ -1,0 +1,39 @@
+// Anomalous-network-state detection (Section 6.2): distances between
+// adjacent states, normalization by activity, and the anomaly score
+// S_t = (d_t - d_{t-1}) + (d_t - d_{t+1}).
+#ifndef SND_ANALYSIS_ANOMALY_H_
+#define SND_ANALYSIS_ANOMALY_H_
+
+#include <vector>
+
+#include "snd/baselines/baselines.h"
+#include "snd/opinion/network_state.h"
+
+namespace snd {
+
+// d[t] = fn(states[t], states[t+1]); size = states.size() - 1.
+std::vector<double> AdjacentDistances(const std::vector<NetworkState>& states,
+                                      const DistanceFn& fn);
+
+// Divides d[t] by the number of users active at time t+1 (the arrival
+// state), the paper's normalization "by the number of active users".
+std::vector<double> NormalizeByActiveUsers(
+    const std::vector<double>& distances,
+    const std::vector<NetworkState>& states);
+
+// Divides d[t] by the number of users whose opinion changed across the
+// transition (n_delta), yielding the average transport cost per opinion
+// change. This normalization isolates *where* changes happened from *how
+// many* happened, which is the signal that separates structure-following
+// transitions from anomalous ones.
+std::vector<double> NormalizeByChangedUsers(
+    const std::vector<double>& distances,
+    const std::vector<NetworkState>& states);
+
+// S_t = (d_t - d_{t-1}) + (d_t - d_{t+1}); missing neighbors at the series
+// boundary contribute zero.
+std::vector<double> AnomalyScores(const std::vector<double>& distances);
+
+}  // namespace snd
+
+#endif  // SND_ANALYSIS_ANOMALY_H_

@@ -1,0 +1,18 @@
+#include "snd/analysis/extrapolation.h"
+
+#include <algorithm>
+
+#include "snd/util/check.h"
+#include "snd/util/stats.h"
+
+namespace snd {
+
+double LinearExtrapolateNext(const std::vector<double>& series) {
+  SND_CHECK(!series.empty());
+  const LineFit fit = FitLine(series);
+  const double next =
+      fit.intercept + fit.slope * static_cast<double>(series.size());
+  return std::max(0.0, next);
+}
+
+}  // namespace snd

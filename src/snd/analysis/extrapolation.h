@@ -1,0 +1,19 @@
+// Distance-series extrapolation used by the opinion-prediction method of
+// Section 6.3: the distances between recent adjacent network states are
+// extrapolated to estimate the distance d* from the most recent state to
+// the (unknown) complete current state.
+#ifndef SND_ANALYSIS_EXTRAPOLATION_H_
+#define SND_ANALYSIS_EXTRAPOLATION_H_
+
+#include <vector>
+
+namespace snd {
+
+// Least-squares linear extrapolation of the next value of `series`
+// (clamped to be non-negative: distances cannot be negative). A
+// single-element series returns that element.
+double LinearExtrapolateNext(const std::vector<double>& series);
+
+}  // namespace snd
+
+#endif  // SND_ANALYSIS_EXTRAPOLATION_H_

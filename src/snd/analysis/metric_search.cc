@@ -1,0 +1,104 @@
+#include "snd/analysis/metric_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+MetricIndex::MetricIndex(const std::vector<NetworkState>* database,
+                         DistanceFn fn, int32_t num_pivots)
+    : database_(database), fn_(std::move(fn)) {
+  SND_CHECK(database_ != nullptr && !database_->empty());
+  const auto n = static_cast<int32_t>(database_->size());
+  num_pivots = std::min(num_pivots, n);
+  SND_CHECK(num_pivots >= 1);
+
+  // Greedy max-spread pivot selection: first pivot is state 0; each next
+  // pivot is the state farthest from the already-chosen pivots. Distances
+  // computed along the way are reused as the pivot table rows.
+  std::vector<double> nearest_pivot_dist(
+      static_cast<size_t>(n), std::numeric_limits<double>::infinity());
+  int32_t next = 0;
+  for (int32_t p = 0; p < num_pivots; ++p) {
+    pivots_.push_back(next);
+    std::vector<double> row(static_cast<size_t>(n), 0.0);
+    for (int32_t i = 0; i < n; ++i) {
+      row[static_cast<size_t>(i)] =
+          fn_((*database_)[static_cast<size_t>(next)],
+              (*database_)[static_cast<size_t>(i)]);
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      nearest_pivot_dist[static_cast<size_t>(i)] =
+          std::min(nearest_pivot_dist[static_cast<size_t>(i)],
+                   row[static_cast<size_t>(i)]);
+    }
+    pivot_dist_.push_back(std::move(row));
+    next = static_cast<int32_t>(
+        std::max_element(nearest_pivot_dist.begin(),
+                         nearest_pivot_dist.end()) -
+        nearest_pivot_dist.begin());
+  }
+}
+
+int32_t MetricIndex::NearestNeighbor(const NetworkState& query,
+                                     MetricSearchStats* stats) const {
+  const auto n = static_cast<int32_t>(database_->size());
+  MetricSearchStats local;
+
+  // Distances from the query to every pivot.
+  std::vector<double> query_to_pivot(pivots_.size());
+  for (size_t p = 0; p < pivots_.size(); ++p) {
+    query_to_pivot[p] =
+        fn_(query, (*database_)[static_cast<size_t>(pivots_[p])]);
+    ++local.distance_evaluations;
+  }
+
+  // Start from the best pivot, then sweep candidates in lower-bound order
+  // so good candidates are found early and pruning bites.
+  double best = std::numeric_limits<double>::infinity();
+  int32_t best_index = pivots_[0];
+  for (size_t p = 0; p < pivots_.size(); ++p) {
+    if (query_to_pivot[p] < best) {
+      best = query_to_pivot[p];
+      best_index = pivots_[p];
+    }
+  }
+
+  std::vector<std::pair<double, int32_t>> candidates;
+  candidates.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    double bound = 0.0;
+    for (size_t p = 0; p < pivots_.size(); ++p) {
+      bound = std::max(bound,
+                       std::abs(query_to_pivot[p] -
+                                pivot_dist_[p][static_cast<size_t>(i)]));
+    }
+    candidates.push_back({bound, i});
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    const auto& [bound, i] = candidates[k];
+    if (std::find(pivots_.begin(), pivots_.end(), i) != pivots_.end()) {
+      continue;  // Pivot distances are already accounted for.
+    }
+    if (bound >= best) {
+      // Candidates are sorted by bound: everything remaining prunes too.
+      local.pruned += static_cast<int64_t>(candidates.size() - k);
+      break;
+    }
+    const double d = fn_(query, (*database_)[static_cast<size_t>(i)]);
+    ++local.distance_evaluations;
+    if (d < best) {
+      best = d;
+      best_index = i;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return best_index;
+}
+
+}  // namespace snd

@@ -1,0 +1,230 @@
+#include "snd/analysis/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "snd/analysis/extrapolation.h"
+
+namespace snd {
+
+DistanceBasedPredictor::DistanceBasedPredictor(std::string label,
+                                               DistanceFn distance,
+                                               int32_t num_assignments,
+                                               uint64_t seed)
+    : label_(std::move(label)),
+      distance_(std::move(distance)),
+      num_assignments_(num_assignments),
+      rng_(seed) {
+  SND_CHECK(num_assignments_ >= 1);
+}
+
+void DistanceBasedPredictor::SeedWithNeighborhoodVoting(const Graph* graph) {
+  SND_CHECK(graph != nullptr);
+  voting_graph_ = graph;
+  voting_reversed_ = graph->Reversed();
+}
+
+std::vector<Opinion> DistanceBasedPredictor::Predict(
+    const PredictionInstance& instance) {
+  SND_CHECK(!instance.recent.empty());
+  SND_CHECK(!instance.targets.empty());
+
+  // Estimate d* by extrapolating the distances between adjacent recent
+  // states onto the next transition. With a single recent state, fall back
+  // to the distance from it to the partial current state.
+  std::vector<double> series;
+  for (size_t t = 0; t + 1 < instance.recent.size(); ++t) {
+    series.push_back(distance_(instance.recent[t], instance.recent[t + 1]));
+  }
+  const NetworkState& latest = instance.recent.back();
+  const double d_star = series.empty()
+                            ? distance_(latest, instance.current_partial)
+                            : LinearExtrapolateNext(series);
+
+  // Randomized search over opinion assignments for the target users,
+  // optionally seeded with the neighborhood-voting assignment.
+  std::vector<Opinion> best(instance.targets.size(), Opinion::kPositive);
+  double best_gap = std::numeric_limits<double>::infinity();
+  NetworkState candidate = instance.current_partial;
+  std::vector<Opinion> assignment(instance.targets.size());
+  auto evaluate = [&]() {
+    for (size_t k = 0; k < instance.targets.size(); ++k) {
+      candidate.set_opinion(instance.targets[k], assignment[k]);
+    }
+    const double d = distance_(latest, candidate);
+    const double gap = std::abs(d - d_star);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = assignment;
+    }
+  };
+  if (voting_graph_ != nullptr) {
+    for (size_t k = 0; k < instance.targets.size(); ++k) {
+      int32_t pos = 0, neg = 0;
+      for (int32_t u :
+           voting_reversed_.OutNeighbors(instance.targets[k])) {
+        const int8_t s = instance.current_partial.value(u);
+        if (s > 0) {
+          ++pos;
+        } else if (s < 0) {
+          ++neg;
+        }
+      }
+      assignment[k] = pos >= neg ? Opinion::kPositive : Opinion::kNegative;
+    }
+    evaluate();
+  }
+  for (int32_t trial = 0; trial < num_assignments_; ++trial) {
+    for (size_t k = 0; k < instance.targets.size(); ++k) {
+      assignment[k] =
+          rng_.Bernoulli(0.5) ? Opinion::kPositive : Opinion::kNegative;
+    }
+    evaluate();
+  }
+  return best;
+}
+
+NeighborhoodVotingPredictor::NeighborhoodVotingPredictor(const Graph* graph,
+                                                         uint64_t seed)
+    : graph_(graph), reversed_(graph->Reversed()), rng_(seed) {
+  SND_CHECK(graph != nullptr);
+}
+
+std::vector<Opinion> NeighborhoodVotingPredictor::Predict(
+    const PredictionInstance& instance) {
+  std::vector<Opinion> predictions;
+  predictions.reserve(instance.targets.size());
+  const NetworkState& state = instance.current_partial;
+  for (int32_t target : instance.targets) {
+    int32_t pos = 0, neg = 0;
+    for (int32_t u : reversed_.OutNeighbors(target)) {
+      const int8_t v = state.value(u);
+      if (v > 0) {
+        ++pos;
+      } else if (v < 0) {
+        ++neg;
+      }
+    }
+    Opinion predicted;
+    if (pos + neg == 0) {
+      // No active in-neighbors: uniformly random, as in the paper.
+      predicted =
+          rng_.Bernoulli(0.5) ? Opinion::kPositive : Opinion::kNegative;
+    } else {
+      predicted = rng_.UniformReal() * static_cast<double>(pos + neg) <
+                          static_cast<double>(pos)
+                      ? Opinion::kPositive
+                      : Opinion::kNegative;
+    }
+    predictions.push_back(predicted);
+  }
+  return predictions;
+}
+
+CommunityLpPredictor::CommunityLpPredictor(const Graph* graph, uint64_t seed)
+    : graph_(graph), rng_(seed) {
+  SND_CHECK(graph != nullptr);
+  labels_ = LabelPropagation(*graph_, seed, LabelPropagationOptions{});
+  num_communities_ = CountCommunities(labels_);
+}
+
+std::vector<Opinion> CommunityLpPredictor::Predict(
+    const PredictionInstance& instance) {
+  const NetworkState& state = instance.current_partial;
+  // Majority opinion of each community's known active users.
+  std::vector<int32_t> pos(static_cast<size_t>(num_communities_), 0);
+  std::vector<int32_t> neg(static_cast<size_t>(num_communities_), 0);
+  for (int32_t u = 0; u < state.num_users(); ++u) {
+    const int8_t v = state.value(u);
+    if (v == 0) continue;
+    const int32_t c = labels_[static_cast<size_t>(u)];
+    if (v > 0) {
+      pos[static_cast<size_t>(c)]++;
+    } else {
+      neg[static_cast<size_t>(c)]++;
+    }
+  }
+  std::vector<Opinion> predictions;
+  predictions.reserve(instance.targets.size());
+  for (int32_t target : instance.targets) {
+    const int32_t c = labels_[static_cast<size_t>(target)];
+    const int32_t p = pos[static_cast<size_t>(c)];
+    const int32_t n = neg[static_cast<size_t>(c)];
+    Opinion predicted;
+    if (p > n) {
+      predicted = Opinion::kPositive;
+    } else if (n > p) {
+      predicted = Opinion::kNegative;
+    } else {
+      predicted =
+          rng_.Bernoulli(0.5) ? Opinion::kPositive : Opinion::kNegative;
+    }
+    predictions.push_back(predicted);
+  }
+  return predictions;
+}
+
+MeanStddev EvaluatePredictor(const std::vector<NetworkState>& series,
+                             OpinionPredictor* predictor,
+                             const PredictionEvalOptions& options) {
+  SND_CHECK(predictor != nullptr);
+  SND_CHECK(static_cast<int32_t>(series.size()) >= options.history + 1);
+  SND_CHECK(options.num_targets >= 1);
+  const NetworkState& truth = series.back();
+
+  // Candidate targets: active users in the final state, by opinion.
+  std::vector<int32_t> positives, negatives;
+  for (int32_t u = 0; u < truth.num_users(); ++u) {
+    const int8_t v = truth.value(u);
+    if (v > 0) {
+      positives.push_back(u);
+    } else if (v < 0) {
+      negatives.push_back(u);
+    }
+  }
+  Rng rng(options.seed);
+  std::vector<double> accuracies;
+  for (int32_t rep = 0; rep < options.repetitions; ++rep) {
+    // Balanced target sample (as many of each polarity as available).
+    const int32_t half = options.num_targets / 2;
+    const auto pos_take = std::min<int32_t>(
+        half, static_cast<int32_t>(positives.size()));
+    const auto neg_take = std::min<int32_t>(
+        options.num_targets - pos_take,
+        static_cast<int32_t>(negatives.size()));
+    std::vector<int32_t> targets;
+    for (int32_t idx : rng.SampleWithoutReplacement(
+             static_cast<int32_t>(positives.size()), pos_take)) {
+      targets.push_back(positives[static_cast<size_t>(idx)]);
+    }
+    for (int32_t idx : rng.SampleWithoutReplacement(
+             static_cast<int32_t>(negatives.size()), neg_take)) {
+      targets.push_back(negatives[static_cast<size_t>(idx)]);
+    }
+    SND_CHECK(!targets.empty());
+
+    PredictionInstance instance;
+    instance.recent.assign(series.end() - 1 - options.history,
+                           series.end() - 1);
+    instance.current_partial = truth;
+    for (int32_t target : targets) {
+      instance.current_partial.set_opinion(target, Opinion::kNeutral);
+    }
+    instance.targets = targets;
+
+    const std::vector<Opinion> predicted = predictor->Predict(instance);
+    SND_CHECK(predicted.size() == targets.size());
+    int32_t correct = 0;
+    for (size_t k = 0; k < targets.size(); ++k) {
+      if (static_cast<int8_t>(predicted[k]) == truth.value(targets[k])) {
+        ++correct;
+      }
+    }
+    accuracies.push_back(100.0 * static_cast<double>(correct) /
+                         static_cast<double>(targets.size()));
+  }
+  return ComputeMeanStddev(accuracies);
+}
+
+}  // namespace snd

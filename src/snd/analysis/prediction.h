@@ -1,0 +1,118 @@
+// User opinion prediction (Section 6.3).
+//
+// Three predictor families:
+//  * DistanceBasedPredictor - the paper's method: extrapolate the recent
+//    distance series to an estimate d*, then pick, among random opinion
+//    assignments to the target users, the one whose distance from the most
+//    recent state is closest to d*. Parameterized by any DistanceFn (SND
+//    or a baseline).
+//  * NeighborhoodVotingPredictor - per-user probabilistic voting over the
+//    active in-neighbors (the egonet-level baseline).
+//  * CommunityLpPredictor - label-propagation communities + majority
+//    opinion of the community's known active users (Conover et al.).
+#ifndef SND_ANALYSIS_PREDICTION_H_
+#define SND_ANALYSIS_PREDICTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snd/baselines/baselines.h"
+#include "snd/cluster/label_propagation.h"
+#include "snd/graph/graph.h"
+#include "snd/opinion/network_state.h"
+#include "snd/util/random.h"
+#include "snd/util/stats.h"
+
+namespace snd {
+
+// A prediction task: recent complete states (oldest first), the current
+// state with the target users' opinions hidden (set to neutral), and the
+// target user ids.
+struct PredictionInstance {
+  std::vector<NetworkState> recent;
+  NetworkState current_partial;
+  std::vector<int32_t> targets;
+};
+
+class OpinionPredictor {
+ public:
+  virtual ~OpinionPredictor() = default;
+
+  // Returns one opinion per entry of `instance.targets`.
+  virtual std::vector<Opinion> Predict(const PredictionInstance& instance) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class DistanceBasedPredictor final : public OpinionPredictor {
+ public:
+  // `label` is reported by name(); `num_assignments` is the size of the
+  // randomized search over opinion assignments (100 in the paper).
+  DistanceBasedPredictor(std::string label, DistanceFn distance,
+                         int32_t num_assignments, uint64_t seed);
+
+  // Optional hybridization (the paper's Section 9 suggestion of combining
+  // SND with non-distance methods): seed the randomized search with the
+  // neighborhood-voting assignment over `graph`, so the search explores
+  // around a structurally plausible starting point. `graph` must outlive
+  // the predictor.
+  void SeedWithNeighborhoodVoting(const Graph* graph);
+
+  std::vector<Opinion> Predict(const PredictionInstance& instance) override;
+  const char* name() const override { return label_.c_str(); }
+
+ private:
+  std::string label_;
+  DistanceFn distance_;
+  int32_t num_assignments_;
+  Rng rng_;
+  const Graph* voting_graph_ = nullptr;
+  Graph voting_reversed_;
+};
+
+class NeighborhoodVotingPredictor final : public OpinionPredictor {
+ public:
+  NeighborhoodVotingPredictor(const Graph* graph, uint64_t seed);
+
+  std::vector<Opinion> Predict(const PredictionInstance& instance) override;
+  const char* name() const override { return "nhood-voting"; }
+
+ private:
+  const Graph* graph_;
+  Graph reversed_;
+  Rng rng_;
+};
+
+class CommunityLpPredictor final : public OpinionPredictor {
+ public:
+  CommunityLpPredictor(const Graph* graph, uint64_t seed);
+
+  std::vector<Opinion> Predict(const PredictionInstance& instance) override;
+  const char* name() const override { return "community-lp"; }
+
+ private:
+  const Graph* graph_;
+  std::vector<int32_t> labels_;
+  int32_t num_communities_;
+  Rng rng_;
+};
+
+// Evaluation harness reproducing the Table 1 protocol: `repetitions`
+// times, hide the opinions of `num_targets` active users (balanced between
+// "+" and "-") of the series' final state, predict them from the preceding
+// `history` states, and record the accuracy.
+struct PredictionEvalOptions {
+  int32_t num_targets = 20;
+  int32_t repetitions = 10;
+  int32_t history = 3;
+  uint64_t seed = 1234;
+};
+
+MeanStddev EvaluatePredictor(const std::vector<NetworkState>& series,
+                             OpinionPredictor* predictor,
+                             const PredictionEvalOptions& options);
+
+}  // namespace snd
+
+#endif  // SND_ANALYSIS_PREDICTION_H_

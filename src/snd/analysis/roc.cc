@@ -1,0 +1,58 @@
+#include "snd/analysis/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+std::vector<RocPoint> ComputeRoc(const std::vector<double>& scores,
+                                 const std::vector<bool>& is_anomaly) {
+  SND_CHECK(scores.size() == is_anomaly.size());
+  SND_CHECK(!scores.empty());
+  int64_t positives = 0, negatives = 0;
+  for (bool b : is_anomaly) (b ? positives : negatives)++;
+  SND_CHECK(positives > 0 && negatives > 0);
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+  });
+
+  std::vector<RocPoint> roc;
+  roc.push_back({0.0, 0.0, scores[order.front()] + 1.0});
+  int64_t tp = 0, fp = 0;
+  size_t k = 0;
+  while (k < order.size()) {
+    // Advance through all entries tied at this score.
+    const double threshold = scores[order[k]];
+    while (k < order.size() && scores[order[k]] == threshold) {
+      (is_anomaly[order[k]] ? tp : fp)++;
+      ++k;
+    }
+    roc.push_back({static_cast<double>(fp) / static_cast<double>(negatives),
+                   static_cast<double>(tp) / static_cast<double>(positives),
+                   threshold});
+  }
+  return roc;
+}
+
+double RocAuc(const std::vector<RocPoint>& roc) {
+  double auc = 0.0;
+  for (size_t i = 1; i < roc.size(); ++i) {
+    auc += (roc[i].fpr - roc[i - 1].fpr) * (roc[i].tpr + roc[i - 1].tpr) / 2.0;
+  }
+  return auc;
+}
+
+double TprAtFpr(const std::vector<RocPoint>& roc, double max_fpr) {
+  double best = 0.0;
+  for (const RocPoint& p : roc) {
+    if (p.fpr <= max_fpr) best = std::max(best, p.tpr);
+  }
+  return best;
+}
+
+}  // namespace snd

@@ -1,0 +1,32 @@
+// ROC machinery for ranking-based anomaly detection (Fig. 8): transitions
+// are ranked by anomaly score and swept from the highest score down,
+// accumulating true/false positive rates.
+#ifndef SND_ANALYSIS_ROC_H_
+#define SND_ANALYSIS_ROC_H_
+
+#include <vector>
+
+namespace snd {
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+// Computes the ROC curve of `scores` against boolean ground truth
+// `is_anomaly` (same length, at least one positive and one negative).
+// Ties in score advance together. The curve starts at (0,0) and ends at
+// (1,1).
+std::vector<RocPoint> ComputeRoc(const std::vector<double>& scores,
+                                 const std::vector<bool>& is_anomaly);
+
+// Area under the curve by trapezoidal integration.
+double RocAuc(const std::vector<RocPoint>& roc);
+
+// Largest TPR attained at FPR <= max_fpr.
+double TprAtFpr(const std::vector<RocPoint>& roc, double max_fpr);
+
+}  // namespace snd
+
+#endif  // SND_ANALYSIS_ROC_H_

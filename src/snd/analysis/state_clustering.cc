@@ -1,0 +1,176 @@
+#include "snd/analysis/state_clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+DenseMatrix PairwiseDistances(const std::vector<NetworkState>& states,
+                              const DistanceFn& fn) {
+  const auto n = static_cast<int32_t>(states.size());
+  DenseMatrix d(n, n, 0.0);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      const double dist =
+          fn(states[static_cast<size_t>(i)], states[static_cast<size_t>(j)]);
+      d.Set(i, j, dist);
+      d.Set(j, i, dist);
+    }
+  }
+  return d;
+}
+
+namespace {
+
+// Assigns every point to its nearest medoid; returns the total cost.
+double Assign(const DenseMatrix& distances,
+              const std::vector<int32_t>& medoids,
+              std::vector<int32_t>* assignment) {
+  const int32_t n = distances.rows();
+  assignment->assign(static_cast<size_t>(n), 0);
+  double total = 0.0;
+  for (int32_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int32_t best_m = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      const double d = distances.At(i, medoids[m]);
+      if (d < best) {
+        best = d;
+        best_m = static_cast<int32_t>(m);
+      }
+    }
+    (*assignment)[static_cast<size_t>(i)] = best_m;
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+KMedoidsResult KMedoids(const DenseMatrix& distances, int32_t k,
+                        uint64_t seed, int32_t max_iterations) {
+  const int32_t n = distances.rows();
+  SND_CHECK(distances.cols() == n);
+  SND_CHECK(1 <= k && k <= n);
+  Rng rng(seed);
+
+  KMedoidsResult result;
+  result.medoids = rng.SampleWithoutReplacement(n, k);
+  result.total_cost = Assign(distances, result.medoids, &result.assignment);
+
+  for (int32_t iter = 0; iter < max_iterations; ++iter) {
+    bool improved = false;
+    // Recenter each cluster at its in-cluster cost minimizer, then
+    // reassign; classic alternating PAM refinement.
+    for (int32_t m = 0; m < k; ++m) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      int32_t best_center = result.medoids[static_cast<size_t>(m)];
+      for (int32_t candidate = 0; candidate < n; ++candidate) {
+        if (result.assignment[static_cast<size_t>(candidate)] != m) continue;
+        double cost = 0.0;
+        for (int32_t i = 0; i < n; ++i) {
+          if (result.assignment[static_cast<size_t>(i)] == m) {
+            cost += distances.At(candidate, i);
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_center = candidate;
+        }
+      }
+      if (best_center != result.medoids[static_cast<size_t>(m)]) {
+        result.medoids[static_cast<size_t>(m)] = best_center;
+        improved = true;
+      }
+    }
+    const double cost = Assign(distances, result.medoids, &result.assignment);
+    if (!improved && cost >= result.total_cost) break;
+    result.total_cost = cost;
+    if (!improved) break;
+  }
+  return result;
+}
+
+int32_t KnnClassify(const DenseMatrix& distances,
+                    const std::vector<int32_t>& labels, int32_t query,
+                    int32_t k) {
+  const int32_t n = distances.rows();
+  SND_CHECK(static_cast<int32_t>(labels.size()) == n);
+  SND_CHECK(0 <= query && query < n);
+  SND_CHECK(k >= 1);
+
+  // Labeled neighbors sorted by distance (stable for ties).
+  std::vector<int32_t> neighbors;
+  for (int32_t i = 0; i < n; ++i) {
+    if (i != query && labels[static_cast<size_t>(i)] >= 0) {
+      neighbors.push_back(i);
+    }
+  }
+  SND_CHECK(!neighbors.empty());
+  std::sort(neighbors.begin(), neighbors.end(), [&](int32_t a, int32_t b) {
+    const double da = distances.At(query, a), db = distances.At(query, b);
+    return da != db ? da < db : a < b;
+  });
+  const auto take = std::min<size_t>(static_cast<size_t>(k),
+                                     neighbors.size());
+
+  std::unordered_map<int32_t, int32_t> votes;
+  for (size_t i = 0; i < take; ++i) {
+    votes[labels[static_cast<size_t>(neighbors[i])]]++;
+  }
+  int32_t best_label = -1, best_votes = -1;
+  for (size_t i = 0; i < take; ++i) {  // Nearest-first tie-breaking.
+    const int32_t label = labels[static_cast<size_t>(neighbors[i])];
+    if (votes[label] > best_votes) {
+      best_votes = votes[label];
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double SilhouetteScore(const DenseMatrix& distances,
+                       const std::vector<int32_t>& assignment) {
+  const int32_t n = distances.rows();
+  SND_CHECK(static_cast<int32_t>(assignment.size()) == n);
+  int32_t num_clusters = 0;
+  for (int32_t a : assignment) num_clusters = std::max(num_clusters, a + 1);
+  if (num_clusters < 2) return 0.0;
+
+  std::vector<int32_t> sizes(static_cast<size_t>(num_clusters), 0);
+  for (int32_t a : assignment) sizes[static_cast<size_t>(a)]++;
+
+  double total = 0.0;
+  int32_t counted = 0;
+  std::vector<double> mean_to(static_cast<size_t>(num_clusters));
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t own = assignment[static_cast<size_t>(i)];
+    if (sizes[static_cast<size_t>(own)] < 2) continue;  // Silhouette undefined.
+    std::fill(mean_to.begin(), mean_to.end(), 0.0);
+    for (int32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_to[static_cast<size_t>(assignment[static_cast<size_t>(j)])] +=
+          distances.At(i, j);
+    }
+    double a = 0.0, b = std::numeric_limits<double>::infinity();
+    for (int32_t c = 0; c < num_clusters; ++c) {
+      if (sizes[static_cast<size_t>(c)] == 0) continue;
+      if (c == own) {
+        a = mean_to[static_cast<size_t>(c)] /
+            static_cast<double>(sizes[static_cast<size_t>(c)] - 1);
+      } else {
+        b = std::min(b, mean_to[static_cast<size_t>(c)] /
+                            static_cast<double>(sizes[static_cast<size_t>(c)]));
+      }
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace snd

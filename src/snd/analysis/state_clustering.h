@@ -1,0 +1,53 @@
+// Metric-space applications of SND (the paper's Section 9 future work):
+// clustering and nearest-neighbor classification of network states under
+// an arbitrary distance measure.
+//
+// Both algorithms consume a precomputed pairwise distance matrix, so an
+// expensive measure like SND is evaluated exactly once per state pair.
+#ifndef SND_ANALYSIS_STATE_CLUSTERING_H_
+#define SND_ANALYSIS_STATE_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "snd/baselines/baselines.h"
+#include "snd/emd/dense_matrix.h"
+#include "snd/opinion/network_state.h"
+#include "snd/util/random.h"
+
+namespace snd {
+
+// Symmetric pairwise distance matrix over `states` (fn is evaluated once
+// per unordered pair; the diagonal is 0).
+DenseMatrix PairwiseDistances(const std::vector<NetworkState>& states,
+                              const DistanceFn& fn);
+
+struct KMedoidsResult {
+  std::vector<int32_t> medoids;      // State indices, size k.
+  std::vector<int32_t> assignment;   // State -> medoid position [0, k).
+  double total_cost = 0.0;           // Sum of distances to assigned medoid.
+};
+
+// Partitioning Around Medoids (PAM-style alternating refinement) over a
+// precomputed distance matrix. Deterministic for a fixed seed; `k` must
+// be in [1, #states].
+KMedoidsResult KMedoids(const DenseMatrix& distances, int32_t k,
+                        uint64_t seed, int32_t max_iterations = 50);
+
+// k-nearest-neighbor classification of network states: predicts the label
+// of `query` (an index into the distance matrix) by majority vote over
+// its k nearest *labeled* neighbors. `labels[i] < 0` marks unlabeled
+// states, which are skipped. Ties break toward the nearer neighbor set.
+int32_t KnnClassify(const DenseMatrix& distances,
+                    const std::vector<int32_t>& labels, int32_t query,
+                    int32_t k);
+
+// Silhouette score of a clustering over a distance matrix, in [-1, 1];
+// higher is better separated. Returns 0 for degenerate inputs (single
+// cluster or singleton clusters only).
+double SilhouetteScore(const DenseMatrix& distances,
+                       const std::vector<int32_t>& assignment);
+
+}  // namespace snd
+
+#endif  // SND_ANALYSIS_STATE_CLUSTERING_H_

@@ -1,0 +1,94 @@
+#include "snd/baselines/baselines.h"
+
+#include <cmath>
+
+namespace snd {
+
+double HammingDistance(const NetworkState& a, const NetworkState& b) {
+  return static_cast<double>(NetworkState::CountDiffering(a, b));
+}
+
+double LpDistance(const NetworkState& a, const NetworkState& b, int p) {
+  SND_CHECK(a.num_users() == b.num_users());
+  SND_CHECK(p == 1 || p == 2);
+  double sum = 0.0;
+  for (int32_t u = 0; u < a.num_users(); ++u) {
+    const double d = std::abs(static_cast<double>(a.value(u)) -
+                              static_cast<double>(b.value(u)));
+    sum += (p == 1) ? d : d * d;
+  }
+  return (p == 1) ? sum : std::sqrt(sum);
+}
+
+BaselineDistances::BaselineDistances(const Graph* graph)
+    : graph_(graph), reversed_(graph->Reversed()) {
+  SND_CHECK(graph != nullptr);
+}
+
+double BaselineDistances::Hamming(const NetworkState& a,
+                                  const NetworkState& b) const {
+  return HammingDistance(a, b);
+}
+
+double BaselineDistances::L1(const NetworkState& a,
+                             const NetworkState& b) const {
+  return LpDistance(a, b, 1);
+}
+
+double BaselineDistances::L2(const NetworkState& a,
+                             const NetworkState& b) const {
+  return LpDistance(a, b, 2);
+}
+
+double BaselineDistances::QuadForm(const NetworkState& a,
+                                   const NetworkState& b) const {
+  SND_CHECK(a.num_users() == graph_->num_nodes());
+  SND_CHECK(b.num_users() == graph_->num_nodes());
+  // x^T L x = sum over undirected edges (x_u - x_v)^2. Each mutual edge
+  // pair is counted once; a one-directional edge also contributes once.
+  double sum = 0.0;
+  for (int32_t u = 0; u < graph_->num_nodes(); ++u) {
+    const double xu = static_cast<double>(a.value(u) - b.value(u));
+    for (int32_t v : graph_->OutNeighbors(u)) {
+      if (v < u && graph_->HasEdge(v, u)) continue;  // Counted at (v, u).
+      const double xv = static_cast<double>(a.value(v) - b.value(v));
+      sum += (xu - xv) * (xu - xv);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<double> BaselineDistances::Contention(
+    const NetworkState& state) const {
+  SND_CHECK(state.num_users() == graph_->num_nodes());
+  std::vector<double> cnt(static_cast<size_t>(graph_->num_nodes()), 0.0);
+  for (int32_t v = 0; v < graph_->num_nodes(); ++v) {
+    // Average opinion of v's *active* in-neighbors; 0 contention without
+    // active in-neighbors.
+    double sum = 0.0;
+    int32_t active = 0;
+    for (int32_t u : reversed_.OutNeighbors(v)) {
+      if (state.IsActive(u)) {
+        sum += static_cast<double>(state.value(u));
+        ++active;
+      }
+    }
+    if (active > 0) {
+      cnt[static_cast<size_t>(v)] = std::abs(
+          static_cast<double>(state.value(v)) -
+          sum / static_cast<double>(active));
+    }
+  }
+  return cnt;
+}
+
+double BaselineDistances::WalkDist(const NetworkState& a,
+                                   const NetworkState& b) const {
+  const std::vector<double> ca = Contention(a);
+  const std::vector<double> cb = Contention(b);
+  double sum = 0.0;
+  for (size_t i = 0; i < ca.size(); ++i) sum += std::abs(ca[i] - cb[i]);
+  return sum / static_cast<double>(std::max(1, graph_->num_nodes()));
+}
+
+}  // namespace snd

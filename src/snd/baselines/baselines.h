@@ -1,0 +1,59 @@
+// The competing distance measures of Section 6.1:
+//  * hamming   - coordinate-wise comparison (count of differing users);
+//  * l1 / l2   - norms of the opinion-value difference;
+//  * quad-form - Quadratic-Form distance sqrt((P-Q)^T L (P-Q)) with L the
+//                Laplacian of the network's undirected view;
+//  * walk-dist - 1/n * || cnt(P) - cnt(Q) ||_1, where cnt(P)_i measures how
+//                much user i's opinion deviates from the average opinion of
+//                their active in-neighbors ("contention").
+#ifndef SND_BASELINES_BASELINES_H_
+#define SND_BASELINES_BASELINES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/opinion/network_state.h"
+
+namespace snd {
+
+// Distance callback shared by the analysis module; larger means farther.
+using DistanceFn =
+    std::function<double(const NetworkState&, const NetworkState&)>;
+
+struct NamedDistance {
+  std::string name;
+  DistanceFn fn;
+};
+
+// Number of users with differing opinions.
+double HammingDistance(const NetworkState& a, const NetworkState& b);
+
+// ||a - b||_p over the opinion values; `p` must be 1 or 2.
+double LpDistance(const NetworkState& a, const NetworkState& b, int p);
+
+// Graph-aware baselines precompute the reversed graph once.
+class BaselineDistances {
+ public:
+  explicit BaselineDistances(const Graph* graph);
+
+  double Hamming(const NetworkState& a, const NetworkState& b) const;
+  double L1(const NetworkState& a, const NetworkState& b) const;
+  double L2(const NetworkState& a, const NetworkState& b) const;
+  double QuadForm(const NetworkState& a, const NetworkState& b) const;
+  double WalkDist(const NetworkState& a, const NetworkState& b) const;
+
+  // The contention vector cnt(P) underlying walk-dist.
+  std::vector<double> Contention(const NetworkState& state) const;
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  Graph reversed_;
+};
+
+}  // namespace snd
+
+#endif  // SND_BASELINES_BASELINES_H_

@@ -1,0 +1,176 @@
+#include "snd/cli/cli.h"
+
+#include <cstdio>
+#include <optional>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/core/snd.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/state_io.h"
+#include "snd/util/stats.h"
+#include "snd/util/table.h"
+
+namespace snd {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: snd_cli <command> <graph.edges> <states.txt> [...] [flags]\n"
+    "commands:\n"
+    "  distance <i> <j>   SND between states i and j\n"
+    "  series             distances between adjacent states\n"
+    "  anomalies          transitions ranked by anomaly score\n"
+    "flags:\n"
+    "  --model=agnostic|icc|lt\n"
+    "  --solver=simplex|ssp|cost-scaling\n"
+    "  --banks=per-bin|per-cluster|global\n";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "snd_cli: %s\n%s", message.c_str(), kUsage);
+  return 1;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+std::optional<SndOptions> ParseOptions(
+    const std::vector<std::string>& flags) {
+  SndOptions options;
+  for (const std::string& flag : flags) {
+    std::string value;
+    if (ParseFlag(flag, "model", &value)) {
+      if (value == "agnostic") {
+        options.model = GroundModelKind::kModelAgnostic;
+      } else if (value == "icc") {
+        options.model = GroundModelKind::kIndependentCascade;
+      } else if (value == "lt") {
+        options.model = GroundModelKind::kLinearThreshold;
+      } else {
+        return std::nullopt;
+      }
+    } else if (ParseFlag(flag, "solver", &value)) {
+      if (value == "simplex") {
+        options.solver = TransportAlgorithm::kSimplex;
+      } else if (value == "ssp") {
+        options.solver = TransportAlgorithm::kSsp;
+      } else if (value == "cost-scaling") {
+        options.solver = TransportAlgorithm::kCostScaling;
+        options.apportionment = BankApportionment::kLargestRemainder;
+      } else {
+        return std::nullopt;
+      }
+    } else if (ParseFlag(flag, "banks", &value)) {
+      if (value == "per-bin") {
+        options.bank_strategy = BankStrategy::kPerBin;
+      } else if (value == "per-cluster") {
+        options.bank_strategy = BankStrategy::kPerCluster;
+      } else if (value == "global") {
+        options.bank_strategy = BankStrategy::kSingleGlobal;
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+std::vector<double> ScoredSeries(const SndCalculator& calc,
+                                 const std::vector<NetworkState>& states,
+                                 std::vector<double>* normalized) {
+  const auto distances = AdjacentDistances(
+      states, [&](const NetworkState& a, const NetworkState& b) {
+        return calc.Distance(a, b);
+      });
+  *normalized = MinMaxScale(NormalizeByActiveUsers(distances, states));
+  return AnomalyScores(*normalized);
+}
+
+}  // namespace
+
+int SndCliMain(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Fail("missing arguments");
+  const std::string& command = args[0];
+  const std::string& graph_path = args[1];
+  const std::string& states_path = args[2];
+
+  size_t positional_end = 3;
+  if (command == "distance") positional_end = 5;
+  if (args.size() < positional_end) return Fail("missing arguments");
+  const std::vector<std::string> flags(args.begin() +
+                                           static_cast<long>(positional_end),
+                                       args.end());
+  const std::optional<SndOptions> options = ParseOptions(flags);
+  if (!options.has_value()) return Fail("unrecognized flag");
+
+  const std::optional<Graph> graph = ReadEdgeList(graph_path);
+  if (!graph.has_value()) {
+    return Fail("cannot read graph from " + graph_path);
+  }
+  const std::optional<std::vector<NetworkState>> states =
+      ReadStateSeries(states_path);
+  if (!states.has_value()) {
+    return Fail("cannot read states from " + states_path);
+  }
+  for (const NetworkState& state : *states) {
+    if (state.num_users() != graph->num_nodes()) {
+      return Fail("state size does not match the graph");
+    }
+  }
+
+  const SndCalculator calc(&graph.value(), *options);
+  if (command == "distance") {
+    int i = -1, j = -1;
+    if (std::sscanf(args[3].c_str(), "%d", &i) != 1 ||
+        std::sscanf(args[4].c_str(), "%d", &j) != 1 || i < 0 || j < 0 ||
+        i >= static_cast<int>(states->size()) ||
+        j >= static_cast<int>(states->size())) {
+      return Fail("invalid state indices");
+    }
+    const SndResult result = calc.Compute((*states)[static_cast<size_t>(i)],
+                                          (*states)[static_cast<size_t>(j)]);
+    std::printf("SND(%d, %d) = %.6f  (n_delta=%d, %.3fs)\n", i, j,
+                result.value, result.n_delta, result.total_seconds);
+    return 0;
+  }
+
+  if (states->size() < 2) return Fail("need at least two states");
+  if (command == "series") {
+    std::vector<double> normalized;
+    const auto scores = ScoredSeries(calc, *states, &normalized);
+    TablePrinter table({"transition", "scaled distance", "anomaly score"});
+    for (size_t t = 0; t < normalized.size(); ++t) {
+      table.AddRow({std::to_string(t) + "->" + std::to_string(t + 1),
+                    TablePrinter::Fmt(normalized[t], 4),
+                    TablePrinter::Fmt(scores[t], 4)});
+    }
+    table.Print();
+    return 0;
+  }
+  if (command == "anomalies") {
+    std::vector<double> normalized;
+    const auto scores = ScoredSeries(calc, *states, &normalized);
+    std::vector<size_t> order(scores.size());
+    for (size_t t = 0; t < order.size(); ++t) order[t] = t;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+    });
+    TablePrinter table({"rank", "transition", "anomaly score"});
+    for (size_t r = 0; r < order.size(); ++r) {
+      table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(r + 1)),
+                    std::to_string(order[r]) + "->" +
+                        std::to_string(order[r] + 1),
+                    TablePrinter::Fmt(scores[order[r]], 4)});
+    }
+    table.Print();
+    return 0;
+  }
+  return Fail("unknown command '" + command + "'");
+}
+
+}  // namespace snd

@@ -1,0 +1,30 @@
+// The `snd_cli` command-line front end, exposed as a library function so
+// the test suite can drive it end to end.
+//
+// Usage:
+//   snd_cli distance  <graph.edges> <states.txt> <i> <j> [flags]
+//   snd_cli series    <graph.edges> <states.txt> [flags]
+//   snd_cli anomalies <graph.edges> <states.txt> [flags]
+//
+// Flags:
+//   --model=agnostic|icc|lt     ground-distance model (default agnostic)
+//   --solver=simplex|ssp|cost-scaling
+//   --banks=per-bin|per-cluster|global
+//
+// Graph files are WriteEdgeList format, state files WriteStateSeries
+// format.
+#ifndef SND_CLI_CLI_H_
+#define SND_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace snd {
+
+// Runs the CLI; returns the process exit code (0 on success). Output and
+// error messages go to stdout/stderr.
+int SndCliMain(const std::vector<std::string>& args);
+
+}  // namespace snd
+
+#endif  // SND_CLI_CLI_H_

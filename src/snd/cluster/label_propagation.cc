@@ -1,0 +1,110 @@
+#include "snd/cluster/label_propagation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace snd {
+namespace {
+
+// Compacts arbitrary labels to [0, k); returns k.
+int32_t CompactLabels(std::vector<int32_t>* labels) {
+  std::unordered_map<int32_t, int32_t> compact;
+  for (int32_t& l : *labels) {
+    const auto [it, inserted] =
+        compact.emplace(l, static_cast<int32_t>(compact.size()));
+    l = it->second;
+  }
+  return static_cast<int32_t>(compact.size());
+}
+
+}  // namespace
+
+std::vector<int32_t> LabelPropagation(const Graph& g, uint64_t seed,
+                                      const LabelPropagationOptions& options) {
+  const int32_t n = g.num_nodes();
+  Rng rng(seed);
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) labels[static_cast<size_t>(v)] = v;
+  if (n == 0) return labels;
+
+  const Graph reversed = g.Reversed();
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+
+  std::unordered_map<int32_t, int32_t> freq;
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (int32_t v : order) {
+      freq.clear();
+      for (int32_t u : g.OutNeighbors(v)) freq[labels[static_cast<size_t>(u)]]++;
+      for (int32_t u : reversed.OutNeighbors(v)) {
+        freq[labels[static_cast<size_t>(u)]]++;
+      }
+      if (freq.empty()) continue;
+      // Most frequent label; random tie-break among the maxima.
+      int32_t best_label = labels[static_cast<size_t>(v)];
+      int32_t best_count = -1;
+      int32_t ties = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = label;
+          ties = 1;
+        } else if (count == best_count) {
+          ++ties;
+          if (rng.UniformInt(1, ties) == 1) best_label = label;
+        }
+      }
+      if (best_label != labels[static_cast<size_t>(v)]) {
+        labels[static_cast<size_t>(v)] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  int32_t k = CompactLabels(&labels);
+
+  if (options.min_community_size > 1) {
+    // Merge undersized communities into their most-connected neighbor.
+    std::vector<int32_t> sizes(static_cast<size_t>(k), 0);
+    for (int32_t l : labels) sizes[static_cast<size_t>(l)]++;
+    for (int32_t v = 0; v < n; ++v) {
+      const int32_t l = labels[static_cast<size_t>(v)];
+      if (sizes[static_cast<size_t>(l)] >= options.min_community_size) {
+        continue;
+      }
+      freq.clear();
+      for (int32_t u : g.OutNeighbors(v)) {
+        const int32_t lu = labels[static_cast<size_t>(u)];
+        if (sizes[static_cast<size_t>(lu)] >= options.min_community_size) {
+          freq[lu]++;
+        }
+      }
+      for (int32_t u : reversed.OutNeighbors(v)) {
+        const int32_t lu = labels[static_cast<size_t>(u)];
+        if (sizes[static_cast<size_t>(lu)] >= options.min_community_size) {
+          freq[lu]++;
+        }
+      }
+      int32_t best_label = l, best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = label;
+        }
+      }
+      labels[static_cast<size_t>(v)] = best_label;
+    }
+    CompactLabels(&labels);
+  }
+  return labels;
+}
+
+int32_t CountCommunities(const std::vector<int32_t>& labels) {
+  int32_t k = 0;
+  for (int32_t l : labels) k = std::max(k, l + 1);
+  return k;
+}
+
+}  // namespace snd

@@ -1,0 +1,38 @@
+// Label-propagation community detection. Used twice by the library:
+//  * to define the bin clusters that EMD* attaches its local bank bins to
+//    ("bin groups defined based on the structural proximity of the
+//    corresponding users", Section 4);
+//  * as the community stage of the community-lp opinion-prediction
+//    baseline (Conover et al., Section 6.3).
+#ifndef SND_CLUSTER_LABEL_PROPAGATION_H_
+#define SND_CLUSTER_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/util/random.h"
+
+namespace snd {
+
+struct LabelPropagationOptions {
+  int32_t max_iterations = 20;
+  // Communities smaller than this are merged into the neighboring
+  // community with which they share the most edges (singleton debris makes
+  // poor bank clusters).
+  int32_t min_community_size = 1;
+};
+
+// Runs synchronous-order label propagation over the undirected view of `g`
+// (both edge directions count as adjacency). Returns per-node community
+// labels compacted to [0, num_communities); deterministic for a fixed
+// seed.
+std::vector<int32_t> LabelPropagation(const Graph& g, uint64_t seed,
+                                      const LabelPropagationOptions& options);
+
+// Number of distinct labels in a compacted labeling.
+int32_t CountCommunities(const std::vector<int32_t>& labels);
+
+}  // namespace snd
+
+#endif  // SND_CLUSTER_LABEL_PROPAGATION_H_

@@ -1,0 +1,344 @@
+#include "snd/core/snd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "snd/cluster/diameters.h"
+#include "snd/cluster/label_propagation.h"
+#include "snd/emd/emd_star.h"
+#include "snd/emd/reductions.h"
+#include "snd/paths/dijkstra.h"
+#include "snd/util/stopwatch.h"
+
+namespace snd {
+namespace {
+
+std::unique_ptr<OpinionModel> MakeModel(const SndOptions& options) {
+  switch (options.model) {
+    case GroundModelKind::kModelAgnostic:
+      return std::make_unique<ModelAgnosticModel>(options.agnostic);
+    case GroundModelKind::kIndependentCascade:
+      return std::make_unique<IccModel>(options.icc);
+    case GroundModelKind::kLinearThreshold:
+      return std::make_unique<LtModel>(options.lt);
+  }
+  SND_CHECK(false);
+  return nullptr;
+}
+
+double HistogramTotal(const std::vector<double>& h) {
+  double total = 0.0;
+  for (double v : h) total += v;
+  return total;
+}
+
+}  // namespace
+
+SndCalculator::SndCalculator(const Graph* graph, SndOptions options)
+    : graph_(graph), options_(options), model_(MakeModel(options)) {
+  SND_CHECK(graph != nullptr);
+  reversed_ = graph_->Reversed(&reverse_origin_);
+
+  // Bank clustering.
+  const int32_t n = graph_->num_nodes();
+  std::vector<int32_t> labels;
+  switch (options_.bank_strategy) {
+    case BankStrategy::kSingleGlobal:
+      labels.assign(static_cast<size_t>(n), 0);
+      break;
+    case BankStrategy::kPerBin:
+      labels.resize(static_cast<size_t>(n));
+      for (int32_t v = 0; v < n; ++v) labels[static_cast<size_t>(v)] = v;
+      break;
+    case BankStrategy::kPerCluster: {
+      LabelPropagationOptions lp;
+      lp.max_iterations = options_.lp_max_iterations;
+      lp.min_community_size = options_.lp_min_community_size;
+      labels = LabelPropagation(*graph_, options_.clustering_seed, lp);
+      break;
+    }
+  }
+  banks_ = MakeClusterBanks(labels, options_.banks_per_cluster,
+                            /*gamma=*/0.0);
+
+  // Bank ground distances gamma(c).
+  std::vector<double> gammas(static_cast<size_t>(banks_.num_clusters),
+                             options_.fixed_gamma);
+  if (options_.gamma_policy == GammaPolicy::kStructuralBound) {
+    const std::vector<double> bounds = ClusterDiameterUpperBounds(
+        *graph_, banks_.cluster_of, banks_.num_clusters,
+        model_->MaxEdgeCost());
+    for (int32_t c = 0; c < banks_.num_clusters; ++c) {
+      // Integral gamma keeps the whole cost structure integral
+      // (Assumption 2); ceil preserves the >= 1/2 * diameter condition.
+      gammas[static_cast<size_t>(c)] = std::ceil(
+          options_.gamma_scale * 0.5 * bounds[static_cast<size_t>(c)]);
+    }
+  }
+  for (int32_t c = 0; c < banks_.num_clusters; ++c) {
+    for (auto& g : banks_.gammas[static_cast<size_t>(c)]) {
+      g = gammas[static_cast<size_t>(c)];
+    }
+  }
+
+  cluster_members_.assign(static_cast<size_t>(banks_.num_clusters), {});
+  for (int32_t v = 0; v < n; ++v) {
+    cluster_members_[static_cast<size_t>(
+                         banks_.cluster_of[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+}
+
+SndCalculator::~SndCalculator() = default;
+
+int64_t SndCalculator::DisconnectionCost() const {
+  return static_cast<int64_t>(model_->MaxEdgeCost()) *
+         static_cast<int64_t>(std::max(1, graph_->num_nodes()));
+}
+
+std::array<SndCalculator::TermSpec, 4> SndCalculator::MakeTermSpecs(
+    const NetworkState& a, const NetworkState& b) const {
+  return {{
+      {&a, &a, &b, Opinion::kPositive, true},
+      {&a, &a, &b, Opinion::kNegative, true},
+      {&b, &b, &a, Opinion::kPositive, false},
+      {&b, &b, &a, Opinion::kNegative, false},
+  }};
+}
+
+SndResult SndCalculator::Compute(const NetworkState& a,
+                                 const NetworkState& b) const {
+  SND_CHECK(a.num_users() == graph_->num_nodes());
+  SND_CHECK(b.num_users() == graph_->num_nodes());
+  Stopwatch watch;
+  SndResult result;
+  result.n_delta = NetworkState::CountDiffering(a, b);
+  const auto specs = MakeTermSpecs(a, b);
+  if (options_.parallel_terms) {
+    std::array<std::future<SndTermResult>, 4> futures;
+    for (size_t k = 0; k < specs.size(); ++k) {
+      futures[k] = std::async(std::launch::async,
+                              [this, spec = specs[k]]() {
+                                return ComputeTermFast(spec);
+                              });
+    }
+    for (size_t k = 0; k < specs.size(); ++k) {
+      result.terms[k] = futures[k].get();
+      result.value += result.terms[k].cost;
+    }
+  } else {
+    for (size_t k = 0; k < specs.size(); ++k) {
+      result.terms[k] = ComputeTermFast(specs[k]);
+      result.value += result.terms[k].cost;
+    }
+  }
+  result.value *= 0.5;
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+double SndCalculator::Distance(const NetworkState& a,
+                               const NetworkState& b) const {
+  return Compute(a, b).value;
+}
+
+SndResult SndCalculator::ComputeReference(const NetworkState& a,
+                                          const NetworkState& b) const {
+  SND_CHECK(a.num_users() == graph_->num_nodes());
+  SND_CHECK(b.num_users() == graph_->num_nodes());
+  Stopwatch watch;
+  SndResult result;
+  result.n_delta = NetworkState::CountDiffering(a, b);
+  const auto specs = MakeTermSpecs(a, b);
+  for (size_t k = 0; k < specs.size(); ++k) {
+    result.terms[k] = ComputeTermReference(specs[k]);
+    result.value += result.terms[k].cost;
+  }
+  result.value *= 0.5;
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+DenseMatrix SndCalculator::GroundDistanceMatrix(const NetworkState& state,
+                                                Opinion op) const {
+  const int32_t n = graph_->num_nodes();
+  std::vector<int32_t> costs;
+  model_->ComputeEdgeCosts(*graph_, state, op, &costs);
+  const auto disconnection = static_cast<double>(DisconnectionCost());
+  DenseMatrix d(n, n, 0.0);
+  DijkstraWorkspace ws(n);
+  for (int32_t u = 0; u < n; ++u) {
+    const SsspSource source{u, 0};
+    const auto& dist =
+        ws.Run(*graph_, costs, std::span<const SsspSource>(&source, 1));
+    for (int32_t v = 0; v < n; ++v) {
+      d.Set(u, v,
+            dist[static_cast<size_t>(v)] == kUnreachableDistance
+                ? disconnection
+                : static_cast<double>(dist[static_cast<size_t>(v)]));
+    }
+  }
+  return d;
+}
+
+SndTermResult SndCalculator::ComputeTermReference(const TermSpec& spec) const {
+  SndTermResult result;
+  result.op = spec.op;
+  result.forward = spec.forward;
+  const DenseMatrix ground = GroundDistanceMatrix(*spec.distance_state,
+                                                  spec.op);
+  const std::vector<double> p = spec.from->OpinionIndicator(spec.op);
+  const std::vector<double> q = spec.to->OpinionIndicator(spec.op);
+  const auto solver = MakeTransportSolver(options_.solver);
+  EmdStarOptions emd_options;
+  emd_options.apportionment = options_.apportionment;
+  Stopwatch watch;
+  result.cost = ComputeEmdStar(p, q, ground, banks_, *solver, emd_options);
+  result.transport_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec) const {
+  SndTermResult result;
+  result.op = spec.op;
+  result.forward = spec.forward;
+
+  // Ground-distance edge costs for D(distance_state, op).
+  std::vector<int32_t> costs;
+  model_->ComputeEdgeCosts(*graph_, *spec.distance_state, spec.op, &costs);
+
+  std::vector<double> p = spec.from->OpinionIndicator(spec.op);
+  std::vector<double> q = spec.to->OpinionIndicator(spec.op);
+  const double total_p = HistogramTotal(p);
+  const double total_q = HistogramTotal(q);
+  const bool p_lighter = total_p < total_q;
+  const bool q_lighter = total_q < total_p;
+
+  // Bank capacities come from the *original* lighter histogram (the
+  // Lemma 2 cancellation below applies to regular bins only).
+  std::vector<double> bank_caps;
+  if (p_lighter) {
+    bank_caps = ComputeBankCapacities(banks_, p, total_q - total_p,
+                                      options_.apportionment);
+  } else if (q_lighter) {
+    bank_caps = ComputeBankCapacities(banks_, q, total_p - total_q,
+                                      options_.apportionment);
+  }
+  std::vector<int32_t> bank_ids;  // Flat bank indices with positive mass.
+  for (size_t k = 0; k < bank_caps.size(); ++k) {
+    if (bank_caps[k] > 0.0) bank_ids.push_back(static_cast<int32_t>(k));
+  }
+  result.num_banks = static_cast<int32_t>(bank_ids.size());
+
+  // Lemma 2 + Lemma 1: only users whose op-indicator differs remain.
+  CancelCommonMass(&p, &q);
+  const std::vector<int32_t> sup = NonEmptyBins(p);
+  const std::vector<int32_t> con = NonEmptyBins(q);
+  result.num_suppliers = static_cast<int32_t>(sup.size());
+  result.num_consumers = static_cast<int32_t>(con.size());
+  if (sup.empty() && con.empty() && bank_ids.empty()) {
+    return result;  // Identical op-indicators: zero cost.
+  }
+
+  const auto disconnection = static_cast<double>(DisconnectionCost());
+  auto finite = [&](int64_t d) {
+    return d == kUnreachableDistance ? disconnection
+                                     : static_cast<double>(d);
+  };
+  const int32_t nb = banks_.banks_per_cluster();
+  auto bank_cluster = [&](int32_t flat) { return flat / nb; };
+  auto bank_gamma = [&](int32_t flat) {
+    return banks_.gammas[static_cast<size_t>(flat / nb)]
+                        [static_cast<size_t>(flat % nb)];
+  };
+
+  Stopwatch sssp_watch;
+  std::vector<double> supply, demand, cost;
+  int32_t rows = 0, cols = 0;
+  DijkstraWorkspace ws(graph_->num_nodes());
+  std::vector<int64_t> cluster_min(static_cast<size_t>(banks_.num_clusters));
+
+  auto cluster_minimum = [&](const std::vector<int64_t>& dist) {
+    std::fill(cluster_min.begin(), cluster_min.end(), kUnreachableDistance);
+    for (int32_t c = 0; c < banks_.num_clusters; ++c) {
+      for (int32_t member : cluster_members_[static_cast<size_t>(c)]) {
+        cluster_min[static_cast<size_t>(c)] =
+            std::min(cluster_min[static_cast<size_t>(c)],
+                     dist[static_cast<size_t>(member)]);
+      }
+    }
+  };
+
+  if (!p_lighter) {
+    // Banks (if any) join the demand side; one forward SSSP per supplier.
+    rows = static_cast<int32_t>(sup.size());
+    cols = static_cast<int32_t>(con.size() + bank_ids.size());
+    supply.reserve(static_cast<size_t>(rows));
+    for (int32_t s : sup) supply.push_back(p[static_cast<size_t>(s)]);
+    for (int32_t t : con) demand.push_back(q[static_cast<size_t>(t)]);
+    for (int32_t bk : bank_ids) {
+      demand.push_back(bank_caps[static_cast<size_t>(bk)]);
+    }
+    cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+    for (int32_t r = 0; r < rows; ++r) {
+      const SsspSource source{sup[static_cast<size_t>(r)], 0};
+      const auto& dist =
+          ws.Run(*graph_, costs, std::span<const SsspSource>(&source, 1));
+      cluster_minimum(dist);
+      double* row = cost.data() + static_cast<size_t>(r) * cols;
+      for (size_t j = 0; j < con.size(); ++j) {
+        row[j] = finite(dist[static_cast<size_t>(con[j])]);
+      }
+      for (size_t k = 0; k < bank_ids.size(); ++k) {
+        const int32_t bk = bank_ids[k];
+        row[con.size() + k] =
+            bank_gamma(bk) +
+            finite(cluster_min[static_cast<size_t>(bank_cluster(bk))]);
+      }
+    }
+  } else {
+    // Banks join the supply side; one *reverse* SSSP per consumer gives
+    // the distances from every node (and hence every bank cluster) to it.
+    rows = static_cast<int32_t>(sup.size() + bank_ids.size());
+    cols = static_cast<int32_t>(con.size());
+    for (int32_t s : sup) supply.push_back(p[static_cast<size_t>(s)]);
+    for (int32_t bk : bank_ids) {
+      supply.push_back(bank_caps[static_cast<size_t>(bk)]);
+    }
+    for (int32_t t : con) demand.push_back(q[static_cast<size_t>(t)]);
+    cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+    std::vector<int32_t> rev_costs(costs.size());
+    for (size_t e = 0; e < rev_costs.size(); ++e) {
+      rev_costs[e] = costs[static_cast<size_t>(reverse_origin_[e])];
+    }
+    for (size_t jc = 0; jc < con.size(); ++jc) {
+      const SsspSource source{con[jc], 0};
+      const auto& dist =
+          ws.Run(reversed_, rev_costs, std::span<const SsspSource>(&source, 1));
+      cluster_minimum(dist);
+      for (size_t r = 0; r < sup.size(); ++r) {
+        cost[r * con.size() + jc] =
+            finite(dist[static_cast<size_t>(sup[r])]);
+      }
+      for (size_t k = 0; k < bank_ids.size(); ++k) {
+        const int32_t bk = bank_ids[k];
+        cost[(sup.size() + k) * con.size() + jc] =
+            bank_gamma(bk) +
+            finite(cluster_min[static_cast<size_t>(bank_cluster(bk))]);
+      }
+    }
+  }
+  result.sssp_seconds = sssp_watch.ElapsedSeconds();
+
+  const TransportProblem problem(std::move(supply), std::move(demand),
+                                 std::move(cost));
+  const auto solver = MakeTransportSolver(options_.solver);
+  Stopwatch transport_watch;
+  result.cost = solver->Solve(problem).total_cost;
+  result.transport_seconds = transport_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace snd

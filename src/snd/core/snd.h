@@ -1,0 +1,120 @@
+// Social Network Distance (SND) - the paper's primary contribution.
+//
+// SND (Eq. 3) compares two states of a social network holding polar
+// opinions as
+//   SND(G1, G2) = 1/2 * [ EMD*(G1+, G2+, D(G1,+)) + EMD*(G1-, G2-, D(G1,-))
+//                       + EMD*(G2+, G1+, D(G2,+)) + EMD*(G2-, G1-, D(G2,-)) ]
+// where G^op is the indicator histogram of opinion `op` and D(G, op) the
+// shortest-path ground distance of the chosen propagation model.
+//
+// Two computation paths are provided:
+//  * Compute()          - the fast path of Theorem 4: Lemma 2 cancels the
+//                         per-user common mass, Lemma 1 drops empty bins,
+//                         one SSSP per changed user builds exactly the
+//                         ground-distance rows the reduced transportation
+//                         problem needs. Time O(n_delta * (m + n log n) +
+//                         transport(n_delta)).
+//  * ComputeReference() - the direct dense computation (all-pairs ground
+//                         distance + full EMD*), used for validation and
+//                         as the Fig. 11 direct-solver baseline. The two
+//                         paths agree exactly; tests enforce this.
+#ifndef SND_CORE_SND_H_
+#define SND_CORE_SND_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "snd/core/snd_options.h"
+#include "snd/emd/banks.h"
+#include "snd/emd/dense_matrix.h"
+#include "snd/graph/graph.h"
+#include "snd/opinion/network_state.h"
+#include "snd/opinion/opinion_model.h"
+
+namespace snd {
+
+// One of the four EMD* terms of Eq. 3.
+struct SndTermResult {
+  Opinion op = Opinion::kPositive;
+  // True for the terms whose ground distance derives from the first
+  // argument state (EMD*(G1^op, G2^op, D(G1, op))).
+  bool forward = true;
+  double cost = 0.0;
+  int32_t num_suppliers = 0;
+  int32_t num_consumers = 0;
+  int32_t num_banks = 0;
+  double sssp_seconds = 0.0;
+  double transport_seconds = 0.0;
+};
+
+struct SndResult {
+  double value = 0.0;
+  std::array<SndTermResult, 4> terms;
+  // Number of users whose opinion differs between the two states.
+  int32_t n_delta = 0;
+  double total_seconds = 0.0;
+};
+
+class SndCalculator {
+ public:
+  // `graph` must outlive the calculator. Construction performs the
+  // state-independent precomputation: the propagation model, the reversed
+  // graph, the bank clustering and the bank ground distances.
+  SndCalculator(const Graph* graph, SndOptions options);
+  ~SndCalculator();
+
+  SndCalculator(const SndCalculator&) = delete;
+  SndCalculator& operator=(const SndCalculator&) = delete;
+
+  // Fast Theorem-4 computation of SND(a, b).
+  SndResult Compute(const NetworkState& a, const NetworkState& b) const;
+
+  // Convenience: Compute(a, b).value.
+  double Distance(const NetworkState& a, const NetworkState& b) const;
+
+  // Dense reference computation (O(n) SSSPs + full transportation).
+  SndResult ComputeReference(const NetworkState& a,
+                             const NetworkState& b) const;
+
+  // The ground distance matrix D(state, op) as a dense matrix, with
+  // unreachable pairs mapped to DisconnectionCost(). Exposed for tests and
+  // for the EMD-layer benches.
+  DenseMatrix GroundDistanceMatrix(const NetworkState& state,
+                                   Opinion op) const;
+
+  // Finite stand-in for unreachable ground distances: larger than any
+  // realizable shortest path (max edge cost * n), preserving the triangle
+  // inequality. Both computation paths share this convention.
+  int64_t DisconnectionCost() const;
+
+  const BankSpec& banks() const { return banks_; }
+  const OpinionModel& model() const { return *model_; }
+  const SndOptions& options() const { return options_; }
+
+ private:
+  struct TermSpec {
+    const NetworkState* distance_state;  // Defines D.
+    const NetworkState* from;            // Supplies mass.
+    const NetworkState* to;              // Demands mass.
+    Opinion op;
+    bool forward;
+  };
+
+  SndTermResult ComputeTermFast(const TermSpec& spec) const;
+  SndTermResult ComputeTermReference(const TermSpec& spec) const;
+  std::array<TermSpec, 4> MakeTermSpecs(const NetworkState& a,
+                                        const NetworkState& b) const;
+
+  const Graph* graph_;
+  SndOptions options_;
+  std::unique_ptr<OpinionModel> model_;
+  Graph reversed_;
+  std::vector<int64_t> reverse_origin_;  // Reversed edge -> original edge.
+  BankSpec banks_;
+  std::vector<std::vector<int32_t>> cluster_members_;
+};
+
+}  // namespace snd
+
+#endif  // SND_CORE_SND_H_

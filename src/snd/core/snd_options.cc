@@ -1,0 +1,29 @@
+#include "snd/core/snd_options.h"
+
+namespace snd {
+
+const char* GroundModelKindName(GroundModelKind kind) {
+  switch (kind) {
+    case GroundModelKind::kModelAgnostic:
+      return "model-agnostic";
+    case GroundModelKind::kIndependentCascade:
+      return "independent-cascade";
+    case GroundModelKind::kLinearThreshold:
+      return "linear-threshold";
+  }
+  return "unknown";
+}
+
+const char* BankStrategyName(BankStrategy strategy) {
+  switch (strategy) {
+    case BankStrategy::kSingleGlobal:
+      return "single-global";
+    case BankStrategy::kPerCluster:
+      return "per-cluster";
+    case BankStrategy::kPerBin:
+      return "per-bin";
+  }
+  return "unknown";
+}
+
+}  // namespace snd

@@ -1,0 +1,56 @@
+// Minimal dense row-major matrix of doubles, used for ground distance
+// matrices in the EMD layer.
+#ifndef SND_EMD_DENSE_MATRIX_H_
+#define SND_EMD_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int32_t rows, int32_t cols, double init = 0.0)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), init) {
+    SND_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+
+  double At(int32_t r, int32_t c) const {
+    SND_DCHECK(0 <= r && r < rows_ && 0 <= c && c < cols_);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  void Set(int32_t r, int32_t c, double v) {
+    SND_DCHECK(0 <= r && r < rows_ && 0 <= c && c < cols_);
+    data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+          static_cast<size_t>(c)] = v;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double> TakeData() && { return std::move(data_); }
+
+  // Largest entry (0 for an empty matrix).
+  double Max() const {
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, v);
+    return m;
+  }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace snd
+
+#endif  // SND_EMD_DENSE_MATRIX_H_

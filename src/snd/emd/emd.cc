@@ -1,0 +1,73 @@
+#include "snd/emd/emd.h"
+
+#include <algorithm>
+
+namespace snd {
+
+EmdResult ComputeEmd(const std::vector<double>& p,
+                     const std::vector<double>& q, const DenseMatrix& ground,
+                     const TransportSolver& solver) {
+  SND_CHECK(ground.rows() == static_cast<int32_t>(p.size()));
+  SND_CHECK(ground.cols() == static_cast<int32_t>(q.size()));
+  EmdResult result;
+  double total_p = 0.0, total_q = 0.0;
+  for (double v : p) {
+    SND_CHECK(v >= 0.0);
+    total_p += v;
+  }
+  for (double v : q) {
+    SND_CHECK(v >= 0.0);
+    total_q += v;
+  }
+  result.flow = std::min(total_p, total_q);
+  if (result.flow <= 0.0) return result;
+
+  // Lemma 1: empty bins never carry flow, so drop them up front.
+  std::vector<int32_t> sup_ids, con_ids;
+  std::vector<double> supply, demand;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0) {
+      sup_ids.push_back(static_cast<int32_t>(i));
+      supply.push_back(p[i]);
+    }
+  }
+  for (size_t j = 0; j < q.size(); ++j) {
+    if (q[j] > 0.0) {
+      con_ids.push_back(static_cast<int32_t>(j));
+      demand.push_back(q[j]);
+    }
+  }
+
+  // Balance with a zero-cost dummy on the lighter side's opposite end:
+  // Rubner's constraints allow the heavier histogram to keep its excess,
+  // which a free dummy bin absorbs.
+  const double excess = total_p - total_q;
+  const bool dummy_consumer = excess > 0.0;
+  const bool dummy_supplier = excess < 0.0;
+  const auto s = static_cast<int32_t>(supply.size());
+  const auto t = static_cast<int32_t>(demand.size());
+  if (dummy_consumer) demand.push_back(excess);
+  if (dummy_supplier) supply.push_back(-excess);
+
+  const auto rows = static_cast<int32_t>(supply.size());
+  const auto cols = static_cast<int32_t>(demand.size());
+  std::vector<double> cost(static_cast<size_t>(rows) *
+                               static_cast<size_t>(cols),
+                           0.0);
+  for (int32_t i = 0; i < s; ++i) {
+    for (int32_t j = 0; j < t; ++j) {
+      cost[static_cast<size_t>(i) * static_cast<size_t>(cols) +
+           static_cast<size_t>(j)] =
+          ground.At(sup_ids[static_cast<size_t>(i)],
+                    con_ids[static_cast<size_t>(j)]);
+    }
+  }
+  const TransportProblem problem(std::move(supply), std::move(demand),
+                                 std::move(cost));
+  const TransportPlan plan = solver.Solve(problem);
+  result.work = plan.total_cost;
+  result.value = result.work / result.flow;
+  return result;
+}
+
+}  // namespace snd

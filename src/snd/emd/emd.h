@@ -1,0 +1,34 @@
+// The original Earth Mover's Distance of Rubner et al. (Eq. 1 of the
+// paper): optimal mass transportation between two histograms over a
+// cross-bin ground distance, normalized by the transported flow. Handles
+// unequal total masses by leaving the heavier histogram's excess in place
+// (the classic partial-matching semantics that EMD*, Section 4, improves
+// upon).
+#ifndef SND_EMD_EMD_H_
+#define SND_EMD_EMD_H_
+
+#include <vector>
+
+#include "snd/emd/dense_matrix.h"
+#include "snd/flow/solver.h"
+
+namespace snd {
+
+struct EmdResult {
+  // Total transportation work of the optimal plan (sum of flow * cost).
+  double work = 0.0;
+  // Total transported flow = min(total(P), total(Q)).
+  double flow = 0.0;
+  // EMD value: work / flow (0 when flow is 0).
+  double value = 0.0;
+};
+
+// Computes EMD(P, Q, D). `ground.rows()` must equal P's size and
+// `ground.cols()` Q's size; masses must be non-negative.
+EmdResult ComputeEmd(const std::vector<double>& p,
+                     const std::vector<double>& q, const DenseMatrix& ground,
+                     const TransportSolver& solver);
+
+}  // namespace snd
+
+#endif  // SND_EMD_EMD_H_

@@ -1,0 +1,57 @@
+#include "snd/emd/emd_variants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snd/emd/emd.h"
+
+namespace snd {
+
+double ComputeEmdHat(const std::vector<double>& p,
+                     const std::vector<double>& q, const DenseMatrix& ground,
+                     double alpha, const TransportSolver& solver) {
+  SND_CHECK(alpha >= 0.0);
+  const EmdResult emd = ComputeEmd(p, q, ground, solver);
+  double total_p = 0.0, total_q = 0.0;
+  for (double v : p) total_p += v;
+  for (double v : q) total_q += v;
+  return emd.work + alpha * ground.Max() * std::abs(total_p - total_q);
+}
+
+double ComputeEmdAlpha(const std::vector<double>& p,
+                       const std::vector<double>& q, const DenseMatrix& ground,
+                       double alpha, const TransportSolver& solver) {
+  SND_CHECK(alpha >= 0.0);
+  const auto n = static_cast<int32_t>(p.size());
+  SND_CHECK(static_cast<int32_t>(q.size()) == n);
+  SND_CHECK(ground.rows() == n && ground.cols() == n);
+
+  // Direct construction from the definition: each histogram gains a bank
+  // bin holding the *entire* opposite total (P_bank = total(Q) and vice
+  // versa), so the extended masses are equal; the bank's ground distance
+  // is gamma = alpha * max(D) to every regular bin and 0 bank-to-bank.
+  double total_p = 0.0, total_q = 0.0;
+  for (double v : p) total_p += v;
+  for (double v : q) total_q += v;
+  const double gamma = alpha * ground.Max();
+
+  std::vector<double> p_tilde = p;
+  std::vector<double> q_tilde = q;
+  p_tilde.push_back(total_q);
+  q_tilde.push_back(total_p);
+
+  DenseMatrix d_tilde(n + 1, n + 1, 0.0);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = 0; j < n; ++j) d_tilde.Set(i, j, ground.At(i, j));
+    d_tilde.Set(i, n, gamma);
+    d_tilde.Set(n, i, gamma);
+  }
+
+  // EMD(P~, Q~, D~) * (total(P) + total(Q)); the normalizing flow of the
+  // balanced problem is exactly total(P) + total(Q), so the product is the
+  // optimal transportation cost.
+  const EmdResult emd = ComputeEmd(p_tilde, q_tilde, d_tilde, solver);
+  return emd.work;
+}
+
+}  // namespace snd

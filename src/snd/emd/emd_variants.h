@@ -1,0 +1,36 @@
+// The two pre-existing mass-mismatch-aware EMD extensions the paper
+// compares EMD* against (Section 4):
+//
+//  * EMD-hat (Pele & Werman): EMD plus an additive penalty
+//    alpha * max(D) * |total(P) - total(Q)|.
+//  * EMDalpha (Ljosa et al.): both histograms gain one global "bank bin"
+//    sized to even out the masses, with ground distance alpha * max(D).
+//
+// Theorem 2 proves the two coincide whenever both are metric (D metric,
+// alpha >= 0.5); tests and a bench verify the equality numerically.
+#ifndef SND_EMD_EMD_VARIANTS_H_
+#define SND_EMD_EMD_VARIANTS_H_
+
+#include <vector>
+
+#include "snd/emd/dense_matrix.h"
+#include "snd/flow/solver.h"
+
+namespace snd {
+
+// EMD-hat: EMD(P,Q,D) * min(total(P), total(Q)) +
+//          alpha * max(D) * |total(P) - total(Q)|.
+double ComputeEmdHat(const std::vector<double>& p,
+                     const std::vector<double>& q, const DenseMatrix& ground,
+                     double alpha, const TransportSolver& solver);
+
+// EMDalpha: the single-global-bank construction; the returned value is the
+// optimal transportation cost of the extended balanced problem, which per
+// the paper's definition equals EMD(P~, Q~, D~) * (total(P) + total(Q)).
+double ComputeEmdAlpha(const std::vector<double>& p,
+                       const std::vector<double>& q, const DenseMatrix& ground,
+                       double alpha, const TransportSolver& solver);
+
+}  // namespace snd
+
+#endif  // SND_EMD_EMD_VARIANTS_H_

@@ -1,0 +1,32 @@
+#include "snd/emd/reductions.h"
+
+#include <algorithm>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+void CancelCommonMass(std::vector<double>* p, std::vector<double>* q) {
+  SND_CHECK(p->size() == q->size());
+  for (size_t i = 0; i < p->size(); ++i) {
+    double& pi = (*p)[i];
+    double& qi = (*q)[i];
+    if (pi <= qi) {
+      qi -= pi;
+      pi = 0.0;
+    } else {
+      pi -= qi;
+      qi = 0.0;
+    }
+  }
+}
+
+std::vector<int32_t> NonEmptyBins(const std::vector<double>& histogram) {
+  std::vector<int32_t> bins;
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    if (histogram[i] > 0.0) bins.push_back(static_cast<int32_t>(i));
+  }
+  return bins;
+}
+
+}  // namespace snd

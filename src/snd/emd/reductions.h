@@ -1,0 +1,26 @@
+// Lemma 1 and Lemma 2 of Section 5: the histogram reductions that make the
+// linear-time SND computation possible.
+//
+//  * Lemma 1: empty bins neither supply nor demand mass, so they can be
+//    dropped from the transportation problem.
+//  * Lemma 2: when the ground distance is a semimetric, the common
+//    per-bin mass min(P_i, Q_i) can be cancelled from both histograms
+//    without changing EMD*.
+#ifndef SND_EMD_REDUCTIONS_H_
+#define SND_EMD_REDUCTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace snd {
+
+// Lemma 2: subtracts min(p[i], q[i]) from both histograms, bin-wise. The
+// exhausted side is set to exactly zero.
+void CancelCommonMass(std::vector<double>* p, std::vector<double>* q);
+
+// Lemma 1: indices of bins with positive mass.
+std::vector<int32_t> NonEmptyBins(const std::vector<double>& histogram);
+
+}  // namespace snd
+
+#endif  // SND_EMD_REDUCTIONS_H_

@@ -1,0 +1,249 @@
+#include "snd/flow/cost_scaling_solver.h"
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+namespace snd {
+namespace {
+
+// Scaling factor between refine phases.
+constexpr int64_t kAlpha = 8;
+
+// Node ids: suppliers [0, S), consumer j is S + j.
+class CostScaling {
+ public:
+  explicit CostScaling(const TransportProblem& problem)
+      : S_(problem.num_suppliers()), T_(problem.num_consumers()) {
+    supply_.resize(static_cast<size_t>(S_));
+    demand_.resize(static_cast<size_t>(T_));
+    for (int32_t i = 0; i < S_; ++i) {
+      supply_[static_cast<size_t>(i)] =
+          static_cast<int64_t>(std::llround(problem.supply(i)));
+    }
+    for (int32_t j = 0; j < T_; ++j) {
+      demand_[static_cast<size_t>(j)] =
+          static_cast<int64_t>(std::llround(problem.demand(j)));
+    }
+    const int64_t scale = S_ + T_ + 1;
+    cost_.resize(static_cast<size_t>(S_) * static_cast<size_t>(T_));
+    cap_.resize(cost_.size());
+    int64_t max_cost = 0;
+    for (int32_t i = 0; i < S_; ++i) {
+      for (int32_t j = 0; j < T_; ++j) {
+        const auto c = static_cast<int64_t>(std::llround(problem.Cost(i, j)));
+        SND_CHECK(c >= 0 && c < (int64_t{1} << 40));
+        cost_[Idx(i, j)] = c * scale;
+        max_cost = std::max(max_cost, c * scale);
+        cap_[Idx(i, j)] = std::min(supply_[static_cast<size_t>(i)],
+                                   demand_[static_cast<size_t>(j)]);
+      }
+    }
+    flow_.assign(cost_.size(), 0);
+    p_.assign(static_cast<size_t>(S_ + T_), 0);
+    excess_.assign(static_cast<size_t>(S_ + T_), 0);
+    cur_.assign(static_cast<size_t>(S_ + T_), 0);
+    in_queue_.assign(static_cast<size_t>(S_ + T_), 0);
+    max_cost_ = max_cost;
+  }
+
+  void Run() {
+    if (S_ == 0 || T_ == 0 || max_cost_ == 0) {
+      // Zero costs: any feasible flow is optimal; a greedy fill suffices.
+      GreedyFill();
+      return;
+    }
+    int64_t eps = max_cost_;
+    while (true) {
+      eps = std::max<int64_t>(1, eps / kAlpha);
+      Refine(eps);
+      if (eps == 1) break;
+    }
+  }
+
+  TransportPlan ExtractPlan(const TransportProblem& problem) const {
+    TransportPlan plan;
+    for (int32_t i = 0; i < S_; ++i) {
+      for (int32_t j = 0; j < T_; ++j) {
+        const int64_t f = flow_[Idx(i, j)];
+        if (f > 0) {
+          plan.flows.push_back({i, j, static_cast<double>(f)});
+          plan.total_cost += static_cast<double>(f) * problem.Cost(i, j);
+        }
+      }
+    }
+    return plan;
+  }
+
+ private:
+  size_t Idx(int32_t i, int32_t j) const {
+    return static_cast<size_t>(i) * static_cast<size_t>(T_) +
+           static_cast<size_t>(j);
+  }
+
+  void GreedyFill() {
+    std::vector<int64_t> rs = supply_, rd = demand_;
+    for (int32_t i = 0; i < S_; ++i) {
+      for (int32_t j = 0; j < T_ && rs[static_cast<size_t>(i)] > 0; ++j) {
+        const int64_t f = std::min(rs[static_cast<size_t>(i)],
+                                   rd[static_cast<size_t>(j)]);
+        if (f > 0) {
+          flow_[Idx(i, j)] = f;
+          rs[static_cast<size_t>(i)] -= f;
+          rd[static_cast<size_t>(j)] -= f;
+        }
+      }
+    }
+  }
+
+  // Reduced cost of residual arc supplier i -> consumer j.
+  int64_t RcFwd(int32_t i, int32_t j) const {
+    return cost_[Idx(i, j)] + p_[static_cast<size_t>(i)] -
+           p_[static_cast<size_t>(S_ + j)];
+  }
+  // Reduced cost of residual arc consumer j -> supplier i.
+  int64_t RcBwd(int32_t i, int32_t j) const { return -RcFwd(i, j); }
+
+  void Enqueue(int32_t v) {
+    if (!in_queue_[static_cast<size_t>(v)] &&
+        excess_[static_cast<size_t>(v)] > 0) {
+      in_queue_[static_cast<size_t>(v)] = 1;
+      queue_.push_back(v);
+    }
+  }
+
+  void Refine(int64_t eps) {
+    // Saturate arcs with negative reduced cost, zero the rest; this yields
+    // a 0-optimal pseudoflow for the current potentials.
+    for (int32_t i = 0; i < S_; ++i) {
+      for (int32_t j = 0; j < T_; ++j) {
+        flow_[Idx(i, j)] = RcFwd(i, j) < 0 ? cap_[Idx(i, j)] : 0;
+      }
+    }
+    for (int32_t i = 0; i < S_; ++i) {
+      int64_t shipped = 0;
+      for (int32_t j = 0; j < T_; ++j) shipped += flow_[Idx(i, j)];
+      excess_[static_cast<size_t>(i)] =
+          supply_[static_cast<size_t>(i)] - shipped;
+    }
+    for (int32_t j = 0; j < T_; ++j) {
+      int64_t received = 0;
+      for (int32_t i = 0; i < S_; ++i) received += flow_[Idx(i, j)];
+      excess_[static_cast<size_t>(S_ + j)] =
+          received - demand_[static_cast<size_t>(j)];
+    }
+    std::fill(cur_.begin(), cur_.end(), 0);
+    queue_.clear();
+    std::fill(in_queue_.begin(), in_queue_.end(), 0);
+    for (int32_t v = 0; v < S_ + T_; ++v) Enqueue(v);
+
+    while (!queue_.empty()) {
+      const int32_t v = queue_.front();
+      queue_.pop_front();
+      in_queue_[static_cast<size_t>(v)] = 0;
+      Discharge(v, eps);
+    }
+  }
+
+  void Discharge(int32_t v, int64_t eps) {
+    while (excess_[static_cast<size_t>(v)] > 0) {
+      const int32_t degree = (v < S_) ? T_ : S_;
+      bool pushed = false;
+      while (cur_[static_cast<size_t>(v)] < degree) {
+        const int32_t k = cur_[static_cast<size_t>(v)];
+        if (v < S_) {
+          const int32_t i = v, j = k;
+          if (flow_[Idx(i, j)] < cap_[Idx(i, j)] && RcFwd(i, j) < 0) {
+            Push(v, S_ + j, Idx(i, j), /*forward=*/true);
+            pushed = true;
+            break;
+          }
+        } else {
+          const int32_t i = k, j = v - S_;
+          if (flow_[Idx(i, j)] > 0 && RcBwd(i, j) < 0) {
+            Push(v, i, Idx(i, j), /*forward=*/false);
+            pushed = true;
+            break;
+          }
+        }
+        ++cur_[static_cast<size_t>(v)];
+      }
+      if (!pushed) {
+        Relabel(v, eps);
+        cur_[static_cast<size_t>(v)] = 0;
+      }
+    }
+  }
+
+  void Push(int32_t v, int32_t w, size_t arc, bool forward) {
+    const int64_t residual =
+        forward ? cap_[arc] - flow_[arc] : flow_[arc];
+    const int64_t delta = std::min(excess_[static_cast<size_t>(v)], residual);
+    SND_DCHECK(delta > 0);
+    flow_[arc] += forward ? delta : -delta;
+    excess_[static_cast<size_t>(v)] -= delta;
+    excess_[static_cast<size_t>(w)] += delta;
+    Enqueue(w);
+  }
+
+  void Relabel(int32_t v, int64_t eps) {
+    // p[v] = max over residual arcs (v, w) of (p[w] - cost(v, w)) - eps.
+    bool found = false;
+    int64_t best = 0;
+    if (v < S_) {
+      const int32_t i = v;
+      for (int32_t j = 0; j < T_; ++j) {
+        if (flow_[Idx(i, j)] < cap_[Idx(i, j)]) {
+          const int64_t cand =
+              p_[static_cast<size_t>(S_ + j)] - cost_[Idx(i, j)];
+          if (!found || cand > best) best = cand;
+          found = true;
+        }
+      }
+    } else {
+      const int32_t j = v - S_;
+      for (int32_t i = 0; i < S_; ++i) {
+        if (flow_[Idx(i, j)] > 0) {
+          const int64_t cand = p_[static_cast<size_t>(i)] + cost_[Idx(i, j)];
+          if (!found || cand > best) best = cand;
+          found = true;
+        }
+      }
+    }
+    // A balanced transportation instance always leaves a residual arc at
+    // any node with positive excess.
+    SND_CHECK(found);
+    p_[static_cast<size_t>(v)] = best - eps;
+  }
+
+  int32_t S_;
+  int32_t T_;
+  std::vector<int64_t> supply_;
+  std::vector<int64_t> demand_;
+  std::vector<int64_t> cost_;  // Scaled by (S + T + 1).
+  std::vector<int64_t> cap_;
+  std::vector<int64_t> flow_;
+  std::vector<int64_t> p_;
+  std::vector<int64_t> excess_;
+  std::vector<int32_t> cur_;
+  std::vector<char> in_queue_;
+  std::deque<int32_t> queue_;
+  int64_t max_cost_ = 0;
+};
+
+}  // namespace
+
+TransportPlan CostScalingSolver::Solve(const TransportProblem& problem) const {
+  TransportPlan plan;
+  if (problem.num_suppliers() == 0 || problem.num_consumers() == 0 ||
+      problem.total_mass() <= 0.0) {
+    return plan;
+  }
+  SND_CHECK(problem.HasIntegralCosts());
+  SND_CHECK(problem.HasIntegralMasses());
+  CostScaling solver(problem);
+  solver.Run();
+  return solver.ExtractPlan(problem);
+}
+
+}  // namespace snd

@@ -1,0 +1,25 @@
+// Goldberg-Tarjan cost-scaling push-relabel min-cost flow, specialized for
+// dense bipartite transportation instances. This is the algorithm behind
+// the CS2 solver used by the paper's implementation (Goldberg 1997) and the
+// one referenced by Theorem 4.
+//
+// Requires integral costs and integral masses (Assumption 2 of the paper;
+// EMD* instances built by the SND core satisfy both). Costs are internally
+// multiplied by (V+1) so that terminating at epsilon < 1 guarantees an
+// exactly optimal integral flow.
+#ifndef SND_FLOW_COST_SCALING_SOLVER_H_
+#define SND_FLOW_COST_SCALING_SOLVER_H_
+
+#include "snd/flow/solver.h"
+
+namespace snd {
+
+class CostScalingSolver final : public TransportSolver {
+ public:
+  TransportPlan Solve(const TransportProblem& problem) const override;
+  const char* name() const override { return "cost-scaling"; }
+};
+
+}  // namespace snd
+
+#endif  // SND_FLOW_COST_SCALING_SOLVER_H_

@@ -1,0 +1,104 @@
+#include "snd/flow/oracle_solver.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace snd {
+namespace {
+
+// Depth-first enumeration over integral flows in row-major cell order.
+class Enumerator {
+ public:
+  explicit Enumerator(const TransportProblem& problem)
+      : problem_(problem),
+        S_(problem.num_suppliers()),
+        T_(problem.num_consumers()) {
+    rs_.resize(static_cast<size_t>(S_));
+    rd_.resize(static_cast<size_t>(T_));
+    for (int32_t i = 0; i < S_; ++i) {
+      rs_[static_cast<size_t>(i)] =
+          static_cast<int64_t>(std::llround(problem.supply(i)));
+    }
+    for (int32_t j = 0; j < T_; ++j) {
+      rd_[static_cast<size_t>(j)] =
+          static_cast<int64_t>(std::llround(problem.demand(j)));
+    }
+    flow_.assign(static_cast<size_t>(S_) * static_cast<size_t>(T_), 0);
+    best_flow_ = flow_;
+  }
+
+  TransportPlan Run() {
+    Recurse(0, 0, 0.0);
+    TransportPlan plan;
+    for (int32_t i = 0; i < S_; ++i) {
+      for (int32_t j = 0; j < T_; ++j) {
+        const int64_t f = best_flow_[Idx(i, j)];
+        if (f > 0) {
+          plan.flows.push_back({i, j, static_cast<double>(f)});
+          plan.total_cost += static_cast<double>(f) * problem_.Cost(i, j);
+        }
+      }
+    }
+    return plan;
+  }
+
+ private:
+  size_t Idx(int32_t i, int32_t j) const {
+    return static_cast<size_t>(i) * static_cast<size_t>(T_) +
+           static_cast<size_t>(j);
+  }
+
+  void Recurse(int32_t i, int32_t j, double cost) {
+    if (cost >= best_cost_) return;  // Costs are non-negative.
+    if (i == S_) {
+      for (int32_t jj = 0; jj < T_; ++jj) {
+        if (rd_[static_cast<size_t>(jj)] != 0) return;
+      }
+      best_cost_ = cost;
+      best_flow_ = flow_;
+      return;
+    }
+    if (j == T_) {
+      if (rs_[static_cast<size_t>(i)] != 0) return;
+      Recurse(i + 1, 0, cost);
+      return;
+    }
+    // The final column of a row must absorb the row's remainder.
+    const int64_t max_f = std::min(rs_[static_cast<size_t>(i)],
+                                   rd_[static_cast<size_t>(j)]);
+    const int64_t min_f =
+        (j == T_ - 1) ? rs_[static_cast<size_t>(i)] : 0;
+    for (int64_t f = min_f; f <= max_f; ++f) {
+      flow_[Idx(i, j)] = f;
+      rs_[static_cast<size_t>(i)] -= f;
+      rd_[static_cast<size_t>(j)] -= f;
+      Recurse(i, j + 1, cost + static_cast<double>(f) * problem_.Cost(i, j));
+      rs_[static_cast<size_t>(i)] += f;
+      rd_[static_cast<size_t>(j)] += f;
+      flow_[Idx(i, j)] = 0;
+    }
+  }
+
+  const TransportProblem& problem_;
+  const int32_t S_;
+  const int32_t T_;
+  std::vector<int64_t> rs_, rd_;
+  std::vector<int64_t> flow_, best_flow_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+TransportPlan OracleSolver::Solve(const TransportProblem& problem) const {
+  TransportPlan plan;
+  if (problem.num_suppliers() == 0 || problem.num_consumers() == 0 ||
+      problem.total_mass() <= 0.0) {
+    return plan;
+  }
+  SND_CHECK(problem.HasIntegralMasses());
+  Enumerator e(problem);
+  return e.Run();
+}
+
+}  // namespace snd

@@ -1,0 +1,20 @@
+// Exhaustive-search transportation solver for tiny integral instances.
+// Exponential; exists purely as an independent ground truth for testing
+// the production solvers. Requires integral masses and at most ~10 units
+// of total mass to finish quickly.
+#ifndef SND_FLOW_ORACLE_SOLVER_H_
+#define SND_FLOW_ORACLE_SOLVER_H_
+
+#include "snd/flow/solver.h"
+
+namespace snd {
+
+class OracleSolver final : public TransportSolver {
+ public:
+  TransportPlan Solve(const TransportProblem& problem) const override;
+  const char* name() const override { return "oracle"; }
+};
+
+}  // namespace snd
+
+#endif  // SND_FLOW_ORACLE_SOLVER_H_

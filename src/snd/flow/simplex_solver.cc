@@ -1,0 +1,392 @@
+#include "snd/flow/simplex_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "snd/flow/ssp_solver.h"
+
+namespace snd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A basic arc of the transportation tableau. Basic arcs form a spanning
+// tree of the bipartite node set (suppliers + consumers).
+struct BasicArc {
+  int32_t i = 0;
+  int32_t j = 0;
+  double flow = 0.0;
+  bool active = true;
+};
+
+class Simplex {
+ public:
+  Simplex(const TransportProblem& problem, const SimplexOptions& options)
+      : problem_(problem),
+        options_(options),
+        S_(problem.num_suppliers()),
+        T_(problem.num_consumers()) {}
+
+  // Returns true and fills `plan` on success; false if the pivot cap was
+  // exceeded (caller falls back to SSP).
+  bool Run(TransportPlan* plan) {
+    const bool use_vogel =
+        options_.initial_basis == SimplexOptions::InitialBasis::kVogel &&
+        static_cast<int64_t>(S_) * static_cast<int64_t>(T_) <=
+            options_.vogel_cell_limit;
+    if (use_vogel) {
+      BuildInitialBasisVogel();
+    } else {
+      BuildInitialBasis();
+    }
+    const double price_tol =
+        1e-9 * (1.0 + problem_.MaxCost());
+    const int64_t max_pivots =
+        200 + 64 * (static_cast<int64_t>(S_) + T_) *
+                  static_cast<int64_t>(
+                      std::max<int64_t>(1, std::llround(std::log2(
+                                               2.0 + S_ + T_))));
+    for (int64_t pivot = 0;; ++pivot) {
+      if (pivot > max_pivots) return false;
+      ComputeDuals();
+      int32_t ei = 0, ej = 0;
+      if (!FindEnteringArc(price_tol, &ei, &ej)) break;  // Optimal.
+      Pivot(ei, ej);
+    }
+    plan->flows.clear();
+    plan->total_cost = 0.0;
+    for (const BasicArc& a : basis_) {
+      if (!a.active || a.flow <= 0.0) continue;
+      plan->flows.push_back({a.i, a.j, a.flow});
+      plan->total_cost += a.flow * problem_.Cost(a.i, a.j);
+    }
+    return true;
+  }
+
+ private:
+  int32_t NodeOfSupplier(int32_t i) const { return i; }
+  int32_t NodeOfConsumer(int32_t j) const { return S_ + j; }
+
+  void AttachArc(int32_t arc_id) {
+    const BasicArc& a = basis_[static_cast<size_t>(arc_id)];
+    adj_[static_cast<size_t>(NodeOfSupplier(a.i))].push_back(arc_id);
+    adj_[static_cast<size_t>(NodeOfConsumer(a.j))].push_back(arc_id);
+  }
+
+  void DetachArc(int32_t arc_id) {
+    const BasicArc& a = basis_[static_cast<size_t>(arc_id)];
+    auto remove_from = [&](int32_t node) {
+      auto& lst = adj_[static_cast<size_t>(node)];
+      lst.erase(std::find(lst.begin(), lst.end(), arc_id));
+    };
+    remove_from(NodeOfSupplier(a.i));
+    remove_from(NodeOfConsumer(a.j));
+  }
+
+  // Northwest-corner initial basic feasible solution with exactly
+  // S + T - 1 basic arcs (degenerate zero arcs are inserted on ties). The
+  // walk always reaches cell (S-1, T-1), so floating-point imbalance dust
+  // cannot truncate the basis below tree size.
+  void BuildInitialBasis() {
+    adj_.assign(static_cast<size_t>(S_ + T_), {});
+    std::vector<double> rs = problem_.supplies();
+    std::vector<double> rd = problem_.demands();
+    int32_t i = 0, j = 0;
+    while (true) {
+      const double x = std::min(rs[static_cast<size_t>(i)],
+                                rd[static_cast<size_t>(j)]);
+      basis_.push_back({i, j, x, true});
+      AttachArc(static_cast<int32_t>(basis_.size()) - 1);
+      // Subtracting the exact minimum zeroes at least one side exactly.
+      rs[static_cast<size_t>(i)] -= x;
+      rd[static_cast<size_t>(j)] -= x;
+      if (i == S_ - 1 && j == T_ - 1) break;
+      bool advance_i;
+      if (i == S_ - 1) {
+        advance_i = false;
+      } else if (j == T_ - 1) {
+        advance_i = true;
+      } else {
+        advance_i = rs[static_cast<size_t>(i)] <= 0.0;
+      }
+      if (advance_i) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    SND_CHECK(static_cast<int32_t>(basis_.size()) == S_ + T_ - 1);
+  }
+
+  // Vogel's approximation method: repeatedly allocate at the cheapest
+  // cell of the line (row or column) with the largest regret - the gap
+  // between its two smallest open costs. Exactly one line closes per
+  // allocation (both on the final one), which keeps the chosen cells a
+  // spanning tree of size S + T - 1, like the northwest-corner walk.
+  void BuildInitialBasisVogel() {
+    adj_.assign(static_cast<size_t>(S_ + T_), {});
+    std::vector<double> rs = problem_.supplies();
+    std::vector<double> rd = problem_.demands();
+    std::vector<char> row_open(static_cast<size_t>(S_), 1);
+    std::vector<char> col_open(static_cast<size_t>(T_), 1);
+    int32_t open_rows = S_, open_cols = T_;
+
+    // Regret of an open line: difference between its two smallest open
+    // costs (or the single cost if only one line remains on the other
+    // side); returns the arg-min cell as well.
+    auto row_regret = [&](int32_t i, int32_t* best_j) {
+      double min1 = kInf, min2 = kInf;
+      for (int32_t j = 0; j < T_; ++j) {
+        if (!col_open[static_cast<size_t>(j)]) continue;
+        const double c = problem_.Cost(i, j);
+        if (c < min1) {
+          min2 = min1;
+          min1 = c;
+          *best_j = j;
+        } else if (c < min2) {
+          min2 = c;
+        }
+      }
+      return min2 == kInf ? min1 : min2 - min1;
+    };
+    auto col_regret = [&](int32_t j, int32_t* best_i) {
+      double min1 = kInf, min2 = kInf;
+      for (int32_t i = 0; i < S_; ++i) {
+        if (!row_open[static_cast<size_t>(i)]) continue;
+        const double c = problem_.Cost(i, j);
+        if (c < min1) {
+          min2 = min1;
+          min1 = c;
+          *best_i = i;
+        } else if (c < min2) {
+          min2 = c;
+        }
+      }
+      return min2 == kInf ? min1 : min2 - min1;
+    };
+
+    while (open_rows > 0 && open_cols > 0) {
+      // Pick the open line with the largest regret.
+      double best_regret = -1.0;
+      int32_t pick_i = -1, pick_j = -1;
+      for (int32_t i = 0; i < S_; ++i) {
+        if (!row_open[static_cast<size_t>(i)]) continue;
+        int32_t j = -1;
+        const double regret = row_regret(i, &j);
+        if (regret > best_regret) {
+          best_regret = regret;
+          pick_i = i;
+          pick_j = j;
+        }
+      }
+      for (int32_t j = 0; j < T_; ++j) {
+        if (!col_open[static_cast<size_t>(j)]) continue;
+        int32_t i = -1;
+        const double regret = col_regret(j, &i);
+        if (regret > best_regret) {
+          best_regret = regret;
+          pick_i = i;
+          pick_j = j;
+        }
+      }
+      SND_CHECK(pick_i >= 0 && pick_j >= 0);
+
+      const double x = std::min(rs[static_cast<size_t>(pick_i)],
+                                rd[static_cast<size_t>(pick_j)]);
+      basis_.push_back({pick_i, pick_j, x, true});
+      AttachArc(static_cast<int32_t>(basis_.size()) - 1);
+      rs[static_cast<size_t>(pick_i)] -= x;
+      rd[static_cast<size_t>(pick_j)] -= x;
+
+      if (open_rows == 1 && open_cols == 1) {
+        row_open[static_cast<size_t>(pick_i)] = 0;
+        col_open[static_cast<size_t>(pick_j)] = 0;
+        open_rows = open_cols = 0;
+        break;
+      }
+      // Close exactly one line: the exhausted one; on ties keep the side
+      // that would otherwise run out of lines.
+      const bool row_done = rs[static_cast<size_t>(pick_i)] <= 0.0;
+      const bool col_done = rd[static_cast<size_t>(pick_j)] <= 0.0;
+      bool close_row;
+      if (row_done && col_done) {
+        close_row = open_rows > 1;
+      } else if (row_done) {
+        close_row = open_rows > 1 || open_cols == 1;
+      } else {
+        close_row = !(open_cols > 1 || open_rows == 1);
+      }
+      if (close_row) {
+        rs[static_cast<size_t>(pick_i)] = 0.0;
+        row_open[static_cast<size_t>(pick_i)] = 0;
+        --open_rows;
+      } else {
+        rd[static_cast<size_t>(pick_j)] = 0.0;
+        col_open[static_cast<size_t>(pick_j)] = 0;
+        --open_cols;
+      }
+    }
+    SND_CHECK(static_cast<int32_t>(basis_.size()) == S_ + T_ - 1);
+  }
+
+  // Duals from the basis tree: u_i + v_j = c_ij on basic arcs, u_0 = 0.
+  void ComputeDuals() {
+    u_.assign(static_cast<size_t>(S_), kInf);
+    v_.assign(static_cast<size_t>(T_), kInf);
+    stack_.clear();
+    u_[0] = 0.0;
+    stack_.push_back(NodeOfSupplier(0));
+    while (!stack_.empty()) {
+      const int32_t node = stack_.back();
+      stack_.pop_back();
+      for (int32_t arc_id : adj_[static_cast<size_t>(node)]) {
+        const BasicArc& a = basis_[static_cast<size_t>(arc_id)];
+        const double c = problem_.Cost(a.i, a.j);
+        if (node < S_) {
+          if (v_[static_cast<size_t>(a.j)] == kInf) {
+            v_[static_cast<size_t>(a.j)] = c - u_[static_cast<size_t>(a.i)];
+            stack_.push_back(NodeOfConsumer(a.j));
+          }
+        } else {
+          if (u_[static_cast<size_t>(a.i)] == kInf) {
+            u_[static_cast<size_t>(a.i)] = c - v_[static_cast<size_t>(a.j)];
+            stack_.push_back(NodeOfSupplier(a.i));
+          }
+        }
+      }
+    }
+  }
+
+  // Block-pricing scan for the most negative reduced cost. Rows are
+  // scanned starting from a rotating cursor; the scan stops early once a
+  // block of rows containing a violation has been examined.
+  bool FindEnteringArc(double tol, int32_t* ei, int32_t* ej) {
+    const int32_t block = std::max<int32_t>(8, S_ / 16);
+    double best = -tol;
+    int32_t rows_since_found = 0;
+    bool found = false;
+    for (int32_t scanned = 0; scanned < S_; ++scanned) {
+      const int32_t i = static_cast<int32_t>((scan_cursor_ + scanned) % S_);
+      const double ui = u_[static_cast<size_t>(i)];
+      for (int32_t j = 0; j < T_; ++j) {
+        const double rc = problem_.Cost(i, j) - ui - v_[static_cast<size_t>(j)];
+        if (rc < best) {
+          best = rc;
+          *ei = i;
+          *ej = j;
+          found = true;
+        }
+      }
+      if (found && ++rows_since_found >= block) break;
+    }
+    if (found) scan_cursor_ = (*ei + 1) % std::max(S_, 1);
+    return found;
+  }
+
+  // Finds the unique tree path from supplier `ei` to consumer `ej`,
+  // alternates +/- flow around the cycle closed by the entering arc, and
+  // swaps the leaving arc out of the basis.
+  void Pivot(int32_t ei, int32_t ej) {
+    // BFS over the basis tree recording the arc used to reach each node.
+    parent_arc_.assign(static_cast<size_t>(S_ + T_), -1);
+    parent_node_.assign(static_cast<size_t>(S_ + T_), -1);
+    stack_.clear();
+    const int32_t start = NodeOfSupplier(ei);
+    const int32_t goal = NodeOfConsumer(ej);
+    stack_.push_back(start);
+    parent_node_[static_cast<size_t>(start)] = start;
+    while (!stack_.empty()) {
+      const int32_t node = stack_.back();
+      stack_.pop_back();
+      if (node == goal) break;
+      for (int32_t arc_id : adj_[static_cast<size_t>(node)]) {
+        const BasicArc& a = basis_[static_cast<size_t>(arc_id)];
+        const int32_t other = (node < S_) ? NodeOfConsumer(a.j)
+                                          : NodeOfSupplier(a.i);
+        if (parent_node_[static_cast<size_t>(other)] < 0) {
+          parent_node_[static_cast<size_t>(other)] = node;
+          parent_arc_[static_cast<size_t>(other)] = arc_id;
+          stack_.push_back(other);
+        }
+      }
+    }
+    SND_CHECK(parent_node_[static_cast<size_t>(goal)] >= 0);
+
+    // Walk goal -> start. The entering arc (start -> goal) carries +delta;
+    // tree arcs alternate starting with - at the goal side: an arc whose
+    // deeper endpoint is a consumer lies "with" the entering direction
+    // (+), one whose deeper endpoint is a supplier lies against it (-).
+    // Equivalently: arcs reached while standing on a consumer node get -,
+    // arcs reached from a supplier node get +.
+    cycle_arcs_.clear();
+    cycle_signs_.clear();
+    int32_t node = goal;
+    while (node != start) {
+      const int32_t arc_id = parent_arc_[static_cast<size_t>(node)];
+      cycle_arcs_.push_back(arc_id);
+      cycle_signs_.push_back(node >= S_ ? -1 : +1);
+      node = parent_node_[static_cast<size_t>(node)];
+    }
+
+    // Leaving arc: minimum flow among the minus-arcs.
+    double delta = kInf;
+    int32_t leaving = -1;
+    for (size_t k = 0; k < cycle_arcs_.size(); ++k) {
+      if (cycle_signs_[k] < 0) {
+        const double f = basis_[static_cast<size_t>(cycle_arcs_[k])].flow;
+        if (f <= delta) {  // '<=': prefer the last tie for determinism.
+          delta = f;
+          leaving = cycle_arcs_[k];
+        }
+      }
+    }
+    SND_CHECK(leaving >= 0);
+
+    for (size_t k = 0; k < cycle_arcs_.size(); ++k) {
+      BasicArc& a = basis_[static_cast<size_t>(cycle_arcs_[k])];
+      if (cycle_signs_[k] < 0) {
+        a.flow = (a.flow <= delta) ? 0.0 : a.flow - delta;
+      } else {
+        a.flow += delta;
+      }
+    }
+
+    // Swap leaving for entering.
+    DetachArc(leaving);
+    basis_[static_cast<size_t>(leaving)].active = false;
+    basis_.push_back({ei, ej, delta == kInf ? 0.0 : delta, true});
+    AttachArc(static_cast<int32_t>(basis_.size()) - 1);
+  }
+
+  const TransportProblem& problem_;
+  const SimplexOptions options_;
+  const int32_t S_;
+  const int32_t T_;
+  std::vector<BasicArc> basis_;
+  std::vector<std::vector<int32_t>> adj_;  // Node -> incident basic arc ids.
+  std::vector<double> u_, v_;
+  std::vector<int32_t> stack_;
+  std::vector<int32_t> parent_arc_, parent_node_;
+  std::vector<int32_t> cycle_arcs_;
+  std::vector<int8_t> cycle_signs_;
+  int64_t scan_cursor_ = 0;
+};
+
+}  // namespace
+
+TransportPlan SimplexSolver::Solve(const TransportProblem& problem) const {
+  TransportPlan plan;
+  if (problem.num_suppliers() == 0 || problem.num_consumers() == 0 ||
+      problem.total_mass() <= 0.0) {
+    return plan;
+  }
+  Simplex simplex(problem, options_);
+  if (simplex.Run(&plan)) return plan;
+  // Pivot cap exceeded (possible only under degenerate cycling); the SSP
+  // solver is slower but unconditionally exact.
+  return SspSolver().Solve(problem);
+}
+
+}  // namespace snd

@@ -1,0 +1,43 @@
+// Transportation simplex (MODI / u-v method) with a northwest-corner
+// initial basis and block pricing. The default solver: on the dense
+// instances produced by EMD it typically needs O(S + T) pivots, each
+// costing O(S + T) for the dual recomputation plus a bounded pricing scan.
+//
+// Degenerate pivots are permitted; an iteration cap guards against the
+// (rare) possibility of cycling, falling back to the exact SSP solver if
+// the cap is hit.
+#ifndef SND_FLOW_SIMPLEX_SOLVER_H_
+#define SND_FLOW_SIMPLEX_SOLVER_H_
+
+#include "snd/flow/solver.h"
+
+namespace snd {
+
+struct SimplexOptions {
+  enum class InitialBasis {
+    // Northwest corner: O(S + T), cost-oblivious.
+    kNorthwest,
+    // Vogel's approximation: allocates by largest regret, giving a much
+    // better starting basis at O((S + T) * S * T) setup cost. Falls back
+    // to northwest corner on instances larger than vogel_cell_limit
+    // cells.
+    kVogel,
+  };
+  InitialBasis initial_basis = InitialBasis::kNorthwest;
+  int64_t vogel_cell_limit = 1 << 20;
+};
+
+class SimplexSolver final : public TransportSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  TransportPlan Solve(const TransportProblem& problem) const override;
+  const char* name() const override { return "simplex"; }
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace snd
+
+#endif  // SND_FLOW_SIMPLEX_SOLVER_H_

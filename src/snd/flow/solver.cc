@@ -1,0 +1,35 @@
+#include "snd/flow/solver.h"
+
+#include "snd/flow/cost_scaling_solver.h"
+#include "snd/flow/simplex_solver.h"
+#include "snd/flow/ssp_solver.h"
+
+namespace snd {
+
+const char* TransportAlgorithmName(TransportAlgorithm algorithm) {
+  switch (algorithm) {
+    case TransportAlgorithm::kSimplex:
+      return "simplex";
+    case TransportAlgorithm::kSsp:
+      return "ssp";
+    case TransportAlgorithm::kCostScaling:
+      return "cost-scaling";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TransportSolver> MakeTransportSolver(
+    TransportAlgorithm algorithm) {
+  switch (algorithm) {
+    case TransportAlgorithm::kSimplex:
+      return std::make_unique<SimplexSolver>();
+    case TransportAlgorithm::kSsp:
+      return std::make_unique<SspSolver>();
+    case TransportAlgorithm::kCostScaling:
+      return std::make_unique<CostScalingSolver>();
+  }
+  SND_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace snd

@@ -1,0 +1,198 @@
+#include "snd/flow/ssp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace snd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Node ids: suppliers are [0, S); consumer j is S + j.
+struct SspState {
+  int32_t S = 0;
+  int32_t T = 0;
+  std::vector<double> rem_supply;
+  std::vector<double> rem_demand;
+  std::vector<double> pi;  // Node potentials.
+  // Sparse flow: key = i * T + j. Entries are erased when they hit zero
+  // exactly, so iteration over cons_suppliers stays tight.
+  std::unordered_map<int64_t, double> flow;
+  // For each consumer, suppliers that may hold positive flow (compacted
+  // lazily against `flow`).
+  std::vector<std::vector<int32_t>> cons_suppliers;
+
+  int64_t Key(int32_t i, int32_t j) const {
+    return static_cast<int64_t>(i) * T + j;
+  }
+  double Flow(int32_t i, int32_t j) const {
+    const auto it = flow.find(Key(i, j));
+    return it == flow.end() ? 0.0 : it->second;
+  }
+};
+
+}  // namespace
+
+TransportPlan SspSolver::Solve(const TransportProblem& problem) const {
+  const int32_t S = problem.num_suppliers();
+  const int32_t T = problem.num_consumers();
+  TransportPlan plan;
+  if (S == 0 || T == 0 || problem.total_mass() <= 0.0) return plan;
+
+  SspState st;
+  st.S = S;
+  st.T = T;
+  st.rem_supply = problem.supplies();
+  st.rem_demand = problem.demands();
+  st.pi.assign(static_cast<size_t>(S + T), 0.0);
+  st.cons_suppliers.assign(static_cast<size_t>(T), {});
+
+  const double mass_tol = kMassTolerance * (1.0 + problem.total_mass());
+  double remaining = problem.total_mass();
+
+  const int32_t V = S + T;
+  std::vector<double> dist(static_cast<size_t>(V));
+  std::vector<int32_t> parent(static_cast<size_t>(V));
+  std::vector<char> done(static_cast<size_t>(V));
+
+  while (remaining > mass_tol) {
+    // Dense Dijkstra over the residual bipartite graph with reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(done.begin(), done.end(), 0);
+    for (int32_t i = 0; i < S; ++i) {
+      if (st.rem_supply[static_cast<size_t>(i)] > 0.0) {
+        dist[static_cast<size_t>(i)] = 0.0;
+      }
+    }
+    for (int32_t iter = 0; iter < V; ++iter) {
+      int32_t u = -1;
+      double best = kInf;
+      for (int32_t v = 0; v < V; ++v) {
+        if (!done[static_cast<size_t>(v)] &&
+            dist[static_cast<size_t>(v)] < best) {
+          best = dist[static_cast<size_t>(v)];
+          u = v;
+        }
+      }
+      if (u < 0) break;
+      done[static_cast<size_t>(u)] = 1;
+      const double du = dist[static_cast<size_t>(u)];
+      if (u < S) {
+        // Forward residual arcs i -> j (uncapacitated above current flow).
+        const int32_t i = u;
+        for (int32_t j = 0; j < T; ++j) {
+          const double rc =
+              std::max(0.0, problem.Cost(i, j) + st.pi[static_cast<size_t>(i)] -
+                                st.pi[static_cast<size_t>(S + j)]);
+          if (du + rc < dist[static_cast<size_t>(S + j)]) {
+            dist[static_cast<size_t>(S + j)] = du + rc;
+            parent[static_cast<size_t>(S + j)] = u;
+          }
+        }
+      } else {
+        // Backward residual arcs j -> i where flow(i, j) > 0.
+        const int32_t j = u - S;
+        auto& supps = st.cons_suppliers[static_cast<size_t>(j)];
+        size_t w = 0;
+        for (size_t r = 0; r < supps.size(); ++r) {
+          const int32_t i = supps[r];
+          if (st.Flow(i, j) <= 0.0) continue;  // Stale entry; drop.
+          supps[w++] = i;
+          const double rc =
+              std::max(0.0, -problem.Cost(i, j) + st.pi[static_cast<size_t>(S + j)] -
+                                st.pi[static_cast<size_t>(i)]);
+          if (du + rc < dist[static_cast<size_t>(i)]) {
+            dist[static_cast<size_t>(i)] = du + rc;
+            parent[static_cast<size_t>(i)] = u;
+          }
+        }
+        supps.resize(w);
+      }
+    }
+
+    // Cheapest consumer that still needs mass.
+    int32_t target = -1;
+    double target_dist = kInf;
+    for (int32_t j = 0; j < T; ++j) {
+      if (st.rem_demand[static_cast<size_t>(j)] > 0.0 &&
+          dist[static_cast<size_t>(S + j)] < target_dist) {
+        target_dist = dist[static_cast<size_t>(S + j)];
+        target = j;
+      }
+    }
+    // A balanced problem always admits an augmenting path.
+    SND_CHECK(target >= 0);
+
+    // Update potentials so future reduced costs stay non-negative.
+    for (int32_t v = 0; v < V; ++v) {
+      if (dist[static_cast<size_t>(v)] < kInf) {
+        st.pi[static_cast<size_t>(v)] +=
+            std::min(dist[static_cast<size_t>(v)], target_dist);
+      }
+    }
+
+    // Trace the path back to its root supplier and find the bottleneck.
+    double bottleneck = st.rem_demand[static_cast<size_t>(target)];
+    int32_t v = S + target;
+    while (parent[static_cast<size_t>(v)] >= 0) {
+      const int32_t p = parent[static_cast<size_t>(v)];
+      if (v >= S) {
+        // Arc p(supplier) -> v(consumer): uncapacitated forward arc.
+      } else {
+        // Arc p(consumer) -> v(supplier): backward arc limited by flow.
+        bottleneck = std::min(bottleneck, st.Flow(v, p - S));
+      }
+      v = p;
+    }
+    const int32_t root = v;
+    SND_CHECK(root < S);
+    bottleneck = std::min(bottleneck, st.rem_supply[static_cast<size_t>(root)]);
+    SND_CHECK(bottleneck > 0.0);
+
+    // Apply the augmentation.
+    v = S + target;
+    while (parent[static_cast<size_t>(v)] >= 0) {
+      const int32_t p = parent[static_cast<size_t>(v)];
+      if (v >= S) {
+        const int32_t i = p, j = v - S;
+        double& f = st.flow[st.Key(i, j)];
+        if (f == 0.0) {
+          st.cons_suppliers[static_cast<size_t>(j)].push_back(i);
+        }
+        f += bottleneck;
+      } else {
+        const int32_t i = v, j = p - S;
+        const auto it = st.flow.find(st.Key(i, j));
+        SND_CHECK(it != st.flow.end());
+        if (it->second <= bottleneck) {
+          st.flow.erase(it);  // Saturated backward arc: exact zero.
+        } else {
+          it->second -= bottleneck;
+        }
+      }
+      v = p;
+    }
+    auto saturate = [](double* x, double delta) {
+      *x = (*x <= delta) ? 0.0 : *x - delta;
+    };
+    saturate(&st.rem_supply[static_cast<size_t>(root)], bottleneck);
+    saturate(&st.rem_demand[static_cast<size_t>(target)], bottleneck);
+    remaining -= bottleneck;
+  }
+
+  plan.flows.reserve(st.flow.size());
+  for (const auto& [key, amount] : st.flow) {
+    if (amount <= 0.0) continue;
+    const auto i = static_cast<int32_t>(key / T);
+    const auto j = static_cast<int32_t>(key % T);
+    plan.flows.push_back({i, j, amount});
+    plan.total_cost += amount * problem.Cost(i, j);
+  }
+  return plan;
+}
+
+}  // namespace snd

@@ -1,0 +1,21 @@
+// Successive shortest paths with node potentials over the dense bipartite
+// residual graph. Each phase runs an O((S+T)^2) array-based Dijkstra (no
+// heap needed on dense instances) and augments along a minimum reduced-cost
+// path; potentials keep reduced costs non-negative so the method is exact
+// for real-valued masses.
+#ifndef SND_FLOW_SSP_SOLVER_H_
+#define SND_FLOW_SSP_SOLVER_H_
+
+#include "snd/flow/solver.h"
+
+namespace snd {
+
+class SspSolver final : public TransportSolver {
+ public:
+  TransportPlan Solve(const TransportProblem& problem) const override;
+  const char* name() const override { return "ssp"; }
+};
+
+}  // namespace snd
+
+#endif  // SND_FLOW_SSP_SOLVER_H_

@@ -1,0 +1,107 @@
+#include "snd/flow/transport_problem.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace snd {
+namespace {
+
+bool NearlyIntegral(double x) {
+  return std::abs(x - std::round(x)) <= kMassTolerance * (1.0 + std::abs(x));
+}
+
+}  // namespace
+
+TransportProblem::TransportProblem(std::vector<double> supply,
+                                   std::vector<double> demand,
+                                   std::vector<double> cost)
+    : supply_(std::move(supply)),
+      demand_(std::move(demand)),
+      cost_(std::move(cost)) {
+  SND_CHECK(cost_.size() == supply_.size() * demand_.size());
+  double total_demand = 0.0;
+  for (double s : supply_) {
+    SND_CHECK(s >= 0.0);
+    total_supply_ += s;
+  }
+  for (double d : demand_) {
+    SND_CHECK(d >= 0.0);
+    total_demand += d;
+  }
+  SND_CHECK(std::abs(total_supply_ - total_demand) <=
+            kMassTolerance * (1.0 + total_supply_));
+  for (double c : cost_) SND_CHECK(c >= 0.0 && std::isfinite(c));
+}
+
+double TransportProblem::MaxCost() const {
+  double m = 0.0;
+  for (double c : cost_) m = std::max(m, c);
+  return m;
+}
+
+bool TransportProblem::HasIntegralCosts() const {
+  for (double c : cost_) {
+    if (!NearlyIntegral(c)) return false;
+  }
+  return true;
+}
+
+bool TransportProblem::HasIntegralMasses() const {
+  for (double s : supply_) {
+    if (!NearlyIntegral(s)) return false;
+  }
+  for (double d : demand_) {
+    if (!NearlyIntegral(d)) return false;
+  }
+  return true;
+}
+
+bool ValidatePlan(const TransportProblem& problem, const TransportPlan& plan,
+                  std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::vector<double> shipped(static_cast<size_t>(problem.num_suppliers()),
+                              0.0);
+  std::vector<double> received(static_cast<size_t>(problem.num_consumers()),
+                               0.0);
+  double cost = 0.0;
+  for (const FlowEntry& f : plan.flows) {
+    if (f.supplier < 0 || f.supplier >= problem.num_suppliers() ||
+        f.consumer < 0 || f.consumer >= problem.num_consumers()) {
+      return fail("flow entry references an out-of-range bin");
+    }
+    if (f.amount < -kMassTolerance) return fail("negative flow amount");
+    shipped[static_cast<size_t>(f.supplier)] += f.amount;
+    received[static_cast<size_t>(f.consumer)] += f.amount;
+    cost += f.amount * problem.Cost(f.supplier, f.consumer);
+  }
+  const double tol = kMassTolerance * (1.0 + problem.total_mass());
+  for (int32_t i = 0; i < problem.num_suppliers(); ++i) {
+    if (std::abs(shipped[static_cast<size_t>(i)] - problem.supply(i)) > tol) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "supplier %d shipped %.9g, supply is %.9g", i,
+                    shipped[static_cast<size_t>(i)], problem.supply(i));
+      return fail(buf);
+    }
+  }
+  for (int32_t j = 0; j < problem.num_consumers(); ++j) {
+    if (std::abs(received[static_cast<size_t>(j)] - problem.demand(j)) > tol) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "consumer %d received %.9g, demand is %.9g", j,
+                    received[static_cast<size_t>(j)], problem.demand(j));
+      return fail(buf);
+    }
+  }
+  const double cost_tol =
+      kMassTolerance * (1.0 + std::abs(cost) + std::abs(plan.total_cost));
+  if (std::abs(cost - plan.total_cost) > cost_tol) {
+    return fail("total_cost does not match the sum over flows");
+  }
+  return true;
+}
+
+}  // namespace snd

@@ -1,0 +1,250 @@
+#include "snd/graph/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace snd {
+namespace {
+
+// Packs an arc into a single 64-bit key for dedup sets.
+uint64_t ArcKey(int32_t u, int32_t v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Graph GenerateScaleFree(const ScaleFreeOptions& options, Rng* rng) {
+  SND_CHECK(options.num_nodes > 1);
+  SND_CHECK(options.exponent < -1.0);
+  SND_CHECK(options.avg_degree > 0.0);
+  const int32_t n = options.num_nodes;
+
+  // Chung-Lu weights: w_i ~ (i+1)^(-1/(|gamma|-1)) yields degree
+  // distribution P(k) ~ k^gamma in expectation.
+  const double beta = 1.0 / (std::abs(options.exponent) - 1.0);
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::pow(static_cast<double>(i) + 1.0, -beta);
+  }
+  AliasTable table(weights);
+
+  const int64_t target_arcs = static_cast<int64_t>(
+      options.avg_degree * static_cast<double>(n) /
+      (options.symmetric ? 2.0 : 1.0));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(target_arcs) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(target_arcs) *
+                (options.symmetric ? 2 : 1));
+
+  // Sample endpoint pairs proportional to weights. A bounded number of
+  // retries per arc keeps generation linear even when the weight
+  // distribution is highly skewed and collisions are common.
+  const int kMaxRetries = 20;
+  for (int64_t a = 0; a < target_arcs; ++a) {
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+      const int32_t u = table.Sample(rng);
+      const int32_t v = table.Sample(rng);
+      if (u == v) continue;
+      if (!seen.insert(ArcKey(u, v)).second) continue;
+      edges.push_back({u, v});
+      if (options.symmetric && seen.insert(ArcKey(v, u)).second) {
+        edges.push_back({v, u});
+      }
+      break;
+    }
+  }
+
+  if (options.connect_isolated) {
+    std::vector<char> touched(static_cast<size_t>(n), 0);
+    for (const Edge& e : edges) {
+      touched[static_cast<size_t>(e.src)] = 1;
+      touched[static_cast<size_t>(e.dst)] = 1;
+    }
+    for (int32_t u = 0; u < n; ++u) {
+      if (touched[static_cast<size_t>(u)]) continue;
+      int32_t v = u;
+      while (v == u) v = table.Sample(rng);
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateCommunityScaleFree(const CommunityScaleFreeOptions& options,
+                                 Rng* rng,
+                                 std::vector<int32_t>* community_out) {
+  const int32_t n = options.base.num_nodes;
+  const int32_t k = options.num_communities;
+  SND_CHECK(n > 1 && k >= 1 && k <= n);
+  SND_CHECK(options.mixing >= 0.0 && options.mixing <= 1.0);
+
+  // Node weights as in the plain Chung-Lu model, but nodes are assigned to
+  // communities round-robin so every community receives hubs.
+  const double beta = 1.0 / (std::abs(options.base.exponent) - 1.0);
+  std::vector<double> weights(static_cast<size_t>(n));
+  std::vector<int32_t> community(static_cast<size_t>(n));
+  std::vector<std::vector<int32_t>> members(static_cast<size_t>(k));
+  std::vector<std::vector<double>> member_weights(static_cast<size_t>(k));
+  for (int32_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::pow(static_cast<double>(i) + 1.0, -beta);
+    const int32_t c = i % k;
+    community[static_cast<size_t>(i)] = c;
+    members[static_cast<size_t>(c)].push_back(i);
+    member_weights[static_cast<size_t>(c)].push_back(
+        weights[static_cast<size_t>(i)]);
+  }
+  AliasTable global_table(weights);
+  std::vector<AliasTable> local_tables;
+  local_tables.reserve(static_cast<size_t>(k));
+  for (int32_t c = 0; c < k; ++c) {
+    local_tables.emplace_back(member_weights[static_cast<size_t>(c)]);
+  }
+
+  const int64_t target_arcs = static_cast<int64_t>(
+      options.base.avg_degree * static_cast<double>(n) /
+      (options.base.symmetric ? 2.0 : 1.0));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(target_arcs) * 2);
+  std::vector<Edge> edges;
+  const int kMaxRetries = 20;
+  for (int64_t a = 0; a < target_arcs; ++a) {
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+      const int32_t u = global_table.Sample(rng);
+      int32_t v;
+      if (rng->Bernoulli(options.mixing)) {
+        v = global_table.Sample(rng);
+      } else {
+        const int32_t c = community[static_cast<size_t>(u)];
+        v = members[static_cast<size_t>(c)][static_cast<size_t>(
+            local_tables[static_cast<size_t>(c)].Sample(rng))];
+      }
+      if (u == v) continue;
+      if (!seen.insert(ArcKey(u, v)).second) continue;
+      edges.push_back({u, v});
+      if (options.base.symmetric && seen.insert(ArcKey(v, u)).second) {
+        edges.push_back({v, u});
+      }
+      break;
+    }
+  }
+  if (options.base.connect_isolated) {
+    std::vector<char> touched(static_cast<size_t>(n), 0);
+    for (const Edge& e : edges) {
+      touched[static_cast<size_t>(e.src)] = 1;
+      touched[static_cast<size_t>(e.dst)] = 1;
+    }
+    for (int32_t u = 0; u < n; ++u) {
+      if (touched[static_cast<size_t>(u)]) continue;
+      const int32_t c = community[static_cast<size_t>(u)];
+      const bool local_ok = members[static_cast<size_t>(c)].size() >= 2;
+      int32_t v = u;
+      while (v == u) {
+        v = local_ok
+                ? members[static_cast<size_t>(c)][static_cast<size_t>(
+                      local_tables[static_cast<size_t>(c)].Sample(rng))]
+                : global_table.Sample(rng);
+      }
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  if (community_out != nullptr) *community_out = std::move(community);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateErdosRenyi(int32_t num_nodes, int64_t num_arcs, bool symmetric,
+                         Rng* rng) {
+  SND_CHECK(num_nodes > 1);
+  const int64_t max_arcs =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1) / (symmetric ? 2 : 1);
+  SND_CHECK(num_arcs <= max_arcs);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_arcs) * (symmetric ? 2 : 1));
+  const int64_t pairs = symmetric ? num_arcs : num_arcs;
+  for (int64_t a = 0; a < pairs;) {
+    const auto u = static_cast<int32_t>(rng->UniformInt(0, num_nodes - 1));
+    const auto v = static_cast<int32_t>(rng->UniformInt(0, num_nodes - 1));
+    if (u == v) continue;
+    if (!seen.insert(ArcKey(u, v)).second) continue;
+    edges.push_back({u, v});
+    if (symmetric) {
+      seen.insert(ArcKey(v, u));
+      edges.push_back({v, u});
+    }
+    ++a;
+  }
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph GeneratePlantedPartition(const PlantedPartitionOptions& options,
+                               Rng* rng) {
+  SND_CHECK(options.num_clusters >= 1);
+  SND_CHECK(options.nodes_per_cluster >= 2);
+  const int32_t n = options.num_clusters * options.nodes_per_cluster;
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  auto add_symmetric = [&](int32_t u, int32_t v) {
+    if (u == v) return false;
+    if (!seen.insert(ArcKey(u, v)).second) return false;
+    seen.insert(ArcKey(v, u));
+    edges.push_back({u, v});
+    edges.push_back({v, u});
+    return true;
+  };
+
+  for (int32_t c = 0; c < options.num_clusters; ++c) {
+    const int32_t base = c * options.nodes_per_cluster;
+    const int32_t size = options.nodes_per_cluster;
+    // A ring backbone keeps each cluster connected; extra random edges
+    // reach the requested intra-cluster density.
+    for (int32_t i = 0; i < size; ++i) {
+      add_symmetric(base + i, base + (i + 1) % size);
+    }
+    const auto extra = static_cast<int64_t>(options.intra_degree *
+                                            static_cast<double>(size) / 2.0);
+    for (int64_t e = 0; e < extra;) {
+      const auto u =
+          base + static_cast<int32_t>(rng->UniformInt(0, size - 1));
+      const auto v =
+          base + static_cast<int32_t>(rng->UniformInt(0, size - 1));
+      if (add_symmetric(u, v)) ++e;
+    }
+  }
+  // Bridges between consecutive clusters.
+  for (int32_t c = 0; c + 1 < options.num_clusters; ++c) {
+    const int32_t base_a = c * options.nodes_per_cluster;
+    const int32_t base_b = (c + 1) * options.nodes_per_cluster;
+    for (int32_t b = 0; b < options.bridges;) {
+      const auto u = base_a + static_cast<int32_t>(
+                                  rng->UniformInt(0, options.nodes_per_cluster - 1));
+      const auto v = base_b + static_cast<int32_t>(
+                                  rng->UniformInt(0, options.nodes_per_cluster - 1));
+      if (add_symmetric(u, v)) ++b;
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateRing(int32_t num_nodes, int32_t k) {
+  SND_CHECK(num_nodes >= 2);
+  SND_CHECK(k >= 1 && k < num_nodes);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_nodes) * static_cast<size_t>(k) * 2);
+  for (int32_t u = 0; u < num_nodes; ++u) {
+    for (int32_t j = 1; j <= k; ++j) {
+      const int32_t v = (u + j) % num_nodes;
+      edges.push_back({u, v});
+      edges.push_back({v, u});
+    }
+  }
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+}  // namespace snd

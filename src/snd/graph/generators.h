@@ -1,0 +1,85 @@
+// Random graph generators for the synthetic experiments of Section 6.
+//
+// The paper evaluates on scale-free networks with |V| from 10k to 200k and
+// scale-free exponents gamma in [-2.9, -2.1]. We generate such graphs with
+// a directed Chung-Lu model: node weights w_i ~ i^(-1/(|gamma|-1)) produce
+// an expected power-law degree distribution with exponent gamma, and edges
+// are drawn by sampling endpoint pairs from the weight distribution.
+#ifndef SND_GRAPH_GENERATORS_H_
+#define SND_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "snd/graph/graph.h"
+#include "snd/util/random.h"
+
+namespace snd {
+
+struct ScaleFreeOptions {
+  int32_t num_nodes = 10000;
+  // Scale-free exponent; the paper uses values in [-2.9, -2.1].
+  double exponent = -2.5;
+  // Target average out-degree (expected; duplicates are removed so the
+  // realized average is slightly lower).
+  double avg_degree = 10.0;
+  // When true, every generated arc u->v is accompanied by v->u. Social
+  // follower ties are directed, but the synthetic experiments benefit from
+  // mutual reachability, so this defaults to true.
+  bool symmetric = true;
+  // Attach every otherwise-isolated node to one weighted-sampled partner
+  // so the graph has no degree-0 nodes (isolated users make the ground
+  // distance saturate at the disconnection cost).
+  bool connect_isolated = true;
+};
+
+// Generates a directed Chung-Lu scale-free graph.
+Graph GenerateScaleFree(const ScaleFreeOptions& options, Rng* rng);
+
+struct CommunityScaleFreeOptions {
+  ScaleFreeOptions base;
+  // Number of equally-sized planted communities.
+  int32_t num_communities = 10;
+  // Fraction of arcs whose endpoint is sampled globally instead of within
+  // the source's community (smaller = stronger community structure).
+  double mixing = 0.15;
+};
+
+// Chung-Lu scale-free graph with planted community structure: most arcs
+// stay within a community, a `mixing` fraction crosses. Real social
+// networks are strongly modular; the plain Chung-Lu model is not, which
+// matters for community-based baselines and for the EMD* cluster banks.
+// When `community_out` is non-null it receives each node's planted
+// community id.
+Graph GenerateCommunityScaleFree(const CommunityScaleFreeOptions& options,
+                                 Rng* rng,
+                                 std::vector<int32_t>* community_out);
+
+// Generates a directed Erdos-Renyi G(n, m) graph (m arcs sampled uniformly
+// without duplicates/self-loops; if symmetric, m/2 mutual pairs).
+Graph GenerateErdosRenyi(int32_t num_nodes, int64_t num_arcs, bool symmetric,
+                         Rng* rng);
+
+struct PlantedPartitionOptions {
+  int32_t num_clusters = 2;
+  int32_t nodes_per_cluster = 50;
+  // Expected within-cluster arcs per node.
+  double intra_degree = 8.0;
+  // Number of "bridge" node pairs connected across each pair of adjacent
+  // clusters (Fig. 5 uses a two-cluster graph joined by three bridges).
+  int32_t bridges = 3;
+};
+
+// Generates a graph with dense clusters joined by a few bridge edges, the
+// structure used by the paper's Fig. 5 EMD* motivating example. All edges
+// are symmetric. Node ids are grouped by cluster: cluster c owns the range
+// [c * nodes_per_cluster, (c+1) * nodes_per_cluster).
+Graph GeneratePlantedPartition(const PlantedPartitionOptions& options,
+                               Rng* rng);
+
+// Ring lattice with `k` successors per node (plus symmetric arcs); handy
+// deterministic topology for unit tests.
+Graph GenerateRing(int32_t num_nodes, int32_t k);
+
+}  // namespace snd
+
+#endif  // SND_GRAPH_GENERATORS_H_

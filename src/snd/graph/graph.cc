@@ -1,0 +1,89 @@
+#include "snd/graph/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace snd {
+
+Graph Graph::FromEdges(int32_t num_nodes, std::vector<Edge> edges) {
+  SND_CHECK(num_nodes >= 0);
+  for (const Edge& e : edges) {
+    SND_CHECK(0 <= e.src && e.src < num_nodes);
+    SND_CHECK(0 <= e.dst && e.dst < num_nodes);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  g.targets_.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.src == e.dst) continue;  // Drop self-loops.
+    if (i > 0 && edges[i - 1] == e) continue;  // Drop duplicates.
+    g.offsets_[static_cast<size_t>(e.src) + 1]++;
+    g.targets_.push_back(e.dst);
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  return g;
+}
+
+int32_t Graph::EdgeSource(int64_t e) const {
+  SND_DCHECK(0 <= e && e < num_edges());
+  // First offset strictly greater than e identifies the source bucket.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), e);
+  return static_cast<int32_t>(it - offsets_.begin()) - 1;
+}
+
+int64_t Graph::FindEdge(int32_t u, int32_t v) const {
+  const auto nbrs = OutNeighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return -1;
+  return OutEdgeBegin(u) + (it - nbrs.begin());
+}
+
+Graph Graph::Reversed(std::vector<int64_t>* reverse_origin) const {
+  Graph r;
+  r.num_nodes_ = num_nodes_;
+  r.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  r.targets_.assign(targets_.size(), 0);
+  if (reverse_origin != nullptr) reverse_origin->assign(targets_.size(), 0);
+
+  // Counting sort by target: stable, so reversed adjacency stays sorted.
+  for (int32_t t : targets_) r.offsets_[static_cast<size_t>(t) + 1]++;
+  for (size_t i = 1; i < r.offsets_.size(); ++i) {
+    r.offsets_[i] += r.offsets_[i - 1];
+  }
+  std::vector<int64_t> cursor(r.offsets_.begin(), r.offsets_.end() - 1);
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int64_t e = OutEdgeBegin(u); e < OutEdgeEnd(u); ++e) {
+      const int32_t v = targets_[static_cast<size_t>(e)];
+      const int64_t pos = cursor[static_cast<size_t>(v)]++;
+      r.targets_[static_cast<size_t>(pos)] = u;
+      if (reverse_origin != nullptr) {
+        (*reverse_origin)[static_cast<size_t>(pos)] = e;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<int64_t> Graph::InDegrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes_), 0);
+  for (int32_t t : targets_) deg[static_cast<size_t>(t)]++;
+  return deg;
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(targets_.size());
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v : OutNeighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace snd

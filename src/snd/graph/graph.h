@@ -1,0 +1,92 @@
+// Directed graph in compressed sparse row (CSR) form.
+//
+// The social network G = <V, E> of the paper. Nodes are users, directed
+// edges are social ties along which opinions propagate (an edge u->v means
+// u can influence v). The structure is immutable after construction; all
+// per-edge attributes used by the opinion models (activation probabilities,
+// influence weights, propagation costs) are stored in external arrays
+// indexed by the CSR edge index, so a single Graph can be annotated with
+// many different state-dependent cost vectors without copying.
+#ifndef SND_GRAPH_GRAPH_H_
+#define SND_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+struct Edge {
+  int32_t src = 0;
+  int32_t dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds a CSR graph from an edge list. Self-loops and duplicate edges
+  // are removed; `num_nodes` must exceed every endpoint.
+  static Graph FromEdges(int32_t num_nodes, std::vector<Edge> edges);
+
+  int32_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(targets_.size()); }
+
+  // Out-neighbors of `u`, sorted ascending. The CSR edge index of the k-th
+  // neighbor is OutEdgeBegin(u) + k.
+  std::span<const int32_t> OutNeighbors(int32_t u) const {
+    SND_DCHECK(0 <= u && u < num_nodes_);
+    const auto b = static_cast<size_t>(offsets_[static_cast<size_t>(u)]);
+    const auto e = static_cast<size_t>(offsets_[static_cast<size_t>(u) + 1]);
+    return {targets_.data() + b, e - b};
+  }
+
+  int64_t OutEdgeBegin(int32_t u) const {
+    SND_DCHECK(0 <= u && u < num_nodes_);
+    return offsets_[static_cast<size_t>(u)];
+  }
+  int64_t OutEdgeEnd(int32_t u) const {
+    SND_DCHECK(0 <= u && u < num_nodes_);
+    return offsets_[static_cast<size_t>(u) + 1];
+  }
+
+  int64_t OutDegree(int32_t u) const { return OutEdgeEnd(u) - OutEdgeBegin(u); }
+
+  // Target node of CSR edge `e`.
+  int32_t EdgeTarget(int64_t e) const {
+    SND_DCHECK(0 <= e && e < num_edges());
+    return targets_[static_cast<size_t>(e)];
+  }
+
+  // Source node of CSR edge `e` (O(log n) via binary search on offsets).
+  int32_t EdgeSource(int64_t e) const;
+
+  // CSR edge index of edge u->v, or -1 if absent. O(log outdeg(u)).
+  int64_t FindEdge(int32_t u, int32_t v) const;
+  bool HasEdge(int32_t u, int32_t v) const { return FindEdge(u, v) >= 0; }
+
+  // The transpose graph (every edge reversed). `reverse_origin`, if
+  // non-null, receives for each edge of the reversed graph the CSR index of
+  // the originating edge in *this, so per-edge attributes can be carried
+  // over.
+  Graph Reversed(std::vector<int64_t>* reverse_origin = nullptr) const;
+
+  // In-degrees of all nodes (O(m)).
+  std::vector<int64_t> InDegrees() const;
+
+  // Flat edge list in CSR order.
+  std::vector<Edge> ToEdgeList() const;
+
+ private:
+  int32_t num_nodes_ = 0;
+  std::vector<int64_t> offsets_;   // Size num_nodes_ + 1.
+  std::vector<int32_t> targets_;  // Size num_edges().
+};
+
+}  // namespace snd
+
+#endif  // SND_GRAPH_GRAPH_H_

@@ -1,0 +1,47 @@
+#include "snd/graph/io.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace snd {
+
+bool WriteEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "# nodes %d\n", g.num_nodes()) > 0;
+  for (int32_t u = 0; ok && u < g.num_nodes(); ++u) {
+    for (int32_t v : g.OutNeighbors(u)) {
+      if (std::fprintf(f, "%d %d\n", u, v) <= 0) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::optional<Graph> ReadEdgeList(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  int32_t num_nodes = -1;
+  if (std::fscanf(f, "# nodes %d\n", &num_nodes) != 1 || num_nodes < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<Edge> edges;
+  int32_t u = 0, v = 0;
+  int read;
+  while ((read = std::fscanf(f, "%d %d", &u, &v)) == 2) {
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    edges.push_back({u, v});
+  }
+  std::fclose(f);
+  if (read != EOF) return std::nullopt;
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+}  // namespace snd

@@ -1,0 +1,24 @@
+// Plain-text edge-list persistence: one "src dst" pair per line with a
+// "# nodes <n>" header. Lets users run the tooling against their own
+// networks.
+#ifndef SND_GRAPH_IO_H_
+#define SND_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "snd/graph/graph.h"
+
+namespace snd {
+
+// Writes `g` to `path`. Returns false on I/O failure.
+bool WriteEdgeList(const Graph& g, const std::string& path);
+
+// Reads a graph previously written by WriteEdgeList (or any whitespace-
+// separated edge list preceded by a "# nodes <n>" line). Returns
+// std::nullopt on I/O or parse failure.
+std::optional<Graph> ReadEdgeList(const std::string& path);
+
+}  // namespace snd
+
+#endif  // SND_GRAPH_IO_H_

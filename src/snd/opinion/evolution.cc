@@ -1,0 +1,152 @@
+#include "snd/opinion/evolution.h"
+
+#include <algorithm>
+
+namespace snd {
+
+SyntheticEvolution::SyntheticEvolution(const Graph* graph, uint64_t seed)
+    : graph_(graph), rng_(seed) {
+  SND_CHECK(graph != nullptr);
+}
+
+NetworkState SyntheticEvolution::InitialState(int32_t num_adopters) {
+  const int32_t n = graph_->num_nodes();
+  SND_CHECK(0 <= num_adopters && num_adopters <= n);
+  NetworkState state(n);
+  const std::vector<int32_t> adopters =
+      rng_.SampleWithoutReplacement(n, num_adopters);
+  for (size_t k = 0; k < adopters.size(); ++k) {
+    // Alternating assignment gives approximately equal numbers of "+" and
+    // "-" adopters, as in the paper's setup.
+    state.set_opinion(adopters[k],
+                      k % 2 == 0 ? Opinion::kPositive : Opinion::kNegative);
+  }
+  return state;
+}
+
+NetworkState SyntheticEvolution::NextState(const NetworkState& current,
+                                           const EvolutionParams& params) {
+  SND_CHECK(current.num_users() == graph_->num_nodes());
+  SND_CHECK(params.p_nbr >= 0.0 && params.p_ext >= 0.0);
+  SND_CHECK(params.p_nbr + params.p_ext <= 1.0);
+  NetworkState next = current;
+  // Pick which neutral users get an activation chance this step.
+  std::vector<int32_t> candidates;
+  for (int32_t v = 0; v < graph_->num_nodes(); ++v) {
+    if (!current.IsActive(v)) candidates.push_back(v);
+  }
+  if (params.attempts >= 0 &&
+      params.attempts < static_cast<int32_t>(candidates.size())) {
+    const std::vector<int32_t> picks = rng_.SampleWithoutReplacement(
+        static_cast<int32_t>(candidates.size()), params.attempts);
+    std::vector<int32_t> sampled;
+    sampled.reserve(picks.size());
+    for (int32_t idx : picks) {
+      sampled.push_back(candidates[static_cast<size_t>(idx)]);
+    }
+    candidates = std::move(sampled);
+  }
+  // Count active in-neighbors of each kind against the *current* state so
+  // all activations within a step are simultaneous.
+  for (int32_t v : candidates) {
+    const double r = rng_.UniformReal();
+    if (r < params.p_nbr) {
+      int32_t pos = 0, neg = 0;
+      // In-neighbors of v are v's out-neighbors' sources; iterating the
+      // reverse graph would need a transpose, so we use the fact that the
+      // synthetic graphs are symmetric and scan out-neighbors. (For
+      // directed inputs the voting neighborhood is the out-neighborhood.)
+      for (int32_t u : graph_->OutNeighbors(v)) {
+        const int8_t s = current.value(u);
+        if (s > 0) {
+          ++pos;
+        } else if (s < 0) {
+          ++neg;
+        }
+      }
+      if (pos + neg > 0) {
+        const bool positive =
+            rng_.UniformReal() * static_cast<double>(pos + neg) <
+            static_cast<double>(pos);
+        next.set_opinion(v,
+                         positive ? Opinion::kPositive : Opinion::kNegative);
+      }
+    } else if (r < params.p_nbr + params.p_ext) {
+      next.set_opinion(v, rng_.Bernoulli(0.5) ? Opinion::kPositive
+                                              : Opinion::kNegative);
+    }
+  }
+  return next;
+}
+
+std::vector<NetworkState> SyntheticEvolution::GenerateSeries(
+    int32_t length, int32_t num_adopters, const EvolutionParams& normal,
+    const EvolutionParams& anomalous,
+    const std::vector<int32_t>& anomalous_steps) {
+  SND_CHECK(length >= 1);
+  std::vector<NetworkState> series;
+  series.reserve(static_cast<size_t>(length));
+  series.push_back(InitialState(num_adopters));
+  for (int32_t t = 1; t < length; ++t) {
+    const bool is_anomalous =
+        std::find(anomalous_steps.begin(), anomalous_steps.end(), t) !=
+        anomalous_steps.end();
+    series.push_back(
+        NextState(series.back(), is_anomalous ? anomalous : normal));
+  }
+  return series;
+}
+
+NetworkState IccTransition(const Graph& g, const NetworkState& current,
+                           double activation_probability, Rng* rng) {
+  SND_CHECK(current.num_users() == g.num_nodes());
+  NetworkState next = current;
+  // Collect successful infectors per neutral target, then vote.
+  std::vector<int32_t> pos_hits(static_cast<size_t>(g.num_nodes()), 0);
+  std::vector<int32_t> neg_hits(static_cast<size_t>(g.num_nodes()), 0);
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    const int8_t su = current.value(u);
+    if (su == 0) continue;
+    for (int32_t v : g.OutNeighbors(u)) {
+      if (current.IsActive(v)) continue;
+      if (rng->Bernoulli(activation_probability)) {
+        if (su > 0) {
+          pos_hits[static_cast<size_t>(v)]++;
+        } else {
+          neg_hits[static_cast<size_t>(v)]++;
+        }
+      }
+    }
+  }
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    const int32_t pos = pos_hits[static_cast<size_t>(v)];
+    const int32_t neg = neg_hits[static_cast<size_t>(v)];
+    if (pos + neg == 0) continue;
+    const bool positive =
+        rng->UniformReal() * static_cast<double>(pos + neg) <
+        static_cast<double>(pos);
+    next.set_opinion(v, positive ? Opinion::kPositive : Opinion::kNegative);
+  }
+  return next;
+}
+
+NetworkState RandomTransition(const NetworkState& current,
+                              int32_t num_activations, Rng* rng) {
+  NetworkState next = current;
+  std::vector<int32_t> neutrals;
+  for (int32_t v = 0; v < current.num_users(); ++v) {
+    if (!current.IsActive(v)) neutrals.push_back(v);
+  }
+  const auto k = std::min<int32_t>(num_activations,
+                                   static_cast<int32_t>(neutrals.size()));
+  const std::vector<int32_t> picks = rng->SampleWithoutReplacement(
+      static_cast<int32_t>(neutrals.size()), k);
+  for (int32_t idx : picks) {
+    next.set_opinion(neutrals[static_cast<size_t>(idx)],
+                     rng->Bernoulli(0.5) ? Opinion::kPositive
+                                         : Opinion::kNegative);
+  }
+  return next;
+}
+
+}  // namespace snd

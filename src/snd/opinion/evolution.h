@@ -1,0 +1,76 @@
+// Synthetic opinion-evolution generators (Section 6.1).
+//
+// SyntheticEvolution implements the paper's state-sequence generator: each
+// step, every neutral user gets a chance to activate - with probability
+// p_nbr they adopt an opinion from their active in-neighbors by
+// probabilistic voting, with probability p_ext a uniformly random opinion
+// (the "external source"). Anomalies are simulated by shifting probability
+// mass between p_nbr and p_ext while preserving their sum, which keeps the
+// activation *rate* unchanged and only alters the spatial pattern.
+//
+// IccTransition / RandomTransition generate the normal/anomalous
+// transition pairs of the Section 6.4 model-sensitivity experiment.
+#ifndef SND_OPINION_EVOLUTION_H_
+#define SND_OPINION_EVOLUTION_H_
+
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/opinion/network_state.h"
+#include "snd/util/random.h"
+
+namespace snd {
+
+struct EvolutionParams {
+  double p_nbr = 0.12;
+  double p_ext = 0.01;
+  // How many neutral users "get a chance to be activated" per step. The
+  // default (-1) gives every neutral user a chance, which compounds and
+  // saturates the network quickly; a fixed count keeps the activation
+  // volume stationary, matching the paper's long 40-300 state series.
+  int32_t attempts = -1;
+};
+
+class SyntheticEvolution {
+ public:
+  // `graph` must outlive the generator.
+  SyntheticEvolution(const Graph* graph, uint64_t seed);
+
+  // A random initial state with `num_adopters` active users, roughly half
+  // positive and half negative.
+  NetworkState InitialState(int32_t num_adopters);
+
+  // One evolution step under `params`. Active users keep their opinions.
+  NetworkState NextState(const NetworkState& current,
+                         const EvolutionParams& params);
+
+  // A series of `length` states; steps listed in `anomalous_steps`
+  // (indices into the series, > 0) use `anomalous` parameters instead of
+  // `normal`.
+  std::vector<NetworkState> GenerateSeries(
+      int32_t length, int32_t num_adopters, const EvolutionParams& normal,
+      const EvolutionParams& anomalous,
+      const std::vector<int32_t>& anomalous_steps);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  const Graph* graph_;
+  Rng rng_;
+};
+
+// One step of the competitive Independent Cascade process: every active
+// user tries to activate each neutral out-neighbor with probability
+// `activation_probability`; a neutral user reached by several successful
+// infectors adopts the opinion of one of them uniformly at random.
+NetworkState IccTransition(const Graph& g, const NetworkState& current,
+                           double activation_probability, Rng* rng);
+
+// The anomalous counterpart: `num_activations` uniformly random neutral
+// users adopt uniformly random opinions, ignoring the network structure.
+NetworkState RandomTransition(const NetworkState& current,
+                              int32_t num_activations, Rng* rng);
+
+}  // namespace snd
+
+#endif  // SND_OPINION_EVOLUTION_H_

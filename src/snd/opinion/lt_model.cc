@@ -1,0 +1,90 @@
+#include "snd/opinion/lt_model.h"
+
+#include <algorithm>
+
+namespace snd {
+
+LtModel::LtModel(LtParams params) : params_(std::move(params)) {
+  SND_CHECK(params_.epsilon > 0.0 && params_.epsilon < 1.0);
+  SND_CHECK(params_.threshold_fraction >= 0.0);
+}
+
+void LtModel::ComputeEdgeCosts(const Graph& g, const NetworkState& state,
+                               Opinion op,
+                               std::vector<int32_t>* costs) const {
+  SND_CHECK(op != Opinion::kNeutral);
+  SND_CHECK(state.num_users() == g.num_nodes());
+  if (params_.edge_weights) {
+    SND_CHECK(static_cast<int64_t>(params_.edge_weights->size()) ==
+              g.num_edges());
+  }
+  if (params_.thresholds) {
+    SND_CHECK(static_cast<int64_t>(params_.thresholds->size()) ==
+              g.num_nodes());
+  }
+  ValidateEdgeCostParams(params_.edge, g);
+  costs->resize(static_cast<size_t>(g.num_edges()));
+
+  // Edge weights: supplied, or 1/indegree(v).
+  const std::vector<int64_t> in_degrees = g.InDegrees();
+  auto weight_of = [&](int64_t e, int32_t v) {
+    if (params_.edge_weights) {
+      return (*params_.edge_weights)[static_cast<size_t>(e)];
+    }
+    return 1.0 / static_cast<double>(
+                     std::max<int64_t>(1, in_degrees[static_cast<size_t>(v)]));
+  };
+
+  // Omega_in(v): total incoming weight from *active* users; total_in(v):
+  // over all in-neighbors (for default thresholds).
+  std::vector<double> omega_in(static_cast<size_t>(g.num_nodes()), 0.0);
+  std::vector<double> total_in(static_cast<size_t>(g.num_nodes()), 0.0);
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    const bool active = state.IsActive(u);
+    for (int64_t e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
+      const int32_t v = g.EdgeTarget(e);
+      const double w = weight_of(e, v);
+      total_in[static_cast<size_t>(v)] += w;
+      if (active) omega_in[static_cast<size_t>(v)] += w;
+    }
+  }
+  auto threshold_of = [&](int32_t v) {
+    if (params_.thresholds) {
+      return (*params_.thresholds)[static_cast<size_t>(v)];
+    }
+    return params_.threshold_fraction * total_in[static_cast<size_t>(v)];
+  };
+
+  const int8_t op_v = static_cast<int8_t>(op);
+  const CostQuantizer& quantizer = params_.edge.quantizer;
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    const int8_t su = state.value(u);
+    for (int64_t e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
+      const int32_t v = g.EdgeTarget(e);
+      const int8_t sv = state.value(v);
+      double p_out;
+      if (su == 0) {
+        // u is not in N_in(G_i, v) (not active): probability 0.
+        p_out = 0.0;
+      } else if (su == op_v && sv == op_v) {
+        p_out = 1.0;
+      } else if (su == op_v && sv == 0 &&
+                 omega_in[static_cast<size_t>(v)] >= threshold_of(v)) {
+        p_out = (1.0 - params_.epsilon) * weight_of(e, v) /
+                std::max(omega_in[static_cast<size_t>(v)], params_.epsilon);
+      } else {
+        p_out = params_.epsilon;
+      }
+      (*costs)[static_cast<size_t>(e)] =
+          std::max(1, BaseEdgeCost(params_.edge, e, v) +
+                          quantizer.CostFromProbability(p_out));
+    }
+  }
+}
+
+int32_t LtModel::MaxEdgeCost() const {
+  return std::max(1, MaxBaseEdgeCost(params_.edge) +
+                         params_.edge.quantizer.max_cost());
+}
+
+}  // namespace snd

@@ -1,0 +1,46 @@
+// Competitive Linear Threshold model (Borodin et al., Section 3). Each
+// edge <u, v> carries an influence weight omega_uv and each node v a
+// threshold theta_v; v can adopt an opinion once the total weight of its
+// active in-neighbors reaches theta_v, in proportion to each friendly
+// neighbor's share of the active incoming weight.
+#ifndef SND_OPINION_LT_MODEL_H_
+#define SND_OPINION_LT_MODEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "snd/opinion/opinion_model.h"
+
+namespace snd {
+
+struct LtParams {
+  EdgeCostParams edge = {};
+  // Per-edge influence weights (CSR-aligned); defaults to 1/indegree(v)
+  // for edge <u, v>, the standard normalized-influence convention.
+  std::optional<std::vector<double>> edge_weights;
+  // Per-node thresholds; defaults to threshold_fraction * (total incoming
+  // weight of v).
+  std::optional<std::vector<double>> thresholds;
+  double threshold_fraction = 0.5;
+  // Negligible probability for transitions the original model forbids.
+  double epsilon = 1e-3;
+};
+
+class LtModel final : public OpinionModel {
+ public:
+  explicit LtModel(LtParams params = {});
+
+  void ComputeEdgeCosts(const Graph& g, const NetworkState& state, Opinion op,
+                        std::vector<int32_t>* costs) const override;
+  int32_t MaxEdgeCost() const override;
+  const char* name() const override { return "linear-threshold"; }
+
+  const LtParams& params() const { return params_; }
+
+ private:
+  LtParams params_;
+};
+
+}  // namespace snd
+
+#endif  // SND_OPINION_LT_MODEL_H_

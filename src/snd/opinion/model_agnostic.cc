@@ -1,0 +1,54 @@
+#include "snd/opinion/model_agnostic.h"
+
+namespace snd {
+
+ModelAgnosticModel::ModelAgnosticModel(ModelAgnosticParams params)
+    : params_(params) {
+  SND_CHECK(params_.friendly_penalty >= 0);
+  SND_CHECK(params_.friendly_penalty <= params_.neutral_penalty);
+  SND_CHECK(params_.neutral_penalty <= params_.adverse_penalty);
+  SND_CHECK(params_.edge.communication_cost >= 0);
+  SND_CHECK(params_.edge.adoption_cost >= 0);
+}
+
+void ModelAgnosticModel::ComputeEdgeCosts(const Graph& g,
+                                          const NetworkState& state,
+                                          Opinion op,
+                                          std::vector<int32_t>* costs) const {
+  SND_CHECK(op != Opinion::kNeutral);
+  SND_CHECK(state.num_users() == g.num_nodes());
+  ValidateEdgeCostParams(params_.edge, g);
+  costs->resize(static_cast<size_t>(g.num_edges()));
+  const int8_t op_v = static_cast<int8_t>(op);
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    const int8_t su = state.value(u);
+    for (int64_t e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
+      const int32_t v = g.EdgeTarget(e);
+      const int8_t sv = state.value(v);
+      // The paper's case conditions overlap textually ("c_adverse if
+      // G[u] != op or G[v] = -op" would shadow the neutral case); we apply
+      // the evident intent: adverse penalty when the spreader or the
+      // receiver holds the competing opinion, neutral penalty for neutral
+      // spreaders, friendly penalty for same-opinion spreaders.
+      int32_t penalty;
+      if (su == -op_v || sv == -op_v) {
+        penalty = params_.adverse_penalty;
+      } else if (su == 0) {
+        penalty = params_.neutral_penalty;
+      } else {
+        penalty = params_.friendly_penalty;
+      }
+      // Every edge cost must stay strictly positive (Assumption 2), which
+      // holds because communication_cost >= 1 by default; enforce a floor
+      // of 1 regardless of configuration.
+      (*costs)[static_cast<size_t>(e)] =
+          std::max(1, BaseEdgeCost(params_.edge, e, v) + penalty);
+    }
+  }
+}
+
+int32_t ModelAgnosticModel::MaxEdgeCost() const {
+  return std::max(1, MaxBaseEdgeCost(params_.edge) + params_.adverse_penalty);
+}
+
+}  // namespace snd

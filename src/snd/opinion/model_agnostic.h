@@ -1,0 +1,38 @@
+// Model-agnostic opinion propagation (Section 3): constant spreading
+// penalties depending only on the spreader's (and receiver's) opinion
+// relative to the opinion being propagated, with
+// friendly < neutral < adverse.
+#ifndef SND_OPINION_MODEL_AGNOSTIC_H_
+#define SND_OPINION_MODEL_AGNOSTIC_H_
+
+#include "snd/opinion/opinion_model.h"
+
+namespace snd {
+
+struct ModelAgnosticParams {
+  EdgeCostParams edge = {};
+  // Spreading penalties (already in integer cost units, i.e., the
+  // quantized -log Pout). Must satisfy friendly <= neutral <= adverse.
+  int32_t friendly_penalty = 0;
+  int32_t neutral_penalty = 8;
+  int32_t adverse_penalty = 32;
+};
+
+class ModelAgnosticModel final : public OpinionModel {
+ public:
+  explicit ModelAgnosticModel(ModelAgnosticParams params = {});
+
+  void ComputeEdgeCosts(const Graph& g, const NetworkState& state, Opinion op,
+                        std::vector<int32_t>* costs) const override;
+  int32_t MaxEdgeCost() const override;
+  const char* name() const override { return "model-agnostic"; }
+
+  const ModelAgnosticParams& params() const { return params_; }
+
+ private:
+  ModelAgnosticParams params_;
+};
+
+}  // namespace snd
+
+#endif  // SND_OPINION_MODEL_AGNOSTIC_H_

@@ -1,0 +1,71 @@
+#include "snd/opinion/network_state.h"
+
+namespace snd {
+
+Opinion OppositeOpinion(Opinion op) {
+  return static_cast<Opinion>(-static_cast<int8_t>(op));
+}
+
+const char* OpinionName(Opinion op) {
+  switch (op) {
+    case Opinion::kNegative:
+      return "negative";
+    case Opinion::kNeutral:
+      return "neutral";
+    case Opinion::kPositive:
+      return "positive";
+  }
+  return "invalid";
+}
+
+NetworkState::NetworkState(int32_t num_users)
+    : values_(static_cast<size_t>(num_users), 0) {
+  SND_CHECK(num_users >= 0);
+}
+
+NetworkState NetworkState::FromValues(std::vector<int8_t> values) {
+  NetworkState state;
+  state.values_ = std::move(values);
+  for (int8_t v : state.values_) {
+    SND_CHECK(v == -1 || v == 0 || v == 1);
+    if (v != 0) state.active_count_++;
+  }
+  return state;
+}
+
+void NetworkState::set_opinion(int32_t u, Opinion op) {
+  SND_CHECK(0 <= u && u < num_users());
+  int8_t& slot = values_[static_cast<size_t>(u)];
+  if (slot != 0) active_count_--;
+  slot = static_cast<int8_t>(op);
+  if (slot != 0) active_count_++;
+}
+
+int32_t NetworkState::CountOpinion(Opinion op) const {
+  int32_t count = 0;
+  for (int8_t v : values_) {
+    if (v == static_cast<int8_t>(op)) count++;
+  }
+  return count;
+}
+
+std::vector<double> NetworkState::OpinionIndicator(Opinion op) const {
+  SND_CHECK(op != Opinion::kNeutral);
+  std::vector<double> histogram(values_.size(), 0.0);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == static_cast<int8_t>(op)) histogram[i] = 1.0;
+  }
+  return histogram;
+}
+
+int32_t NetworkState::CountDiffering(const NetworkState& a,
+                                     const NetworkState& b) {
+  SND_CHECK(a.num_users() == b.num_users());
+  int32_t count = 0;
+  for (size_t i = 0; i < a.values_.size(); ++i) {
+    if (a.values_[i] != b.values_[i]) count++;
+  }
+  return count;
+}
+
+}  // namespace snd

@@ -1,0 +1,74 @@
+// A network state: the polar opinions {-1, 0, +1} of all users at one time
+// instant (Section 3 of the paper). Users holding "+" or "-" are active;
+// users at 0 are neutral.
+#ifndef SND_OPINION_NETWORK_STATE_H_
+#define SND_OPINION_NETWORK_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+enum class Opinion : int8_t {
+  kNegative = -1,
+  kNeutral = 0,
+  kPositive = 1,
+};
+
+// The competing opinion: + <-> -; neutral maps to itself.
+Opinion OppositeOpinion(Opinion op);
+
+const char* OpinionName(Opinion op);
+
+class NetworkState {
+ public:
+  NetworkState() = default;
+
+  // All users neutral.
+  explicit NetworkState(int32_t num_users);
+
+  // Builds from raw values; every entry must be -1, 0, or +1.
+  static NetworkState FromValues(std::vector<int8_t> values);
+
+  int32_t num_users() const { return static_cast<int32_t>(values_.size()); }
+
+  Opinion opinion(int32_t u) const {
+    SND_DCHECK(0 <= u && u < num_users());
+    return static_cast<Opinion>(values_[static_cast<size_t>(u)]);
+  }
+  int8_t value(int32_t u) const {
+    SND_DCHECK(0 <= u && u < num_users());
+    return values_[static_cast<size_t>(u)];
+  }
+
+  void set_opinion(int32_t u, Opinion op);
+
+  bool IsActive(int32_t u) const { return value(u) != 0; }
+
+  int32_t CountOpinion(Opinion op) const;
+  int32_t CountActive() const { return active_count_; }
+
+  // The histogram G^op of Eq. 3: mass 1.0 at users holding `op`, 0
+  // elsewhere (users of the competing opinion are "considered neutral").
+  std::vector<double> OpinionIndicator(Opinion op) const;
+
+  // Users whose opinion differs between the two states (the paper's
+  // n_delta).
+  static int32_t CountDiffering(const NetworkState& a, const NetworkState& b);
+
+  const std::vector<int8_t>& values() const { return values_; }
+
+  friend bool operator==(const NetworkState& a, const NetworkState& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<int8_t> values_;
+  int32_t active_count_ = 0;
+};
+
+}  // namespace snd
+
+#endif  // SND_OPINION_NETWORK_STATE_H_

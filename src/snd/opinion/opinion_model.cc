@@ -1,0 +1,52 @@
+#include "snd/opinion/opinion_model.h"
+
+namespace snd {
+
+int32_t BaseEdgeCost(const EdgeCostParams& params, int64_t e, int32_t v) {
+  int32_t cost = 0;
+  if (params.communication_probabilities.has_value()) {
+    cost += params.quantizer.CostFromProbability(
+        (*params.communication_probabilities)[static_cast<size_t>(e)]);
+  } else {
+    cost += params.communication_cost;
+  }
+  if (params.susceptibility.has_value()) {
+    cost += params.quantizer.CostFromProbability(
+        (*params.susceptibility)[static_cast<size_t>(v)]);
+  } else {
+    cost += params.adoption_cost;
+  }
+  return cost;
+}
+
+int32_t MaxBaseEdgeCost(const EdgeCostParams& params) {
+  const int32_t comm = params.communication_probabilities.has_value()
+                           ? params.quantizer.max_cost()
+                           : params.communication_cost;
+  const int32_t adopt = params.susceptibility.has_value()
+                            ? params.quantizer.max_cost()
+                            : params.adoption_cost;
+  return comm + adopt;
+}
+
+void ValidateEdgeCostParams(const EdgeCostParams& params, const Graph& g) {
+  SND_CHECK(params.communication_cost >= 0);
+  SND_CHECK(params.adoption_cost >= 0);
+  if (params.communication_probabilities.has_value()) {
+    SND_CHECK(static_cast<int64_t>(
+                  params.communication_probabilities->size()) ==
+              g.num_edges());
+    for (double p : *params.communication_probabilities) {
+      SND_CHECK(p >= 0.0 && p <= 1.0);
+    }
+  }
+  if (params.susceptibility.has_value()) {
+    SND_CHECK(static_cast<int32_t>(params.susceptibility->size()) ==
+              g.num_nodes());
+    for (double p : *params.susceptibility) {
+      SND_CHECK(p >= 0.0 && p <= 1.0);
+    }
+  }
+}
+
+}  // namespace snd

@@ -1,0 +1,75 @@
+// The opinion-propagation cost models behind the ground distance D
+// (Section 3, item (iii)).
+//
+// The ground distance D(G_i, op) consists of shortest path lengths in a
+// graph whose adjacency costs are (Eq. 2)
+//   Aext = -log P(comm) - log Pin(adoption) - log Pout(spreading),
+// where the spreading term depends on a chosen model of competitive
+// opinion dynamics. Every model produces integer per-edge costs aligned
+// with the social graph's CSR edge order; costs are bounded by
+// MaxEdgeCost() (Assumption 2's U), which the Dial shortest-path solver
+// and the complexity bound of Theorem 4 rely on.
+#ifndef SND_OPINION_OPINION_MODEL_H_
+#define SND_OPINION_OPINION_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/opinion/network_state.h"
+#include "snd/opinion/quantizer.h"
+
+namespace snd {
+
+// Shared Eq. 2 terms. In the absence of communication-frequency and
+// stubbornness data the paper sets -log P(comm) to the connectivity matrix
+// (cost `communication_cost` per hop) and Pin = 1 (cost 0); both stay
+// configurable here, including the data-driven variants the paper
+// describes:
+//  * `communication_probabilities` - per-edge relative communication
+//    frequencies P(comm), CSR-aligned; when present, their quantized
+//    -log replaces `communication_cost`.
+//  * `susceptibility` - per-user opinion-adoption probabilities Pin
+//    (Yildiz et al.'s stubbornness: low susceptibility = stubborn user);
+//    when present, the quantized -log Pin of the edge's *target* replaces
+//    `adoption_cost`.
+struct EdgeCostParams {
+  CostQuantizer quantizer = CostQuantizer();
+  int32_t communication_cost = 1;
+  int32_t adoption_cost = 0;
+  std::optional<std::vector<double>> communication_probabilities;
+  std::optional<std::vector<double>> susceptibility;
+};
+
+// The -log P(comm) - log Pin part of Eq. 2 for CSR edge `e` with target
+// `v`, in integer cost units.
+int32_t BaseEdgeCost(const EdgeCostParams& params, int64_t e, int32_t v);
+
+// Upper bound on BaseEdgeCost over all edges.
+int32_t MaxBaseEdgeCost(const EdgeCostParams& params);
+
+// Aborts if optional arrays have the wrong size or out-of-range entries.
+void ValidateEdgeCostParams(const EdgeCostParams& params, const Graph& g);
+
+class OpinionModel {
+ public:
+  virtual ~OpinionModel() = default;
+
+  // Fills `costs` (resized to g.num_edges()) with the Aext edge costs for
+  // propagating opinion `op` through network state `state`. Edge k of the
+  // CSR order describes influence flowing from EdgeSource(k) to
+  // EdgeTarget(k).
+  virtual void ComputeEdgeCosts(const Graph& g, const NetworkState& state,
+                                Opinion op,
+                                std::vector<int32_t>* costs) const = 0;
+
+  // Upper bound U on any cost this model can emit.
+  virtual int32_t MaxEdgeCost() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace snd
+
+#endif  // SND_OPINION_OPINION_MODEL_H_

@@ -1,0 +1,24 @@
+#include "snd/opinion/quantizer.h"
+
+#include <cmath>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+CostQuantizer::CostQuantizer(int32_t max_cost, double scale)
+    : max_cost_(max_cost), scale_(scale) {
+  SND_CHECK(max_cost >= 1);
+  SND_CHECK(scale > 0.0);
+}
+
+int32_t CostQuantizer::CostFromProbability(double p) const {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return max_cost_;
+  const double cost = -scale_ * std::log(p);
+  if (cost >= static_cast<double>(max_cost_)) return max_cost_;
+  const auto rounded = static_cast<int32_t>(std::lround(cost));
+  return rounded < 0 ? 0 : rounded;
+}
+
+}  // namespace snd

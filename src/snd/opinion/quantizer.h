@@ -1,0 +1,33 @@
+// Probability -> integer-cost quantization (Assumption 2 of Section 5).
+//
+// The ground distance graph Aext (Eq. 2) sums negative log-probabilities
+// of communication, adoption, and spreading. To satisfy Assumption 2
+// (integer edge costs bounded by a constant U), probabilities are mapped to
+//   cost(p) = clamp(round(-scale * ln p), 0, max_cost),
+// so p = 1 costs 0 and impossible events (p -> 0) saturate at max_cost.
+#ifndef SND_OPINION_QUANTIZER_H_
+#define SND_OPINION_QUANTIZER_H_
+
+#include <cstdint>
+
+namespace snd {
+
+class CostQuantizer {
+ public:
+  // `max_cost` is the paper's U (for one probability factor);
+  // `scale` converts nats of improbability into cost units.
+  explicit CostQuantizer(int32_t max_cost = 64, double scale = 8.0);
+
+  int32_t CostFromProbability(double p) const;
+
+  int32_t max_cost() const { return max_cost_; }
+  double scale() const { return scale_; }
+
+ private:
+  int32_t max_cost_;
+  double scale_;
+};
+
+}  // namespace snd
+
+#endif  // SND_OPINION_QUANTIZER_H_

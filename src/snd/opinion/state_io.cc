@@ -1,0 +1,60 @@
+#include "snd/opinion/state_io.h"
+
+#include <cstdio>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+bool WriteStateSeries(const std::vector<NetworkState>& states,
+                      const std::string& path) {
+  SND_CHECK(!states.empty());
+  const int32_t n = states.front().num_users();
+  for (const NetworkState& s : states) SND_CHECK(s.num_users() == n);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "# states %zu users %d\n", states.size(), n) > 0;
+  for (const NetworkState& state : states) {
+    for (int32_t u = 0; ok && u < n; ++u) {
+      if (std::fprintf(f, u + 1 < n ? "%d " : "%d\n",
+                       static_cast<int>(state.value(u))) <= 0) {
+        ok = false;
+      }
+    }
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::optional<std::vector<NetworkState>> ReadStateSeries(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  size_t num_states = 0;
+  int32_t num_users = 0;
+  if (std::fscanf(f, "# states %zu users %d\n", &num_states, &num_users) !=
+          2 ||
+      num_users < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<NetworkState> states;
+  states.reserve(num_states);
+  for (size_t t = 0; t < num_states; ++t) {
+    std::vector<int8_t> values(static_cast<size_t>(num_users));
+    for (int32_t u = 0; u < num_users; ++u) {
+      int v = 0;
+      if (std::fscanf(f, "%d", &v) != 1 || v < -1 || v > 1) {
+        std::fclose(f);
+        return std::nullopt;
+      }
+      values[static_cast<size_t>(u)] = static_cast<int8_t>(v);
+    }
+    states.push_back(NetworkState::FromValues(std::move(values)));
+  }
+  std::fclose(f);
+  return states;
+}
+
+}  // namespace snd

@@ -1,0 +1,30 @@
+// Plain-text persistence for network-state series: lets users run the
+// tooling (CLI, anomaly detection, prediction) on their own opinion data.
+//
+// Format: a header line "# states <T> users <n>", then one line per
+// state with n space-separated opinion values from {-1, 0, 1}.
+#ifndef SND_OPINION_STATE_IO_H_
+#define SND_OPINION_STATE_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snd/opinion/network_state.h"
+
+namespace snd {
+
+// Writes the series to `path`; all states must have the same number of
+// users. Returns false on I/O failure.
+bool WriteStateSeries(const std::vector<NetworkState>& states,
+                      const std::string& path);
+
+// Reads a series previously written by WriteStateSeries. Returns
+// std::nullopt on I/O or parse failure (wrong header, out-of-range
+// values, short rows).
+std::optional<std::vector<NetworkState>> ReadStateSeries(
+    const std::string& path);
+
+}  // namespace snd
+
+#endif  // SND_OPINION_STATE_IO_H_

@@ -1,0 +1,37 @@
+#include "snd/opinion/transition_stats.h"
+
+#include <cstdio>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+TransitionStats ComputeTransitionStats(const NetworkState& from,
+                                       const NetworkState& to) {
+  SND_CHECK(from.num_users() == to.num_users());
+  TransitionStats stats;
+  for (int32_t u = 0; u < from.num_users(); ++u) {
+    const int8_t before = from.value(u);
+    const int8_t after = to.value(u);
+    if (before == after) continue;
+    if (before == 0) {
+      (after > 0 ? stats.new_positive : stats.new_negative)++;
+    } else if (after == 0) {
+      stats.deactivations++;
+    } else {
+      (after > 0 ? stats.flips_to_positive : stats.flips_to_negative)++;
+    }
+  }
+  return stats;
+}
+
+std::string TransitionStatsSummary(const TransitionStats& stats) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "+%d -%d activations, %d flips, %d deactivations",
+                stats.new_positive, stats.new_negative, stats.flips(),
+                stats.deactivations);
+  return buf;
+}
+
+}  // namespace snd

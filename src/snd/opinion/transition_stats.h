@@ -1,0 +1,42 @@
+// Summary statistics of a transition between two network states - the
+// per-transition bookkeeping the benchmark harnesses and applications
+// report alongside distances.
+#ifndef SND_OPINION_TRANSITION_STATS_H_
+#define SND_OPINION_TRANSITION_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "snd/opinion/network_state.h"
+
+namespace snd {
+
+struct TransitionStats {
+  // Activations: neutral -> active.
+  int32_t new_positive = 0;
+  int32_t new_negative = 0;
+  // Flips: active -> the competing opinion.
+  int32_t flips_to_positive = 0;
+  int32_t flips_to_negative = 0;
+  // Deactivations: active -> neutral.
+  int32_t deactivations = 0;
+
+  int32_t total_changes() const {
+    return new_positive + new_negative + flips_to_positive +
+           flips_to_negative + deactivations;
+  }
+  int32_t activations() const { return new_positive + new_negative; }
+  int32_t flips() const { return flips_to_positive + flips_to_negative; }
+};
+
+// Classifies every user whose opinion differs between `from` and `to`.
+TransitionStats ComputeTransitionStats(const NetworkState& from,
+                                       const NetworkState& to);
+
+// One-line human-readable rendering, e.g.
+// "+12 -9 activations, 3 flips, 0 deactivations".
+std::string TransitionStatsSummary(const TransitionStats& stats);
+
+}  // namespace snd
+
+#endif  // SND_OPINION_TRANSITION_STATS_H_

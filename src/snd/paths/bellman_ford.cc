@@ -1,0 +1,36 @@
+#include "snd/paths/bellman_ford.h"
+
+namespace snd {
+
+std::vector<int64_t> BellmanFord(const Graph& g,
+                                 std::span<const int32_t> edge_costs,
+                                 std::span<const SsspSource> sources) {
+  SND_CHECK(static_cast<int64_t>(edge_costs.size()) == g.num_edges());
+  std::vector<int64_t> dist(static_cast<size_t>(g.num_nodes()),
+                            kUnreachableDistance);
+  for (const SsspSource& s : sources) {
+    SND_CHECK(0 <= s.node && s.node < g.num_nodes());
+    dist[static_cast<size_t>(s.node)] =
+        std::min(dist[static_cast<size_t>(s.node)], s.initial_distance);
+  }
+  bool changed = true;
+  for (int32_t round = 0; round < g.num_nodes() && changed; ++round) {
+    changed = false;
+    for (int32_t u = 0; u < g.num_nodes(); ++u) {
+      const int64_t du = dist[static_cast<size_t>(u)];
+      if (du == kUnreachableDistance) continue;
+      const int64_t begin = g.OutEdgeBegin(u), end = g.OutEdgeEnd(u);
+      for (int64_t e = begin; e < end; ++e) {
+        const int32_t v = g.EdgeTarget(e);
+        const int64_t nd = du + edge_costs[static_cast<size_t>(e)];
+        if (nd < dist[static_cast<size_t>(v)]) {
+          dist[static_cast<size_t>(v)] = nd;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace snd

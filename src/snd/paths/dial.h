@@ -1,0 +1,32 @@
+// Dial's bucket-queue shortest path algorithm.
+//
+// Assumption 2 of the paper bounds edge costs by a constant integer U; with
+// such costs the tentative distances alive in a Dijkstra priority queue
+// span a window of at most U, so a circular array of U+1 buckets replaces
+// the heap and each queue operation is O(1). This plays the role of the
+// radix-heap Dijkstra of Ahuja et al. cited by Theorem 4.
+#ifndef SND_PATHS_DIAL_H_
+#define SND_PATHS_DIAL_H_
+
+#include <span>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/paths/sssp.h"
+
+namespace snd {
+
+// Computes shortest distances from `sources` over `edge_costs`; every cost
+// must lie in [0, max_cost]. Semantics identical to Dijkstra().
+std::vector<int64_t> DialShortestPaths(const Graph& g,
+                                       std::span<const int32_t> edge_costs,
+                                       std::span<const SsspSource> sources,
+                                       int32_t max_cost);
+
+std::vector<int64_t> DialShortestPaths(const Graph& g,
+                                       std::span<const int32_t> edge_costs,
+                                       int32_t source, int32_t max_cost);
+
+}  // namespace snd
+
+#endif  // SND_PATHS_DIAL_H_

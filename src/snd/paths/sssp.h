@@ -1,0 +1,31 @@
+// Common definitions for the single-source shortest path solvers that
+// compute the ground distance D of the paper (lengths of shortest paths in
+// the cost-annotated network, Eq. 2).
+//
+// Edge costs are positive integers bounded by a constant U (the paper's
+// Assumption 2), supplied as an array aligned with the graph's CSR edge
+// order. Distances are int64 to avoid overflow on long paths.
+#ifndef SND_PATHS_SSSP_H_
+#define SND_PATHS_SSSP_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace snd {
+
+// Distance assigned to nodes unreachable from the source set.
+inline constexpr int64_t kUnreachableDistance =
+    std::numeric_limits<int64_t>::max();
+
+// A source node with an initial distance offset (0 for plain SSSP;
+// multi-source searches may seed several nodes).
+struct SsspSource {
+  int32_t node = 0;
+  int64_t initial_distance = 0;
+};
+
+}  // namespace snd
+
+#endif  // SND_PATHS_SSSP_H_

@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros. The library does not use C++
+// exceptions; violated invariants indicate programmer error and abort with a
+// diagnostic. SND_CHECK is always active; SND_DCHECK compiles out in
+// release (NDEBUG) builds and is meant for hot paths.
+#ifndef SND_UTIL_CHECK_H_
+#define SND_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snd {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SND_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace snd
+
+#define SND_CHECK(expr)                                      \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::snd::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define SND_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define SND_DCHECK(expr) SND_CHECK(expr)
+#endif
+
+#endif  // SND_UTIL_CHECK_H_

@@ -1,0 +1,124 @@
+#include "snd/util/random.h"
+
+#include <cmath>
+
+namespace snd {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SND_CHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return lo + static_cast<int64_t>(x % range);
+}
+
+double Rng::UniformReal() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * UniformReal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+std::vector<int32_t> Rng::SampleWithoutReplacement(int32_t n, int32_t k) {
+  SND_CHECK(0 <= k && k <= n);
+  // Partial Fisher-Yates over an index array; O(n) memory which is fine at
+  // the scales used here (n <= number of users).
+  std::vector<int32_t> idx(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int32_t i = 0; i < k; ++i) {
+    int64_t j = UniformInt(i, n - 1);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const int32_t n = static_cast<int32_t>(weights.size());
+  SND_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    SND_CHECK(w >= 0.0);
+    total += w;
+  }
+  SND_CHECK(total > 0.0);
+
+  prob_.assign(static_cast<size_t>(n), 0.0);
+  alias_.assign(static_cast<size_t>(n), 0);
+  std::vector<double> scaled(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    scaled[static_cast<size_t>(i)] =
+        weights[static_cast<size_t>(i)] * static_cast<double>(n) / total;
+  }
+  std::vector<int32_t> small, large;
+  for (int32_t i = 0; i < n; ++i) {
+    (scaled[static_cast<size_t>(i)] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int32_t s = small.back();
+    small.pop_back();
+    int32_t l = large.back();
+    large.pop_back();
+    prob_[static_cast<size_t>(s)] = scaled[static_cast<size_t>(s)];
+    alias_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] =
+        scaled[static_cast<size_t>(l)] + scaled[static_cast<size_t>(s)] - 1.0;
+    (scaled[static_cast<size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  for (int32_t i : large) prob_[static_cast<size_t>(i)] = 1.0;
+  for (int32_t i : small) prob_[static_cast<size_t>(i)] = 1.0;
+}
+
+int32_t AliasTable::Sample(Rng* rng) const {
+  const int32_t i =
+      static_cast<int32_t>(rng->UniformInt(0, static_cast<int64_t>(size()) - 1));
+  return rng->UniformReal() < prob_[static_cast<size_t>(i)]
+             ? i
+             : alias_[static_cast<size_t>(i)];
+}
+
+}  // namespace snd

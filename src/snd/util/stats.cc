@@ -1,0 +1,58 @@
+#include "snd/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+MeanStddev ComputeMeanStddev(const std::vector<double>& values) {
+  MeanStddev result;
+  if (values.empty()) return result;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  result.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return result;
+  double ss = 0.0;
+  for (double v : values) ss += (v - result.mean) * (v - result.mean);
+  result.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  return result;
+}
+
+std::vector<double> MinMaxScale(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  std::vector<double> out(values.size(), 0.0);
+  if (hi > lo) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = (values[i] - lo) / (hi - lo);
+    }
+  }
+  return out;
+}
+
+LineFit FitLine(const std::vector<double>& values) {
+  SND_CHECK(!values.empty());
+  const auto n = static_cast<double>(values.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double x = static_cast<double>(i);
+    sx += x;
+    sy += values[i];
+    sxx += x * x;
+    sxy += x * values[i];
+  }
+  LineFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom > 0.0) {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  } else {
+    fit.intercept = sy / n;
+  }
+  return fit;
+}
+
+}  // namespace snd

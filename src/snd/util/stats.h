@@ -1,0 +1,33 @@
+// Small statistics helpers shared by the analysis module and the benchmark
+// harnesses.
+#ifndef SND_UTIL_STATS_H_
+#define SND_UTIL_STATS_H_
+
+#include <vector>
+
+namespace snd {
+
+struct MeanStddev {
+  double mean = 0.0;
+  double stddev = 0.0;  // Sample standard deviation (n - 1 denominator).
+};
+
+// Computes mean and sample standard deviation; stddev is 0 for fewer than
+// two values.
+MeanStddev ComputeMeanStddev(const std::vector<double>& values);
+
+// Rescales `values` linearly so that the minimum maps to 0 and the maximum
+// to 1. A constant series maps to all zeros.
+std::vector<double> MinMaxScale(const std::vector<double>& values);
+
+// Least-squares line fit y = a + b*x over x = 0..n-1. Returns {a, b};
+// a constant series yields b = 0. Requires at least one value.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LineFit FitLine(const std::vector<double>& values);
+
+}  // namespace snd
+
+#endif  // SND_UTIL_STATS_H_

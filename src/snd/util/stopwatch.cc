@@ -1,0 +1,10 @@
+#include "snd/util/stopwatch.h"
+
+namespace snd {
+
+double Stopwatch::ElapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace snd

@@ -1,0 +1,38 @@
+// Fixed-width table printing for the benchmark harnesses, which reproduce
+// the rows/series of the paper's tables and figures on stdout.
+#ifndef SND_UTIL_TABLE_H_
+#define SND_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace snd {
+
+// Collects rows of string cells and prints them with aligned columns.
+// Example:
+//   TablePrinter t({"method", "accuracy"});
+//   t.AddRow({"SND", "74.3"});
+//   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table; every column is padded to its widest cell and a rule
+  // is drawn under the header.
+  std::string ToString() const;
+  void Print() const;
+
+  // Formatting helpers for cells.
+  static std::string Fmt(double value, int precision = 4);
+  static std::string Fmt(int64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snd
+
+#endif  // SND_UTIL_TABLE_H_

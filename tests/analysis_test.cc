@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/analysis/extrapolation.h"
+#include "snd/analysis/roc.h"
+
+namespace snd {
+namespace {
+
+TEST(AnomalyTest, AdjacentDistances) {
+  std::vector<NetworkState> states;
+  states.push_back(NetworkState::FromValues({0, 0, 0}));
+  states.push_back(NetworkState::FromValues({1, 0, 0}));
+  states.push_back(NetworkState::FromValues({1, -1, 0}));
+  const auto dists = AdjacentDistances(
+      states, [](const NetworkState& a, const NetworkState& b) {
+        return HammingDistance(a, b);
+      });
+  EXPECT_EQ(dists, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(AnomalyTest, NormalizeByActiveUsers) {
+  std::vector<NetworkState> states;
+  states.push_back(NetworkState::FromValues({0, 0, 0, 0}));
+  states.push_back(NetworkState::FromValues({1, 1, 0, 0}));   // 2 active.
+  states.push_back(NetworkState::FromValues({1, 1, -1, -1})); // 4 active.
+  const std::vector<double> dists{2.0, 2.0};
+  const auto normalized = NormalizeByActiveUsers(dists, states);
+  EXPECT_DOUBLE_EQ(normalized[0], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[1], 0.5);
+}
+
+TEST(AnomalyTest, ScoresPeakAtSpike) {
+  const std::vector<double> dists{1.0, 1.0, 5.0, 1.0, 1.0};
+  const auto scores = AnomalyScores(dists);
+  ASSERT_EQ(scores.size(), 5u);
+  EXPECT_DOUBLE_EQ(scores[2], 8.0);  // (5-1) + (5-1).
+  for (size_t t = 0; t < scores.size(); ++t) {
+    if (t != 2) {
+      EXPECT_LT(scores[t], scores[2]);
+    }
+  }
+}
+
+TEST(AnomalyTest, BoundaryScoresUseSingleNeighbor) {
+  const std::vector<double> dists{3.0, 1.0};
+  const auto scores = AnomalyScores(dists);
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);   // Only (d0 - d1).
+  EXPECT_DOUBLE_EQ(scores[1], -2.0);  // Only (d1 - d0).
+}
+
+TEST(RocTest, PerfectSeparation) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> truth{true, true, false, false};
+  const auto roc = ComputeRoc(scores, truth);
+  EXPECT_DOUBLE_EQ(RocAuc(roc), 1.0);
+  EXPECT_DOUBLE_EQ(TprAtFpr(roc, 0.0), 1.0);
+}
+
+TEST(RocTest, InvertedScores) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> truth{true, true, false, false};
+  const auto roc = ComputeRoc(scores, truth);
+  EXPECT_DOUBLE_EQ(RocAuc(roc), 0.0);
+}
+
+TEST(RocTest, RandomScoresGiveHalfAuc) {
+  // Alternating labels with strictly decreasing scores: AUC = 0.5.
+  std::vector<double> scores;
+  std::vector<bool> truth;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(100.0 - i);
+    truth.push_back(i % 2 == 0);
+  }
+  const auto roc = ComputeRoc(scores, truth);
+  EXPECT_NEAR(RocAuc(roc), 0.5, 0.02);
+}
+
+TEST(RocTest, TiesAdvanceTogether) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> truth{true, false, true, false};
+  const auto roc = ComputeRoc(scores, truth);
+  // One step from (0,0) straight to (1,1).
+  ASSERT_EQ(roc.size(), 2u);
+  EXPECT_DOUBLE_EQ(roc[1].fpr, 1.0);
+  EXPECT_DOUBLE_EQ(roc[1].tpr, 1.0);
+  EXPECT_NEAR(RocAuc(roc), 0.5, 1e-12);
+}
+
+TEST(RocTest, TprAtFprIsMonotoneInCap) {
+  const std::vector<double> scores{5, 4, 3, 2, 1};
+  const std::vector<bool> truth{true, false, true, false, true};
+  const auto roc = ComputeRoc(scores, truth);
+  double prev = -1.0;
+  for (double cap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double tpr = TprAtFpr(roc, cap);
+    EXPECT_GE(tpr, prev);
+    prev = tpr;
+  }
+}
+
+TEST(ExtrapolationTest, ContinuesLinearTrend) {
+  EXPECT_NEAR(LinearExtrapolateNext({1.0, 2.0, 3.0}), 4.0, 1e-9);
+  EXPECT_NEAR(LinearExtrapolateNext({5.0, 5.0, 5.0}), 5.0, 1e-9);
+}
+
+TEST(ExtrapolationTest, ClampsAtZero) {
+  EXPECT_DOUBLE_EQ(LinearExtrapolateNext({3.0, 2.0, 1.0, 0.0}), 0.0);
+}
+
+TEST(ExtrapolationTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(LinearExtrapolateNext({2.5}), 2.5);
+}
+
+}  // namespace
+}  // namespace snd

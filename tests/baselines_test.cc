@@ -1,0 +1,79 @@
+#include "snd/baselines/baselines.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+TEST(BaselinesTest, HammingCountsDiffering) {
+  const NetworkState a = NetworkState::FromValues({1, -1, 0, 1});
+  const NetworkState b = NetworkState::FromValues({1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(HammingDistance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(HammingDistance(a, a), 0.0);
+}
+
+TEST(BaselinesTest, LpNorms) {
+  const NetworkState a = NetworkState::FromValues({1, -1, 0});
+  const NetworkState b = NetworkState::FromValues({-1, -1, 1});
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 1), 3.0);          // |2| + 0 + |1|.
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 2), std::sqrt(5.0));
+}
+
+TEST(BaselinesTest, QuadFormOnTriangle) {
+  // Symmetric triangle 0-1-2.
+  const Graph g = Graph::FromEdges(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}});
+  const BaselineDistances baselines(&g);
+  const NetworkState a = NetworkState::FromValues({1, 0, 0});
+  const NetworkState b = NetworkState::FromValues({0, 0, 0});
+  // x = a - b = (1, 0, 0); x^T L x over undirected edges:
+  // (1-0)^2 + (0-0)^2 + (1-0)^2 = 2.
+  EXPECT_DOUBLE_EQ(baselines.QuadForm(a, b), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(baselines.QuadForm(a, a), 0.0);
+}
+
+TEST(BaselinesTest, QuadFormCountsOneDirectionalEdgesOnce) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}});
+  const BaselineDistances baselines(&g);
+  const NetworkState a = NetworkState::FromValues({1, 0});
+  const NetworkState b = NetworkState::FromValues({0, 0});
+  EXPECT_DOUBLE_EQ(baselines.QuadForm(a, b), 1.0);
+}
+
+TEST(BaselinesTest, ContentionMeasuresLocalDeviation) {
+  // 2 -> 0, 1 -> 0: node 0's in-neighbors are 1 and 2.
+  const Graph g = Graph::FromEdges(3, {{1, 0}, {2, 0}});
+  const BaselineDistances baselines(&g);
+  // 0 neutral, in-neighbors split "+"/"-": average 0, contention 0.
+  const NetworkState split = NetworkState::FromValues({0, 1, -1});
+  EXPECT_DOUBLE_EQ(baselines.Contention(split)[0], 0.0);
+  // 0 holds "-", both in-neighbors "+": contention |(-1) - 1| = 2.
+  const NetworkState opposed = NetworkState::FromValues({-1, 1, 1});
+  EXPECT_DOUBLE_EQ(baselines.Contention(opposed)[0], 2.0);
+  // Nodes without active in-neighbors have zero contention.
+  EXPECT_DOUBLE_EQ(baselines.Contention(opposed)[1], 0.0);
+}
+
+TEST(BaselinesTest, WalkDistComparesContentionVectors) {
+  const Graph g = Graph::FromEdges(3, {{1, 0}, {2, 0}});
+  const BaselineDistances baselines(&g);
+  const NetworkState a = NetworkState::FromValues({-1, 1, 1});  // cnt = (2,0,0).
+  const NetworkState b = NetworkState::FromValues({1, 1, 1});   // cnt = (0,0,0).
+  EXPECT_DOUBLE_EQ(baselines.WalkDist(a, b), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(baselines.WalkDist(a, a), 0.0);
+}
+
+TEST(BaselinesTest, WrapperMethodsMatchFreeFunctions) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}, {1, 0}});
+  const BaselineDistances baselines(&g);
+  const NetworkState a = NetworkState::FromValues({1, -1});
+  const NetworkState b = NetworkState::FromValues({-1, -1});
+  EXPECT_DOUBLE_EQ(baselines.Hamming(a, b), HammingDistance(a, b));
+  EXPECT_DOUBLE_EQ(baselines.L1(a, b), LpDistance(a, b, 1));
+  EXPECT_DOUBLE_EQ(baselines.L2(a, b), LpDistance(a, b, 2));
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,82 @@
+#include "snd/cli/cli.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "snd/graph/generators.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/evolution.h"
+#include "snd/opinion/state_io.h"
+
+namespace snd {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = ::testing::TempDir() + "/cli_graph.edges";
+    states_path_ = ::testing::TempDir() + "/cli_states.txt";
+    Rng rng(1);
+    const Graph g = GenerateRing(30, 2);
+    ASSERT_TRUE(WriteEdgeList(g, graph_path_));
+    SyntheticEvolution evolution(&g, 2);
+    const auto series =
+        evolution.GenerateSeries(4, 6, {0.2, 0.05}, {0.2, 0.05}, {});
+    ASSERT_TRUE(WriteStateSeries(series, states_path_));
+  }
+
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(states_path_.c_str());
+  }
+
+  std::string graph_path_;
+  std::string states_path_;
+};
+
+TEST_F(CliTest, DistanceCommandSucceeds) {
+  EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "1"}),
+            0);
+  EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "0"}),
+            0);
+}
+
+TEST_F(CliTest, SeriesAndAnomaliesCommandsSucceed) {
+  EXPECT_EQ(SndCliMain({"series", graph_path_, states_path_}), 0);
+  EXPECT_EQ(SndCliMain({"anomalies", graph_path_, states_path_}), 0);
+}
+
+TEST_F(CliTest, FlagsAreAccepted) {
+  EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "1",
+                        "--model=icc", "--solver=ssp", "--banks=global"}),
+            0);
+  EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "1",
+                        "--model=lt", "--solver=cost-scaling",
+                        "--banks=per-cluster"}),
+            0);
+}
+
+TEST_F(CliTest, RejectsBadInput) {
+  EXPECT_NE(SndCliMain({}), 0);
+  EXPECT_NE(SndCliMain({"distance", graph_path_, states_path_}), 0);
+  EXPECT_NE(SndCliMain({"distance", graph_path_, states_path_, "0", "99"}),
+            0);
+  EXPECT_NE(SndCliMain({"nonsense", graph_path_, states_path_}), 0);
+  EXPECT_NE(SndCliMain({"series", graph_path_, states_path_,
+                        "--model=bogus"}),
+            0);
+  EXPECT_NE(SndCliMain({"series", "/nonexistent.edges", states_path_}), 0);
+  EXPECT_NE(SndCliMain({"series", graph_path_, "/nonexistent.txt"}), 0);
+}
+
+TEST_F(CliTest, RejectsMismatchedStateSize) {
+  const std::string other = ::testing::TempDir() + "/cli_states_small.txt";
+  std::vector<NetworkState> tiny{NetworkState(5), NetworkState(5)};
+  ASSERT_TRUE(WriteStateSeries(tiny, other));
+  EXPECT_NE(SndCliMain({"series", graph_path_, other}), 0);
+  std::remove(other.c_str());
+}
+
+}  // namespace
+}  // namespace snd

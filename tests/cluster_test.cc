@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "snd/cluster/diameters.h"
+#include "snd/cluster/label_propagation.h"
+#include "snd/graph/generators.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+TEST(LabelPropagationTest, RecoversPlantedPartition) {
+  Rng rng(1);
+  PlantedPartitionOptions options;
+  options.num_clusters = 3;
+  options.nodes_per_cluster = 60;
+  options.intra_degree = 10.0;
+  options.bridges = 2;
+  const Graph g = GeneratePlantedPartition(options, &rng);
+  const auto labels = LabelPropagation(g, 42, LabelPropagationOptions{});
+
+  // Within each planted cluster, the dominant label should cover most
+  // nodes (label propagation is heuristic; we allow some slack).
+  for (int32_t c = 0; c < options.num_clusters; ++c) {
+    std::vector<int32_t> counts(static_cast<size_t>(g.num_nodes()), 0);
+    for (int32_t v = c * 60; v < (c + 1) * 60; ++v) {
+      counts[static_cast<size_t>(labels[static_cast<size_t>(v)])]++;
+    }
+    const int32_t dominant = *std::max_element(counts.begin(), counts.end());
+    EXPECT_GE(dominant, 45) << "cluster " << c;
+  }
+}
+
+TEST(LabelPropagationTest, LabelsCompact) {
+  Rng rng(2);
+  const Graph g = testing_util::RandomSymmetricGraph(50, 80, &rng);
+  const auto labels = LabelPropagation(g, 7, LabelPropagationOptions{});
+  const int32_t k = CountCommunities(labels);
+  std::vector<bool> seen(static_cast<size_t>(k), false);
+  for (int32_t l : labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, k);
+    seen[static_cast<size_t>(l)] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(LabelPropagationTest, DeterministicForSeed) {
+  Rng rng(3);
+  const Graph g = testing_util::RandomSymmetricGraph(80, 150, &rng);
+  const auto a = LabelPropagation(g, 5, LabelPropagationOptions{});
+  const auto b = LabelPropagation(g, 5, LabelPropagationOptions{});
+  EXPECT_EQ(a, b);
+}
+
+TEST(LabelPropagationTest, MinCommunitySizeMergesDebris) {
+  Rng rng(4);
+  PlantedPartitionOptions options;
+  options.num_clusters = 2;
+  options.nodes_per_cluster = 50;
+  options.intra_degree = 8.0;
+  const Graph g = GeneratePlantedPartition(options, &rng);
+  LabelPropagationOptions lp;
+  lp.min_community_size = 10;
+  const auto labels = LabelPropagation(g, 11, lp);
+  std::vector<int32_t> sizes(
+      static_cast<size_t>(CountCommunities(labels)), 0);
+  for (int32_t l : labels) sizes[static_cast<size_t>(l)]++;
+  // The merge pass is best-effort (a node with no neighbor in a large
+  // community keeps its label); on this dense graph nearly all nodes must
+  // land in communities meeting the floor.
+  int32_t in_small = 0;
+  for (int32_t l : labels) {
+    if (sizes[static_cast<size_t>(l)] < lp.min_community_size) ++in_small;
+  }
+  EXPECT_LE(in_small, g.num_nodes() / 20);
+}
+
+TEST(ExactDiametersTest, LineGraphByCluster) {
+  // 0 - 1 - 2 - 3 with unit costs, clusters {0,1} and {2,3}.
+  const Graph g =
+      Graph::FromEdges(4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}});
+  const std::vector<int32_t> costs(static_cast<size_t>(g.num_edges()), 1);
+  const auto diameters =
+      ExactClusterDiameters(g, costs, {0, 0, 1, 1}, 2, 1e9);
+  EXPECT_DOUBLE_EQ(diameters[0], 1.0);
+  EXPECT_DOUBLE_EQ(diameters[1], 1.0);
+}
+
+TEST(ExactDiametersTest, UsesWholeGraphPaths) {
+  // Cluster {0, 2} is connected only through node 1: diameter 2.
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  const std::vector<int32_t> costs(static_cast<size_t>(g.num_edges()), 1);
+  const auto diameters = ExactClusterDiameters(g, costs, {0, 1, 0}, 2, 1e9);
+  EXPECT_DOUBLE_EQ(diameters[0], 2.0);
+}
+
+TEST(DiameterBoundsTest, UpperBoundDominatesExactOnConnectedClusters) {
+  // Planted-partition clusters have connected subgraphs, where the
+  // structural bound is a genuine upper bound on the ground-distance
+  // diameter (symmetric graph, costs <= max_edge_cost).
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    PlantedPartitionOptions options;
+    options.num_clusters = 3;
+    options.nodes_per_cluster = 20;
+    options.intra_degree = 5.0;
+    const Graph g = GeneratePlantedPartition(options, &rng);
+    // Symmetric random costs in [1, 5].
+    std::vector<int32_t> costs(static_cast<size_t>(g.num_edges()), 1);
+    for (int32_t u = 0; u < g.num_nodes(); ++u) {
+      for (int64_t e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
+        const int32_t v = g.EdgeTarget(e);
+        if (u < v) {
+          const auto c = static_cast<int32_t>(rng.UniformInt(1, 5));
+          costs[static_cast<size_t>(e)] = c;
+          costs[static_cast<size_t>(g.FindEdge(v, u))] = c;
+        }
+      }
+    }
+    std::vector<int32_t> labels(static_cast<size_t>(g.num_nodes()));
+    for (int32_t v = 0; v < g.num_nodes(); ++v) {
+      labels[static_cast<size_t>(v)] = v / options.nodes_per_cluster;
+    }
+    const auto exact = ExactClusterDiameters(g, costs, labels, 3, 1e9);
+    const auto bounds = ClusterDiameterUpperBounds(g, labels, 3, 5);
+    for (int32_t c = 0; c < 3; ++c) {
+      EXPECT_GE(bounds[static_cast<size_t>(c)], exact[static_cast<size_t>(c)])
+          << "cluster " << c;
+    }
+  }
+}
+
+TEST(DiameterBoundsTest, SingletonClustersAreZero) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}});
+  const auto bounds = ClusterDiameterUpperBounds(g, {0, 1, 2}, 3, 4);
+  for (double b : bounds) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "snd/cluster/label_propagation.h"
+#include "snd/graph/generators.h"
+
+namespace snd {
+namespace {
+
+CommunityScaleFreeOptions DefaultOptions() {
+  CommunityScaleFreeOptions options;
+  options.base.num_nodes = 2000;
+  options.base.exponent = -2.4;
+  options.base.avg_degree = 12.0;
+  options.num_communities = 8;
+  options.mixing = 0.1;
+  return options;
+}
+
+TEST(CommunityScaleFreeTest, ShapeAndCommunityIds) {
+  Rng rng(1);
+  std::vector<int32_t> community;
+  const Graph g = GenerateCommunityScaleFree(DefaultOptions(), &rng,
+                                             &community);
+  EXPECT_EQ(g.num_nodes(), 2000);
+  ASSERT_EQ(static_cast<int32_t>(community.size()), 2000);
+  for (int32_t c : community) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 8);
+  }
+  // Round-robin assignment: every community gets n/k members.
+  std::vector<int32_t> sizes(8, 0);
+  for (int32_t c : community) sizes[static_cast<size_t>(c)]++;
+  for (int32_t s : sizes) EXPECT_EQ(s, 250);
+}
+
+TEST(CommunityScaleFreeTest, MostEdgesStayWithinCommunities) {
+  Rng rng(2);
+  std::vector<int32_t> community;
+  const Graph g = GenerateCommunityScaleFree(DefaultOptions(), &rng,
+                                             &community);
+  int64_t intra = 0, inter = 0;
+  for (const Edge& e : g.ToEdgeList()) {
+    if (community[static_cast<size_t>(e.src)] ==
+        community[static_cast<size_t>(e.dst)]) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  const double intra_fraction =
+      static_cast<double>(intra) / static_cast<double>(intra + inter);
+  // mixing = 0.1, so ~90% of arcs should be intra-community (the global
+  // endpoint occasionally lands inside the community too).
+  EXPECT_GT(intra_fraction, 0.8);
+}
+
+TEST(CommunityScaleFreeTest, MixingOneIsUnstructured) {
+  CommunityScaleFreeOptions options = DefaultOptions();
+  options.mixing = 1.0;
+  Rng rng(3);
+  std::vector<int32_t> community;
+  const Graph g = GenerateCommunityScaleFree(options, &rng, &community);
+  int64_t intra = 0, total = 0;
+  for (const Edge& e : g.ToEdgeList()) {
+    if (community[static_cast<size_t>(e.src)] ==
+        community[static_cast<size_t>(e.dst)]) {
+      ++intra;
+    }
+    ++total;
+  }
+  // With fully global sampling, intra fraction approaches 1/k = 0.125.
+  EXPECT_LT(static_cast<double>(intra) / static_cast<double>(total), 0.3);
+}
+
+TEST(CommunityScaleFreeTest, NoIsolatedNodes) {
+  Rng rng(4);
+  CommunityScaleFreeOptions options = DefaultOptions();
+  options.base.avg_degree = 4.0;  // Sparse: isolated nodes likely.
+  std::vector<int32_t> community;
+  const Graph g = GenerateCommunityScaleFree(options, &rng, &community);
+  const auto in_degrees = g.InDegrees();
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GT(g.OutDegree(u) + in_degrees[static_cast<size_t>(u)], 0)
+        << "node " << u;
+  }
+}
+
+TEST(CommunityScaleFreeTest, LabelPropagationRecoversStructure) {
+  Rng rng(5);
+  CommunityScaleFreeOptions options = DefaultOptions();
+  options.base.num_nodes = 1200;
+  options.num_communities = 4;
+  options.mixing = 0.05;
+  std::vector<int32_t> community;
+  const Graph g = GenerateCommunityScaleFree(options, &rng, &community);
+  const auto labels = LabelPropagation(g, 9, LabelPropagationOptions{});
+  // Agreement measured pairwise on a sample: nodes in the same planted
+  // community should mostly share an LP label, and different planted
+  // communities mostly not.
+  Rng sample_rng(6);
+  int32_t same_agree = 0, same_total = 0, diff_agree = 0, diff_total = 0;
+  for (int32_t trial = 0; trial < 4000; ++trial) {
+    const auto a = static_cast<int32_t>(
+        sample_rng.UniformInt(0, g.num_nodes() - 1));
+    const auto b = static_cast<int32_t>(
+        sample_rng.UniformInt(0, g.num_nodes() - 1));
+    if (a == b) continue;
+    const bool same_planted = community[static_cast<size_t>(a)] ==
+                              community[static_cast<size_t>(b)];
+    const bool same_lp =
+        labels[static_cast<size_t>(a)] == labels[static_cast<size_t>(b)];
+    if (same_planted) {
+      same_total++;
+      same_agree += same_lp ? 1 : 0;
+    } else {
+      diff_total++;
+      diff_agree += same_lp ? 1 : 0;
+    }
+  }
+  ASSERT_GT(same_total, 0);
+  ASSERT_GT(diff_total, 0);
+  const double same_rate =
+      static_cast<double>(same_agree) / static_cast<double>(same_total);
+  const double diff_rate =
+      static_cast<double>(diff_agree) / static_cast<double>(diff_total);
+  EXPECT_GT(same_rate, diff_rate + 0.3);
+}
+
+TEST(CommunityScaleFreeTest, DeterministicForSeed) {
+  std::vector<int32_t> ca, cb;
+  Rng ra(7), rb(7);
+  const Graph a = GenerateCommunityScaleFree(DefaultOptions(), &ra, &ca);
+  const Graph b = GenerateCommunityScaleFree(DefaultOptions(), &rb, &cb);
+  EXPECT_EQ(a.ToEdgeList(), b.ToEdgeList());
+  EXPECT_EQ(ca, cb);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,127 @@
+#include "snd/emd/emd.h"
+
+#include <gtest/gtest.h>
+
+#include "snd/flow/simplex_solver.h"
+#include "snd/flow/ssp_solver.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+using testing_util::RandomHistogram;
+using testing_util::RandomMetric;
+
+DenseMatrix LineGround(int32_t n) {
+  // |i - j| on a line: the canonical 1-D ground distance.
+  DenseMatrix d(n, n, 0.0);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = 0; j < n; ++j) {
+      d.Set(i, j, std::abs(i - j));
+    }
+  }
+  return d;
+}
+
+TEST(EmdTest, IdenticalHistogramsAreAtZero) {
+  const SimplexSolver solver;
+  const std::vector<double> p{1.0, 2.0, 0.0, 3.0};
+  const EmdResult r = ComputeEmd(p, p, LineGround(4), solver);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(r.flow, 6.0);
+}
+
+TEST(EmdTest, SingleUnitShift) {
+  const SimplexSolver solver;
+  const std::vector<double> p{1.0, 0.0, 0.0};
+  const std::vector<double> q{0.0, 0.0, 1.0};
+  const EmdResult r = ComputeEmd(p, q, LineGround(3), solver);
+  EXPECT_DOUBLE_EQ(r.work, 2.0);
+  EXPECT_DOUBLE_EQ(r.value, 2.0);
+}
+
+TEST(EmdTest, SplitsMassOptimally) {
+  const SimplexSolver solver;
+  // Two units at bin 0 move to bins 1 and 2: cost 1 + 2.
+  const std::vector<double> p{2.0, 0.0, 0.0};
+  const std::vector<double> q{0.0, 1.0, 1.0};
+  const EmdResult r = ComputeEmd(p, q, LineGround(3), solver);
+  EXPECT_DOUBLE_EQ(r.work, 3.0);
+  EXPECT_DOUBLE_EQ(r.value, 1.5);
+}
+
+TEST(EmdTest, PartialMatchingIgnoresExcess) {
+  const SimplexSolver solver;
+  // Heavier P: only min-total flow is transported; excess stays free.
+  const std::vector<double> p{3.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  const EmdResult r = ComputeEmd(p, q, LineGround(2), solver);
+  EXPECT_DOUBLE_EQ(r.flow, 1.0);
+  EXPECT_DOUBLE_EQ(r.work, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+}
+
+TEST(EmdTest, PartialMatchingLighterSupplier) {
+  const SimplexSolver solver;
+  const std::vector<double> p{0.0, 1.0};
+  const std::vector<double> q{2.0, 2.0};
+  const EmdResult r = ComputeEmd(p, q, LineGround(2), solver);
+  // The single unit stays at bin 1 (cost 0).
+  EXPECT_DOUBLE_EQ(r.work, 0.0);
+  EXPECT_DOUBLE_EQ(r.flow, 1.0);
+}
+
+TEST(EmdTest, EmptyHistogramYieldsZero) {
+  const SimplexSolver solver;
+  const std::vector<double> p{0.0, 0.0};
+  const std::vector<double> q{1.0, 1.0};
+  const EmdResult r = ComputeEmd(p, q, LineGround(2), solver);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+}
+
+TEST(EmdTest, SymmetricForEqualMassesAndSymmetricGround) {
+  Rng rng(3);
+  const SimplexSolver solver;
+  for (int trial = 0; trial < 10; ++trial) {
+    const DenseMatrix d = RandomMetric(8, &rng);
+    const auto p = RandomHistogram(8, 12, &rng);
+    const auto q = RandomHistogram(8, 12, &rng);
+    const double pq = ComputeEmd(p, q, d, solver).value;
+    const double qp = ComputeEmd(q, p, d, solver).value;
+    EXPECT_NEAR(pq, qp, 1e-9 * (1.0 + pq));
+  }
+}
+
+TEST(EmdTest, TriangleInequalityForEqualMasses) {
+  // Theorem 1: with equal total masses and metric ground distance, EMD is
+  // metric.
+  Rng rng(4);
+  const SspSolver solver;
+  for (int trial = 0; trial < 10; ++trial) {
+    const DenseMatrix d = RandomMetric(6, &rng);
+    const auto a = RandomHistogram(6, 8, &rng);
+    const auto b = RandomHistogram(6, 8, &rng);
+    const auto c = RandomHistogram(6, 8, &rng);
+    const double ab = ComputeEmd(a, b, d, solver).value;
+    const double bc = ComputeEmd(b, c, d, solver).value;
+    const double ac = ComputeEmd(a, c, d, solver).value;
+    EXPECT_LE(ac, ab + bc + 1e-9 * (1.0 + ab + bc));
+  }
+}
+
+TEST(EmdTest, ScalesLinearlyWithGroundDistance) {
+  const SimplexSolver solver;
+  const std::vector<double> p{1.0, 1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0, 1.0};
+  DenseMatrix d = LineGround(3);
+  const double base = ComputeEmd(p, q, d, solver).work;
+  DenseMatrix d2(3, 3, 0.0);
+  for (int32_t i = 0; i < 3; ++i) {
+    for (int32_t j = 0; j < 3; ++j) d2.Set(i, j, 3.0 * d.At(i, j));
+  }
+  EXPECT_NEAR(ComputeEmd(p, q, d2, solver).work, 3.0 * base, 1e-9);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,88 @@
+#include "snd/emd/emd_variants.h"
+
+#include <gtest/gtest.h>
+
+#include "snd/emd/emd.h"
+#include "snd/flow/simplex_solver.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+using testing_util::RandomHistogram;
+using testing_util::RandomMetric;
+
+TEST(EmdHatTest, ReducesToScaledEmdWhenBalanced) {
+  Rng rng(1);
+  const SimplexSolver solver;
+  const DenseMatrix d = RandomMetric(6, &rng);
+  const auto p = RandomHistogram(6, 10, &rng);
+  const auto q = RandomHistogram(6, 10, &rng);
+  const double hat = ComputeEmdHat(p, q, d, 0.7, solver);
+  const EmdResult emd = ComputeEmd(p, q, d, solver);
+  EXPECT_NEAR(hat, emd.work, 1e-9 * (1.0 + hat));
+}
+
+TEST(EmdHatTest, PenaltyProportionalToMismatch) {
+  const SimplexSolver solver;
+  DenseMatrix d(2, 2, 0.0);
+  d.Set(0, 1, 4.0);
+  d.Set(1, 0, 4.0);
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{1.0, 2.0};  // Mismatch 2, maxD 4.
+  // EMD part: the single unit stays in place (work 0); penalty
+  // alpha * 4 * 2.
+  EXPECT_NEAR(ComputeEmdHat(p, q, d, 0.5, solver), 4.0, 1e-9);
+  EXPECT_NEAR(ComputeEmdHat(p, q, d, 1.0, solver), 8.0, 1e-9);
+}
+
+// Theorem 2: EMDalpha(P, Q, D) == EMDhat(P, Q, D) whenever D is metric and
+// alpha >= 0.5.
+class Theorem2Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem2Test, EmdAlphaEqualsEmdHat) {
+  Rng rng(100 + static_cast<uint64_t>(GetParam()));
+  const SimplexSolver solver;
+  const int32_t bins = 3 + static_cast<int32_t>(rng.UniformInt(0, 6));
+  const DenseMatrix d = RandomMetric(bins, &rng);
+  const auto p =
+      RandomHistogram(bins, 1 + static_cast<int32_t>(rng.UniformInt(0, 14)),
+                      &rng);
+  const auto q =
+      RandomHistogram(bins, 1 + static_cast<int32_t>(rng.UniformInt(0, 14)),
+                      &rng);
+  for (double alpha : {0.5, 0.75, 1.0, 2.0}) {
+    const double a = ComputeEmdAlpha(p, q, d, alpha, solver);
+    const double h = ComputeEmdHat(p, q, d, alpha, solver);
+    EXPECT_NEAR(a, h, 1e-6 * (1.0 + a))
+        << "alpha=" << alpha << " bins=" << bins;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Theorem2Test, ::testing::Range(0, 30));
+
+TEST(EmdAlphaTest, BalancedHistogramsUnaffectedByBank) {
+  // Corollary 1: with equal totals the bank plays no role.
+  Rng rng(7);
+  const SimplexSolver solver;
+  const DenseMatrix d = RandomMetric(5, &rng);
+  const auto p = RandomHistogram(5, 9, &rng);
+  const auto q = RandomHistogram(5, 9, &rng);
+  const double alpha_value = ComputeEmdAlpha(p, q, d, 0.8, solver);
+  const EmdResult emd = ComputeEmd(p, q, d, solver);
+  EXPECT_NEAR(alpha_value, emd.work, 1e-9 * (1.0 + alpha_value));
+}
+
+TEST(EmdAlphaTest, MismatchOnlyCostsBankTrips) {
+  const SimplexSolver solver;
+  DenseMatrix d(2, 2, 0.0);
+  d.Set(0, 1, 2.0);
+  d.Set(1, 0, 2.0);
+  const std::vector<double> p{0.0, 0.0};
+  const std::vector<double> q{3.0, 0.0};
+  // All of Q's mass is fed from P's bank: 3 units at gamma = alpha * 2.
+  EXPECT_NEAR(ComputeEmdAlpha(p, q, d, 0.5, solver), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace snd

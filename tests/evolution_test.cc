@@ -1,0 +1,145 @@
+#include "snd/opinion/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "snd/graph/generators.h"
+
+namespace snd {
+namespace {
+
+Graph TestGraph(uint64_t seed) {
+  Rng rng(seed);
+  ScaleFreeOptions options;
+  options.num_nodes = 400;
+  options.avg_degree = 8.0;
+  return GenerateScaleFree(options, &rng);
+}
+
+TEST(SyntheticEvolutionTest, InitialStateBalanced) {
+  const Graph g = TestGraph(1);
+  SyntheticEvolution evolution(&g, 11);
+  const NetworkState state = evolution.InitialState(100);
+  EXPECT_EQ(state.CountActive(), 100);
+  EXPECT_EQ(state.CountOpinion(Opinion::kPositive), 50);
+  EXPECT_EQ(state.CountOpinion(Opinion::kNegative), 50);
+}
+
+TEST(SyntheticEvolutionTest, ActiveUsersPersist) {
+  const Graph g = TestGraph(2);
+  SyntheticEvolution evolution(&g, 12);
+  NetworkState state = evolution.InitialState(50);
+  const EvolutionParams params{0.2, 0.05};
+  for (int step = 0; step < 5; ++step) {
+    const NetworkState next = evolution.NextState(state, params);
+    for (int32_t u = 0; u < g.num_nodes(); ++u) {
+      if (state.IsActive(u)) {
+        EXPECT_EQ(next.value(u), state.value(u));
+      }
+    }
+    EXPECT_GE(next.CountActive(), state.CountActive());
+    state = next;
+  }
+}
+
+TEST(SyntheticEvolutionTest, ZeroProbabilitiesFreezeState) {
+  const Graph g = TestGraph(3);
+  SyntheticEvolution evolution(&g, 13);
+  const NetworkState state = evolution.InitialState(40);
+  const NetworkState next = evolution.NextState(state, {0.0, 0.0});
+  EXPECT_TRUE(state == next);
+}
+
+TEST(SyntheticEvolutionTest, ExternalAdoptionIgnoresNeighbors) {
+  // With p_nbr = 0 and p_ext = 1, every neutral user activates randomly.
+  const Graph g = TestGraph(4);
+  SyntheticEvolution evolution(&g, 14);
+  const NetworkState state = evolution.InitialState(10);
+  const NetworkState next = evolution.NextState(state, {0.0, 1.0});
+  EXPECT_EQ(next.CountActive(), g.num_nodes());
+}
+
+TEST(SyntheticEvolutionTest, SeriesRespectsAnomalousSteps) {
+  const Graph g = TestGraph(5);
+  SyntheticEvolution evolution(&g, 15);
+  const auto series = evolution.GenerateSeries(
+      6, 40, {0.1, 0.01}, {0.05, 0.06}, /*anomalous_steps=*/{3});
+  EXPECT_EQ(series.size(), 6u);
+  for (size_t t = 1; t < series.size(); ++t) {
+    EXPECT_GE(series[t].CountActive(), series[t - 1].CountActive());
+  }
+}
+
+TEST(SyntheticEvolutionTest, DeterministicForSeed) {
+  const Graph g = TestGraph(6);
+  SyntheticEvolution a(&g, 99), b(&g, 99);
+  const auto sa = a.GenerateSeries(4, 30, {0.1, 0.02}, {0.1, 0.02}, {});
+  const auto sb = b.GenerateSeries(4, 30, {0.1, 0.02}, {0.1, 0.02}, {});
+  for (size_t t = 0; t < sa.size(); ++t) EXPECT_TRUE(sa[t] == sb[t]);
+}
+
+TEST(IccTransitionTest, OnlyNeighborsOfActiveActivate) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                       {1, 0}, {2, 1}, {3, 2}, {4, 3}});
+  NetworkState state(5);
+  state.set_opinion(0, Opinion::kPositive);
+  Rng rng(7);
+  const NetworkState next = IccTransition(g, state, 1.0, &rng);
+  // With probability 1 exactly the out-neighbors of node 0 activate.
+  EXPECT_EQ(next.value(0), 1);
+  EXPECT_EQ(next.value(1), 1);
+  EXPECT_EQ(next.value(2), 0);
+  EXPECT_EQ(next.value(4), 0);
+}
+
+TEST(IccTransitionTest, ZeroProbabilityFreezes) {
+  const Graph g = TestGraph(8);
+  SyntheticEvolution evolution(&g, 21);
+  const NetworkState state = evolution.InitialState(30);
+  Rng rng(9);
+  const NetworkState next = IccTransition(g, state, 0.0, &rng);
+  EXPECT_TRUE(state == next);
+}
+
+TEST(IccTransitionTest, CompetitionVotesAmongInfectors) {
+  // Node 2 has in-neighbors 0 ("+") and 1 ("-"); with p = 1 it must adopt
+  // one of the two opinions.
+  const Graph g = Graph::FromEdges(3, {{0, 2}, {1, 2}});
+  NetworkState state(3);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(1, Opinion::kNegative);
+  int32_t pos = 0, neg = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const NetworkState next = IccTransition(g, state, 1.0, &rng);
+    EXPECT_TRUE(next.IsActive(2));
+    (next.value(2) > 0 ? pos : neg)++;
+  }
+  EXPECT_GT(pos, 5);
+  EXPECT_GT(neg, 5);
+}
+
+TEST(RandomTransitionTest, ActivatesExactCount) {
+  const Graph g = TestGraph(10);
+  SyntheticEvolution evolution(&g, 31);
+  const NetworkState state = evolution.InitialState(20);
+  Rng rng(11);
+  const NetworkState next = RandomTransition(state, 25, &rng);
+  EXPECT_EQ(next.CountActive(), 45);
+  // Previously active users untouched.
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    if (state.IsActive(u)) {
+      EXPECT_EQ(next.value(u), state.value(u));
+    }
+  }
+}
+
+TEST(RandomTransitionTest, CapsAtAvailableNeutrals) {
+  NetworkState state(5);
+  state.set_opinion(0, Opinion::kPositive);
+  Rng rng(13);
+  const NetworkState next = RandomTransition(state, 100, &rng);
+  EXPECT_EQ(next.CountActive(), 5);
+}
+
+}  // namespace
+}  // namespace snd

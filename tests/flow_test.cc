@@ -1,0 +1,311 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snd/flow/cost_scaling_solver.h"
+#include "snd/flow/oracle_solver.h"
+#include "snd/flow/simplex_solver.h"
+#include "snd/flow/ssp_solver.h"
+#include "snd/util/random.h"
+
+namespace snd {
+namespace {
+
+TransportProblem MakeProblem(std::vector<double> supply,
+                             std::vector<double> demand,
+                             std::vector<double> cost) {
+  return TransportProblem(std::move(supply), std::move(demand),
+                          std::move(cost));
+}
+
+// A 2x2 instance with a provable optimum: with f11 = a the total cost is
+// 14 - 2a, minimized at a = 2 giving cost 10.
+TransportProblem KnownOptimumInstance() {
+  return MakeProblem({2, 3}, {3, 2},
+                     {1, 4,  //
+                      2, 3});
+}
+
+// A larger textbook-style instance used for cross-solver agreement.
+TransportProblem TextbookInstance() {
+  return MakeProblem({20, 30, 25}, {10, 28, 27, 10},
+                     {4, 5, 6, 8,    //
+                      2, 3, 5, 7,    //
+                      6, 4, 3, 2});
+}
+
+TEST(TransportProblemTest, BalanceEnforcedAndQueries) {
+  const TransportProblem p = TextbookInstance();
+  EXPECT_EQ(p.num_suppliers(), 3);
+  EXPECT_EQ(p.num_consumers(), 4);
+  EXPECT_DOUBLE_EQ(p.total_mass(), 75.0);
+  EXPECT_DOUBLE_EQ(p.Cost(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(p.MaxCost(), 8.0);
+  EXPECT_TRUE(p.HasIntegralCosts());
+  EXPECT_TRUE(p.HasIntegralMasses());
+}
+
+TEST(TransportProblemTest, DetectsNonIntegralData) {
+  const TransportProblem p =
+      MakeProblem({1.5, 0.5}, {2.0}, {1.25, 2.0});
+  EXPECT_FALSE(p.HasIntegralCosts());
+  EXPECT_FALSE(p.HasIntegralMasses());
+}
+
+TEST(ValidatePlanTest, AcceptsGoodRejectsBad) {
+  const TransportProblem p = MakeProblem({2}, {2}, {3});
+  TransportPlan good;
+  good.flows = {{0, 0, 2.0}};
+  good.total_cost = 6.0;
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, good, &error)) << error;
+
+  TransportPlan short_plan;
+  short_plan.flows = {{0, 0, 1.0}};
+  short_plan.total_cost = 3.0;
+  EXPECT_FALSE(ValidatePlan(p, short_plan, &error));
+
+  TransportPlan wrong_cost = good;
+  wrong_cost.total_cost = 5.0;
+  EXPECT_FALSE(ValidatePlan(p, wrong_cost, &error));
+}
+
+class AllSolversTest
+    : public ::testing::TestWithParam<TransportAlgorithm> {
+ protected:
+  std::unique_ptr<TransportSolver> solver() const {
+    return MakeTransportSolver(GetParam());
+  }
+};
+
+TEST_P(AllSolversTest, SolvesKnownOptimumInstance) {
+  const TransportProblem p = KnownOptimumInstance();
+  const TransportPlan plan = solver()->Solve(p);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, plan, &error)) << error;
+  EXPECT_NEAR(plan.total_cost, 10.0, 1e-9);
+}
+
+TEST_P(AllSolversTest, TextbookInstanceValidAndAgreesWithSsp) {
+  const TransportProblem p = TextbookInstance();
+  const TransportPlan plan = solver()->Solve(p);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, plan, &error)) << error;
+  const double ssp = SspSolver().Solve(p).total_cost;
+  EXPECT_NEAR(plan.total_cost, ssp, 1e-9);
+}
+
+TEST_P(AllSolversTest, SingleCell) {
+  const TransportProblem p = MakeProblem({5}, {5}, {7});
+  const TransportPlan plan = solver()->Solve(p);
+  EXPECT_NEAR(plan.total_cost, 35.0, 1e-9);
+}
+
+TEST_P(AllSolversTest, ZeroCosts) {
+  const TransportProblem p = MakeProblem({3, 2}, {1, 4}, {0, 0, 0, 0});
+  const TransportPlan plan = solver()->Solve(p);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, plan, &error)) << error;
+  EXPECT_NEAR(plan.total_cost, 0.0, 1e-9);
+}
+
+TEST_P(AllSolversTest, ZeroMass) {
+  const TransportProblem p = MakeProblem({0.0, 0.0}, {0.0}, {1, 2});
+  const TransportPlan plan = solver()->Solve(p);
+  EXPECT_TRUE(plan.flows.empty());
+  EXPECT_DOUBLE_EQ(plan.total_cost, 0.0);
+}
+
+TEST_P(AllSolversTest, DegenerateSupplies) {
+  // Several zero supplies / demands interleaved.
+  const TransportProblem p =
+      MakeProblem({0, 4, 0, 1}, {2, 0, 3}, {5, 5, 5,   //
+                                            1, 9, 2,   //
+                                            5, 5, 5,   //
+                                            8, 1, 1});
+  const TransportPlan plan = solver()->Solve(p);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, plan, &error)) << error;
+  // Supplier 1 ships 2 to consumer 0 (cost 2) and 2 to consumer 2 (cost 4),
+  // supplier 3 ships 1 to consumer 2 (cost 1): total 7.
+  EXPECT_NEAR(plan.total_cost, 7.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AllSolversTest,
+    ::testing::Values(TransportAlgorithm::kSimplex, TransportAlgorithm::kSsp,
+                      TransportAlgorithm::kCostScaling),
+    [](const ::testing::TestParamInfo<TransportAlgorithm>& info) {
+      switch (info.param) {
+        case TransportAlgorithm::kSimplex:
+          return "simplex";
+        case TransportAlgorithm::kSsp:
+          return "ssp";
+        case TransportAlgorithm::kCostScaling:
+          return "cost_scaling";
+      }
+      return "unknown";
+    });
+
+// Cross-validation sweep: on random integral instances all three
+// production solvers agree with the exhaustive oracle.
+class SolverCrossValidationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverCrossValidationTest, AgreesWithOracleOnTinyInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int32_t s = 1 + static_cast<int32_t>(rng.UniformInt(0, 2));
+  const int32_t t = 1 + static_cast<int32_t>(rng.UniformInt(0, 2));
+  const int32_t total = 1 + static_cast<int32_t>(rng.UniformInt(0, 6));
+  std::vector<double> supply(static_cast<size_t>(s), 0.0);
+  std::vector<double> demand(static_cast<size_t>(t), 0.0);
+  for (int32_t k = 0; k < total; ++k) {
+    supply[static_cast<size_t>(rng.UniformInt(0, s - 1))] += 1.0;
+    demand[static_cast<size_t>(rng.UniformInt(0, t - 1))] += 1.0;
+  }
+  std::vector<double> cost(static_cast<size_t>(s) * static_cast<size_t>(t));
+  for (auto& c : cost) c = static_cast<double>(rng.UniformInt(0, 20));
+  const TransportProblem p(std::move(supply), std::move(demand),
+                           std::move(cost));
+
+  const double oracle = OracleSolver().Solve(p).total_cost;
+  for (auto algorithm :
+       {TransportAlgorithm::kSimplex, TransportAlgorithm::kSsp,
+        TransportAlgorithm::kCostScaling}) {
+    const TransportPlan plan = MakeTransportSolver(algorithm)->Solve(p);
+    std::string error;
+    EXPECT_TRUE(ValidatePlan(p, plan, &error))
+        << TransportAlgorithmName(algorithm) << ": " << error;
+    EXPECT_NEAR(plan.total_cost, oracle, 1e-9)
+        << TransportAlgorithmName(algorithm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SolverCrossValidationTest,
+                         ::testing::Range(0, 60));
+
+// Larger randomized instances: the three production solvers agree with
+// each other (the oracle would be too slow).
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, ProductionSolversAgree) {
+  Rng rng(500 + static_cast<uint64_t>(GetParam()));
+  const int32_t s = 2 + static_cast<int32_t>(rng.UniformInt(0, 18));
+  const int32_t t = 2 + static_cast<int32_t>(rng.UniformInt(0, 18));
+  std::vector<double> supply(static_cast<size_t>(s));
+  std::vector<double> demand(static_cast<size_t>(t), 0.0);
+  double total = 0.0;
+  for (auto& v : supply) {
+    v = static_cast<double>(rng.UniformInt(0, 30));
+    total += v;
+  }
+  // Spread the same total over the demands.
+  double remaining = total;
+  for (int32_t j = 0; j + 1 < t; ++j) {
+    const double d = std::floor(rng.UniformReal() * remaining);
+    demand[static_cast<size_t>(j)] = d;
+    remaining -= d;
+  }
+  demand[static_cast<size_t>(t - 1)] = remaining;
+  std::vector<double> cost(static_cast<size_t>(s) * static_cast<size_t>(t));
+  for (auto& c : cost) c = static_cast<double>(rng.UniformInt(0, 50));
+  const TransportProblem p(std::move(supply), std::move(demand),
+                           std::move(cost));
+
+  const double simplex =
+      MakeTransportSolver(TransportAlgorithm::kSimplex)->Solve(p).total_cost;
+  const double ssp =
+      MakeTransportSolver(TransportAlgorithm::kSsp)->Solve(p).total_cost;
+  const double scaling = MakeTransportSolver(TransportAlgorithm::kCostScaling)
+                             ->Solve(p)
+                             .total_cost;
+  EXPECT_NEAR(simplex, ssp, 1e-6 * (1.0 + simplex));
+  EXPECT_NEAR(simplex, scaling, 1e-6 * (1.0 + simplex));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SolverAgreementTest, ::testing::Range(0, 40));
+
+// Real-valued masses: simplex and SSP agree (cost-scaling requires
+// integral data and is excluded).
+class RealMassAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RealMassAgreementTest, SimplexMatchesSsp) {
+  Rng rng(900 + static_cast<uint64_t>(GetParam()));
+  const int32_t s = 2 + static_cast<int32_t>(rng.UniformInt(0, 8));
+  const int32_t t = 2 + static_cast<int32_t>(rng.UniformInt(0, 8));
+  std::vector<double> supply(static_cast<size_t>(s));
+  std::vector<double> demand(static_cast<size_t>(t), 0.0);
+  double total = 0.0;
+  for (auto& v : supply) {
+    v = rng.UniformReal(0.0, 4.0);
+    total += v;
+  }
+  double remaining = total;
+  for (int32_t j = 0; j + 1 < t; ++j) {
+    const double d = rng.UniformReal() * remaining;
+    demand[static_cast<size_t>(j)] = d;
+    remaining -= d;
+  }
+  demand[static_cast<size_t>(t - 1)] = remaining;
+  std::vector<double> cost(static_cast<size_t>(s) * static_cast<size_t>(t));
+  for (auto& c : cost) c = rng.UniformReal(0.0, 10.0);
+  const TransportProblem p(std::move(supply), std::move(demand),
+                           std::move(cost));
+
+  const TransportPlan simplex =
+      MakeTransportSolver(TransportAlgorithm::kSimplex)->Solve(p);
+  const TransportPlan ssp =
+      MakeTransportSolver(TransportAlgorithm::kSsp)->Solve(p);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, simplex, &error)) << "simplex: " << error;
+  EXPECT_TRUE(ValidatePlan(p, ssp, &error)) << "ssp: " << error;
+  EXPECT_NEAR(simplex.total_cost, ssp.total_cost,
+              1e-6 * (1.0 + simplex.total_cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RealMassAgreementTest,
+                         ::testing::Range(0, 40));
+
+
+// Vogel initialization: same optima as the default northwest-corner
+// basis, across random instances.
+class VogelInitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VogelInitTest, MatchesNorthwestOptimum) {
+  Rng rng(1400 + static_cast<uint64_t>(GetParam()));
+  const int32_t s = 2 + static_cast<int32_t>(rng.UniformInt(0, 10));
+  const int32_t t = 2 + static_cast<int32_t>(rng.UniformInt(0, 10));
+  std::vector<double> supply(static_cast<size_t>(s));
+  std::vector<double> demand(static_cast<size_t>(t), 0.0);
+  double total = 0.0;
+  for (auto& v : supply) {
+    v = static_cast<double>(rng.UniformInt(0, 12));
+    total += v;
+  }
+  double remaining = total;
+  for (int32_t j = 0; j + 1 < t; ++j) {
+    const double d = std::floor(rng.UniformReal() * remaining);
+    demand[static_cast<size_t>(j)] = d;
+    remaining -= d;
+  }
+  demand[static_cast<size_t>(t - 1)] = remaining;
+  std::vector<double> cost(static_cast<size_t>(s) * static_cast<size_t>(t));
+  for (auto& c : cost) c = static_cast<double>(rng.UniformInt(0, 40));
+  const TransportProblem p(std::move(supply), std::move(demand),
+                           std::move(cost));
+
+  SimplexOptions vogel;
+  vogel.initial_basis = SimplexOptions::InitialBasis::kVogel;
+  const TransportPlan vogel_plan = SimplexSolver(vogel).Solve(p);
+  const TransportPlan nw_plan = SimplexSolver().Solve(p);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(p, vogel_plan, &error)) << error;
+  EXPECT_NEAR(vogel_plan.total_cost, nw_plan.total_cost,
+              1e-9 * (1.0 + nw_plan.total_cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, VogelInitTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,99 @@
+#include "snd/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+TEST(ScaleFreeTest, RespectsSizeAndRoughDegree) {
+  Rng rng(1);
+  ScaleFreeOptions options;
+  options.num_nodes = 2000;
+  options.exponent = -2.5;
+  options.avg_degree = 10.0;
+  const Graph g = GenerateScaleFree(options, &rng);
+  EXPECT_EQ(g.num_nodes(), 2000);
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 12.0);
+}
+
+TEST(ScaleFreeTest, SymmetricWhenRequested) {
+  Rng rng(2);
+  ScaleFreeOptions options;
+  options.num_nodes = 300;
+  options.symmetric = true;
+  const Graph g = GenerateScaleFree(options, &rng);
+  for (const Edge& e : g.ToEdgeList()) {
+    EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+  }
+}
+
+TEST(ScaleFreeTest, SkewedDegreeDistribution) {
+  Rng rng(3);
+  ScaleFreeOptions options;
+  options.num_nodes = 3000;
+  options.exponent = -2.2;
+  options.avg_degree = 8.0;
+  const Graph g = GenerateScaleFree(options, &rng);
+  int64_t max_degree = 0;
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.OutDegree(u));
+  }
+  // A hub should greatly exceed the average degree.
+  EXPECT_GT(max_degree, 8 * 5);
+}
+
+TEST(ScaleFreeTest, DeterministicForSeed) {
+  ScaleFreeOptions options;
+  options.num_nodes = 200;
+  Rng rng_a(17), rng_b(17);
+  const Graph a = GenerateScaleFree(options, &rng_a);
+  const Graph b = GenerateScaleFree(options, &rng_b);
+  EXPECT_EQ(a.ToEdgeList(), b.ToEdgeList());
+}
+
+TEST(ErdosRenyiTest, ExactArcCount) {
+  Rng rng(4);
+  const Graph g = GenerateErdosRenyi(100, 300, /*symmetric=*/false, &rng);
+  EXPECT_EQ(g.num_nodes(), 100);
+  EXPECT_EQ(g.num_edges(), 300);
+}
+
+TEST(ErdosRenyiTest, SymmetricDoublesArcs) {
+  Rng rng(5);
+  const Graph g = GenerateErdosRenyi(50, 100, /*symmetric=*/true, &rng);
+  EXPECT_EQ(g.num_edges(), 200);
+  for (const Edge& e : g.ToEdgeList()) EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+}
+
+TEST(PlantedPartitionTest, ClusterStructure) {
+  Rng rng(6);
+  PlantedPartitionOptions options;
+  options.num_clusters = 2;
+  options.nodes_per_cluster = 40;
+  options.intra_degree = 6.0;
+  options.bridges = 3;
+  const Graph g = GeneratePlantedPartition(options, &rng);
+  EXPECT_EQ(g.num_nodes(), 80);
+  // Count cross-cluster arcs: exactly 2 * bridges (symmetric pairs).
+  int32_t cross = 0;
+  for (const Edge& e : g.ToEdgeList()) {
+    if ((e.src < 40) != (e.dst < 40)) ++cross;
+  }
+  EXPECT_EQ(cross, 2 * options.bridges);
+}
+
+TEST(RingTest, StructureAndDegree) {
+  const Graph g = GenerateRing(10, 2);
+  EXPECT_EQ(g.num_nodes(), 10);
+  for (int32_t u = 0; u < 10; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 4);  // 2 successors + 2 predecessors.
+    EXPECT_TRUE(g.HasEdge(u, (u + 1) % 10));
+    EXPECT_TRUE(g.HasEdge(u, (u + 2) % 10));
+  }
+}
+
+}  // namespace
+}  // namespace snd

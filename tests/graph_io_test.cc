@@ -1,0 +1,70 @@
+#include "snd/graph/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "snd/graph/generators.h"
+
+namespace snd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Rng rng(1);
+  const Graph g = GenerateErdosRenyi(40, 120, /*symmetric=*/false, &rng);
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(g, path));
+  const auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->ToEdgeList(), g.ToEdgeList());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  const Graph g = Graph::FromEdges(3, {});
+  const std::string path = TempPath("empty.edges");
+  ASSERT_TRUE(WriteEdgeList(g, path));
+  const auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 3);
+  EXPECT_EQ(loaded->num_edges(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadEdgeList("/nonexistent/path/to/graph.edges").has_value());
+}
+
+TEST(GraphIoTest, MalformedHeaderFails) {
+  const std::string path = TempPath("bad_header.edges");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a header\n0 1\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, OutOfRangeEndpointFails) {
+  const std::string path = TempPath("bad_edge.edges");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# nodes 2\n0 5\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, WriteToUnwritablePathFails) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}});
+  EXPECT_FALSE(WriteEdgeList(g, "/nonexistent/dir/graph.edges"));
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,112 @@
+#include "snd/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+Graph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  return Graph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(GraphTest, BasicCounts) {
+  const Graph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(3), 0);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  const Graph g = Graph::FromEdges(4, {{0, 3}, {0, 1}, {0, 2}});
+  const auto nbrs = g.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_EQ(nbrs[2], 3);
+}
+
+TEST(GraphTest, DropsSelfLoopsAndDuplicates) {
+  const Graph g =
+      Graph::FromEdges(3, {{0, 1}, {0, 1}, {1, 1}, {2, 0}, {2, 0}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphTest, FindEdge) {
+  const Graph g = Diamond();
+  EXPECT_GE(g.FindEdge(0, 1), 0);
+  EXPECT_GE(g.FindEdge(2, 3), 0);
+  EXPECT_EQ(g.FindEdge(1, 0), -1);
+  EXPECT_EQ(g.FindEdge(3, 0), -1);
+}
+
+TEST(GraphTest, EdgeSourceAndTarget) {
+  const Graph g = Diamond();
+  for (int32_t u = 0; u < g.num_nodes(); ++u) {
+    for (int64_t e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
+      EXPECT_EQ(g.EdgeSource(e), u);
+      EXPECT_TRUE(g.HasEdge(u, g.EdgeTarget(e)));
+    }
+  }
+}
+
+TEST(GraphTest, ReversedTransposesEdges) {
+  const Graph g = Diamond();
+  const Graph r = g.Reversed();
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (const Edge& e : g.ToEdgeList()) {
+    EXPECT_TRUE(r.HasEdge(e.dst, e.src));
+  }
+}
+
+TEST(GraphTest, ReversedOriginMapsAttributes) {
+  const Graph g = Diamond();
+  std::vector<int64_t> origin;
+  const Graph r = g.Reversed(&origin);
+  ASSERT_EQ(static_cast<int64_t>(origin.size()), r.num_edges());
+  for (int32_t u = 0; u < r.num_nodes(); ++u) {
+    for (int64_t e = r.OutEdgeBegin(u); e < r.OutEdgeEnd(u); ++e) {
+      const int64_t o = origin[static_cast<size_t>(e)];
+      // Reversed edge u -> v corresponds to original edge v -> u.
+      EXPECT_EQ(g.EdgeSource(o), r.EdgeTarget(e));
+      EXPECT_EQ(g.EdgeTarget(o), u);
+    }
+  }
+}
+
+TEST(GraphTest, InDegrees) {
+  const Graph g = Diamond();
+  const auto deg = g.InDegrees();
+  EXPECT_EQ(deg[0], 0);
+  EXPECT_EQ(deg[1], 1);
+  EXPECT_EQ(deg[2], 1);
+  EXPECT_EQ(deg[3], 2);
+}
+
+TEST(GraphTest, ToEdgeListRoundTrip) {
+  const Graph g = Diamond();
+  const Graph g2 = Graph::FromEdges(g.num_nodes(), g.ToEdgeList());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.ToEdgeList(), g.ToEdgeList());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, IsolatedNodes) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}});
+  EXPECT_EQ(g.OutDegree(2), 0);
+  EXPECT_EQ(g.OutDegree(4), 0);
+  EXPECT_EQ(g.Reversed().num_nodes(), 5);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,141 @@
+// End-to-end integration: the full paper pipeline at small scale.
+#include <gtest/gtest.h>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/analysis/roc.h"
+#include "snd/core/snd.h"
+#include "snd/graph/generators.h"
+#include "snd/opinion/evolution.h"
+#include "snd/util/stats.h"
+
+namespace snd {
+namespace {
+
+TEST(IntegrationTest, SndDetectsPlantedAnomaly) {
+  // A scaled-down Fig. 7: a series with one anomalous transition where
+  // probability mass shifts from neighbor adoption to external adoption
+  // (sum preserved). The SND anomaly score must peak at the planted step.
+  Rng graph_rng(1);
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = 600;
+  graph_options.exponent = -2.3;
+  graph_options.avg_degree = 8.0;
+  const Graph g = GenerateScaleFree(graph_options, &graph_rng);
+
+  SyntheticEvolution evolution(&g, 2);
+  const int32_t kAnomalousStep = 6;
+  const auto series = evolution.GenerateSeries(
+      12, /*num_adopters=*/60, {0.12, 0.01}, {0.03, 0.10},
+      {kAnomalousStep});
+
+  SndOptions options;
+  const SndCalculator calc(&g, options);
+  const auto distances = AdjacentDistances(
+      series, [&](const NetworkState& a, const NetworkState& b) {
+        return calc.Distance(a, b);
+      });
+  const auto normalized = NormalizeByChangedUsers(distances, series);
+  const auto scores = AnomalyScores(MinMaxScale(normalized));
+
+  // The anomalous transition is series[step-1] -> series[step], i.e.,
+  // distance index step-1.
+  const size_t expected_peak = kAnomalousStep - 1;
+  size_t argmax = 0;
+  for (size_t t = 1; t < scores.size(); ++t) {
+    if (scores[t] > scores[argmax]) argmax = t;
+  }
+  EXPECT_EQ(argmax, expected_peak);
+}
+
+TEST(IntegrationTest, SndRocBeatsChanceOnPlantedAnomalies) {
+  Rng graph_rng(3);
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = 500;
+  graph_options.exponent = -2.3;
+  graph_options.avg_degree = 8.0;
+  const Graph g = GenerateScaleFree(graph_options, &graph_rng);
+
+  SyntheticEvolution evolution(&g, 4);
+  std::vector<int32_t> anomalous_steps{4, 9, 14, 19};
+  const auto series = evolution.GenerateSeries(
+      24, 50, {0.10, 0.005}, {0.02, 0.085}, anomalous_steps);
+
+  SndOptions options;
+  const SndCalculator calc(&g, options);
+  const auto distances = AdjacentDistances(
+      series, [&](const NetworkState& a, const NetworkState& b) {
+        return calc.Distance(a, b);
+      });
+  const auto scores = AnomalyScores(
+      MinMaxScale(NormalizeByChangedUsers(distances, series)));
+
+  std::vector<bool> truth(scores.size(), false);
+  for (int32_t step : anomalous_steps) {
+    truth[static_cast<size_t>(step - 1)] = true;
+  }
+  const double auc = RocAuc(ComputeRoc(scores, truth));
+  EXPECT_GT(auc, 0.75);
+}
+
+TEST(IntegrationTest, IccTransitionsCloserThanRandomUnderIccModel) {
+  // Scaled-down Fig. 10: under the ICC ground-distance model, an ICC
+  // transition must be closer than a random transition with the same
+  // number of activations.
+  Rng graph_rng(5);
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = 400;
+  graph_options.avg_degree = 8.0;
+  const Graph g = GenerateScaleFree(graph_options, &graph_rng);
+
+  SyntheticEvolution evolution(&g, 6);
+  const NetworkState base = evolution.InitialState(80);
+
+  SndOptions options;
+  options.model = GroundModelKind::kIndependentCascade;
+  options.icc.activation_probability = 0.3;
+  const SndCalculator calc(&g, options);
+
+  Rng rng(7);
+  int wins = 0;
+  const int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const NetworkState icc_next = IccTransition(g, base, 0.3, &rng);
+    const int32_t n_delta = NetworkState::CountDiffering(base, icc_next);
+    if (n_delta == 0) continue;
+    const NetworkState random_next = RandomTransition(base, n_delta, &rng);
+    const double d_icc = calc.Distance(base, icc_next);
+    const double d_random = calc.Distance(base, random_next);
+    if (d_icc < d_random) ++wins;
+  }
+  EXPECT_GE(wins, kTrials - 1);
+}
+
+TEST(IntegrationTest, FastPathScalesWithNDeltaNotN) {
+  // The reduced problem size equals the number of changed users per term.
+  Rng graph_rng(8);
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = 1000;
+  graph_options.avg_degree = 6.0;
+  const Graph g = GenerateScaleFree(graph_options, &graph_rng);
+  SndOptions options;
+  const SndCalculator calc(&g, options);
+
+  NetworkState a(1000), b(1000);
+  for (int32_t u = 0; u < 20; ++u) a.set_opinion(u, Opinion::kPositive);
+  b = a;
+  for (int32_t u = 20; u < 28; ++u) b.set_opinion(u, Opinion::kPositive);
+  const SndResult result = calc.Compute(a, b);
+  EXPECT_EQ(result.n_delta, 8);
+  // The "+" forward term has no suppliers after cancellation (P+ subset
+  // of Q+): all 8 changed users are consumers.
+  EXPECT_EQ(result.terms[0].num_suppliers, 0);
+  EXPECT_EQ(result.terms[0].num_consumers, 8);
+  // The reverse "+" term supplies the 8 new users back.
+  EXPECT_EQ(result.terms[2].num_suppliers, 8);
+  // The "-" terms are empty.
+  EXPECT_DOUBLE_EQ(result.terms[1].cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.terms[3].cost, 0.0);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,110 @@
+#include "snd/analysis/metric_search.h"
+
+#include <gtest/gtest.h>
+
+#include "snd/util/random.h"
+
+namespace snd {
+namespace {
+
+// Database of random states; Hamming is a metric on opinion vectors, so
+// pruning must be exact.
+std::vector<NetworkState> RandomDatabase(int32_t count, int32_t users,
+                                         Rng* rng) {
+  std::vector<NetworkState> states;
+  for (int32_t k = 0; k < count; ++k) {
+    NetworkState state(users);
+    for (int32_t u = 0; u < users; ++u) {
+      const int64_t r = rng->UniformInt(0, 2);
+      state.set_opinion(u, static_cast<Opinion>(r - 1));
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+DistanceFn Hamming() {
+  return [](const NetworkState& a, const NetworkState& b) {
+    return HammingDistance(a, b);
+  };
+}
+
+int32_t BruteForceNearest(const std::vector<NetworkState>& database,
+                          const NetworkState& query) {
+  int32_t best = 0;
+  double best_d = HammingDistance(database[0], query);
+  for (size_t i = 1; i < database.size(); ++i) {
+    const double d = HammingDistance(database[i], query);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+TEST(MetricIndexTest, ExactUnderMetricDistance) {
+  Rng rng(1);
+  const auto database = RandomDatabase(60, 30, &rng);
+  const MetricIndex index(&database, Hamming(), 6);
+  for (int trial = 0; trial < 20; ++trial) {
+    NetworkState query(30);
+    for (int32_t u = 0; u < 30; ++u) {
+      query.set_opinion(u, static_cast<Opinion>(rng.UniformInt(0, 2) - 1));
+    }
+    const int32_t expected = BruteForceNearest(database, query);
+    const int32_t got = index.NearestNeighbor(query);
+    // Several states can tie at the minimum; compare distances.
+    EXPECT_DOUBLE_EQ(HammingDistance(database[got], query),
+                     HammingDistance(database[expected], query));
+  }
+}
+
+TEST(MetricIndexTest, PruningSavesEvaluations) {
+  Rng rng(2);
+  // Clustered database: queries near one cluster prune the other.
+  std::vector<NetworkState> database;
+  for (int32_t g = 0; g < 2; ++g) {
+    for (int32_t k = 0; k < 30; ++k) {
+      NetworkState state(60);
+      for (int32_t u = 0; u < 60; ++u) {
+        const Opinion base =
+            g == 0 ? Opinion::kPositive : Opinion::kNegative;
+        state.set_opinion(u, rng.Bernoulli(0.05) ? OppositeOpinion(base)
+                                                 : base);
+      }
+      database.push_back(std::move(state));
+    }
+  }
+  const MetricIndex index(&database, Hamming(), 4);
+  NetworkState query(60);
+  for (int32_t u = 0; u < 60; ++u) {
+    query.set_opinion(u, Opinion::kPositive);
+  }
+  MetricSearchStats stats;
+  index.NearestNeighbor(query, &stats);
+  EXPECT_GT(stats.pruned, 0);
+  EXPECT_LT(stats.distance_evaluations,
+            static_cast<int64_t>(database.size()));
+}
+
+TEST(MetricIndexTest, SingleElementDatabase) {
+  Rng rng(3);
+  const auto database = RandomDatabase(1, 10, &rng);
+  const MetricIndex index(&database, Hamming(), 3);
+  EXPECT_EQ(index.num_pivots(), 1);
+  EXPECT_EQ(index.NearestNeighbor(database[0]), 0);
+}
+
+TEST(MetricIndexTest, QueryEqualToDatabaseEntry) {
+  Rng rng(4);
+  const auto database = RandomDatabase(20, 15, &rng);
+  const MetricIndex index(&database, Hamming(), 3);
+  for (size_t i = 0; i < database.size(); ++i) {
+    const int32_t got = index.NearestNeighbor(database[i]);
+    EXPECT_DOUBLE_EQ(HammingDistance(database[got], database[i]), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace snd

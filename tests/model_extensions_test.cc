@@ -1,0 +1,135 @@
+// Tests for the Eq. 2 data-driven extensions: per-edge communication
+// frequencies (-log P) and per-user susceptibility (-log Pin), plus the
+// voting-seeded distance predictor.
+#include <gtest/gtest.h>
+
+#include "snd/analysis/prediction.h"
+#include "snd/core/snd.h"
+#include "snd/opinion/model_agnostic.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+Graph Line3() {
+  return Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+}
+
+int32_t CostOf(const OpinionModel& model, const Graph& g,
+               const NetworkState& state, int32_t u, int32_t v) {
+  std::vector<int32_t> costs;
+  model.ComputeEdgeCosts(g, state, Opinion::kPositive, &costs);
+  return costs[static_cast<size_t>(g.FindEdge(u, v))];
+}
+
+TEST(ModelExtensionsTest, CommunicationProbabilitiesReplaceUnitCost) {
+  const Graph g = Line3();
+  NetworkState state(3);
+  state.set_opinion(0, Opinion::kPositive);
+
+  ModelAgnosticParams params;
+  params.friendly_penalty = 0;
+  // Edges in CSR order: (0,1), (1,0), (1,2), (2,1).
+  params.edge.communication_probabilities =
+      std::vector<double>{1.0, 1.0, 0.1, 0.1};
+  const ModelAgnosticModel model(params);
+
+  // Friendly edge 0->1 with P(comm) = 1: only the positivity floor of 1.
+  EXPECT_EQ(CostOf(model, g, state, 0, 1), 1);
+  // Edge 1->2 (neutral spreader): the communication penalty for P = 0.1
+  // is added on top of the neutral penalty.
+  const int32_t comm_penalty =
+      params.edge.quantizer.CostFromProbability(0.1);
+  EXPECT_EQ(CostOf(model, g, state, 1, 2),
+            comm_penalty + params.neutral_penalty);
+}
+
+TEST(ModelExtensionsTest, StubbornTargetsCostMore) {
+  const Graph g = Line3();
+  NetworkState state(3);
+  state.set_opinion(0, Opinion::kPositive);
+
+  ModelAgnosticParams params;
+  params.edge.susceptibility = std::vector<double>{1.0, 0.05, 1.0};
+  const ModelAgnosticModel stubborn_mid(params);
+
+  ModelAgnosticParams receptive;
+  const ModelAgnosticModel baseline(receptive);
+
+  // Propagating into the stubborn user 1 costs more than in the
+  // fully-receptive baseline; edges into receptive users are unchanged.
+  EXPECT_GT(CostOf(stubborn_mid, g, state, 0, 1),
+            CostOf(baseline, g, state, 0, 1));
+  EXPECT_EQ(CostOf(stubborn_mid, g, state, 1, 2),
+            CostOf(baseline, g, state, 1, 2));
+}
+
+TEST(ModelExtensionsTest, MaxEdgeCostBoundsHold) {
+  Rng rng(1);
+  const Graph g = testing_util::RandomSymmetricGraph(20, 30, &rng);
+  ModelAgnosticParams params;
+  std::vector<double> comm(static_cast<size_t>(g.num_edges()));
+  for (auto& p : comm) p = rng.UniformReal(0.01, 1.0);
+  std::vector<double> susceptibility(static_cast<size_t>(g.num_nodes()));
+  for (auto& p : susceptibility) p = rng.UniformReal(0.01, 1.0);
+  params.edge.communication_probabilities = comm;
+  params.edge.susceptibility = susceptibility;
+  const ModelAgnosticModel model(params);
+
+  const NetworkState state = testing_util::RandomState(20, 0.4, &rng);
+  std::vector<int32_t> costs;
+  for (Opinion op : {Opinion::kPositive, Opinion::kNegative}) {
+    model.ComputeEdgeCosts(g, state, op, &costs);
+    for (int32_t c : costs) {
+      EXPECT_GE(c, 1);
+      EXPECT_LE(c, model.MaxEdgeCost());
+    }
+  }
+}
+
+TEST(ModelExtensionsTest, SndFastStillMatchesReferenceWithExtensions) {
+  Rng rng(2);
+  const Graph g = testing_util::RandomSymmetricGraph(18, 30, &rng);
+  SndOptions options;
+  std::vector<double> comm(static_cast<size_t>(g.num_edges()));
+  for (auto& p : comm) p = rng.UniformReal(0.2, 1.0);
+  std::vector<double> susceptibility(static_cast<size_t>(g.num_nodes()));
+  for (auto& p : susceptibility) p = rng.UniformReal(0.2, 1.0);
+  options.agnostic.edge.communication_probabilities = comm;
+  options.agnostic.edge.susceptibility = susceptibility;
+  const SndCalculator calc(&g, options);
+  const NetworkState a = testing_util::RandomState(18, 0.3, &rng);
+  const NetworkState b = testing_util::RandomState(18, 0.4, &rng);
+  EXPECT_NEAR(calc.Compute(a, b).value, calc.ComputeReference(a, b).value,
+              1e-6);
+}
+
+TEST(ModelExtensionsTest, VotingSeedNeverHurtsTheSearchObjective) {
+  // With the voting seed the search explores one extra candidate, so the
+  // achieved |d - d*| gap cannot be worse than the unseeded search with
+  // the same RNG stream.
+  Rng rng(3);
+  const Graph g = testing_util::RandomSymmetricGraph(40, 80, &rng);
+  std::vector<NetworkState> series;
+  series.push_back(testing_util::RandomState(40, 0.3, &rng));
+  series.push_back(series.back());
+  PredictionInstance instance;
+  instance.recent = series;
+  instance.current_partial = series.back();
+  instance.targets = {0, 1, 2, 3};
+  for (int32_t t : instance.targets) {
+    instance.current_partial.set_opinion(t, Opinion::kNeutral);
+  }
+
+  auto hamming = [](const NetworkState& a, const NetworkState& b) {
+    return HammingDistance(a, b);
+  };
+  DistanceBasedPredictor seeded("seeded", hamming, 20, 7);
+  seeded.SeedWithNeighborhoodVoting(&g);
+  const auto predictions = seeded.Predict(instance);
+  EXPECT_EQ(predictions.size(), instance.targets.size());
+  for (Opinion op : predictions) EXPECT_NE(op, Opinion::kNeutral);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "snd/opinion/icc_model.h"
+#include "snd/opinion/lt_model.h"
+#include "snd/opinion/model_agnostic.h"
+
+namespace snd {
+namespace {
+
+// A path 0 -> 1 -> 2 plus 3 -> 1 for in-neighbor tests.
+Graph SmallGraph() {
+  return Graph::FromEdges(4, {{0, 1}, {1, 2}, {3, 1}});
+}
+
+int32_t CostOf(const OpinionModel& model, const Graph& g,
+               const NetworkState& state, Opinion op, int32_t u, int32_t v) {
+  std::vector<int32_t> costs;
+  model.ComputeEdgeCosts(g, state, op, &costs);
+  const int64_t e = g.FindEdge(u, v);
+  EXPECT_GE(e, 0);
+  return costs[static_cast<size_t>(e)];
+}
+
+TEST(ModelAgnosticTest, PenaltyCases) {
+  ModelAgnosticParams params;
+  params.friendly_penalty = 0;
+  params.neutral_penalty = 8;
+  params.adverse_penalty = 32;
+  params.edge.communication_cost = 1;
+  const ModelAgnosticModel model(params);
+  const Graph g = SmallGraph();
+
+  // Friendly spreader (u = "+", propagating "+").
+  NetworkState friendly(4);
+  friendly.set_opinion(0, Opinion::kPositive);
+  EXPECT_EQ(CostOf(model, g, friendly, Opinion::kPositive, 0, 1), 1);
+
+  // Neutral spreader.
+  const NetworkState neutral(4);
+  EXPECT_EQ(CostOf(model, g, neutral, Opinion::kPositive, 0, 1), 9);
+
+  // Adverse spreader (u = "-", propagating "+").
+  NetworkState adverse(4);
+  adverse.set_opinion(0, Opinion::kNegative);
+  EXPECT_EQ(CostOf(model, g, adverse, Opinion::kPositive, 0, 1), 33);
+
+  // Adverse receiver (v = "-", propagating "+") even with friendly u.
+  NetworkState adverse_receiver(4);
+  adverse_receiver.set_opinion(0, Opinion::kPositive);
+  adverse_receiver.set_opinion(1, Opinion::kNegative);
+  EXPECT_EQ(CostOf(model, g, adverse_receiver, Opinion::kPositive, 0, 1), 33);
+
+  // Symmetric for the negative opinion.
+  EXPECT_EQ(CostOf(model, g, adverse, Opinion::kNegative, 0, 1), 1);
+}
+
+TEST(ModelAgnosticTest, OrderingHolds) {
+  const ModelAgnosticModel model;
+  const Graph g = SmallGraph();
+  NetworkState friendly(4), adverse(4);
+  friendly.set_opinion(0, Opinion::kPositive);
+  adverse.set_opinion(0, Opinion::kNegative);
+  const int32_t cf = CostOf(model, g, friendly, Opinion::kPositive, 0, 1);
+  const int32_t cn = CostOf(model, g, NetworkState(4), Opinion::kPositive, 0, 1);
+  const int32_t ca = CostOf(model, g, adverse, Opinion::kPositive, 0, 1);
+  EXPECT_LT(cf, cn);
+  EXPECT_LT(cn, ca);
+  EXPECT_LE(ca, model.MaxEdgeCost());
+}
+
+TEST(ModelAgnosticTest, CostsBoundedAndPositive) {
+  const ModelAgnosticModel model;
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(3, Opinion::kNegative);
+  std::vector<int32_t> costs;
+  for (Opinion op : {Opinion::kPositive, Opinion::kNegative}) {
+    model.ComputeEdgeCosts(g, state, op, &costs);
+    for (int32_t c : costs) {
+      EXPECT_GE(c, 1);
+      EXPECT_LE(c, model.MaxEdgeCost());
+    }
+  }
+}
+
+TEST(IccModelTest, FriendlyPairIsCheapest) {
+  IccParams params;
+  const IccModel model(params);
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(1, Opinion::kPositive);
+  // u active-op, v active-op: Pout = 1 -> only the communication cost.
+  EXPECT_EQ(CostOf(model, g, state, Opinion::kPositive, 0, 1),
+            params.edge.communication_cost);
+}
+
+TEST(IccModelTest, NonFrontierEdgeSaturates) {
+  const IccModel model;
+  const Graph g = SmallGraph();
+  // 1 is active; for edge 0 -> 1 the target's d_v(I) is 0 (v itself
+  // active), so u = 0 (neutral, distance 1) cannot be the infector.
+  NetworkState state(4);
+  state.set_opinion(1, Opinion::kPositive);
+  const int32_t cost = CostOf(model, g, state, Opinion::kPositive, 0, 1);
+  EXPECT_EQ(cost, model.MaxEdgeCost());
+}
+
+TEST(IccModelTest, FrontierInfectorSharesProbability) {
+  IccParams params;
+  params.activation_probability = 0.5;
+  params.epsilon = 1e-3;
+  const IccModel model(params);
+  const Graph g = SmallGraph();
+  // 0 and 3 both active "+", 1 neutral: both are frontier infectors of 1;
+  // p^a(1) = 1.0, so Pout = (0.5 - eps) / 1.0 for each.
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(3, Opinion::kPositive);
+  const int32_t c01 = CostOf(model, g, state, Opinion::kPositive, 0, 1);
+  const int32_t c31 = CostOf(model, g, state, Opinion::kPositive, 3, 1);
+  EXPECT_EQ(c01, c31);
+  const int32_t expected =
+      params.edge.communication_cost +
+      params.edge.quantizer.CostFromProbability(
+          (0.5 - params.epsilon) / 1.0);
+  EXPECT_EQ(c01, expected);
+}
+
+TEST(IccModelTest, SoleFrontierInfectorGetsFullShare) {
+  IccParams params;
+  params.activation_probability = 0.5;
+  const IccModel model(params);
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  // p^a(1) = 0.5 and p_uv - eps over p^a is close to 1: cheap.
+  const int32_t c01 = CostOf(model, g, state, Opinion::kPositive, 0, 1);
+  const int32_t expected =
+      params.edge.communication_cost +
+      params.edge.quantizer.CostFromProbability(
+          (0.5 - params.epsilon) / 0.5);
+  EXPECT_EQ(c01, expected);
+}
+
+TEST(IccModelTest, AdverseSpreaderGetsEpsilon) {
+  IccParams params;
+  const IccModel model(params);
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kNegative);
+  // u is the frontier infector of neutral 1 but holds the adverse opinion:
+  // Pout = epsilon.
+  const int32_t cost = CostOf(model, g, state, Opinion::kPositive, 0, 1);
+  const int32_t expected =
+      params.edge.communication_cost +
+      params.edge.quantizer.CostFromProbability(params.epsilon);
+  EXPECT_EQ(cost, expected);
+}
+
+TEST(LtModelTest, InactiveSpreaderForbidden) {
+  const LtModel model;
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(1, Opinion::kPositive);
+  // 0 is neutral: not in N_in(G, 1); probability 0.
+  EXPECT_EQ(CostOf(model, g, state, Opinion::kPositive, 0, 1),
+            model.MaxEdgeCost());
+}
+
+TEST(LtModelTest, FriendlyPairIsCheapest) {
+  LtParams params;
+  const LtModel model(params);
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(1, Opinion::kPositive);
+  EXPECT_EQ(CostOf(model, g, state, Opinion::kPositive, 0, 1),
+            params.edge.communication_cost);
+}
+
+TEST(LtModelTest, ThresholdGatesAdoption) {
+  // Node 1 has in-neighbors 0 and 3, each with weight 1/2.
+  LtParams params;
+  params.threshold_fraction = 0.6;  // Needs 0.6 of total weight active.
+  const LtModel model(params);
+  const Graph g = SmallGraph();
+
+  // Only one active in-neighbor: Omega_in = 0.5 < 0.6 -> epsilon branch.
+  NetworkState below(4);
+  below.set_opinion(0, Opinion::kPositive);
+  const int32_t cost_below = CostOf(model, g, below, Opinion::kPositive, 0, 1);
+  const int32_t eps_cost =
+      params.edge.communication_cost +
+      params.edge.quantizer.CostFromProbability(params.epsilon);
+  EXPECT_EQ(cost_below, eps_cost);
+
+  // Both active: Omega_in = 1.0 >= 0.6 -> (1 - eps) * 0.5 / 1.0.
+  NetworkState above(4);
+  above.set_opinion(0, Opinion::kPositive);
+  above.set_opinion(3, Opinion::kPositive);
+  const int32_t cost_above = CostOf(model, g, above, Opinion::kPositive, 0, 1);
+  const int32_t expected =
+      params.edge.communication_cost +
+      params.edge.quantizer.CostFromProbability((1.0 - params.epsilon) * 0.5);
+  EXPECT_EQ(cost_above, expected);
+  EXPECT_LT(cost_above, cost_below);
+}
+
+TEST(LtModelTest, AdverseSpreaderGetsEpsilon) {
+  LtParams params;
+  params.threshold_fraction = 0.0;
+  const LtModel model(params);
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kNegative);
+  const int32_t cost = CostOf(model, g, state, Opinion::kPositive, 0, 1);
+  const int32_t expected =
+      params.edge.communication_cost +
+      params.edge.quantizer.CostFromProbability(params.epsilon);
+  EXPECT_EQ(cost, expected);
+}
+
+TEST(LtModelTest, CustomWeightsAndThresholds) {
+  LtParams params;
+  // Edges in CSR order: (0->1), (1->2), (3->1).
+  params.edge_weights = std::vector<double>{0.9, 1.0, 0.1};
+  params.thresholds = std::vector<double>{0.0, 0.5, 0.0, 0.0};
+  const LtModel model(params);
+  const Graph g = SmallGraph();
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(3, Opinion::kPositive);
+  // Omega_in(1) = 1.0 >= 0.5; edge 0->1 share 0.9, edge 3->1 share 0.1.
+  const int32_t c01 = CostOf(model, g, state, Opinion::kPositive, 0, 1);
+  const int32_t c31 = CostOf(model, g, state, Opinion::kPositive, 3, 1);
+  EXPECT_LT(c01, c31);
+}
+
+}  // namespace
+}  // namespace snd

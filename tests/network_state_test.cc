@@ -1,0 +1,127 @@
+#include "snd/opinion/network_state.h"
+
+#include <gtest/gtest.h>
+
+#include "snd/opinion/quantizer.h"
+#include "snd/opinion/transition_stats.h"
+
+namespace snd {
+namespace {
+
+TEST(OpinionTest, Opposite) {
+  EXPECT_EQ(OppositeOpinion(Opinion::kPositive), Opinion::kNegative);
+  EXPECT_EQ(OppositeOpinion(Opinion::kNegative), Opinion::kPositive);
+  EXPECT_EQ(OppositeOpinion(Opinion::kNeutral), Opinion::kNeutral);
+}
+
+TEST(NetworkStateTest, StartsNeutral) {
+  const NetworkState state(5);
+  EXPECT_EQ(state.num_users(), 5);
+  EXPECT_EQ(state.CountActive(), 0);
+  for (int32_t u = 0; u < 5; ++u) {
+    EXPECT_EQ(state.opinion(u), Opinion::kNeutral);
+  }
+}
+
+TEST(NetworkStateTest, SetAndCount) {
+  NetworkState state(4);
+  state.set_opinion(0, Opinion::kPositive);
+  state.set_opinion(1, Opinion::kNegative);
+  state.set_opinion(2, Opinion::kPositive);
+  EXPECT_EQ(state.CountActive(), 3);
+  EXPECT_EQ(state.CountOpinion(Opinion::kPositive), 2);
+  EXPECT_EQ(state.CountOpinion(Opinion::kNegative), 1);
+  EXPECT_EQ(state.CountOpinion(Opinion::kNeutral), 1);
+
+  state.set_opinion(0, Opinion::kNeutral);
+  EXPECT_EQ(state.CountActive(), 2);
+  state.set_opinion(1, Opinion::kPositive);  // Flip keeps the count.
+  EXPECT_EQ(state.CountActive(), 2);
+}
+
+TEST(NetworkStateTest, FromValuesValidates) {
+  const NetworkState state = NetworkState::FromValues({1, -1, 0, 1});
+  EXPECT_EQ(state.CountActive(), 3);
+  EXPECT_EQ(state.value(1), -1);
+}
+
+TEST(NetworkStateTest, OpinionIndicator) {
+  const NetworkState state = NetworkState::FromValues({1, -1, 0, 1});
+  const auto pos = state.OpinionIndicator(Opinion::kPositive);
+  EXPECT_EQ(pos, (std::vector<double>{1.0, 0.0, 0.0, 1.0}));
+  const auto neg = state.OpinionIndicator(Opinion::kNegative);
+  EXPECT_EQ(neg, (std::vector<double>{0.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(NetworkStateTest, CountDiffering) {
+  const NetworkState a = NetworkState::FromValues({1, -1, 0, 0});
+  const NetworkState b = NetworkState::FromValues({1, 1, 0, -1});
+  EXPECT_EQ(NetworkState::CountDiffering(a, b), 2);
+  EXPECT_EQ(NetworkState::CountDiffering(a, a), 0);
+}
+
+TEST(NetworkStateTest, Equality) {
+  const NetworkState a = NetworkState::FromValues({1, 0});
+  const NetworkState b = NetworkState::FromValues({1, 0});
+  const NetworkState c = NetworkState::FromValues({0, 1});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(CostQuantizerTest, MonotoneAndBounded) {
+  const CostQuantizer q(64, 8.0);
+  EXPECT_EQ(q.CostFromProbability(1.0), 0);
+  EXPECT_EQ(q.CostFromProbability(0.0), 64);
+  EXPECT_EQ(q.CostFromProbability(-0.5), 64);
+  EXPECT_EQ(q.CostFromProbability(1e-30), 64);
+  int32_t prev = 0;
+  for (double p : {1.0, 0.9, 0.5, 0.25, 0.1, 0.01, 1e-4}) {
+    const int32_t c = q.CostFromProbability(p);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 64);
+    prev = c;
+  }
+}
+
+TEST(CostQuantizerTest, ScaleControlsResolution) {
+  const CostQuantizer coarse(64, 1.0);
+  const CostQuantizer fine(64, 16.0);
+  EXPECT_LT(coarse.CostFromProbability(0.5), fine.CostFromProbability(0.5));
+  // -8 * ln(0.5) = 5.545 -> 6.
+  const CostQuantizer standard(64, 8.0);
+  EXPECT_EQ(standard.CostFromProbability(0.5), 6);
+}
+
+
+TEST(TransitionStatsTest, ClassifiesEveryChangeKind) {
+  const NetworkState from = NetworkState::FromValues({0, 0, 1, -1, 1, 0});
+  const NetworkState to = NetworkState::FromValues({1, -1, -1, 1, 0, 0});
+  const TransitionStats stats = ComputeTransitionStats(from, to);
+  EXPECT_EQ(stats.new_positive, 1);       // user 0
+  EXPECT_EQ(stats.new_negative, 1);       // user 1
+  EXPECT_EQ(stats.flips_to_negative, 1);  // user 2
+  EXPECT_EQ(stats.flips_to_positive, 1);  // user 3
+  EXPECT_EQ(stats.deactivations, 1);      // user 4
+  EXPECT_EQ(stats.total_changes(), 5);
+  EXPECT_EQ(stats.activations(), 2);
+  EXPECT_EQ(stats.flips(), 2);
+  EXPECT_EQ(stats.total_changes(), NetworkState::CountDiffering(from, to));
+}
+
+TEST(TransitionStatsTest, IdenticalStatesAreAllZero) {
+  const NetworkState state = NetworkState::FromValues({1, -1, 0});
+  const TransitionStats stats = ComputeTransitionStats(state, state);
+  EXPECT_EQ(stats.total_changes(), 0);
+}
+
+TEST(TransitionStatsTest, SummaryMentionsCounts) {
+  const NetworkState from = NetworkState::FromValues({0, 0});
+  const NetworkState to = NetworkState::FromValues({1, -1});
+  const std::string summary =
+      TransitionStatsSummary(ComputeTransitionStats(from, to));
+  EXPECT_NE(summary.find("+1"), std::string::npos);
+  EXPECT_NE(summary.find("-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snd

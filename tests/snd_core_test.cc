@@ -1,0 +1,303 @@
+#include "snd/core/snd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "snd/graph/generators.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+using testing_util::RandomState;
+using testing_util::RandomSymmetricGraph;
+
+SndOptions BaseOptions() {
+  SndOptions options;
+  options.bank_strategy = BankStrategy::kPerCluster;
+  options.apportionment = BankApportionment::kLargestRemainder;
+  return options;
+}
+
+TEST(SndCalculatorTest, ZeroForIdenticalStates) {
+  Rng rng(1);
+  const Graph g = RandomSymmetricGraph(30, 40, &rng);
+  const SndCalculator calc(&g, BaseOptions());
+  const NetworkState state = RandomState(30, 0.4, &rng);
+  const SndResult result = calc.Compute(state, state);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_EQ(result.n_delta, 0);
+}
+
+TEST(SndCalculatorTest, SymmetricByConstruction) {
+  Rng rng(2);
+  const Graph g = RandomSymmetricGraph(24, 30, &rng);
+  const SndCalculator calc(&g, BaseOptions());
+  const NetworkState a = RandomState(24, 0.3, &rng);
+  const NetworkState b = RandomState(24, 0.3, &rng);
+  EXPECT_NEAR(calc.Distance(a, b), calc.Distance(b, a), 1e-9);
+}
+
+TEST(SndCalculatorTest, PositiveForDifferentStates) {
+  Rng rng(3);
+  const Graph g = RandomSymmetricGraph(24, 30, &rng);
+  const SndCalculator calc(&g, BaseOptions());
+  NetworkState a(24), b(24);
+  a.set_opinion(0, Opinion::kPositive);
+  b.set_opinion(5, Opinion::kPositive);
+  EXPECT_GT(calc.Distance(a, b), 0.0);
+}
+
+TEST(SndCalculatorTest, FartherActivationCostsMore) {
+  // On a long path, activating a user far from the existing "+" mass must
+  // cost more than activating an adjacent one.
+  std::vector<Edge> edges;
+  const int32_t n = 12;
+  for (int32_t u = 0; u + 1 < n; ++u) {
+    edges.push_back({u, u + 1});
+    edges.push_back({u + 1, u});
+  }
+  const Graph g = Graph::FromEdges(n, std::move(edges));
+  // Per-bin banks make the mass-mismatch penalty location-sensitive (a
+  // single global bank is location-blind by design - the EMDalpha
+  // behavior the paper contrasts EMD* against).
+  SndOptions options = BaseOptions();
+  options.bank_strategy = BankStrategy::kPerBin;
+  const SndCalculator calc(&g, options);
+
+  NetworkState base(n);
+  base.set_opinion(0, Opinion::kPositive);
+  NetworkState near = base;
+  near.set_opinion(1, Opinion::kPositive);
+  NetworkState far = base;
+  far.set_opinion(n - 1, Opinion::kPositive);
+  EXPECT_LT(calc.Distance(base, near), calc.Distance(base, far));
+}
+
+TEST(SndCalculatorTest, GlobalBankIsLocationBlind) {
+  // The contrast case: with a single global bank the two activations of
+  // the previous test cost exactly the same.
+  std::vector<Edge> edges;
+  const int32_t n = 12;
+  for (int32_t u = 0; u + 1 < n; ++u) {
+    edges.push_back({u, u + 1});
+    edges.push_back({u + 1, u});
+  }
+  const Graph g = Graph::FromEdges(n, std::move(edges));
+  SndOptions options = BaseOptions();
+  options.bank_strategy = BankStrategy::kSingleGlobal;
+  const SndCalculator calc(&g, options);
+  NetworkState base(n);
+  base.set_opinion(0, Opinion::kPositive);
+  NetworkState near = base;
+  near.set_opinion(1, Opinion::kPositive);
+  NetworkState far = base;
+  far.set_opinion(n - 1, Opinion::kPositive);
+  EXPECT_NEAR(calc.Distance(base, near), calc.Distance(base, far), 1e-9);
+}
+
+TEST(SndCalculatorTest, AdverseIntermediariesRaiseTheCost) {
+  // 0("+") - 1 - 2: activating 2 with "+" is costlier when user 1 holds
+  // the competing opinion than when 1 is neutral.
+  const Graph g =
+      Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  SndOptions options = BaseOptions();
+  options.bank_strategy = BankStrategy::kPerBin;
+  const SndCalculator calc(&g, options);
+
+  NetworkState neutral_mid(3);
+  neutral_mid.set_opinion(0, Opinion::kPositive);
+  NetworkState adverse_mid = neutral_mid;
+  adverse_mid.set_opinion(1, Opinion::kNegative);
+
+  NetworkState neutral_next = neutral_mid;
+  neutral_next.set_opinion(2, Opinion::kPositive);
+  NetworkState adverse_next = adverse_mid;
+  adverse_next.set_opinion(2, Opinion::kPositive);
+
+  EXPECT_LT(calc.Distance(neutral_mid, neutral_next),
+            calc.Distance(adverse_mid, adverse_next));
+}
+
+TEST(SndCalculatorTest, HandlesDisconnectedGraphs) {
+  // Two components; opinions appearing in the far component are charged
+  // the finite disconnection cost instead of infinity.
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  SndOptions options = BaseOptions();
+  const SndCalculator calc(&g, options);
+  NetworkState a(4), b(4);
+  a.set_opinion(0, Opinion::kPositive);
+  b.set_opinion(0, Opinion::kPositive);
+  b.set_opinion(2, Opinion::kPositive);
+  const double d = calc.Distance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(SndCalculatorTest, EmptyStatesAtZeroDistance) {
+  Rng rng(4);
+  const Graph g = RandomSymmetricGraph(10, 10, &rng);
+  const SndCalculator calc(&g, BaseOptions());
+  const NetworkState empty_a(10), empty_b(10);
+  EXPECT_DOUBLE_EQ(calc.Distance(empty_a, empty_b), 0.0);
+}
+
+TEST(SndCalculatorTest, ReportsTermBreakdown) {
+  Rng rng(5);
+  const Graph g = RandomSymmetricGraph(20, 30, &rng);
+  const SndCalculator calc(&g, BaseOptions());
+  const NetworkState a = RandomState(20, 0.3, &rng);
+  const NetworkState b = RandomState(20, 0.3, &rng);
+  const SndResult result = calc.Compute(a, b);
+  double sum = 0.0;
+  for (const SndTermResult& term : result.terms) sum += term.cost;
+  EXPECT_NEAR(result.value, 0.5 * sum, 1e-9);
+  EXPECT_EQ(result.terms[0].op, Opinion::kPositive);
+  EXPECT_EQ(result.terms[1].op, Opinion::kNegative);
+  EXPECT_TRUE(result.terms[0].forward);
+  EXPECT_FALSE(result.terms[2].forward);
+}
+
+// The central correctness property: the Theorem-4 fast path computes
+// exactly the dense reference EMD* combination, across ground-distance
+// models, bank strategies, and mass-mismatch directions.
+struct FastVsRefCase {
+  GroundModelKind model;
+  BankStrategy banks;
+  TransportAlgorithm solver;
+};
+
+class FastVsReferenceTest
+    : public ::testing::TestWithParam<std::tuple<FastVsRefCase, int>> {};
+
+TEST_P(FastVsReferenceTest, FastEqualsReference) {
+  const auto [config, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  const int32_t n = 12 + static_cast<int32_t>(rng.UniformInt(0, 24));
+  const Graph g = RandomSymmetricGraph(
+      n, static_cast<int32_t>(rng.UniformInt(0, 2 * n)), &rng);
+
+  SndOptions options = BaseOptions();
+  options.model = config.model;
+  options.bank_strategy = config.banks;
+  options.solver = config.solver;
+  const SndCalculator calc(&g, options);
+
+  // Three mass regimes: balanced-ish, P-heavy, Q-heavy.
+  const NetworkState a = RandomState(n, rng.UniformReal(0.1, 0.5), &rng);
+  const NetworkState b = RandomState(n, rng.UniformReal(0.1, 0.5), &rng);
+
+  const SndResult fast = calc.Compute(a, b);
+  const SndResult reference = calc.ComputeReference(a, b);
+  EXPECT_NEAR(fast.value, reference.value, 1e-6 * (1.0 + fast.value))
+      << "model=" << GroundModelKindName(config.model)
+      << " banks=" << BankStrategyName(config.banks)
+      << " solver=" << TransportAlgorithmName(config.solver) << " n=" << n;
+  for (size_t k = 0; k < fast.terms.size(); ++k) {
+    EXPECT_NEAR(fast.terms[k].cost, reference.terms[k].cost,
+                1e-6 * (1.0 + fast.terms[k].cost))
+        << "term " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, FastVsReferenceTest,
+    ::testing::Combine(
+        ::testing::Values(
+            FastVsRefCase{GroundModelKind::kModelAgnostic,
+                          BankStrategy::kPerCluster,
+                          TransportAlgorithm::kSimplex},
+            FastVsRefCase{GroundModelKind::kModelAgnostic,
+                          BankStrategy::kSingleGlobal,
+                          TransportAlgorithm::kSsp},
+            FastVsRefCase{GroundModelKind::kModelAgnostic,
+                          BankStrategy::kPerBin,
+                          TransportAlgorithm::kCostScaling},
+            FastVsRefCase{GroundModelKind::kIndependentCascade,
+                          BankStrategy::kPerCluster,
+                          TransportAlgorithm::kSimplex},
+            FastVsRefCase{GroundModelKind::kIndependentCascade,
+                          BankStrategy::kSingleGlobal,
+                          TransportAlgorithm::kCostScaling},
+            FastVsRefCase{GroundModelKind::kLinearThreshold,
+                          BankStrategy::kPerCluster,
+                          TransportAlgorithm::kSimplex},
+            FastVsRefCase{GroundModelKind::kLinearThreshold,
+                          BankStrategy::kPerBin,
+                          TransportAlgorithm::kSsp}),
+        ::testing::Range(0, 6)));
+
+// Directed graphs exercise the reverse-SSSP branch with asymmetric ground
+// distances.
+class DirectedFastVsReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectedFastVsReferenceTest, FastEqualsReference) {
+  Rng rng(3000 + static_cast<uint64_t>(GetParam()));
+  const int32_t n = 10 + static_cast<int32_t>(rng.UniformInt(0, 15));
+  const Graph g = testing_util::RandomDirectedGraph(n, 4 * n, &rng);
+  SndOptions options = BaseOptions();
+  options.gamma_policy = GammaPolicy::kFixed;
+  options.fixed_gamma = 40.0;
+  const SndCalculator calc(&g, options);
+  // Force a pronounced mass mismatch in both directions.
+  const NetworkState a = RandomState(n, 0.15, &rng);
+  const NetworkState b = RandomState(n, 0.55, &rng);
+  EXPECT_NEAR(calc.Compute(a, b).value, calc.ComputeReference(a, b).value,
+              1e-6);
+  EXPECT_NEAR(calc.Compute(b, a).value, calc.ComputeReference(b, a).value,
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DirectedFastVsReferenceTest,
+                         ::testing::Range(0, 10));
+
+TEST(SndCalculatorTest, SolversAgreeOnFastPath) {
+  Rng rng(6);
+  const Graph g = RandomSymmetricGraph(40, 80, &rng);
+  const NetworkState a = RandomState(40, 0.3, &rng);
+  const NetworkState b = RandomState(40, 0.45, &rng);
+  double values[3];
+  int idx = 0;
+  for (auto solver :
+       {TransportAlgorithm::kSimplex, TransportAlgorithm::kSsp,
+        TransportAlgorithm::kCostScaling}) {
+    SndOptions options = BaseOptions();
+    options.solver = solver;
+    const SndCalculator calc(&g, options);
+    values[idx++] = calc.Distance(a, b);
+  }
+  EXPECT_NEAR(values[0], values[1], 1e-9 * (1.0 + values[0]));
+  EXPECT_NEAR(values[0], values[2], 1e-9 * (1.0 + values[0]));
+}
+
+TEST(SndCalculatorTest, ProportionalApportionmentAlsoMatchesReference) {
+  Rng rng(7);
+  const Graph g = RandomSymmetricGraph(20, 30, &rng);
+  SndOptions options = BaseOptions();
+  options.apportionment = BankApportionment::kProportional;
+  options.solver = TransportAlgorithm::kSsp;  // Handles real masses.
+  const SndCalculator calc(&g, options);
+  const NetworkState a = RandomState(20, 0.2, &rng);
+  const NetworkState b = RandomState(20, 0.5, &rng);
+  EXPECT_NEAR(calc.Compute(a, b).value, calc.ComputeReference(a, b).value,
+              1e-6);
+}
+
+TEST(SndCalculatorTest, GroundDistanceMatrixDiagonalIsZero) {
+  Rng rng(8);
+  const Graph g = RandomSymmetricGraph(15, 20, &rng);
+  const SndCalculator calc(&g, BaseOptions());
+  const NetworkState state = RandomState(15, 0.3, &rng);
+  const DenseMatrix d = calc.GroundDistanceMatrix(state, Opinion::kPositive);
+  for (int32_t u = 0; u < 15; ++u) {
+    EXPECT_DOUBLE_EQ(d.At(u, u), 0.0);
+    for (int32_t v = 0; v < 15; ++v) {
+      EXPECT_GE(d.At(u, v), 0.0);
+      EXPECT_LE(d.At(u, v), static_cast<double>(calc.DisconnectionCost()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,137 @@
+#include "snd/analysis/state_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+// Two well-separated groups of states: some around "all positive", some
+// around "all negative" (under Hamming distance).
+std::vector<NetworkState> TwoRegimes(int32_t per_group, int32_t users,
+                                     Rng* rng) {
+  std::vector<NetworkState> states;
+  for (int32_t g = 0; g < 2; ++g) {
+    for (int32_t k = 0; k < per_group; ++k) {
+      NetworkState state(users);
+      for (int32_t u = 0; u < users; ++u) {
+        // Mostly the group's opinion, with a little noise.
+        const bool flip = rng->Bernoulli(0.05);
+        const Opinion base = g == 0 ? Opinion::kPositive
+                                    : Opinion::kNegative;
+        state.set_opinion(u, flip ? OppositeOpinion(base) : base);
+      }
+      states.push_back(std::move(state));
+    }
+  }
+  return states;
+}
+
+DistanceFn Hamming() {
+  return [](const NetworkState& a, const NetworkState& b) {
+    return HammingDistance(a, b);
+  };
+}
+
+TEST(PairwiseDistancesTest, SymmetricWithZeroDiagonal) {
+  Rng rng(1);
+  const auto states = TwoRegimes(3, 20, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  for (int32_t i = 0; i < d.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(d.At(i, i), 0.0);
+    for (int32_t j = 0; j < d.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(d.At(i, j), d.At(j, i));
+    }
+  }
+}
+
+TEST(KMedoidsTest, RecoversTwoRegimes) {
+  Rng rng(2);
+  const auto states = TwoRegimes(6, 40, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  const KMedoidsResult result = KMedoids(d, 2, 7);
+  // All of group 0 in one cluster, all of group 1 in the other.
+  for (int32_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)],
+              result.assignment[0]);
+  }
+  for (int32_t i = 7; i < 12; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)],
+              result.assignment[6]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[6]);
+}
+
+TEST(KMedoidsTest, SingleClusterTakesAll) {
+  Rng rng(3);
+  const auto states = TwoRegimes(3, 10, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  const KMedoidsResult result = KMedoids(d, 1, 11);
+  for (int32_t a : result.assignment) EXPECT_EQ(a, 0);
+  EXPECT_EQ(result.medoids.size(), 1u);
+}
+
+TEST(KMedoidsTest, KEqualsNGivesZeroCost) {
+  Rng rng(4);
+  const auto states = TwoRegimes(2, 10, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  const KMedoidsResult result =
+      KMedoids(d, static_cast<int32_t>(states.size()), 13);
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+}
+
+TEST(KMedoidsTest, DeterministicForSeed) {
+  Rng rng(5);
+  const auto states = TwoRegimes(5, 30, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  const KMedoidsResult a = KMedoids(d, 2, 17);
+  const KMedoidsResult b = KMedoids(d, 2, 17);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.medoids, b.medoids);
+}
+
+TEST(KnnClassifyTest, MajorityOfNearestLabeled) {
+  Rng rng(6);
+  const auto states = TwoRegimes(5, 40, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  // Label all but one state per group; classify the held-out ones.
+  std::vector<int32_t> labels(states.size(), -1);
+  for (int32_t i = 0; i < 4; ++i) labels[static_cast<size_t>(i)] = 0;
+  for (int32_t i = 5; i < 9; ++i) labels[static_cast<size_t>(i)] = 1;
+  EXPECT_EQ(KnnClassify(d, labels, 4, 3), 0);
+  EXPECT_EQ(KnnClassify(d, labels, 9, 3), 1);
+}
+
+TEST(KnnClassifyTest, KLargerThanLabeledSetIsSafe) {
+  Rng rng(7);
+  const auto states = TwoRegimes(2, 10, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  std::vector<int32_t> labels(states.size(), -1);
+  labels[0] = 0;
+  EXPECT_EQ(KnnClassify(d, labels, 1, 100), 0);
+}
+
+TEST(SilhouetteTest, GoodClusteringScoresHigh) {
+  Rng rng(8);
+  const auto states = TwoRegimes(6, 40, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  std::vector<int32_t> good(states.size(), 0);
+  for (size_t i = 6; i < states.size(); ++i) good[i] = 1;
+  const double good_score = SilhouetteScore(d, good);
+  EXPECT_GT(good_score, 0.5);
+
+  // A scrambled assignment scores much worse.
+  std::vector<int32_t> bad(states.size(), 0);
+  for (size_t i = 0; i < states.size(); ++i) bad[i] = i % 2;
+  EXPECT_LT(SilhouetteScore(d, bad), good_score);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  Rng rng(9);
+  const auto states = TwoRegimes(3, 10, &rng);
+  const DenseMatrix d = PairwiseDistances(states, Hamming());
+  EXPECT_DOUBLE_EQ(SilhouetteScore(d, std::vector<int32_t>(states.size(), 0)),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,75 @@
+#include "snd/opinion/state_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StateIoTest, RoundTrip) {
+  std::vector<NetworkState> series;
+  series.push_back(NetworkState::FromValues({1, -1, 0, 0}));
+  series.push_back(NetworkState::FromValues({1, 1, -1, 0}));
+  series.push_back(NetworkState::FromValues({0, 0, 0, 0}));
+  const std::string path = TempPath("series.txt");
+  ASSERT_TRUE(WriteStateSeries(series, path));
+  const auto loaded = ReadStateSeries(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), series.size());
+  for (size_t t = 0; t < series.size(); ++t) {
+    EXPECT_TRUE((*loaded)[t] == series[t]) << "state " << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StateIoTest, SingleStateAndUser) {
+  std::vector<NetworkState> series{NetworkState::FromValues({-1})};
+  const std::string path = TempPath("single.txt");
+  ASSERT_TRUE(WriteStateSeries(series, path));
+  const auto loaded = ReadStateSeries(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ((*loaded)[0].value(0), -1);
+  std::remove(path.c_str());
+}
+
+TEST(StateIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadStateSeries("/nonexistent/states.txt").has_value());
+}
+
+TEST(StateIoTest, MalformedHeaderFails) {
+  const std::string path = TempPath("bad_header_states.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage\n1 0\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadStateSeries(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(StateIoTest, OutOfRangeValueFails) {
+  const std::string path = TempPath("bad_value_states.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# states 1 users 2\n1 5\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadStateSeries(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(StateIoTest, TruncatedRowFails) {
+  const std::string path = TempPath("short_states.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# states 2 users 3\n1 0 -1\n0 1\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadStateSeries(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,102 @@
+#include "snd/data/twitter_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+TwitterSimOptions SmallOptions() {
+  TwitterSimOptions options;
+  options.num_users = 600;
+  options.avg_degree = 12.0;
+  options.num_quarters = 13;
+  options.seed = 3;
+  return options;
+}
+
+TEST(TwitterSimTest, ShapeMatchesOptions) {
+  const TwitterDataset data = GenerateTwitterDataset(SmallOptions());
+  EXPECT_EQ(data.graph.num_nodes(), 600);
+  EXPECT_EQ(data.states.size(), 13u);
+  EXPECT_EQ(data.quarter_labels.size(), 13u);
+  EXPECT_EQ(data.interest.size(), 13u);
+  for (const NetworkState& state : data.states) {
+    EXPECT_EQ(state.num_users(), 600);
+  }
+}
+
+TEST(TwitterSimTest, ActivityGrowsOverTime) {
+  const TwitterDataset data = GenerateTwitterDataset(SmallOptions());
+  for (size_t q = 1; q < data.states.size(); ++q) {
+    EXPECT_GE(data.states[q].CountActive(),
+              data.states[q - 1].CountActive());
+  }
+  EXPECT_GT(data.states.front().CountActive(), 0);
+}
+
+TEST(TwitterSimTest, EventsWithinRangeAndBothKinds) {
+  const TwitterDataset data = GenerateTwitterDataset(SmallOptions());
+  bool has_consensus = false, has_polarized = false;
+  for (const TwitterEvent& event : data.events) {
+    EXPECT_GE(event.quarter, 0);
+    EXPECT_LT(event.quarter + 1, static_cast<int32_t>(data.states.size()));
+    has_consensus |= event.kind == EventKind::kConsensus;
+    has_polarized |= event.kind == EventKind::kPolarized;
+    EXPECT_FALSE(event.name.empty());
+  }
+  EXPECT_TRUE(has_consensus);
+  EXPECT_TRUE(has_polarized);
+}
+
+TEST(TwitterSimTest, InterestSpikesAtEvents) {
+  const TwitterDataset data = GenerateTwitterDataset(SmallOptions());
+  for (const TwitterEvent& event : data.events) {
+    const size_t q = static_cast<size_t>(event.quarter) + 1;
+    EXPECT_GT(data.interest[q], 0.5) << event.name;
+  }
+}
+
+TEST(TwitterSimTest, ConsensusBurstsAreLarger) {
+  const TwitterDataset data = GenerateTwitterDataset(SmallOptions());
+  // Average activation volume of consensus transitions exceeds that of
+  // polarized transitions (which stay at normal volume).
+  double consensus = 0.0, polarized = 0.0;
+  int32_t nc = 0, np = 0;
+  for (const TwitterEvent& event : data.events) {
+    const size_t q = static_cast<size_t>(event.quarter);
+    const int32_t delta = NetworkState::CountDiffering(
+        data.states[q], data.states[q + 1]);
+    if (event.kind == EventKind::kConsensus) {
+      consensus += delta;
+      ++nc;
+    } else {
+      polarized += delta;
+      ++np;
+    }
+  }
+  ASSERT_GT(nc, 0);
+  ASSERT_GT(np, 0);
+  EXPECT_GT(consensus / nc, polarized / np);
+}
+
+TEST(TwitterSimTest, DeterministicForSeed) {
+  const TwitterDataset a = GenerateTwitterDataset(SmallOptions());
+  const TwitterDataset b = GenerateTwitterDataset(SmallOptions());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (size_t q = 0; q < a.states.size(); ++q) {
+    EXPECT_TRUE(a.states[q] == b.states[q]);
+  }
+}
+
+TEST(TwitterSimTest, ShorterWindowTruncatesEvents) {
+  TwitterSimOptions options = SmallOptions();
+  options.num_quarters = 5;
+  const TwitterDataset data = GenerateTwitterDataset(options);
+  EXPECT_EQ(data.states.size(), 5u);
+  for (const TwitterEvent& event : data.events) {
+    EXPECT_LT(event.quarter + 1, 5);
+  }
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,57 @@
+#include "snd/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+TEST(StatsTest, MeanStddevBasics) {
+  const MeanStddev ms = ComputeMeanStddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_NEAR(ms.stddev, 2.13809, 1e-4);
+}
+
+TEST(StatsTest, MeanStddevEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(ComputeMeanStddev({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanStddev({}).stddev, 0.0);
+  const MeanStddev single = ComputeMeanStddev({3.5});
+  EXPECT_DOUBLE_EQ(single.mean, 3.5);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+}
+
+TEST(StatsTest, MinMaxScale) {
+  const auto scaled = MinMaxScale({2.0, 4.0, 6.0});
+  ASSERT_EQ(scaled.size(), 3u);
+  EXPECT_DOUBLE_EQ(scaled[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 0.5);
+  EXPECT_DOUBLE_EQ(scaled[2], 1.0);
+}
+
+TEST(StatsTest, MinMaxScaleConstantSeries) {
+  const auto scaled = MinMaxScale({3.0, 3.0, 3.0});
+  for (double v : scaled) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StatsTest, MinMaxScaleEmpty) { EXPECT_TRUE(MinMaxScale({}).empty()); }
+
+TEST(StatsTest, FitLineExact) {
+  // y = 1 + 2x.
+  const LineFit fit = FitLine({1.0, 3.0, 5.0, 7.0});
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineConstant) {
+  const LineFit fit = FitLine({4.0, 4.0, 4.0});
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineSinglePoint) {
+  const LineFit fit = FitLine({2.5});
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.5);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace snd

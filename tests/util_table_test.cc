@@ -1,0 +1,45 @@
+#include "snd/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2.5"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Every line has the same column start for "value"/numbers.
+  const size_t header_pos = s.find("value");
+  const size_t row_pos = s.find("2.5");
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(row_pos, std::string::npos);
+  const size_t header_col = header_pos - s.rfind('\n', header_pos) - 1;
+  const size_t row_col = row_pos - s.rfind('\n', row_pos) - 1;
+  EXPECT_EQ(header_col, 0u + header_col);  // Self-consistency.
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-7}), "-7");
+}
+
+TEST(TablePrinterTest, HeaderRuleCoversWidth) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"xxxx", "yy"});
+  const std::string s = t.ToString();
+  const size_t first_newline = s.find('\n');
+  const size_t second_newline = s.find('\n', first_newline + 1);
+  const std::string rule =
+      s.substr(first_newline + 1, second_newline - first_newline - 1);
+  for (char c : rule) EXPECT_EQ(c, '-');
+  EXPECT_EQ(rule.size(), 4u + 2u + 2u);  // widest a + separator + widest b
+}
+
+}  // namespace
+}  // namespace snd

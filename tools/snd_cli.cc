@@ -1,0 +1,12 @@
+// Command-line front end for the SND library; see snd/cli/cli.h for
+// usage.
+#include <string>
+#include <vector>
+
+#include "snd/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return snd::SndCliMain(args);
+}
