@@ -1,0 +1,15 @@
+# Runs one benchmark binary with stdout+stderr captured into a log file.
+# Invoked by the bench-all target:
+#   cmake -DBENCH_BIN=<exe> -DBENCH_LOG=<log> -P RunBench.cmake
+if(NOT DEFINED BENCH_BIN OR NOT DEFINED BENCH_LOG)
+  message(FATAL_ERROR "RunBench.cmake requires -DBENCH_BIN and -DBENCH_LOG")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_BIN}
+  OUTPUT_FILE ${BENCH_LOG}
+  ERROR_FILE ${BENCH_LOG}
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH_BIN} exited with ${_rc}; see ${BENCH_LOG}")
+endif()

@@ -1,0 +1,23 @@
+# Applies the project-wide warning and sanitizer flags to a target.
+#
+# Flags are attached per-target (PRIVATE) rather than through a linked
+# INTERFACE library so that the installed snd::snd export carries no build
+# -time-only usage requirements downstream.
+function(snd_compile_options target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(SND_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+    if(SND_SANITIZE)
+      target_compile_options(${target} PRIVATE
+        -fsanitize=address,undefined -fno-omit-frame-pointer)
+      target_link_options(${target} PRIVATE -fsanitize=address,undefined)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(SND_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

@@ -1,5 +1,7 @@
 #include "snd/cli/cli.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <optional>
 
@@ -19,6 +21,7 @@ constexpr char kUsage[] =
     "  distance <i> <j>   SND between states i and j\n"
     "  series             distances between adjacent states\n"
     "  anomalies          transitions ranked by anomaly score\n"
+    "  help               print this message (also --help, -h)\n"
     "flags:\n"
     "  --model=agnostic|icc|lt\n"
     "  --solver=simplex|ssp|cost-scaling\n"
@@ -37,8 +40,10 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   return true;
 }
 
-std::optional<SndOptions> ParseOptions(
-    const std::vector<std::string>& flags) {
+// Parses the flag tail of the command line. On failure returns nullopt and
+// sets *error to a message naming the offending token.
+std::optional<SndOptions> ParseOptions(const std::vector<std::string>& flags,
+                                       std::string* error) {
   SndOptions options;
   for (const std::string& flag : flags) {
     std::string value;
@@ -50,6 +55,7 @@ std::optional<SndOptions> ParseOptions(
       } else if (value == "lt") {
         options.model = GroundModelKind::kLinearThreshold;
       } else {
+        *error = "unknown --model value '" + value + "'";
         return std::nullopt;
       }
     } else if (ParseFlag(flag, "solver", &value)) {
@@ -61,6 +67,7 @@ std::optional<SndOptions> ParseOptions(
         options.solver = TransportAlgorithm::kCostScaling;
         options.apportionment = BankApportionment::kLargestRemainder;
       } else {
+        *error = "unknown --solver value '" + value + "'";
         return std::nullopt;
       }
     } else if (ParseFlag(flag, "banks", &value)) {
@@ -71,13 +78,20 @@ std::optional<SndOptions> ParseOptions(
       } else if (value == "global") {
         options.bank_strategy = BankStrategy::kSingleGlobal;
       } else {
+        *error = "unknown --banks value '" + value + "'";
         return std::nullopt;
       }
     } else {
+      *error = "unrecognized flag '" + flag + "'";
       return std::nullopt;
     }
   }
   return options;
+}
+
+bool IsKnownCommand(const std::string& command) {
+  return command == "distance" || command == "series" ||
+         command == "anomalies";
 }
 
 std::vector<double> ScoredSeries(const SndCalculator& calc,
@@ -94,8 +108,17 @@ std::vector<double> ScoredSeries(const SndCalculator& calc,
 }  // namespace
 
 int SndCliMain(const std::vector<std::string>& args) {
-  if (args.size() < 3) return Fail("missing arguments");
+  if (!args.empty() &&
+      (args[0] == "--help" || args[0] == "-h" || args[0] == "help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  if (args.empty()) return Fail("missing arguments");
   const std::string& command = args[0];
+  if (!IsKnownCommand(command)) {
+    return Fail("unknown command '" + command + "'");
+  }
+  if (args.size() < 3) return Fail("missing arguments");
   const std::string& graph_path = args[1];
   const std::string& states_path = args[2];
 
@@ -105,8 +128,9 @@ int SndCliMain(const std::vector<std::string>& args) {
   const std::vector<std::string> flags(args.begin() +
                                            static_cast<long>(positional_end),
                                        args.end());
-  const std::optional<SndOptions> options = ParseOptions(flags);
-  if (!options.has_value()) return Fail("unrecognized flag");
+  std::string flag_error;
+  const std::optional<SndOptions> options = ParseOptions(flags, &flag_error);
+  if (!options.has_value()) return Fail(flag_error);
 
   const std::optional<Graph> graph = ReadEdgeList(graph_path);
   if (!graph.has_value()) {
@@ -170,6 +194,9 @@ int SndCliMain(const std::vector<std::string>& args) {
     table.Print();
     return 0;
   }
+  // Unreachable while IsKnownCommand stays in sync with the dispatch
+  // above; kept so a half-added command fails loudly instead of running
+  // the wrong branch.
   return Fail("unknown command '" + command + "'");
 }
 

@@ -5,6 +5,7 @@
 //   snd_cli distance  <graph.edges> <states.txt> <i> <j> [flags]
 //   snd_cli series    <graph.edges> <states.txt> [flags]
 //   snd_cli anomalies <graph.edges> <states.txt> [flags]
+//   snd_cli help | --help | -h
 //
 // Flags:
 //   --model=agnostic|icc|lt     ground-distance model (default agnostic)

@@ -15,8 +15,15 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    graph_path_ = ::testing::TempDir() + "/cli_graph.edges";
-    states_path_ = ::testing::TempDir() + "/cli_states.txt";
+    // Unique per test: suite members run as concurrent CTest jobs, and a
+    // shared fixture file would be removed by one test's TearDown while
+    // another test's SndCliMain is reading it.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    graph_path_ =
+        ::testing::TempDir() + "/cli_" + info->name() + "_graph.edges";
+    states_path_ =
+        ::testing::TempDir() + "/cli_" + info->name() + "_states.txt";
     Rng rng(1);
     const Graph g = GenerateRing(30, 2);
     ASSERT_TRUE(WriteEdgeList(g, graph_path_));
@@ -55,6 +62,12 @@ TEST_F(CliTest, FlagsAreAccepted) {
                         "--model=lt", "--solver=cost-scaling",
                         "--banks=per-cluster"}),
             0);
+}
+
+TEST_F(CliTest, HelpExitsZero) {
+  EXPECT_EQ(SndCliMain({"--help"}), 0);
+  EXPECT_EQ(SndCliMain({"-h"}), 0);
+  EXPECT_EQ(SndCliMain({"help"}), 0);
 }
 
 TEST_F(CliTest, RejectsBadInput) {
