@@ -14,6 +14,7 @@
 #include "snd/opinion/evolution.h"
 #include "snd/util/stopwatch.h"
 #include "snd/util/table.h"
+#include "snd/util/thread_pool.h"
 
 int main() {
   using snd::bench::FullScale;
@@ -29,7 +30,12 @@ int main() {
   const int32_t n_delta = FullScale() ? 1000 : 250;
   const int32_t reference_cap = FullScale() ? 5000 : 2000;
 
-  snd::TablePrinter table({"n", "m", "fast s", "reference s"});
+  const int32_t pool_threads = snd::ThreadPool::DefaultThreads();
+  std::printf("threads: serial column = 1, parallel column = %d\n\n",
+              pool_threads);
+
+  snd::TablePrinter table(
+      {"n", "m", "fast 1t s", "fast par s", "reference s"});
   for (int32_t n : sizes) {
     snd::Rng rng(41 + static_cast<uint64_t>(n));
     snd::ScaleFreeOptions graph_options;
@@ -45,9 +51,20 @@ int main() {
     const snd::NetworkState next =
         snd::RandomTransition(base, n_delta, evolution.rng());
 
+    // Serial fast path (paper-comparable timing), then the row-parallel
+    // fast path on the shared pool; the values must match bitwise.
+    snd::ThreadPool::SetGlobalThreads(1);
+    snd::Stopwatch serial_watch;
+    const snd::SndResult fast_serial = calculator.Compute(base, next);
+    const double serial_seconds = serial_watch.ElapsedSeconds();
+
+    snd::ThreadPool::SetGlobalThreads(pool_threads);
     snd::Stopwatch fast_watch;
     const snd::SndResult fast = calculator.Compute(base, next);
     const double fast_seconds = fast_watch.ElapsedSeconds();
+    if (fast_serial.value != fast.value) {
+      std::printf("WARNING: serial/parallel mismatch at n=%d\n", n);
+    }
 
     std::string reference_cell = "-";
     if (n <= reference_cap) {
@@ -61,9 +78,10 @@ int main() {
     }
     table.AddRow({snd::TablePrinter::Fmt(int64_t{n}),
                   snd::TablePrinter::Fmt(graph.num_edges()),
+                  snd::TablePrinter::Fmt(serial_seconds, 3),
                   snd::TablePrinter::Fmt(fast_seconds, 3), reference_cell});
-    std::printf("n=%-7d fast=%.3fs reference=%s\n", n, fast_seconds,
-                reference_cell.c_str());
+    std::printf("n=%-7d fast_serial=%.3fs fast_par=%.3fs reference=%s\n", n,
+                serial_seconds, fast_seconds, reference_cell.c_str());
   }
   std::printf("\n");
   table.Print();

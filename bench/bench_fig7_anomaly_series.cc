@@ -19,6 +19,7 @@
 #include "snd/util/stats.h"
 #include "snd/util/stopwatch.h"
 #include "snd/util/table.h"
+#include "snd/util/thread_pool.h"
 
 int main() {
   using snd::bench::FullScale;
@@ -54,15 +55,39 @@ int main() {
 
   const snd::SndCalculator calculator(&graph, snd::SndOptions{});
   const snd::BaselineDistances baselines(&graph);
+
+  // The acceptance benchmark for the batch engine: the same SND series
+  // through the serial path (1 thread) and the parallel batch path
+  // (4 threads), values required to be bitwise identical.
+  snd::ThreadPool::SetGlobalThreads(1);
+  snd::Stopwatch serial_watch;
+  const std::vector<double> snd_serial =
+      calculator.AdjacentDistanceSeries(series);
+  const double serial_seconds = serial_watch.ElapsedSeconds();
+
+  snd::ThreadPool::SetGlobalThreads(4);
+  snd::Stopwatch parallel_watch;
+  const std::vector<double> snd_parallel =
+      calculator.AdjacentDistanceSeries(series);
+  const double parallel_seconds = parallel_watch.ElapsedSeconds();
+
+  bool identical = snd_serial.size() == snd_parallel.size();
+  for (size_t t = 0; identical && t < snd_serial.size(); ++t) {
+    identical = snd_serial[t] == snd_parallel[t];
+  }
+  std::printf(
+      "snd-series: serial=%.3fs threads4=%.3fs speedup=%.2fx "
+      "identical=%s hardware_threads=%u\n\n",
+      serial_seconds, parallel_seconds,
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
+      identical ? "yes" : "NO (BUG)",
+      std::thread::hardware_concurrency());
+
   struct Method {
     const char* name;
     snd::DistanceFn fn;
   };
   const Method methods[] = {
-      {"SND",
-       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
-         return calculator.Distance(a, b);
-       }},
       {"hamming",
        [&](const snd::NetworkState& a, const snd::NetworkState& b) {
          return baselines.Hamming(a, b);
@@ -79,9 +104,12 @@ int main() {
 
   snd::Stopwatch watch;
   std::vector<std::vector<double>> scaled;
+  scaled.push_back(snd::MinMaxScale(
+      snd::NormalizeByActiveUsers(snd_parallel, series)));
   for (const Method& method : methods) {
     scaled.push_back(snd::MinMaxScale(snd::NormalizeByActiveUsers(
-        snd::AdjacentDistances(series, method.fn), series)));
+        snd::AdjacentDistances(series, snd::BatchFromPointwise(method.fn)),
+        series)));
   }
 
   snd::TablePrinter table(
@@ -101,6 +129,7 @@ int main() {
 
   // Summary: spike height = anomaly score S_t at anomalous vs normal
   // transitions (the quantity Fig. 7 displays as visible spikes).
+  const char* method_names[] = {"SND", "hamming", "walk-dist", "quad-form"};
   std::printf(
       "\nmean anomaly score S_t (anomalous vs normal transitions):\n");
   for (size_t m = 0; m < scaled.size(); ++m) {
@@ -120,7 +149,7 @@ int main() {
       }
     }
     std::printf("  %-10s anomalous=%+.3f normal=%+.3f gap=%.3f\n",
-                methods[m].name, anom / na, norm / nn,
+                method_names[m], anom / na, norm / nn,
                 anom / na - norm / nn);
   }
   std::printf("\ntotal time: %.1f s\n", watch.ElapsedSeconds());

@@ -41,25 +41,28 @@ int main() {
   const snd::BaselineDistances baselines(&data.graph);
   struct Method {
     const char* name;
-    snd::DistanceFn fn;
+    snd::BatchDistanceFn fn;
   };
+  // Every series evaluates through the batch engine: SND natively
+  // (cached edge costs, parallel over transitions), the baselines lifted
+  // onto the shared pool.
   const Method methods[] = {
-      {"SND",
-       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
-         return calculator.Distance(a, b);
-       }},
-      {"hamming",
-       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
-         return baselines.Hamming(a, b);
-       }},
-      {"walk-dist",
-       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
-         return baselines.WalkDist(a, b);
-       }},
-      {"quad-form",
-       [&](const snd::NetworkState& a, const snd::NetworkState& b) {
-         return baselines.QuadForm(a, b);
-       }},
+      {"SND", calculator.BatchFn()},
+      {"hamming", snd::BatchFromPointwise(
+                      [&](const snd::NetworkState& a,
+                          const snd::NetworkState& b) {
+                        return baselines.Hamming(a, b);
+                      })},
+      {"walk-dist", snd::BatchFromPointwise(
+                        [&](const snd::NetworkState& a,
+                            const snd::NetworkState& b) {
+                          return baselines.WalkDist(a, b);
+                        })},
+      {"quad-form", snd::BatchFromPointwise(
+                        [&](const snd::NetworkState& a,
+                            const snd::NetworkState& b) {
+                          return baselines.QuadForm(a, b);
+                        })},
   };
 
   snd::Stopwatch watch;

@@ -1,0 +1,44 @@
+# Merges the per-bench JSON fragments written by RunBench.cmake into one
+# machine-readable BENCH_PR2.json (per-bench wall times, thread count,
+# problem size) so the perf trajectory can accumulate across PRs; CI
+# uploads the file as an artifact.
+# Invoked at the end of the bench-all target:
+#   cmake -DBENCH_LOG_DIR=<dir> -DBENCH_JSON=<out> -P CollectBench.cmake
+if(NOT DEFINED BENCH_LOG_DIR OR NOT DEFINED BENCH_JSON)
+  message(FATAL_ERROR
+    "CollectBench.cmake requires -DBENCH_LOG_DIR and -DBENCH_JSON")
+endif()
+
+file(GLOB _fragments ${BENCH_LOG_DIR}/*.log.json)
+list(SORT _fragments)
+
+include(ProcessorCount)
+ProcessorCount(_ncpu)
+string(TIMESTAMP _generated "%Y-%m-%dT%H:%M:%SZ" UTC)
+set(_full_scale "false")
+if(DEFINED ENV{SND_BENCH_FULL} AND NOT "$ENV{SND_BENCH_FULL}" STREQUAL "0")
+  set(_full_scale "true")
+endif()
+
+set(_entries "")
+foreach(_fragment IN LISTS _fragments)
+  file(READ ${_fragment} _text)
+  string(STRIP "${_text}" _text)
+  if(_entries STREQUAL "")
+    set(_entries "    ${_text}")
+  else()
+    set(_entries "${_entries},\n    ${_text}")
+  endif()
+endforeach()
+
+file(WRITE ${BENCH_JSON} "{
+  \"schema\": \"snd-bench-v1\",
+  \"generated_utc\": \"${_generated}\",
+  \"host_processors\": ${_ncpu},
+  \"full_scale\": ${_full_scale},
+  \"benches\": [
+${_entries}
+  ]
+}
+")
+message(STATUS "bench-all: wrote ${BENCH_JSON}")

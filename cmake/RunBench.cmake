@@ -1,15 +1,51 @@
-# Runs one benchmark binary with stdout+stderr captured into a log file.
+# Runs one benchmark binary with stdout+stderr captured into a log file
+# and drops a JSON fragment (<log>.json) beside it with the wall time,
+# thread count and best-effort problem size. CollectBench.cmake merges the
+# fragments into <build>/BENCH_PR2.json after a bench-all run.
 # Invoked by the bench-all target:
 #   cmake -DBENCH_BIN=<exe> -DBENCH_LOG=<log> -P RunBench.cmake
 if(NOT DEFINED BENCH_BIN OR NOT DEFINED BENCH_LOG)
   message(FATAL_ERROR "RunBench.cmake requires -DBENCH_BIN and -DBENCH_LOG")
 endif()
 
+get_filename_component(_name ${BENCH_BIN} NAME)
+string(TIMESTAMP _start "%s" UTC)
 execute_process(
   COMMAND ${BENCH_BIN}
   OUTPUT_FILE ${BENCH_LOG}
   ERROR_FILE ${BENCH_LOG}
   RESULT_VARIABLE _rc)
+string(TIMESTAMP _end "%s" UTC)
+math(EXPR _wall "${_end} - ${_start}")
+
+# Best-effort detail parsed from the log: the bench's self-reported
+# fine-grained total and the problem size n, where printed.
+set(_reported "null")
+set(_n "null")
+file(READ ${BENCH_LOG} _log_text)
+if(_log_text MATCHES "total time: ([0-9.]+) s")
+  set(_reported ${CMAKE_MATCH_1})
+endif()
+if(_log_text MATCHES "n=([0-9]+)")
+  set(_n ${CMAKE_MATCH_1})
+endif()
+
+# Thread count: SND_THREADS when set, otherwise the machine's cores (the
+# shared pool's default).
+include(ProcessorCount)
+ProcessorCount(_ncpu)
+set(_threads "null")
+if(DEFINED ENV{SND_THREADS})
+  set(_threads $ENV{SND_THREADS})
+elseif(_ncpu GREATER 0)
+  set(_threads ${_ncpu})
+endif()
+
+file(WRITE ${BENCH_LOG}.json
+  "{\"name\": \"${_name}\", \"wall_seconds\": ${_wall}, "
+  "\"reported_seconds\": ${_reported}, \"n\": ${_n}, "
+  "\"threads\": ${_threads}, \"exit_code\": ${_rc}}\n")
+
 if(NOT _rc EQUAL 0)
   message(FATAL_ERROR "${BENCH_BIN} exited with ${_rc}; see ${BENCH_LOG}")
 endif()

@@ -17,6 +17,12 @@ std::vector<double> AdjacentDistances(const std::vector<NetworkState>& states,
   return distances;
 }
 
+std::vector<double> AdjacentDistances(const std::vector<NetworkState>& states,
+                                      const BatchDistanceFn& fn) {
+  SND_CHECK(states.size() >= 2);
+  return fn(states, AdjacentPairs(static_cast<int32_t>(states.size())));
+}
+
 std::vector<double> NormalizeByActiveUsers(
     const std::vector<double>& distances,
     const std::vector<NetworkState>& states) {

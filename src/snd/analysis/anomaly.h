@@ -15,6 +15,13 @@ namespace snd {
 std::vector<double> AdjacentDistances(const std::vector<NetworkState>& states,
                                       const DistanceFn& fn);
 
+// Batch overload: one call evaluates the whole series, letting batch-aware
+// measures (SndCalculator::BatchFn) share per-state work across the
+// transitions and parallelize internally. Equivalent to the pointwise
+// overload value-for-value.
+std::vector<double> AdjacentDistances(const std::vector<NetworkState>& states,
+                                      const BatchDistanceFn& fn);
+
 // Divides d[t] by the number of users active at time t+1 (the arrival
 // state), the paper's normalization "by the number of active users".
 std::vector<double> NormalizeByActiveUsers(

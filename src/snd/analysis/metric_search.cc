@@ -10,6 +10,11 @@ namespace snd {
 
 MetricIndex::MetricIndex(const std::vector<NetworkState>* database,
                          DistanceFn fn, int32_t num_pivots)
+    : MetricIndex(database, std::move(fn), num_pivots, nullptr) {}
+
+MetricIndex::MetricIndex(const std::vector<NetworkState>* database,
+                         DistanceFn fn, int32_t num_pivots,
+                         const BatchDistanceFn& batch_fn)
     : database_(database), fn_(std::move(fn)) {
   SND_CHECK(database_ != nullptr && !database_->empty());
   const auto n = static_cast<int32_t>(database_->size());
@@ -18,17 +23,28 @@ MetricIndex::MetricIndex(const std::vector<NetworkState>* database,
 
   // Greedy max-spread pivot selection: first pivot is state 0; each next
   // pivot is the state farthest from the already-chosen pivots. Distances
-  // computed along the way are reused as the pivot table rows.
+  // computed along the way are reused as the pivot table rows. Pivot
+  // choice depends on the previous rows, so rows are built one at a time;
+  // within a row the n evaluations batch through `batch_fn` when given.
   std::vector<double> nearest_pivot_dist(
       static_cast<size_t>(n), std::numeric_limits<double>::infinity());
   int32_t next = 0;
   for (int32_t p = 0; p < num_pivots; ++p) {
     pivots_.push_back(next);
-    std::vector<double> row(static_cast<size_t>(n), 0.0);
-    for (int32_t i = 0; i < n; ++i) {
-      row[static_cast<size_t>(i)] =
-          fn_((*database_)[static_cast<size_t>(next)],
-              (*database_)[static_cast<size_t>(i)]);
+    std::vector<double> row;
+    if (batch_fn != nullptr) {
+      StatePairs pairs;
+      pairs.reserve(static_cast<size_t>(n));
+      for (int32_t i = 0; i < n; ++i) pairs.push_back({next, i});
+      row = batch_fn(*database_, pairs);
+      SND_CHECK(row.size() == static_cast<size_t>(n));
+    } else {
+      row.assign(static_cast<size_t>(n), 0.0);
+      for (int32_t i = 0; i < n; ++i) {
+        row[static_cast<size_t>(i)] =
+            fn_((*database_)[static_cast<size_t>(next)],
+                (*database_)[static_cast<size_t>(i)]);
+      }
     }
     for (int32_t i = 0; i < n; ++i) {
       nearest_pivot_dist[static_cast<size_t>(i)] =

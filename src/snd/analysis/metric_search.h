@@ -37,6 +37,14 @@ class MetricIndex {
   MetricIndex(const std::vector<NetworkState>* database, DistanceFn fn,
               int32_t num_pivots);
 
+  // Batch-aware construction: the pivot rows (num_pivots * |database|
+  // distance evaluations, the expensive part of indexing) are computed
+  // through `batch_fn` (e.g. SndCalculator::BatchFn), which parallelizes
+  // and shares per-state work. Queries still use the pointwise `fn`. The
+  // resulting index is identical to the pointwise-constructed one.
+  MetricIndex(const std::vector<NetworkState>* database, DistanceFn fn,
+              int32_t num_pivots, const BatchDistanceFn& batch_fn);
+
   // Index of the database state nearest to `query` (exact under a metric
   // distance). `stats`, when non-null, receives evaluation/prune counts.
   int32_t NearestNeighbor(const NetworkState& query,

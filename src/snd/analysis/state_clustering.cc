@@ -23,6 +23,20 @@ DenseMatrix PairwiseDistances(const std::vector<NetworkState>& states,
   return d;
 }
 
+DenseMatrix PairwiseDistances(const std::vector<NetworkState>& states,
+                              const BatchDistanceFn& fn) {
+  const auto n = static_cast<int32_t>(states.size());
+  const StatePairs pairs = AllUnorderedPairs(n);
+  const std::vector<double> values = fn(states, pairs);
+  SND_CHECK(values.size() == pairs.size());
+  DenseMatrix d(n, n, 0.0);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    d.Set(pairs[k].first, pairs[k].second, values[k]);
+    d.Set(pairs[k].second, pairs[k].first, values[k]);
+  }
+  return d;
+}
+
 namespace {
 
 // Assigns every point to its nearest medoid; returns the total cost.

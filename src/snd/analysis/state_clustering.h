@@ -22,6 +22,13 @@ namespace snd {
 DenseMatrix PairwiseDistances(const std::vector<NetworkState>& states,
                               const DistanceFn& fn);
 
+// Batch overload: all unordered pairs are handed to `fn` in one call, so
+// batch-aware measures (SndCalculator::BatchFn) evaluate them in parallel
+// with shared per-state work. Equivalent to the pointwise overload
+// value-for-value.
+DenseMatrix PairwiseDistances(const std::vector<NetworkState>& states,
+                              const BatchDistanceFn& fn);
+
 struct KMedoidsResult {
   std::vector<int32_t> medoids;      // State indices, size k.
   std::vector<int32_t> assignment;   // State -> medoid position [0, k).

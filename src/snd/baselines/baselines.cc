@@ -2,7 +2,25 @@
 
 #include <cmath>
 
+#include "snd/util/thread_pool.h"
+
 namespace snd {
+
+BatchDistanceFn BatchFromPointwise(DistanceFn fn) {
+  return [fn = std::move(fn)](const std::vector<NetworkState>& states,
+                              const StatePairs& pairs) {
+    ValidateStatePairs(pairs, static_cast<int32_t>(states.size()));
+    std::vector<double> values(pairs.size(), 0.0);
+    ThreadPool::Global().ParallelFor(
+        static_cast<int64_t>(pairs.size()), [&](int64_t k, int32_t) {
+          const auto& [i, j] = pairs[static_cast<size_t>(k)];
+          values[static_cast<size_t>(k)] =
+              fn(states[static_cast<size_t>(i)],
+                 states[static_cast<size_t>(j)]);
+        });
+    return values;
+  };
+}
 
 double HammingDistance(const NetworkState& a, const NetworkState& b) {
   return static_cast<double>(NetworkState::CountDiffering(a, b));

@@ -9,18 +9,20 @@
 #ifndef SND_BASELINES_BASELINES_H_
 #define SND_BASELINES_BASELINES_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "snd/graph/graph.h"
+#include "snd/opinion/distance_types.h"  // DistanceFn, BatchDistanceFn.
 #include "snd/opinion/network_state.h"
 
 namespace snd {
 
-// Distance callback shared by the analysis module; larger means farther.
-using DistanceFn =
-    std::function<double(const NetworkState&, const NetworkState&)>;
+// Lifts a pointwise distance into a batch one that evaluates the pairs in
+// parallel on the shared thread pool. `fn` must be safe to call
+// concurrently (every measure in this header is); the output order always
+// matches `pairs`, so results are deterministic.
+BatchDistanceFn BatchFromPointwise(DistanceFn fn);
 
 struct NamedDistance {
   std::string name;

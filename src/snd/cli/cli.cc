@@ -11,6 +11,7 @@
 #include "snd/opinion/state_io.h"
 #include "snd/util/stats.h"
 #include "snd/util/table.h"
+#include "snd/util/thread_pool.h"
 
 namespace snd {
 namespace {
@@ -25,7 +26,9 @@ constexpr char kUsage[] =
     "flags:\n"
     "  --model=agnostic|icc|lt\n"
     "  --solver=simplex|ssp|cost-scaling\n"
-    "  --banks=per-bin|per-cluster|global\n";
+    "  --banks=per-bin|per-cluster|global\n"
+    "  --threads=N        worker threads (default: SND_THREADS or all\n"
+    "                     cores; results are identical for any N)\n";
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "snd_cli: %s\n%s", message.c_str(), kUsage);
@@ -41,13 +44,23 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 }
 
 // Parses the flag tail of the command line. On failure returns nullopt and
-// sets *error to a message naming the offending token.
+// sets *error to a message naming the offending token. `*threads` receives
+// the --threads value, or 0 when the flag is absent.
 std::optional<SndOptions> ParseOptions(const std::vector<std::string>& flags,
-                                       std::string* error) {
+                                       int32_t* threads, std::string* error) {
   SndOptions options;
+  *threads = 0;
   for (const std::string& flag : flags) {
     std::string value;
-    if (ParseFlag(flag, "model", &value)) {
+    if (ParseFlag(flag, "threads", &value)) {
+      int parsed = 0;
+      if (std::sscanf(value.c_str(), "%d", &parsed) != 1 || parsed < 1 ||
+          parsed > ThreadPool::kMaxThreads) {
+        *error = "invalid --threads value '" + value + "'";
+        return std::nullopt;
+      }
+      *threads = parsed;
+    } else if (ParseFlag(flag, "model", &value)) {
       if (value == "agnostic") {
         options.model = GroundModelKind::kModelAgnostic;
       } else if (value == "icc") {
@@ -97,10 +110,7 @@ bool IsKnownCommand(const std::string& command) {
 std::vector<double> ScoredSeries(const SndCalculator& calc,
                                  const std::vector<NetworkState>& states,
                                  std::vector<double>* normalized) {
-  const auto distances = AdjacentDistances(
-      states, [&](const NetworkState& a, const NetworkState& b) {
-        return calc.Distance(a, b);
-      });
+  const auto distances = calc.AdjacentDistanceSeries(states);
   *normalized = MinMaxScale(NormalizeByActiveUsers(distances, states));
   return AnomalyScores(*normalized);
 }
@@ -129,8 +139,11 @@ int SndCliMain(const std::vector<std::string>& args) {
                                            static_cast<long>(positional_end),
                                        args.end());
   std::string flag_error;
-  const std::optional<SndOptions> options = ParseOptions(flags, &flag_error);
+  int32_t threads = 0;
+  const std::optional<SndOptions> options =
+      ParseOptions(flags, &threads, &flag_error);
   if (!options.has_value()) return Fail(flag_error);
+  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
 
   const std::optional<Graph> graph = ReadEdgeList(graph_path);
   if (!graph.has_value()) {

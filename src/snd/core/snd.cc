@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <future>
+#include <mutex>
 #include <utility>
 
 #include "snd/cluster/diameters.h"
@@ -11,6 +11,7 @@
 #include "snd/emd/reductions.h"
 #include "snd/paths/dijkstra.h"
 #include "snd/util/stopwatch.h"
+#include "snd/util/thread_pool.h"
 
 namespace snd {
 namespace {
@@ -34,10 +35,69 @@ double HistogramTotal(const std::vector<double>& h) {
   return total;
 }
 
+size_t OpSlot(Opinion op) { return op == Opinion::kPositive ? 0 : 1; }
+
 }  // namespace
 
+// Per-(state, opinion) edge-cost store shared by every term of every pair
+// in a batch. Entries are computed lazily and exactly once (std::call_once
+// makes concurrent first requests safe); the reversed-cost buffer is
+// derived on demand so pairs that never hit the reverse-SSSP branch pay
+// nothing for it.
+class SndCalculator::EdgeCostCache {
+ public:
+  EdgeCostCache(const SndCalculator& calc,
+                const std::vector<NetworkState>& states)
+      : calc_(calc), states_(states), entries_(states.size() * 2) {}
+
+  EdgeCostCache(const EdgeCostCache&) = delete;
+  EdgeCostCache& operator=(const EdgeCostCache&) = delete;
+
+  const std::vector<int32_t>& Costs(int32_t state, Opinion op) {
+    Entry& entry = EntryFor(state, op);
+    std::call_once(entry.costs_once, [&] {
+      calc_.model_->ComputeEdgeCosts(*calc_.graph_,
+                                     states_[static_cast<size_t>(state)], op,
+                                     &entry.costs);
+    });
+    return entry.costs;
+  }
+
+  const std::vector<int32_t>& RevCosts(int32_t state, Opinion op) {
+    Entry& entry = EntryFor(state, op);
+    std::call_once(entry.rev_once, [&] {
+      const std::vector<int32_t>& forward = Costs(state, op);
+      entry.rev_costs.resize(forward.size());
+      for (size_t e = 0; e < forward.size(); ++e) {
+        entry.rev_costs[e] = forward[static_cast<size_t>(
+            calc_.reverse_origin_[e])];
+      }
+    });
+    return entry.rev_costs;
+  }
+
+ private:
+  struct Entry {
+    std::once_flag costs_once;
+    std::once_flag rev_once;
+    std::vector<int32_t> costs;
+    std::vector<int32_t> rev_costs;
+  };
+
+  Entry& EntryFor(int32_t state, Opinion op) {
+    return entries_[2 * static_cast<size_t>(state) + OpSlot(op)];
+  }
+
+  const SndCalculator& calc_;
+  const std::vector<NetworkState>& states_;
+  std::vector<Entry> entries_;
+};
+
 SndCalculator::SndCalculator(const Graph* graph, SndOptions options)
-    : graph_(graph), options_(options), model_(MakeModel(options)) {
+    : graph_(graph),
+      options_(options),
+      model_(MakeModel(options)),
+      solver_(MakeTransportSolver(options.solver)) {
   SND_CHECK(graph != nullptr);
   reversed_ = graph_->Reversed(&reverse_origin_);
 
@@ -117,20 +177,18 @@ SndResult SndCalculator::Compute(const NetworkState& a,
   result.n_delta = NetworkState::CountDiffering(a, b);
   const auto specs = MakeTermSpecs(a, b);
   if (options_.parallel_terms) {
-    std::array<std::future<SndTermResult>, 4> futures;
-    for (size_t k = 0; k < specs.size(); ++k) {
-      futures[k] = std::async(std::launch::async,
-                              [this, spec = specs[k]]() {
-                                return ComputeTermFast(spec);
-                              });
-    }
-    for (size_t k = 0; k < specs.size(); ++k) {
-      result.terms[k] = futures[k].get();
-      result.value += result.terms[k].cost;
-    }
+    // The four terms run on the shared pool, so concurrent Compute calls
+    // (e.g. from a pairwise loop) stay within the pool's hard thread cap
+    // instead of spawning unbounded std::async tasks.
+    ThreadPool::Global().ParallelFor(
+        static_cast<int64_t>(specs.size()), [&](int64_t k, int32_t) {
+          result.terms[static_cast<size_t>(k)] =
+              ComputeTermFast(specs[static_cast<size_t>(k)], TermContext{});
+        });
+    for (const SndTermResult& term : result.terms) result.value += term.cost;
   } else {
     for (size_t k = 0; k < specs.size(); ++k) {
-      result.terms[k] = ComputeTermFast(specs[k]);
+      result.terms[k] = ComputeTermFast(specs[k], TermContext{});
       result.value += result.terms[k].cost;
     }
   }
@@ -142,6 +200,75 @@ SndResult SndCalculator::Compute(const NetworkState& a,
 double SndCalculator::Distance(const NetworkState& a,
                                const NetworkState& b) const {
   return Compute(a, b).value;
+}
+
+std::vector<double> SndCalculator::BatchDistances(
+    const std::vector<NetworkState>& states, const StatePairs& pairs) const {
+  for (const NetworkState& state : states) {
+    SND_CHECK(state.num_users() == graph_->num_nodes());
+  }
+  ValidateStatePairs(pairs, static_cast<int32_t>(states.size()));
+  std::vector<double> values(pairs.size(), 0.0);
+  if (pairs.empty()) return values;
+
+  EdgeCostCache cache(*this, states);
+  ThreadPool& pool = ThreadPool::Global();
+  // Per-lane scratch, created on first use so only the lanes that
+  // actually run pay the O(n) workspace allocation.
+  std::vector<std::unique_ptr<TermScratch>> scratch(
+      static_cast<size_t>(pool.num_threads()));
+  // One job per pair; the four terms of a pair evaluate serially in spec
+  // order on one lane, so the summation order (and hence the value) is
+  // bitwise identical to Compute() regardless of the thread count.
+  pool.ParallelFor(
+      static_cast<int64_t>(pairs.size()), [&](int64_t k, int32_t slot) {
+        std::unique_ptr<TermScratch>& lane = scratch[static_cast<size_t>(slot)];
+        if (lane == nullptr) {
+          lane = std::make_unique<TermScratch>(graph_->num_nodes(),
+                                               banks_.num_clusters);
+        }
+        const auto [i, j] = pairs[static_cast<size_t>(k)];
+        const auto specs = MakeTermSpecs(states[static_cast<size_t>(i)],
+                                         states[static_cast<size_t>(j)]);
+        const std::array<int32_t, 4> distance_index = {i, i, j, j};
+        double value = 0.0;
+        for (size_t t = 0; t < specs.size(); ++t) {
+          TermContext ctx;
+          ctx.cache = &cache;
+          ctx.distance_state_index = distance_index[t];
+          ctx.scratch = lane.get();
+          value += ComputeTermFast(specs[t], ctx).cost;
+        }
+        values[static_cast<size_t>(k)] = 0.5 * value;
+      });
+  return values;
+}
+
+DenseMatrix SndCalculator::PairwiseDistanceMatrix(
+    const std::vector<NetworkState>& states) const {
+  const auto n = static_cast<int32_t>(states.size());
+  const StatePairs pairs = AllUnorderedPairs(n);
+  const std::vector<double> values = BatchDistances(states, pairs);
+  DenseMatrix d(n, n, 0.0);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    d.Set(pairs[k].first, pairs[k].second, values[k]);
+    d.Set(pairs[k].second, pairs[k].first, values[k]);
+  }
+  return d;
+}
+
+std::vector<double> SndCalculator::AdjacentDistanceSeries(
+    const std::vector<NetworkState>& states) const {
+  SND_CHECK(states.size() >= 2);
+  return BatchDistances(states,
+                        AdjacentPairs(static_cast<int32_t>(states.size())));
+}
+
+BatchDistanceFn SndCalculator::BatchFn() const {
+  return [this](const std::vector<NetworkState>& states,
+                const StatePairs& pairs) {
+    return BatchDistances(states, pairs);
+  };
 }
 
 SndResult SndCalculator::ComputeReference(const NetworkState& a,
@@ -168,17 +295,31 @@ DenseMatrix SndCalculator::GroundDistanceMatrix(const NetworkState& state,
   model_->ComputeEdgeCosts(*graph_, state, op, &costs);
   const auto disconnection = static_cast<double>(DisconnectionCost());
   DenseMatrix d(n, n, 0.0);
-  DijkstraWorkspace ws(n);
-  for (int32_t u = 0; u < n; ++u) {
+  auto compute_row = [&](int32_t u, DijkstraWorkspace* ws) {
     const SsspSource source{u, 0};
     const auto& dist =
-        ws.Run(*graph_, costs, std::span<const SsspSource>(&source, 1));
+        ws->Run(*graph_, costs, std::span<const SsspSource>(&source, 1));
     for (int32_t v = 0; v < n; ++v) {
       d.Set(u, v,
             dist[static_cast<size_t>(v)] == kUnreachableDistance
                 ? disconnection
                 : static_cast<double>(dist[static_cast<size_t>(v)]));
     }
+  };
+  ThreadPool& pool = ThreadPool::Global();
+  if (options_.parallel_sssp && n > 1 && pool.num_threads() > 1 &&
+      !ThreadPool::InParallelRegion()) {
+    std::vector<std::unique_ptr<DijkstraWorkspace>> workspaces(
+        static_cast<size_t>(pool.num_threads()));
+    pool.ParallelFor(n, [&](int64_t u, int32_t slot) {
+      std::unique_ptr<DijkstraWorkspace>& ws =
+          workspaces[static_cast<size_t>(slot)];
+      if (ws == nullptr) ws = std::make_unique<DijkstraWorkspace>(n);
+      compute_row(static_cast<int32_t>(u), ws.get());
+    });
+  } else {
+    DijkstraWorkspace ws(n);
+    for (int32_t u = 0; u < n; ++u) compute_row(u, &ws);
   }
   return d;
 }
@@ -191,23 +332,32 @@ SndTermResult SndCalculator::ComputeTermReference(const TermSpec& spec) const {
                                                   spec.op);
   const std::vector<double> p = spec.from->OpinionIndicator(spec.op);
   const std::vector<double> q = spec.to->OpinionIndicator(spec.op);
-  const auto solver = MakeTransportSolver(options_.solver);
   EmdStarOptions emd_options;
   emd_options.apportionment = options_.apportionment;
   Stopwatch watch;
-  result.cost = ComputeEmdStar(p, q, ground, banks_, *solver, emd_options);
+  result.cost = ComputeEmdStar(p, q, ground, banks_, *solver_, emd_options);
   result.transport_seconds = watch.ElapsedSeconds();
   return result;
 }
 
-SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec) const {
+SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
+                                             const TermContext& ctx) const {
   SndTermResult result;
   result.op = spec.op;
   result.forward = spec.forward;
 
-  // Ground-distance edge costs for D(distance_state, op).
-  std::vector<int32_t> costs;
-  model_->ComputeEdgeCosts(*graph_, *spec.distance_state, spec.op, &costs);
+  // Ground-distance edge costs for D(distance_state, op): from the batch
+  // cache when one is attached, computed locally otherwise.
+  std::vector<int32_t> local_costs;
+  const std::vector<int32_t>* costs_ptr = nullptr;
+  if (ctx.cache != nullptr) {
+    costs_ptr = &ctx.cache->Costs(ctx.distance_state_index, spec.op);
+  } else {
+    model_->ComputeEdgeCosts(*graph_, *spec.distance_state, spec.op,
+                             &local_costs);
+    costs_ptr = &local_costs;
+  }
+  const std::vector<int32_t>& costs = *costs_ptr;
 
   std::vector<double> p = spec.from->OpinionIndicator(spec.op);
   std::vector<double> q = spec.to->OpinionIndicator(spec.op);
@@ -254,22 +404,54 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec) const {
                         [static_cast<size_t>(flat % nb)];
   };
 
-  Stopwatch sssp_watch;
-  std::vector<double> supply, demand, cost;
-  int32_t rows = 0, cols = 0;
-  DijkstraWorkspace ws(graph_->num_nodes());
-  std::vector<int64_t> cluster_min(static_cast<size_t>(banks_.num_clusters));
-
-  auto cluster_minimum = [&](const std::vector<int64_t>& dist) {
-    std::fill(cluster_min.begin(), cluster_min.end(), kUnreachableDistance);
+  auto cluster_minimum = [&](const std::vector<int64_t>& dist,
+                             std::vector<int64_t>* cluster_min) {
+    std::fill(cluster_min->begin(), cluster_min->end(),
+              kUnreachableDistance);
     for (int32_t c = 0; c < banks_.num_clusters; ++c) {
       for (int32_t member : cluster_members_[static_cast<size_t>(c)]) {
-        cluster_min[static_cast<size_t>(c)] =
-            std::min(cluster_min[static_cast<size_t>(c)],
+        (*cluster_min)[static_cast<size_t>(c)] =
+            std::min((*cluster_min)[static_cast<size_t>(c)],
                      dist[static_cast<size_t>(member)]);
       }
     }
   };
+
+  // Runs row_fn(r, scratch) for every r in [0, count). The SSSPs behind
+  // the rows are independent, so top-level single-pair computations fan
+  // them out on the shared pool with one scratch per lane; inside a batch
+  // (already parallel over pairs) or with a single-thread pool the rows
+  // run serially on the provided (or a local) scratch. Either way every
+  // row writes only its own slice of `cost`, keeping results bitwise
+  // identical across thread counts.
+  auto for_each_row = [&](int64_t count, auto&& row_fn) {
+    ThreadPool& pool = ThreadPool::Global();
+    if (options_.parallel_sssp && count > 1 && pool.num_threads() > 1 &&
+        !ThreadPool::InParallelRegion()) {
+      // Per-lane scratch, created on first use so a term with fewer rows
+      // than lanes does not allocate workspaces that never run.
+      std::vector<std::unique_ptr<TermScratch>> scratch(
+          static_cast<size_t>(pool.num_threads()));
+      pool.ParallelFor(count, [&](int64_t r, int32_t slot) {
+        std::unique_ptr<TermScratch>& lane =
+            scratch[static_cast<size_t>(slot)];
+        if (lane == nullptr) {
+          lane = std::make_unique<TermScratch>(graph_->num_nodes(),
+                                               banks_.num_clusters);
+        }
+        row_fn(r, lane.get());
+      });
+    } else if (ctx.scratch != nullptr) {
+      for (int64_t r = 0; r < count; ++r) row_fn(r, ctx.scratch);
+    } else {
+      TermScratch local(graph_->num_nodes(), banks_.num_clusters);
+      for (int64_t r = 0; r < count; ++r) row_fn(r, &local);
+    }
+  };
+
+  Stopwatch sssp_watch;
+  std::vector<double> supply, demand, cost;
+  int32_t rows = 0, cols = 0;
 
   if (!p_lighter) {
     // Banks (if any) join the demand side; one forward SSSP per supplier.
@@ -282,11 +464,11 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec) const {
       demand.push_back(bank_caps[static_cast<size_t>(bk)]);
     }
     cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
-    for (int32_t r = 0; r < rows; ++r) {
+    for_each_row(rows, [&](int64_t r, TermScratch* scratch) {
       const SsspSource source{sup[static_cast<size_t>(r)], 0};
-      const auto& dist =
-          ws.Run(*graph_, costs, std::span<const SsspSource>(&source, 1));
-      cluster_minimum(dist);
+      const auto& dist = scratch->workspace.Run(
+          *graph_, costs, std::span<const SsspSource>(&source, 1));
+      cluster_minimum(dist, &scratch->cluster_min);
       double* row = cost.data() + static_cast<size_t>(r) * cols;
       for (size_t j = 0; j < con.size(); ++j) {
         row[j] = finite(dist[static_cast<size_t>(con[j])]);
@@ -295,9 +477,10 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec) const {
         const int32_t bk = bank_ids[k];
         row[con.size() + k] =
             bank_gamma(bk) +
-            finite(cluster_min[static_cast<size_t>(bank_cluster(bk))]);
+            finite(scratch->cluster_min[static_cast<size_t>(
+                bank_cluster(bk))]);
       }
-    }
+    });
   } else {
     // Banks join the supply side; one *reverse* SSSP per consumer gives
     // the distances from every node (and hence every bank cluster) to it.
@@ -309,34 +492,45 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec) const {
     }
     for (int32_t t : con) demand.push_back(q[static_cast<size_t>(t)]);
     cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
-    std::vector<int32_t> rev_costs(costs.size());
-    for (size_t e = 0; e < rev_costs.size(); ++e) {
-      rev_costs[e] = costs[static_cast<size_t>(reverse_origin_[e])];
+    // The reversed-cost buffer also comes from the cache when attached,
+    // instead of being rebuilt for every term of every pair.
+    std::vector<int32_t> local_rev;
+    const std::vector<int32_t>* rev_ptr = nullptr;
+    if (ctx.cache != nullptr) {
+      rev_ptr = &ctx.cache->RevCosts(ctx.distance_state_index, spec.op);
+    } else {
+      local_rev.resize(costs.size());
+      for (size_t e = 0; e < local_rev.size(); ++e) {
+        local_rev[e] = costs[static_cast<size_t>(reverse_origin_[e])];
+      }
+      rev_ptr = &local_rev;
     }
-    for (size_t jc = 0; jc < con.size(); ++jc) {
-      const SsspSource source{con[jc], 0};
-      const auto& dist =
-          ws.Run(reversed_, rev_costs, std::span<const SsspSource>(&source, 1));
-      cluster_minimum(dist);
+    const std::vector<int32_t>& rev_costs = *rev_ptr;
+    for_each_row(static_cast<int64_t>(con.size()),
+                 [&](int64_t jc, TermScratch* scratch) {
+      const SsspSource source{con[static_cast<size_t>(jc)], 0};
+      const auto& dist = scratch->workspace.Run(
+          reversed_, rev_costs, std::span<const SsspSource>(&source, 1));
+      cluster_minimum(dist, &scratch->cluster_min);
       for (size_t r = 0; r < sup.size(); ++r) {
-        cost[r * con.size() + jc] =
+        cost[r * con.size() + static_cast<size_t>(jc)] =
             finite(dist[static_cast<size_t>(sup[r])]);
       }
       for (size_t k = 0; k < bank_ids.size(); ++k) {
         const int32_t bk = bank_ids[k];
-        cost[(sup.size() + k) * con.size() + jc] =
+        cost[(sup.size() + k) * con.size() + static_cast<size_t>(jc)] =
             bank_gamma(bk) +
-            finite(cluster_min[static_cast<size_t>(bank_cluster(bk))]);
+            finite(scratch->cluster_min[static_cast<size_t>(
+                bank_cluster(bk))]);
       }
-    }
+    });
   }
   result.sssp_seconds = sssp_watch.ElapsedSeconds();
 
   const TransportProblem problem(std::move(supply), std::move(demand),
                                  std::move(cost));
-  const auto solver = MakeTransportSolver(options_.solver);
   Stopwatch transport_watch;
-  result.cost = solver->Solve(problem).total_cost;
+  result.cost = solver_->Solve(problem).total_cost;
   result.transport_seconds = transport_watch.ElapsedSeconds();
   return result;
 }

@@ -18,19 +18,30 @@
 //                         distance + full EMD*), used for validation and
 //                         as the Fig. 11 direct-solver baseline. The two
 //                         paths agree exactly; tests enforce this.
+//
+// Batch evaluation (anomaly series, ROC sweeps, pairwise clustering) runs
+// through PairwiseDistanceMatrix / AdjacentDistanceSeries / BatchDistances,
+// which parallelize over state pairs on the shared thread pool and cache
+// the per-(state, opinion) edge costs and reversed-cost buffers across
+// terms and pairs. All parallel paths are deterministic: results are
+// bitwise identical for any thread count.
 #ifndef SND_CORE_SND_H_
 #define SND_CORE_SND_H_
 
 #include <array>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "snd/core/snd_options.h"
 #include "snd/emd/banks.h"
 #include "snd/emd/dense_matrix.h"
+#include "snd/flow/solver.h"
 #include "snd/graph/graph.h"
+#include "snd/opinion/distance_types.h"  // StatePairs, BatchDistanceFn.
 #include "snd/opinion/network_state.h"
 #include "snd/opinion/opinion_model.h"
+#include "snd/paths/dijkstra.h"
 
 namespace snd {
 
@@ -73,6 +84,31 @@ class SndCalculator {
   // Convenience: Compute(a, b).value.
   double Distance(const NetworkState& a, const NetworkState& b) const;
 
+  // Batch engine: SND values for every (i, j) in `pairs` (indices into
+  // `states`), evaluated in parallel on the shared thread pool with the
+  // per-(state, opinion) edge costs and reversed-cost buffers computed
+  // once and shared across all terms and pairs. result[k] corresponds to
+  // pairs[k]; values are bitwise identical to Distance(states[i],
+  // states[j]) for any thread count.
+  std::vector<double> BatchDistances(const std::vector<NetworkState>& states,
+                                     const StatePairs& pairs) const;
+
+  // Symmetric pairwise distance matrix over `states` (each unordered pair
+  // evaluated once; zero diagonal). Backed by BatchDistances.
+  DenseMatrix PairwiseDistanceMatrix(
+      const std::vector<NetworkState>& states) const;
+
+  // d[t] = SND(states[t], states[t+1]); size states.size() - 1. The
+  // workhorse of the Section 6.2 time-series workloads. Backed by
+  // BatchDistances.
+  std::vector<double> AdjacentDistanceSeries(
+      const std::vector<NetworkState>& states) const;
+
+  // The batch engine as a BatchDistanceFn for the analysis-layer APIs
+  // (AdjacentDistances, PairwiseDistances, MetricIndex). The calculator
+  // must outlive the returned callback.
+  BatchDistanceFn BatchFn() const;
+
   // Dense reference computation (O(n) SSSPs + full transportation).
   SndResult ComputeReference(const NetworkState& a,
                              const NetworkState& b) const;
@@ -101,7 +137,31 @@ class SndCalculator {
     bool forward;
   };
 
-  SndTermResult ComputeTermFast(const TermSpec& spec) const;
+  // Shared per-(state, opinion) edge-cost store for batch evaluation;
+  // defined in snd.cc.
+  class EdgeCostCache;
+
+  // Reusable per-lane scratch so batch evaluation does not reallocate the
+  // O(n) Dijkstra arrays for every term of every pair.
+  struct TermScratch {
+    explicit TermScratch(int32_t num_nodes, int32_t num_clusters)
+        : workspace(num_nodes),
+          cluster_min(static_cast<size_t>(num_clusters)) {}
+    DijkstraWorkspace workspace;
+    std::vector<int64_t> cluster_min;
+  };
+
+  // Optional precomputed inputs for one term evaluation. Default
+  // (all null) means: compute edge costs locally, use local scratch, and
+  // parallelize the per-row SSSPs on the shared pool when enabled.
+  struct TermContext {
+    EdgeCostCache* cache = nullptr;  // With distance_state_index below.
+    int32_t distance_state_index = -1;
+    TermScratch* scratch = nullptr;
+  };
+
+  SndTermResult ComputeTermFast(const TermSpec& spec,
+                                const TermContext& ctx) const;
   SndTermResult ComputeTermReference(const TermSpec& spec) const;
   std::array<TermSpec, 4> MakeTermSpecs(const NetworkState& a,
                                         const NetworkState& b) const;
@@ -109,6 +169,7 @@ class SndCalculator {
   const Graph* graph_;
   SndOptions options_;
   std::unique_ptr<OpinionModel> model_;
+  std::unique_ptr<TransportSolver> solver_;  // Stateless; shared by threads.
   Graph reversed_;
   std::vector<int64_t> reverse_origin_;  // Reversed edge -> original edge.
   BankSpec banks_;

@@ -77,9 +77,16 @@ struct SndOptions {
   int32_t lp_min_community_size = 4;
 
   // Evaluate the four EMD* terms of Eq. 3 concurrently (they are
-  // independent). Off by default so single-threaded timing measurements
-  // stay comparable to the paper's.
+  // independent) on the shared ThreadPool. Off by default so
+  // single-threaded timing measurements stay comparable to the paper's;
+  // the value is identical either way.
   bool parallel_terms = false;
+
+  // Fan the independent per-row SSSPs of a term (one Dijkstra per
+  // changed supplier/consumer) out on the shared ThreadPool. Results are
+  // bitwise identical for any thread count; run with SND_THREADS=1 (or
+  // ThreadPool::SetGlobalThreads(1)) for strictly serial execution.
+  bool parallel_sssp = true;
 };
 
 }  // namespace snd

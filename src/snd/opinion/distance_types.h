@@ -1,0 +1,62 @@
+// Distance-callback types shared by the core, baselines and analysis
+// layers, plus helpers enumerating the standard pair sets of batch
+// evaluation. Kept free of any layer-specific dependency so core headers
+// need not pull in the baselines comparison machinery for two aliases.
+#ifndef SND_OPINION_DISTANCE_TYPES_H_
+#define SND_OPINION_DISTANCE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "snd/opinion/network_state.h"
+#include "snd/util/check.h"
+
+namespace snd {
+
+// Distance callback shared by the analysis module; larger means farther.
+using DistanceFn =
+    std::function<double(const NetworkState&, const NetworkState&)>;
+
+// Pairs of indices into a state vector, the unit of batch evaluation.
+using StatePairs = std::vector<std::pair<int32_t, int32_t>>;
+
+// Batch distance callback: result[k] is the distance between
+// states[pairs[k].first] and states[pairs[k].second]. Batch-aware
+// measures (SndCalculator::BatchDistances) amortize per-state work across
+// the pairs and parallelize internally; use BatchFromPointwise
+// (baselines.h) to lift a plain DistanceFn.
+using BatchDistanceFn = std::function<std::vector<double>(
+    const std::vector<NetworkState>&, const StatePairs&)>;
+
+// All unordered pairs (i, j) with i < j over `n` states, in row-major
+// order — the pair set of a symmetric pairwise distance matrix.
+inline StatePairs AllUnorderedPairs(int32_t n) {
+  StatePairs pairs;
+  pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n) / 2);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) pairs.push_back({i, j});
+  }
+  return pairs;
+}
+
+// The adjacent pairs (t, t+1) of a length-`n` series.
+inline StatePairs AdjacentPairs(int32_t n) {
+  StatePairs pairs;
+  if (n > 1) pairs.reserve(static_cast<size_t>(n) - 1);
+  for (int32_t t = 0; t + 1 < n; ++t) pairs.push_back({t, t + 1});
+  return pairs;
+}
+
+// Aborts unless every pair indexes into [0, num_states).
+inline void ValidateStatePairs(const StatePairs& pairs, int32_t num_states) {
+  for (const auto& [i, j] : pairs) {
+    SND_CHECK(0 <= i && i < num_states);
+    SND_CHECK(0 <= j && j < num_states);
+  }
+}
+
+}  // namespace snd
+
+#endif  // SND_OPINION_DISTANCE_TYPES_H_

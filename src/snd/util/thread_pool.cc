@@ -1,0 +1,164 @@
+#include "snd/util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "snd/util/check.h"
+
+namespace snd {
+namespace {
+
+// Slot of the current thread: workers get their fixed slot at startup,
+// external threads run as slot 0 (external ParallelFor calls are
+// serialized, so slot 0 is never used by two threads at once).
+thread_local int32_t tls_slot = 0;
+thread_local bool tls_in_parallel_region = false;
+
+int32_t ClampThreads(int32_t n) {
+  return std::clamp(n, 1, ThreadPool::kMaxThreads);
+}
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global;  // Guarded by g_global_mu.
+// Lock-free fast path for Global(): the hot paths call it per term, so
+// steady-state reads must not contend on g_global_mu.
+std::atomic<ThreadPool*> g_global_fast{nullptr};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int32_t num_threads) {
+  const int32_t parallelism = ClampThreads(num_threads);
+  workers_.reserve(static_cast<size_t>(parallelism - 1));
+  for (int32_t w = 1; w < parallelism; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+void ThreadPool::Drain(Batch* batch, int32_t slot) {
+  for (;;) {
+    const int64_t begin =
+        batch->next.fetch_add(batch->chunk, std::memory_order_relaxed);
+    if (begin >= batch->n) return;
+    const int64_t end = std::min(batch->n, begin + batch->chunk);
+    try {
+      for (int64_t i = begin; i < end; ++i) (*batch->fn)(i, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (!batch->error) batch->error = std::current_exception();
+      // Cancel the remaining indices; in-flight chunks finish on their own.
+      batch->next.store(batch->n, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerMain(int32_t slot) {
+  tls_slot = slot;
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      batch = batch_;
+    }
+    // A worker that wakes after the batch is exhausted drains nothing;
+    // the shared_ptr keeps the batch state alive for it regardless.
+    batch->active.fetch_add(1, std::memory_order_relaxed);
+    tls_in_parallel_region = true;
+    Drain(batch.get(), slot);
+    tls_in_parallel_region = false;
+    if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, const std::function<void(int64_t, int32_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || workers_.empty() || tls_in_parallel_region) {
+    // Inline: nested regions and single-thread pools never dispatch. The
+    // slot stays the current thread's lane so per-slot scratch owned by an
+    // enclosing region is reused, not aliased.
+    for (int64_t i = 0; i < n; ++i) fn(i, tls_slot);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  // Chunked dynamic schedule: large enough to amortize the atomic
+  // fetch_add on fine-grained bodies, small enough to balance skew.
+  const int64_t chunk =
+      std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
+  auto batch = std::make_shared<Batch>(n, &fn, chunk);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  tls_in_parallel_region = true;
+  Drain(batch.get(), tls_slot);
+  tls_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock, [&] {
+      return batch->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  if (ThreadPool* pool = g_global_fast.load(std::memory_order_acquire)) {
+    return *pool;
+  }
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global) {
+    g_global = std::make_unique<ThreadPool>(DefaultThreads());
+    g_global_fast.store(g_global.get(), std::memory_order_release);
+  }
+  return *g_global;
+}
+
+void ThreadPool::SetGlobalThreads(int32_t n) {
+  const int32_t parallelism = ClampThreads(n);
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global && g_global->num_threads() == parallelism) return;
+  // Publish the new pool only after it is fully constructed; destroying
+  // the old one joins its workers. As documented, this must not race
+  // with in-flight ParallelFor calls on the old pool.
+  g_global_fast.store(nullptr, std::memory_order_release);
+  g_global = std::make_unique<ThreadPool>(parallelism);
+  g_global_fast.store(g_global.get(), std::memory_order_release);
+}
+
+int32_t ThreadPool::GlobalThreads() { return Global().num_threads(); }
+
+int32_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("SND_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return ClampThreads(parsed);
+  }
+  const auto hw = static_cast<int32_t>(std::thread::hardware_concurrency());
+  return ClampThreads(hw > 0 ? hw : 1);
+}
+
+}  // namespace snd

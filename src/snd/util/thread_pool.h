@@ -1,0 +1,107 @@
+// Fixed-size shared thread pool with a deterministic ParallelFor helper.
+//
+// Every parallel region in the library runs through one process-wide pool
+// (ThreadPool::Global()), so the total number of worker threads stays
+// hard-capped no matter how many calculators or batch jobs are in flight
+// (previously each SndCalculator::Compute spawned unbounded std::async
+// tasks). Design points:
+//
+//  * ParallelFor(n, fn) calls fn(i, slot) for every i in [0, n), where
+//    `slot` in [0, num_threads()) identifies the executing lane - callers
+//    use it to index per-thread scratch (e.g. DijkstraWorkspace) without
+//    locking. The calling thread participates as slot 0.
+//  * Determinism: the schedule is dynamic, but every index writes its own
+//    output slot, so results are bitwise independent of the thread count.
+//  * Nested calls: a ParallelFor issued from inside another ParallelFor
+//    body runs inline on the current slot (no deadlock, no oversubscription).
+//  * Exceptions thrown by fn cancel the remaining indices and the first
+//    one is rethrown on the calling thread.
+#ifndef SND_UTIL_THREAD_POOL_H_
+#define SND_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snd {
+
+class ThreadPool {
+ public:
+  // Hard cap on the worker count of any pool (a safety valve against
+  // misconfigured SND_THREADS / --threads values).
+  static constexpr int32_t kMaxThreads = 256;
+
+  // A pool of total parallelism `num_threads` (clamped to
+  // [1, kMaxThreads]): the calling thread plus num_threads - 1 workers.
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism, workers plus the calling thread; slots passed to
+  // ParallelFor bodies are in [0, num_threads()).
+  int32_t num_threads() const {
+    return static_cast<int32_t>(workers_.size()) + 1;
+  }
+
+  // Runs fn(i, slot) for every i in [0, n) and blocks until all complete.
+  // Reentrant calls (from inside a ParallelFor body) run inline.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int32_t)>& fn);
+
+  // True while the current thread is executing a ParallelFor body (worker
+  // or participating caller); nested regions detect this and run inline.
+  static bool InParallelRegion();
+
+  // The process-wide shared pool, created on first use with
+  // DefaultThreads() parallelism.
+  static ThreadPool& Global();
+
+  // Replaces the global pool with one of parallelism `n` (clamped to
+  // [1, kMaxThreads]). Must not race with ParallelFor calls on the global
+  // pool; intended for startup configuration (--threads) and tests.
+  static void SetGlobalThreads(int32_t n);
+
+  // Parallelism of the global pool (creates it if needed).
+  static int32_t GlobalThreads();
+
+  // SND_THREADS environment variable if set, otherwise
+  // std::thread::hardware_concurrency(); always in [1, kMaxThreads].
+  static int32_t DefaultThreads();
+
+ private:
+  struct Batch {
+    Batch(int64_t size, const std::function<void(int64_t, int32_t)>* body,
+          int64_t chunk_size)
+        : n(size), fn(body), chunk(chunk_size) {}
+
+    const int64_t n;
+    const std::function<void(int64_t, int32_t)>* fn;
+    const int64_t chunk;
+    std::atomic<int64_t> next{0};
+    std::atomic<int32_t> active{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // First failure; guarded by mu.
+  };
+
+  void WorkerMain(int32_t slot);
+  static void Drain(Batch* batch, int32_t slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Batch> batch_;  // Current batch; guarded by mu_.
+  uint64_t epoch_ = 0;            // Bumped per dispatch; guarded by mu_.
+  bool shutdown_ = false;         // Guarded by mu_.
+  std::mutex run_mu_;             // Serializes external ParallelFor calls.
+};
+
+}  // namespace snd
+
+#endif  // SND_UTIL_THREAD_POOL_H_

@@ -8,6 +8,7 @@
 #include "snd/graph/io.h"
 #include "snd/opinion/evolution.h"
 #include "snd/opinion/state_io.h"
+#include "snd/util/thread_pool.h"
 
 namespace snd {
 namespace {
@@ -62,6 +63,25 @@ TEST_F(CliTest, FlagsAreAccepted) {
                         "--model=lt", "--solver=cost-scaling",
                         "--banks=per-cluster"}),
             0);
+}
+
+TEST_F(CliTest, ThreadsFlagConfiguresThePool) {
+  EXPECT_EQ(SndCliMain({"series", graph_path_, states_path_, "--threads=2"}),
+            0);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 2);
+  EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "1",
+                        "--threads=1"}),
+            0);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1);
+  EXPECT_NE(SndCliMain({"series", graph_path_, states_path_, "--threads=0"}),
+            0);
+  EXPECT_NE(SndCliMain({"series", graph_path_, states_path_,
+                        "--threads=bogus"}),
+            0);
+  EXPECT_NE(SndCliMain({"series", graph_path_, states_path_,
+                        "--threads=100000"}),
+            0);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
 }
 
 TEST_F(CliTest, HelpExitsZero) {

@@ -1,0 +1,248 @@
+// Determinism and equivalence of the parallel batch SND engine: Compute,
+// BatchDistances, PairwiseDistanceMatrix and AdjacentDistanceSeries must
+// return bitwise-identical values for any thread count, and the batch
+// paths (cached edge costs, shared reversed-cost buffers) must agree
+// exactly with the single-pair path.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/analysis/metric_search.h"
+#include "snd/analysis/state_clustering.h"
+#include "snd/baselines/baselines.h"
+#include "snd/core/snd.h"
+#include "snd/util/random.h"
+#include "snd/util/thread_pool.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+using testing_util::RandomState;
+using testing_util::RandomSymmetricGraph;
+
+std::vector<NetworkState> MakeSeries(int32_t n, int32_t count, Rng* rng) {
+  std::vector<NetworkState> states;
+  states.reserve(static_cast<size_t>(count));
+  for (int32_t t = 0; t < count; ++t) {
+    states.push_back(RandomState(n, 0.3 + 0.04 * t, rng));
+  }
+  return states;
+}
+
+// Thread counts to sweep: 1, 2 and the hardware concurrency (deduped).
+std::vector<int32_t> ThreadCounts() {
+  std::vector<int32_t> counts = {1, 2};
+  const auto hw = static_cast<int32_t>(std::thread::hardware_concurrency());
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+class SndParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  }
+};
+
+TEST_F(SndParallelTest, ComputeIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const Graph graph = RandomSymmetricGraph(80, 160, &rng);
+  const NetworkState a = RandomState(80, 0.4, &rng);
+  const NetworkState b = RandomState(80, 0.5, &rng);
+  for (const bool parallel_terms : {false, true}) {
+    SndOptions options;
+    options.parallel_terms = parallel_terms;
+    const SndCalculator calc(&graph, options);
+    ThreadPool::SetGlobalThreads(1);
+    const double reference = calc.Compute(a, b).value;
+    for (const int32_t threads : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(threads);
+      EXPECT_EQ(calc.Compute(a, b).value, reference)
+          << "threads=" << threads << " parallel_terms=" << parallel_terms;
+    }
+  }
+}
+
+TEST_F(SndParallelTest, SerialOptionMatchesParallelValue) {
+  Rng rng(12);
+  const Graph graph = RandomSymmetricGraph(60, 120, &rng);
+  const NetworkState a = RandomState(60, 0.4, &rng);
+  const NetworkState b = RandomState(60, 0.5, &rng);
+  SndOptions serial_options;
+  serial_options.parallel_sssp = false;
+  const SndCalculator serial_calc(&graph, serial_options);
+  const SndCalculator parallel_calc(&graph, SndOptions{});
+  EXPECT_EQ(serial_calc.Compute(a, b).value,
+            parallel_calc.Compute(a, b).value);
+}
+
+TEST_F(SndParallelTest, AdjacentDistanceSeriesMatchesSinglePairCompute) {
+  Rng rng(13);
+  const int32_t n = 60;
+  const Graph graph = RandomSymmetricGraph(n, 120, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 8, &rng);
+  const SndCalculator calc(&graph, SndOptions{});
+
+  std::vector<double> expected;
+  for (size_t t = 0; t + 1 < states.size(); ++t) {
+    expected.push_back(calc.Distance(states[t], states[t + 1]));
+  }
+  for (const int32_t threads : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<double> series = calc.AdjacentDistanceSeries(states);
+    ASSERT_EQ(series.size(), expected.size());
+    for (size_t t = 0; t < series.size(); ++t) {
+      EXPECT_EQ(series[t], expected[t]) << "t=" << t
+                                        << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(SndParallelTest, PairwiseDistanceMatrixIsDeterministicAndConsistent) {
+  Rng rng(14);
+  const int32_t n = 50;
+  const Graph graph = RandomSymmetricGraph(n, 100, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 6, &rng);
+  const SndCalculator calc(&graph, SndOptions{});
+
+  ThreadPool::SetGlobalThreads(1);
+  const DenseMatrix reference = calc.PairwiseDistanceMatrix(states);
+
+  // Symmetric, zero diagonal, and equal to the single-pair path.
+  for (int32_t i = 0; i < reference.rows(); ++i) {
+    EXPECT_EQ(reference.At(i, i), 0.0);
+    for (int32_t j = i + 1; j < reference.cols(); ++j) {
+      EXPECT_EQ(reference.At(i, j), reference.At(j, i));
+      EXPECT_EQ(reference.At(i, j),
+                calc.Distance(states[static_cast<size_t>(i)],
+                              states[static_cast<size_t>(j)]));
+    }
+  }
+
+  for (const int32_t threads : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(threads);
+    const DenseMatrix matrix = calc.PairwiseDistanceMatrix(states);
+    for (int32_t i = 0; i < reference.rows(); ++i) {
+      for (int32_t j = 0; j < reference.cols(); ++j) {
+        EXPECT_EQ(matrix.At(i, j), reference.At(i, j))
+            << i << "," << j << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(SndParallelTest, BatchDistancesHandlesRepeatedAndIdenticalPairs) {
+  Rng rng(15);
+  const int32_t n = 40;
+  const Graph graph = RandomSymmetricGraph(n, 80, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 4, &rng);
+  const SndCalculator calc(&graph, SndOptions{});
+
+  const StatePairs pairs = {{0, 1}, {1, 0}, {2, 2}, {0, 1}, {3, 0}};
+  const std::vector<double> values = calc.BatchDistances(states, pairs);
+  ASSERT_EQ(values.size(), pairs.size());
+  EXPECT_EQ(values[0], calc.Distance(states[0], states[1]));
+  EXPECT_EQ(values[1], values[0]);  // SND is symmetric.
+  EXPECT_EQ(values[2], 0.0);        // Identical states.
+  EXPECT_EQ(values[3], values[0]);  // Repeated pair.
+  EXPECT_EQ(values[4], calc.Distance(states[3], states[0]));
+
+  EXPECT_TRUE(calc.BatchDistances(states, {}).empty());
+}
+
+TEST_F(SndParallelTest, BatchFnPluggingIntoAnalysisLayerMatchesPointwise) {
+  Rng rng(16);
+  const int32_t n = 40;
+  const Graph graph = RandomSymmetricGraph(n, 80, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 6, &rng);
+  const SndCalculator calc(&graph, SndOptions{});
+  const DistanceFn pointwise = [&](const NetworkState& a,
+                                   const NetworkState& b) {
+    return calc.Distance(a, b);
+  };
+
+  const std::vector<double> series_pointwise =
+      AdjacentDistances(states, pointwise);
+  const std::vector<double> series_batch =
+      AdjacentDistances(states, calc.BatchFn());
+  ASSERT_EQ(series_batch.size(), series_pointwise.size());
+  for (size_t t = 0; t < series_batch.size(); ++t) {
+    EXPECT_EQ(series_batch[t], series_pointwise[t]);
+  }
+
+  const DenseMatrix matrix_pointwise = PairwiseDistances(states, pointwise);
+  const DenseMatrix matrix_batch = PairwiseDistances(states, calc.BatchFn());
+  for (int32_t i = 0; i < matrix_pointwise.rows(); ++i) {
+    for (int32_t j = 0; j < matrix_pointwise.cols(); ++j) {
+      EXPECT_EQ(matrix_batch.At(i, j), matrix_pointwise.At(i, j));
+    }
+  }
+}
+
+TEST_F(SndParallelTest, BatchFromPointwiseMatchesSerialEvaluation) {
+  Rng rng(17);
+  const int32_t n = 30;
+  const Graph graph = RandomSymmetricGraph(n, 60, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 5, &rng);
+  const BaselineDistances baselines(&graph);
+  const DistanceFn fn = [&](const NetworkState& a, const NetworkState& b) {
+    return baselines.WalkDist(a, b);
+  };
+  const BatchDistanceFn batch = BatchFromPointwise(fn);
+  const StatePairs pairs = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  for (const int32_t threads : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<double> values = batch(states, pairs);
+    ASSERT_EQ(values.size(), pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      EXPECT_EQ(values[k],
+                fn(states[static_cast<size_t>(pairs[k].first)],
+                   states[static_cast<size_t>(pairs[k].second)]))
+          << "k=" << k << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(SndParallelTest, BatchBuiltMetricIndexMatchesPointwiseIndex) {
+  Rng rng(18);
+  const int32_t n = 30;
+  const Graph graph = RandomSymmetricGraph(n, 60, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 10, &rng);
+  const SndCalculator calc(&graph, SndOptions{});
+  const DistanceFn pointwise = [&](const NetworkState& a,
+                                   const NetworkState& b) {
+    return calc.Distance(a, b);
+  };
+
+  const MetricIndex plain(&states, pointwise, /*num_pivots=*/3);
+  const MetricIndex batched(&states, pointwise, /*num_pivots=*/3,
+                            calc.BatchFn());
+  const NetworkState query = RandomState(n, 0.5, &rng);
+  EXPECT_EQ(batched.NearestNeighbor(query), plain.NearestNeighbor(query));
+}
+
+TEST_F(SndParallelTest, GroundDistanceMatrixIsDeterministic) {
+  Rng rng(19);
+  const int32_t n = 40;
+  const Graph graph = RandomSymmetricGraph(n, 80, &rng);
+  const NetworkState state = RandomState(n, 0.5, &rng);
+  const SndCalculator calc(&graph, SndOptions{});
+  ThreadPool::SetGlobalThreads(1);
+  const DenseMatrix reference =
+      calc.GroundDistanceMatrix(state, Opinion::kPositive);
+  for (const int32_t threads : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(threads);
+    const DenseMatrix d = calc.GroundDistanceMatrix(state, Opinion::kPositive);
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v = 0; v < n; ++v) {
+        EXPECT_EQ(d.At(u, v), reference.At(u, v)) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,162 @@
+#include "snd/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace snd {
+namespace {
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int32_t>> visits(kN);
+  pool.ParallelFor(kN, [&](int64_t i, int32_t) {
+    visits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SlotsAreWithinRangeAndExclusive) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  constexpr int64_t kN = 500;
+  // Each slot is one lane: no two concurrent bodies may share one. Track
+  // concurrent occupancy per slot with an atomic flag.
+  std::vector<std::atomic<int32_t>> occupancy(
+      static_cast<size_t>(pool.num_threads()));
+  std::atomic<bool> collision{false};
+  pool.ParallelFor(kN, [&](int64_t, int32_t slot) {
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, pool.num_threads());
+    if (occupancy[static_cast<size_t>(slot)].fetch_add(1) != 0) {
+      collision = true;
+    }
+    occupancy[static_cast<size_t>(slot)].fetch_sub(1);
+  });
+  EXPECT_FALSE(collision.load());
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(16, [&](int64_t i, int32_t slot) {
+    EXPECT_EQ(slot, 0);
+    order.push_back(i);  // No synchronization: must be single-threaded.
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  int32_t calls = 0;
+  pool.ParallelFor(0, [&](int64_t, int32_t) { ++calls; });
+  pool.ParallelFor(-5, [&](int64_t, int32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int64_t i, int32_t) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [&](int64_t, int32_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&](int64_t i, int32_t) { sum += i; });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionCancelsRemainingIndices) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(1 << 20,
+                                [&](int64_t i, int32_t) {
+                                  ++executed;
+                                  if (i == 0) throw std::runtime_error("stop");
+                                }),
+               std::runtime_error);
+  // Cancellation is advisory (in-flight chunks finish), but the bulk of a
+  // large range must be skipped.
+  EXPECT_LT(executed.load(), int64_t{1} << 20);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnTheSameSlot) {
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 64;
+  constexpr int64_t kInner = 16;
+  std::vector<std::atomic<int32_t>> counts(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](int64_t i, int32_t outer_slot) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    pool.ParallelFor(kInner, [&](int64_t j, int32_t inner_slot) {
+      // Nested regions run inline: same lane, so per-slot scratch owned
+      // by the outer body stays exclusive.
+      EXPECT_EQ(inner_slot, outer_slot);
+      counts[static_cast<size_t>(i * kInner + j)].fetch_add(1);
+    });
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionOnGlobalPoolDoesNotDeadlock) {
+  ThreadPool::SetGlobalThreads(4);
+  std::atomic<int64_t> total{0};
+  ThreadPool::Global().ParallelFor(32, [&](int64_t, int32_t) {
+    ThreadPool::Global().ParallelFor(
+        8, [&](int64_t, int32_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32 * 8);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, InParallelRegionFlagIsScopedToTheRegion) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  pool.ParallelFor(4, [&](int64_t, int32_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+  });
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, GlobalThreadsClampAndRoundTrip) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3);
+  ThreadPool::SetGlobalThreads(0);  // Clamped up to 1.
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1);
+  ThreadPool::SetGlobalThreads(ThreadPool::kMaxThreads + 1000);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), ThreadPool::kMaxThreads);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositiveAndCapped) {
+  const int32_t n = ThreadPool::DefaultThreads();
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPoolTest, ManySmallBatchesBackToBack) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(7, [&](int64_t i, int32_t) { sum += i + 1; });
+    ASSERT_EQ(sum.load(), 28);
+  }
+}
+
+}  // namespace
+}  // namespace snd
