@@ -15,7 +15,7 @@
 #include "snd/emd/emd_variants.h"
 #include "snd/flow/simplex_solver.h"
 #include "snd/graph/generators.h"
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 #include "snd/util/table.h"
 
 namespace {
@@ -23,8 +23,13 @@ namespace {
 snd::DenseMatrix AllPairs(const snd::Graph& g) {
   const std::vector<int32_t> unit(static_cast<size_t>(g.num_edges()), 1);
   snd::DenseMatrix d(g.num_nodes(), g.num_nodes(), 0.0);
+  const std::unique_ptr<snd::SsspEngine> engine = snd::MakeSsspEngine(
+      snd::SsspBackend::kAuto, g.num_nodes(), /*max_edge_cost=*/1);
   for (int32_t u = 0; u < g.num_nodes(); ++u) {
-    const auto dist = snd::Dijkstra(g, unit, u);
+    const snd::SsspSource source{u, 0};
+    const std::span<const int64_t> dist =
+        engine->Run(g, unit, std::span<const snd::SsspSource>(&source, 1),
+                    snd::SsspGoal::AllNodes());
     for (int32_t v = 0; v < g.num_nodes(); ++v) {
       d.Set(u, v,
             dist[static_cast<size_t>(v)] == snd::kUnreachableDistance

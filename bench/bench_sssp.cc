@@ -1,13 +1,21 @@
-// Microbenchmark (google-benchmark): Dijkstra's binary heap vs Dial's
-// bucket queue on the integer-cost ground-distance graphs of Assumption 2.
-// The Dial variant plays the role of the radix-heap Dijkstra in the
-// Theorem 4 complexity bound.
-#include <benchmark/benchmark.h>
+// SSSP engine comparison on the integer-cost ground-distance graphs of
+// Assumption 2: binary-heap Dijkstra vs Dial's bucket queue (the stand-in
+// for the radix-heap Dijkstra in Theorem 4's complexity bound) vs the
+// kAuto resolution, swept over the edge-cost bound U to locate the
+// crossover, plus the target-pruned vs full-search speedup that the
+// reduced SND transportation problem exploits (one small target set per
+// row instead of all n nodes).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "bench_common.h"
 #include "snd/graph/generators.h"
-#include "snd/paths/dial.h"
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 #include "snd/util/random.h"
+#include "snd/util/stopwatch.h"
+#include "snd/util/table.h"
 
 namespace {
 
@@ -16,50 +24,126 @@ struct Instance {
   std::vector<int32_t> costs;
 };
 
-Instance MakeInstance(int32_t n, int32_t max_cost) {
-  snd::Rng rng(113);
+Instance MakeInstance(int32_t n, int32_t max_cost, snd::Rng* rng) {
   snd::ScaleFreeOptions options;
   options.num_nodes = n;
   options.avg_degree = 10.0;
   Instance instance;
-  instance.graph = snd::GenerateScaleFree(options, &rng);
+  instance.graph = snd::GenerateScaleFree(options, rng);
   instance.costs.resize(static_cast<size_t>(instance.graph.num_edges()));
   for (auto& c : instance.costs) {
-    c = static_cast<int32_t>(rng.UniformInt(1, max_cost));
+    c = static_cast<int32_t>(rng->UniformInt(1, max_cost));
   }
   return instance;
 }
 
-void BM_DijkstraBinaryHeap(benchmark::State& state) {
-  const Instance instance =
-      MakeInstance(static_cast<int32_t>(state.range(0)), 65);
-  snd::DijkstraWorkspace ws(instance.graph.num_nodes());
-  int32_t source = 0;
-  for (auto _ : state) {
-    const snd::SsspSource s{source, 0};
-    benchmark::DoNotOptimize(
-        ws.Run(instance.graph, instance.costs,
-               std::span<const snd::SsspSource>(&s, 1)));
-    source = (source + 1) % instance.graph.num_nodes();
+// Mean milliseconds per full search over `searches` distinct sources.
+// `sink` accumulates a distance so the searches cannot be optimized away.
+double TimeFull(snd::SsspEngine* engine, const Instance& instance,
+                int32_t searches, int64_t* sink) {
+  snd::Stopwatch watch;
+  for (int32_t s = 0; s < searches; ++s) {
+    const snd::SsspSource source{s % instance.graph.num_nodes(), 0};
+    const auto dist = engine->Run(
+        instance.graph, instance.costs,
+        std::span<const snd::SsspSource>(&source, 1), snd::SsspGoal::AllNodes());
+    // XOR: distances can be kUnreachableDistance, so summing would overflow.
+    *sink ^= dist[static_cast<size_t>(instance.graph.num_nodes() - 1)];
   }
+  return watch.ElapsedMillis() / searches;
 }
 
-void BM_DialBuckets(benchmark::State& state) {
-  const Instance instance =
-      MakeInstance(static_cast<int32_t>(state.range(0)), 65);
-  int32_t source = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        snd::DialShortestPaths(instance.graph, instance.costs, source, 65));
-    source = (source + 1) % instance.graph.num_nodes();
+double TimePruned(snd::SsspEngine* engine, const Instance& instance,
+                  const std::vector<int32_t>& targets, int32_t searches,
+                  int64_t* sink) {
+  const snd::SsspGoal goal = snd::SsspGoal::SettleTargets(targets);
+  snd::Stopwatch watch;
+  for (int32_t s = 0; s < searches; ++s) {
+    const snd::SsspSource source{s % instance.graph.num_nodes(), 0};
+    const auto dist =
+        engine->Run(instance.graph, instance.costs,
+                    std::span<const snd::SsspSource>(&source, 1), goal);
+    *sink ^= dist[static_cast<size_t>(targets.front())];
   }
+  return watch.ElapsedMillis() / searches;
 }
 
 }  // namespace
 
-BENCHMARK(BM_DijkstraBinaryHeap)
-    ->Arg(10000)
-    ->Arg(50000)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_DialBuckets)->Arg(10000)->Arg(50000)->Unit(
-    benchmark::kMillisecond);
+int main() {
+  snd::bench::PrintHeader(
+      "SSSP engine comparison - Dijkstra vs Dial vs auto",
+      "Mean ms/search over the edge-cost bound U (Assumption 2), plus the "
+      "target-pruned speedup of the reduced problem's row searches.");
+
+  const bool full = snd::bench::FullScale();
+  const int32_t n = full ? 50000 : 10000;
+  const int32_t searches = full ? 100 : 30;
+  snd::Rng rng(113);
+  snd::Stopwatch total;
+  int64_t sink = 0;
+
+  std::printf("n=%d, searches per cell=%d\n\n", n, searches);
+
+  snd::TablePrinter table(
+      {"U", "dijkstra ms", "dial ms", "auto backend", "auto ms", "winner"});
+  int32_t crossover = -1;  // Smallest swept U where Dijkstra wins.
+  for (const int32_t max_cost : {1, 4, 16, 64, 256, 1024, 4096}) {
+    const Instance instance = MakeInstance(n, max_cost, &rng);
+    snd::DijkstraEngine dijkstra(n);
+    snd::DialEngine dial(n, max_cost);
+    const std::unique_ptr<snd::SsspEngine> auto_engine =
+        snd::MakeSsspEngine(snd::SsspBackend::kAuto, n, max_cost);
+    const double dijkstra_ms = TimeFull(&dijkstra, instance, searches, &sink);
+    const double dial_ms = TimeFull(&dial, instance, searches, &sink);
+    const double auto_ms = TimeFull(auto_engine.get(), instance, searches,
+                                    &sink);
+    const bool dial_wins = dial_ms < dijkstra_ms;
+    if (!dial_wins && crossover < 0) crossover = max_cost;
+    table.AddRow({snd::TablePrinter::Fmt(static_cast<int64_t>(max_cost)),
+                  snd::TablePrinter::Fmt(dijkstra_ms, 3),
+                  snd::TablePrinter::Fmt(dial_ms, 3), auto_engine->name(),
+                  snd::TablePrinter::Fmt(auto_ms, 3),
+                  dial_wins ? "dial" : "dijkstra"});
+  }
+  table.Print();
+  if (crossover >= 0) {
+    std::printf("\ncrossover: Dijkstra overtakes Dial at U=%d (n=%d)\n",
+                crossover, n);
+  } else {
+    std::printf("\ncrossover: none within sweep - Dial wins up to U=4096\n");
+  }
+
+  // Target-pruned vs full searches at the paper-like U=64: targets mimic
+  // the reduced problem's consumer set. The saving is the tail of the
+  // search past the farthest target, so it grows as the target set
+  // shrinks (a search with k random targets settles ~ k/(k+1) of the
+  // reachable nodes before the last one).
+  const int32_t pruned_u = 64;
+  const Instance instance = MakeInstance(n, pruned_u, &rng);
+  snd::DijkstraEngine dijkstra(n);
+  snd::DialEngine dial(n, pruned_u);
+  const double dijkstra_full = TimeFull(&dijkstra, instance, searches, &sink);
+  const double dial_full = TimeFull(&dial, instance, searches, &sink);
+  for (const int32_t num_targets : {1, 8, 64}) {
+    std::vector<int32_t> targets;
+    for (int32_t k = 0; k < num_targets; ++k) {
+      targets.push_back(static_cast<int32_t>(rng.UniformInt(0, n - 1)));
+    }
+    const double dijkstra_pruned =
+        TimePruned(&dijkstra, instance, targets, searches, &sink);
+    const double dial_pruned =
+        TimePruned(&dial, instance, targets, searches, &sink);
+    std::printf(
+        "pruned vs full (U=%d, %d targets): dijkstra %.3f -> %.3f ms "
+        "(x%.2f), dial %.3f -> %.3f ms (x%.2f)\n",
+        pruned_u, num_targets, dijkstra_full, dijkstra_pruned,
+        dijkstra_pruned > 0 ? dijkstra_full / dijkstra_pruned : 0.0,
+        dial_full, dial_pruned,
+        dial_pruned > 0 ? dial_full / dial_pruned : 0.0);
+  }
+
+  std::printf("\nchecksum: %lld\n", static_cast<long long>(sink));
+  std::printf("total time: %.3f s\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -9,7 +9,7 @@
 #include "snd/emd/emd_variants.h"
 #include "snd/flow/simplex_solver.h"
 #include "snd/graph/generators.h"
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 #include "snd/util/random.h"
 #include "snd/util/table.h"
 
@@ -29,8 +29,13 @@ snd::DenseMatrix RandomMetric(int32_t n, snd::Rng* rng) {
     }
   }
   snd::DenseMatrix d(n, n, 0.0);
+  const std::unique_ptr<snd::SsspEngine> engine =
+      snd::MakeSsspEngine(snd::SsspBackend::kAuto, n, /*max_edge_cost=*/9);
   for (int32_t u = 0; u < n; ++u) {
-    const auto dist = snd::Dijkstra(g, costs, u);
+    const snd::SsspSource source{u, 0};
+    const std::span<const int64_t> dist =
+        engine->Run(g, costs, std::span<const snd::SsspSource>(&source, 1),
+                    snd::SsspGoal::AllNodes());
     for (int32_t v = 0; v < n; ++v) {
       d.Set(u, v, static_cast<double>(dist[static_cast<size_t>(v)]));
     }

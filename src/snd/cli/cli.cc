@@ -27,6 +27,10 @@ constexpr char kUsage[] =
     "  --model=agnostic|icc|lt\n"
     "  --solver=simplex|ssp|cost-scaling\n"
     "  --banks=per-bin|per-cluster|global\n"
+    "  --sssp=auto|dijkstra|dial\n"
+    "                     shortest-path backend (auto picks Dial's bucket\n"
+    "                     queue when the model's max edge cost is small\n"
+    "                     relative to n; results are identical for all)\n"
     "  --threads=N        worker threads (default: SND_THREADS or all\n"
     "                     cores; results are identical for any N)\n";
 
@@ -81,6 +85,17 @@ std::optional<SndOptions> ParseOptions(const std::vector<std::string>& flags,
         options.apportionment = BankApportionment::kLargestRemainder;
       } else {
         *error = "unknown --solver value '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (ParseFlag(flag, "sssp", &value)) {
+      if (value == "auto") {
+        options.sssp_backend = SsspBackend::kAuto;
+      } else if (value == "dijkstra") {
+        options.sssp_backend = SsspBackend::kDijkstra;
+      } else if (value == "dial") {
+        options.sssp_backend = SsspBackend::kDial;
+      } else {
+        *error = "unknown --sssp value '" + value + "'";
         return std::nullopt;
       }
     } else if (ParseFlag(flag, "banks", &value)) {

@@ -3,26 +3,35 @@
 #include <algorithm>
 #include <queue>
 
-#include "snd/paths/dijkstra.h"
-
 namespace snd {
 
-std::vector<double> ExactClusterDiameters(const Graph& g,
-                                          std::span<const int32_t> edge_costs,
-                                          const std::vector<int32_t>& cluster_of,
-                                          int32_t num_clusters,
-                                          double unreachable_value) {
+std::vector<double> ExactClusterDiameters(
+    const Graph& g, std::span<const int32_t> edge_costs,
+    const std::vector<int32_t>& cluster_of, int32_t num_clusters,
+    double unreachable_value, SsspBackend backend) {
   SND_CHECK(static_cast<int32_t>(cluster_of.size()) == g.num_nodes());
   std::vector<double> diameters(static_cast<size_t>(num_clusters), 0.0);
-  DijkstraWorkspace ws(g.num_nodes());
+  int32_t max_cost = 0;
+  for (int32_t c : edge_costs) max_cost = std::max(max_cost, c);
+  const std::unique_ptr<SsspEngine> engine =
+      MakeSsspEngine(backend, g.num_nodes(), max_cost);
+  std::vector<std::vector<int32_t>> members(
+      static_cast<size_t>(num_clusters));
+  for (int32_t v = 0; v < g.num_nodes(); ++v) {
+    members[static_cast<size_t>(cluster_of[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
   for (int32_t p = 0; p < g.num_nodes(); ++p) {
     const int32_t c = cluster_of[static_cast<size_t>(p)];
+    const std::vector<int32_t>& cluster = members[static_cast<size_t>(c)];
     const SsspSource source{p, 0};
-    const auto& dist =
-        ws.Run(g, edge_costs, std::span<const SsspSource>(&source, 1));
+    // Only intra-cluster distances are read, so the search stops once p's
+    // cluster is settled.
+    const std::span<const int64_t> dist = engine->Run(
+        g, edge_costs, std::span<const SsspSource>(&source, 1),
+        SsspGoal::SettleTargets(cluster));
     double& diameter = diameters[static_cast<size_t>(c)];
-    for (int32_t q = 0; q < g.num_nodes(); ++q) {
-      if (cluster_of[static_cast<size_t>(q)] != c) continue;
+    for (int32_t q : cluster) {
       const double d = dist[static_cast<size_t>(q)] == kUnreachableDistance
                            ? unreachable_value
                            : static_cast<double>(dist[static_cast<size_t>(q)]);

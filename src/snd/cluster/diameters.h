@@ -10,18 +10,19 @@
 #include <vector>
 
 #include "snd/graph/graph.h"
+#include "snd/paths/sssp_engine.h"
 
 namespace snd {
 
 // Exact per-cluster diameters max_{p,q in c} D(p, q) over the ground
-// distance induced by `edge_costs` on the whole graph. O(n) Dijkstra runs;
-// use only on small graphs. Unreachable intra-cluster pairs contribute
-// `unreachable_value`.
-std::vector<double> ExactClusterDiameters(const Graph& g,
-                                          std::span<const int32_t> edge_costs,
-                                          const std::vector<int32_t>& cluster_of,
-                                          int32_t num_clusters,
-                                          double unreachable_value);
+// distance induced by `edge_costs` on the whole graph. O(n) SSSP runs via
+// the engine layer (`backend` as in SndOptions::sssp_backend; kAuto
+// resolves against the costs' maximum); use only on small graphs.
+// Unreachable intra-cluster pairs contribute `unreachable_value`.
+std::vector<double> ExactClusterDiameters(
+    const Graph& g, std::span<const int32_t> edge_costs,
+    const std::vector<int32_t>& cluster_of, int32_t num_clusters,
+    double unreachable_value, SsspBackend backend = SsspBackend::kAuto);
 
 // Structural upper bound on diam_D(c): max_edge_cost times twice the hop
 // eccentricity of an arbitrary cluster member within the cluster's

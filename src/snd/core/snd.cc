@@ -9,7 +9,7 @@
 #include "snd/cluster/label_propagation.h"
 #include "snd/emd/emd_star.h"
 #include "snd/emd/reductions.h"
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 #include "snd/util/stopwatch.h"
 #include "snd/util/thread_pool.h"
 
@@ -99,6 +99,9 @@ SndCalculator::SndCalculator(const Graph* graph, SndOptions options)
       model_(MakeModel(options)),
       solver_(MakeTransportSolver(options.solver)) {
   SND_CHECK(graph != nullptr);
+  sssp_backend_ = ResolveSsspBackend(options_.sssp_backend,
+                                     graph_->num_nodes(),
+                                     model_->MaxEdgeCost());
   reversed_ = graph_->Reversed(&reverse_origin_);
 
   // Bank clustering.
@@ -152,6 +155,18 @@ SndCalculator::SndCalculator(const Graph* graph, SndOptions options)
 }
 
 SndCalculator::~SndCalculator() = default;
+
+SndCalculator::TermScratch::TermScratch(const SndCalculator& calc)
+    : engine(calc.MakeEngine()),
+      cluster_min(static_cast<size_t>(calc.banks_.num_clusters)) {}
+
+std::unique_ptr<SsspEngine> SndCalculator::MakeEngine() const {
+  // The backend is already resolved, and the model's U bounds both the
+  // forward and the reversed (permuted-forward) cost buffers, so one
+  // engine serves every search of the calculator.
+  return MakeSsspEngine(sssp_backend_, graph_->num_nodes(),
+                        model_->MaxEdgeCost());
+}
 
 int64_t SndCalculator::DisconnectionCost() const {
   return static_cast<int64_t>(model_->MaxEdgeCost()) *
@@ -223,10 +238,7 @@ std::vector<double> SndCalculator::BatchDistances(
   pool.ParallelFor(
       static_cast<int64_t>(pairs.size()), [&](int64_t k, int32_t slot) {
         std::unique_ptr<TermScratch>& lane = scratch[static_cast<size_t>(slot)];
-        if (lane == nullptr) {
-          lane = std::make_unique<TermScratch>(graph_->num_nodes(),
-                                               banks_.num_clusters);
-        }
+        if (lane == nullptr) lane = std::make_unique<TermScratch>(*this);
         const auto [i, j] = pairs[static_cast<size_t>(k)];
         const auto specs = MakeTermSpecs(states[static_cast<size_t>(i)],
                                          states[static_cast<size_t>(j)]);
@@ -295,10 +307,11 @@ DenseMatrix SndCalculator::GroundDistanceMatrix(const NetworkState& state,
   model_->ComputeEdgeCosts(*graph_, state, op, &costs);
   const auto disconnection = static_cast<double>(DisconnectionCost());
   DenseMatrix d(n, n, 0.0);
-  auto compute_row = [&](int32_t u, DijkstraWorkspace* ws) {
+  auto compute_row = [&](int32_t u, SsspEngine* engine) {
     const SsspSource source{u, 0};
-    const auto& dist =
-        ws->Run(*graph_, costs, std::span<const SsspSource>(&source, 1));
+    const std::span<const int64_t> dist =
+        engine->Run(*graph_, costs, std::span<const SsspSource>(&source, 1),
+                    SsspGoal::AllNodes());
     for (int32_t v = 0; v < n; ++v) {
       d.Set(u, v,
             dist[static_cast<size_t>(v)] == kUnreachableDistance
@@ -309,17 +322,16 @@ DenseMatrix SndCalculator::GroundDistanceMatrix(const NetworkState& state,
   ThreadPool& pool = ThreadPool::Global();
   if (options_.parallel_sssp && n > 1 && pool.num_threads() > 1 &&
       !ThreadPool::InParallelRegion()) {
-    std::vector<std::unique_ptr<DijkstraWorkspace>> workspaces(
+    std::vector<std::unique_ptr<SsspEngine>> engines(
         static_cast<size_t>(pool.num_threads()));
     pool.ParallelFor(n, [&](int64_t u, int32_t slot) {
-      std::unique_ptr<DijkstraWorkspace>& ws =
-          workspaces[static_cast<size_t>(slot)];
-      if (ws == nullptr) ws = std::make_unique<DijkstraWorkspace>(n);
-      compute_row(static_cast<int32_t>(u), ws.get());
+      std::unique_ptr<SsspEngine>& engine = engines[static_cast<size_t>(slot)];
+      if (engine == nullptr) engine = MakeEngine();
+      compute_row(static_cast<int32_t>(u), engine.get());
     });
   } else {
-    DijkstraWorkspace ws(n);
-    for (int32_t u = 0; u < n; ++u) compute_row(u, &ws);
+    const std::unique_ptr<SsspEngine> engine = MakeEngine();
+    for (int32_t u = 0; u < n; ++u) compute_row(u, engine.get());
   }
   return d;
 }
@@ -404,18 +416,40 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
                         [static_cast<size_t>(flat % nb)];
   };
 
-  auto cluster_minimum = [&](const std::vector<int64_t>& dist,
+  // Distinct clusters holding an active bank; only their minima are read
+  // by the bank rows/columns below, so only their members must be settled.
+  std::vector<int32_t> bank_clusters;
+  bank_clusters.reserve(bank_ids.size());
+  for (int32_t bk : bank_ids) bank_clusters.push_back(bank_cluster(bk));
+  std::sort(bank_clusters.begin(), bank_clusters.end());
+  bank_clusters.erase(
+      std::unique(bank_clusters.begin(), bank_clusters.end()),
+      bank_clusters.end());
+
+  auto cluster_minimum = [&](std::span<const int64_t> dist,
                              std::vector<int64_t>* cluster_min) {
-    std::fill(cluster_min->begin(), cluster_min->end(),
-              kUnreachableDistance);
-    for (int32_t c = 0; c < banks_.num_clusters; ++c) {
+    for (int32_t c : bank_clusters) {
+      int64_t best = kUnreachableDistance;
       for (int32_t member : cluster_members_[static_cast<size_t>(c)]) {
-        (*cluster_min)[static_cast<size_t>(c)] =
-            std::min((*cluster_min)[static_cast<size_t>(c)],
-                     dist[static_cast<size_t>(member)]);
+        best = std::min(best, dist[static_cast<size_t>(member)]);
       }
+      (*cluster_min)[static_cast<size_t>(c)] = best;
     }
   };
+
+  // Target set of every row's search: the reduced problem reads a row
+  // only at the opposite side's bins and at active-bank-cluster members,
+  // so the engine stops as soon as those are settled instead of settling
+  // all n nodes. Settled-target entries are exact, keeping the values
+  // bitwise identical to a full search for every backend.
+  std::vector<int32_t> row_targets((!p_lighter ? con : sup).begin(),
+                                   (!p_lighter ? con : sup).end());
+  for (int32_t c : bank_clusters) {
+    const std::vector<int32_t>& members =
+        cluster_members_[static_cast<size_t>(c)];
+    row_targets.insert(row_targets.end(), members.begin(), members.end());
+  }
+  const SsspGoal row_goal = SsspGoal::SettleTargets(row_targets);
 
   // Runs row_fn(r, scratch) for every r in [0, count). The SSSPs behind
   // the rows are independent, so top-level single-pair computations fan
@@ -435,16 +469,13 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
       pool.ParallelFor(count, [&](int64_t r, int32_t slot) {
         std::unique_ptr<TermScratch>& lane =
             scratch[static_cast<size_t>(slot)];
-        if (lane == nullptr) {
-          lane = std::make_unique<TermScratch>(graph_->num_nodes(),
-                                               banks_.num_clusters);
-        }
+        if (lane == nullptr) lane = std::make_unique<TermScratch>(*this);
         row_fn(r, lane.get());
       });
     } else if (ctx.scratch != nullptr) {
       for (int64_t r = 0; r < count; ++r) row_fn(r, ctx.scratch);
     } else {
-      TermScratch local(graph_->num_nodes(), banks_.num_clusters);
+      TermScratch local(*this);
       for (int64_t r = 0; r < count; ++r) row_fn(r, &local);
     }
   };
@@ -466,8 +497,8 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
     cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
     for_each_row(rows, [&](int64_t r, TermScratch* scratch) {
       const SsspSource source{sup[static_cast<size_t>(r)], 0};
-      const auto& dist = scratch->workspace.Run(
-          *graph_, costs, std::span<const SsspSource>(&source, 1));
+      const std::span<const int64_t> dist = scratch->engine->Run(
+          *graph_, costs, std::span<const SsspSource>(&source, 1), row_goal);
       cluster_minimum(dist, &scratch->cluster_min);
       double* row = cost.data() + static_cast<size_t>(r) * cols;
       for (size_t j = 0; j < con.size(); ++j) {
@@ -509,8 +540,9 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
     for_each_row(static_cast<int64_t>(con.size()),
                  [&](int64_t jc, TermScratch* scratch) {
       const SsspSource source{con[static_cast<size_t>(jc)], 0};
-      const auto& dist = scratch->workspace.Run(
-          reversed_, rev_costs, std::span<const SsspSource>(&source, 1));
+      const std::span<const int64_t> dist = scratch->engine->Run(
+          reversed_, rev_costs, std::span<const SsspSource>(&source, 1),
+          row_goal);
       cluster_minimum(dist, &scratch->cluster_min);
       for (size_t r = 0; r < sup.size(); ++r) {
         cost[r * con.size() + static_cast<size_t>(jc)] =

@@ -41,7 +41,7 @@
 #include "snd/opinion/distance_types.h"  // StatePairs, BatchDistanceFn.
 #include "snd/opinion/network_state.h"
 #include "snd/opinion/opinion_model.h"
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 
 namespace snd {
 
@@ -128,6 +128,11 @@ class SndCalculator {
   const OpinionModel& model() const { return *model_; }
   const SndOptions& options() const { return options_; }
 
+  // The concrete SSSP backend behind every ground-distance search
+  // (SndOptions::sssp_backend with kAuto resolved against the graph size
+  // and the model's MaxEdgeCost()).
+  SsspBackend sssp_backend() const { return sssp_backend_; }
+
  private:
   struct TermSpec {
     const NetworkState* distance_state;  // Defines D.
@@ -142,12 +147,11 @@ class SndCalculator {
   class EdgeCostCache;
 
   // Reusable per-lane scratch so batch evaluation does not reallocate the
-  // O(n) Dijkstra arrays for every term of every pair.
+  // O(n) SSSP workspaces for every term of every pair. The engine is built
+  // by MakeEngine() against the calculator's resolved backend.
   struct TermScratch {
-    explicit TermScratch(int32_t num_nodes, int32_t num_clusters)
-        : workspace(num_nodes),
-          cluster_min(static_cast<size_t>(num_clusters)) {}
-    DijkstraWorkspace workspace;
+    explicit TermScratch(const SndCalculator& calc);
+    std::unique_ptr<SsspEngine> engine;
     std::vector<int64_t> cluster_min;
   };
 
@@ -166,9 +170,14 @@ class SndCalculator {
   std::array<TermSpec, 4> MakeTermSpecs(const NetworkState& a,
                                         const NetworkState& b) const;
 
+  // A fresh reusable engine for this calculator's graph/model (one per
+  // scratch lane; engines are not thread-safe).
+  std::unique_ptr<SsspEngine> MakeEngine() const;
+
   const Graph* graph_;
   SndOptions options_;
   std::unique_ptr<OpinionModel> model_;
+  SsspBackend sssp_backend_ = SsspBackend::kDijkstra;  // Resolved in ctor.
   std::unique_ptr<TransportSolver> solver_;  // Stateless; shared by threads.
   Graph reversed_;
   std::vector<int64_t> reverse_origin_;  // Reversed edge -> original edge.

@@ -9,6 +9,7 @@
 #include "snd/opinion/icc_model.h"
 #include "snd/opinion/lt_model.h"
 #include "snd/opinion/model_agnostic.h"
+#include "snd/paths/sssp_engine.h"
 
 namespace snd {
 
@@ -58,6 +59,13 @@ struct SndOptions {
   LtParams lt;
 
   TransportAlgorithm solver = TransportAlgorithm::kSimplex;
+
+  // Shortest-path backend behind every ground-distance search (CLI:
+  // --sssp). kAuto picks Dial's bucket queue when the model's
+  // MaxEdgeCost() (Assumption 2's U) is small relative to the graph size,
+  // binary-heap Dijkstra otherwise; SND values are bitwise identical for
+  // every choice.
+  SsspBackend sssp_backend = SsspBackend::kAuto;
 
   BankStrategy bank_strategy = BankStrategy::kPerBin;
   int32_t banks_per_cluster = 1;

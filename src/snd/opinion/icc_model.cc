@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 
 namespace snd {
 
@@ -56,7 +56,13 @@ void IccModel::ComputeEdgeCosts(const Graph& g, const NetworkState& state,
   }
   std::vector<int64_t> dist_from_active;
   if (!sources.empty()) {
-    dist_from_active = Dijkstra(g, distances, sources);
+    // Edge distances are small integers (1 by default), squarely in the
+    // bucket-queue regime; kAuto falls back to Dijkstra on tiny graphs.
+    const std::unique_ptr<SsspEngine> engine = MakeSsspEngine(
+        SsspBackend::kAuto, g.num_nodes(), max_edge_distance);
+    const std::span<const int64_t> dist =
+        engine->Run(g, distances, sources, SsspGoal::AllNodes());
+    dist_from_active.assign(dist.begin(), dist.end());
   } else {
     dist_from_active.assign(static_cast<size_t>(g.num_nodes()),
                             kUnreachableDistance);

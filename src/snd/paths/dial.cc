@@ -1,66 +1,17 @@
 #include "snd/paths/dial.h"
 
+#include "snd/paths/sssp_engine.h"
+
 namespace snd {
 
 std::vector<int64_t> DialShortestPaths(const Graph& g,
                                        std::span<const int32_t> edge_costs,
                                        std::span<const SsspSource> sources,
                                        int32_t max_cost) {
-  SND_CHECK(static_cast<int64_t>(edge_costs.size()) == g.num_edges());
-  SND_CHECK(max_cost >= 0);
-  std::vector<int64_t> dist(static_cast<size_t>(g.num_nodes()),
-                            kUnreachableDistance);
-
-  // Multi-source searches can seed distinct initial offsets, so the live
-  // window spans (max initial offset) + max_cost + 1 buckets.
-  int64_t max_offset = 0;
-  for (const SsspSource& s : sources) {
-    SND_CHECK(0 <= s.node && s.node < g.num_nodes());
-    SND_CHECK(s.initial_distance >= 0);
-    max_offset = std::max(max_offset, s.initial_distance);
-  }
-  const int64_t window = max_offset + max_cost + 1;
-  std::vector<std::vector<int32_t>> buckets(static_cast<size_t>(window));
-
-  int64_t pending = 0;
-  for (const SsspSource& s : sources) {
-    if (s.initial_distance < dist[static_cast<size_t>(s.node)]) {
-      dist[static_cast<size_t>(s.node)] = s.initial_distance;
-      buckets[static_cast<size_t>(s.initial_distance % window)].push_back(
-          s.node);
-      ++pending;
-    }
-  }
-  // Sweep distances in increasing order; stale bucket entries (re-inserted
-  // at a smaller distance) are filtered by the dist comparison.
-  for (int64_t d = 0; pending > 0; ++d) {
-    auto& bucket = buckets[static_cast<size_t>(d % window)];
-    // Entries in this bucket either have dist == d (current) or were
-    // superseded; both cases consume a pending slot. Zero-cost edges can
-    // re-fill the bucket mid-sweep, so drain it until empty.
-    std::vector<int32_t> current;
-    while (!bucket.empty()) {
-      current.clear();
-      current.swap(bucket);
-      for (int32_t u : current) {
-        --pending;
-        if (dist[static_cast<size_t>(u)] != d) continue;
-        const int64_t begin = g.OutEdgeBegin(u), end = g.OutEdgeEnd(u);
-        for (int64_t e = begin; e < end; ++e) {
-          const int32_t v = g.EdgeTarget(e);
-          const int32_t c = edge_costs[static_cast<size_t>(e)];
-          SND_DCHECK(0 <= c && c <= max_cost);
-          const int64_t nd = d + c;
-          if (nd < dist[static_cast<size_t>(v)]) {
-            dist[static_cast<size_t>(v)] = nd;
-            buckets[static_cast<size_t>(nd % window)].push_back(v);
-            ++pending;
-          }
-        }
-      }
-    }
-  }
-  return dist;
+  DialEngine engine(g.num_nodes(), max_cost);
+  const std::span<const int64_t> dist =
+      engine.Run(g, edge_costs, sources, SsspGoal::AllNodes());
+  return {dist.begin(), dist.end()};
 }
 
 std::vector<int64_t> DialShortestPaths(const Graph& g,

@@ -1,10 +1,14 @@
-// Dial's bucket-queue shortest path algorithm.
+// One-shot Dial bucket-queue conveniences.
 //
 // Assumption 2 of the paper bounds edge costs by a constant integer U; with
 // such costs the tentative distances alive in a Dijkstra priority queue
 // span a window of at most U, so a circular array of U+1 buckets replaces
 // the heap and each queue operation is O(1). This plays the role of the
 // radix-heap Dijkstra of Ahuja et al. cited by Theorem 4.
+//
+// These wrap DialEngine (paths/sssp_engine.h) for callers that run a
+// single search; repeated searches and target-pruned goals should hold an
+// engine instead so the workspace is reused.
 #ifndef SND_PATHS_DIAL_H_
 #define SND_PATHS_DIAL_H_
 

@@ -1,60 +1,16 @@
 #include "snd/paths/dijkstra.h"
 
-#include <algorithm>
+#include "snd/paths/sssp_engine.h"
 
 namespace snd {
-
-DijkstraWorkspace::DijkstraWorkspace(int32_t num_nodes)
-    : dist_(static_cast<size_t>(num_nodes), kUnreachableDistance) {}
-
-const std::vector<int64_t>& DijkstraWorkspace::Run(
-    const Graph& g, std::span<const int32_t> edge_costs,
-    std::span<const SsspSource> sources) {
-  SND_CHECK(static_cast<int64_t>(edge_costs.size()) == g.num_edges());
-  SND_CHECK(dist_.size() == static_cast<size_t>(g.num_nodes()));
-  std::fill(dist_.begin(), dist_.end(), kUnreachableDistance);
-  heap_.clear();
-
-  // Lazy-deletion binary heap of (distance, node); stale entries are
-  // skipped on pop. std::*_heap keeps a max-heap, so distances are negated.
-  auto push = [this](int64_t d, int32_t v) {
-    heap_.emplace_back(-d, v);
-    std::push_heap(heap_.begin(), heap_.end());
-  };
-  for (const SsspSource& s : sources) {
-    SND_CHECK(0 <= s.node && s.node < g.num_nodes());
-    SND_CHECK(s.initial_distance >= 0);
-    if (s.initial_distance < dist_[static_cast<size_t>(s.node)]) {
-      dist_[static_cast<size_t>(s.node)] = s.initial_distance;
-      push(s.initial_distance, s.node);
-    }
-  }
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    const auto [neg_d, u] = heap_.back();
-    heap_.pop_back();
-    const int64_t d = -neg_d;
-    if (d != dist_[static_cast<size_t>(u)]) continue;  // Stale entry.
-    const int64_t begin = g.OutEdgeBegin(u), end = g.OutEdgeEnd(u);
-    for (int64_t e = begin; e < end; ++e) {
-      const int32_t v = g.EdgeTarget(e);
-      const int32_t c = edge_costs[static_cast<size_t>(e)];
-      SND_DCHECK(c >= 0);
-      const int64_t nd = d + c;
-      if (nd < dist_[static_cast<size_t>(v)]) {
-        dist_[static_cast<size_t>(v)] = nd;
-        push(nd, v);
-      }
-    }
-  }
-  return dist_;
-}
 
 std::vector<int64_t> Dijkstra(const Graph& g,
                               std::span<const int32_t> edge_costs,
                               std::span<const SsspSource> sources) {
-  DijkstraWorkspace ws(g.num_nodes());
-  return ws.Run(g, edge_costs, sources);
+  DijkstraEngine engine(g.num_nodes());
+  const std::span<const int64_t> dist =
+      engine.Run(g, edge_costs, sources, SsspGoal::AllNodes());
+  return {dist.begin(), dist.end()};
 }
 
 std::vector<int64_t> Dijkstra(const Graph& g,

@@ -1,6 +1,9 @@
-// Dijkstra's algorithm with a binary heap, the workhorse for computing the
-// rows of the ground distance D that the reduced SND transportation
-// problem needs (Theorem 4 runs one instance per changed user).
+// One-shot binary-heap Dijkstra conveniences.
+//
+// These wrap DijkstraEngine (paths/sssp_engine.h) for callers that run a
+// single search and want a fresh distance vector; repeated searches and
+// target-pruned goals should hold an engine instead so the workspace is
+// reused.
 #ifndef SND_PATHS_DIJKSTRA_H_
 #define SND_PATHS_DIJKSTRA_H_
 
@@ -23,23 +26,6 @@ std::vector<int64_t> Dijkstra(const Graph& g,
 std::vector<int64_t> Dijkstra(const Graph& g,
                               std::span<const int32_t> edge_costs,
                               int32_t source);
-
-// Reusable workspace that avoids reallocating the distance/heap arrays when
-// running many searches over the same graph (the fast SND path runs up to
-// n_delta of them back to back).
-class DijkstraWorkspace {
- public:
-  explicit DijkstraWorkspace(int32_t num_nodes);
-
-  // Runs a search and returns the distance array valid until the next Run.
-  const std::vector<int64_t>& Run(const Graph& g,
-                                  std::span<const int32_t> edge_costs,
-                                  std::span<const SsspSource> sources);
-
- private:
-  std::vector<int64_t> dist_;
-  std::vector<std::pair<int64_t, int32_t>> heap_;
-};
 
 }  // namespace snd
 

@@ -1,0 +1,192 @@
+// Pluggable single-source shortest-path engine layer.
+//
+// Every ground-distance consumer (the per-row SSSP fan-out of the reduced
+// SND transportation problem, the dense reference matrix, cluster
+// diameters, the ICC model's distance-to-active-set) runs its searches
+// through the SsspEngine interface instead of a hard-wired algorithm:
+//
+//  * DijkstraEngine - binary-heap Dijkstra, no assumptions on costs
+//    beyond non-negativity. O((n + m) log n) per search.
+//  * DialEngine     - Dial's bucket queue for the bounded integer costs of
+//    the paper's Assumption 2 (every cost <= U). O(n + m + radius) per
+//    search; this plays the role of the radix-heap Dijkstra of Ahuja et
+//    al. behind Theorem 4's complexity bound.
+//
+// Engines own reusable workspaces: the distance array, heap/buckets and
+// target bitmap are allocated once and recycled across Run calls, so the
+// n_delta back-to-back searches of the fast SND path allocate nothing.
+//
+// SsspGoal adds target-pruned early exit: a search can stop as soon as a
+// supplied target set is settled (distances final) instead of settling
+// all n nodes - the reduced problem only reads the rows' entries at the
+// consumer bins and bank members, which are typically far fewer than n.
+// Settled-target entries are exact, so results are bitwise identical to a
+// full search on those entries, for every backend.
+#ifndef SND_PATHS_SSSP_ENGINE_H_
+#define SND_PATHS_SSSP_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/paths/sssp.h"
+
+namespace snd {
+
+// Algorithm selection, surfaced as SndOptions::sssp_backend and the CLI's
+// --sssp flag. kAuto resolves per graph/model via ResolveSsspBackend.
+enum class SsspBackend {
+  kAuto,
+  kDijkstra,
+  kDial,
+};
+
+const char* SsspBackendName(SsspBackend backend);
+
+// What one search must settle: every node, or just a target set.
+class SsspGoal {
+ public:
+  // Settle all n nodes (the classic full search).
+  static SsspGoal AllNodes() { return SsspGoal(); }
+
+  // Stop once every node of `targets` is settled. Duplicates are fine.
+  // The span must stay alive for the duration of the Run call.
+  static SsspGoal SettleTargets(std::span<const int32_t> targets) {
+    SsspGoal goal;
+    goal.settle_all_ = false;
+    goal.targets_ = targets;
+    return goal;
+  }
+
+  bool settle_all() const { return settle_all_; }
+  std::span<const int32_t> targets() const { return targets_; }
+
+ private:
+  SsspGoal() = default;
+
+  bool settle_all_ = true;
+  std::span<const int32_t> targets_;
+};
+
+// Tracks which goal targets remain unsettled during one run. Reset is
+// O(targets) - marks use a generation stamp, so the O(n) array is never
+// cleared between runs.
+class SsspTargetSet {
+ public:
+  explicit SsspTargetSet(int32_t num_nodes)
+      : mark_(static_cast<size_t>(num_nodes), 0) {}
+
+  // Marks `targets` (deduplicated) as unsettled.
+  void Reset(std::span<const int32_t> targets) {
+    ++generation_;
+    remaining_ = 0;
+    for (int32_t t : targets) {
+      SND_CHECK(0 <= t && t < static_cast<int32_t>(mark_.size()));
+      if (mark_[static_cast<size_t>(t)] != generation_) {
+        mark_[static_cast<size_t>(t)] = generation_;
+        ++remaining_;
+      }
+    }
+  }
+
+  int64_t remaining() const { return remaining_; }
+
+  // Records that `node` is settled. Returns true when it was the last
+  // unsettled target, i.e. the search may stop.
+  bool Settle(int32_t node) {
+    if (mark_[static_cast<size_t>(node)] == generation_) {
+      mark_[static_cast<size_t>(node)] = 0;
+      return --remaining_ == 0;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<uint64_t> mark_;  // == generation_: unsettled target.
+  uint64_t generation_ = 0;
+  int64_t remaining_ = 0;
+};
+
+// A reusable shortest-path solver bound to a fixed node count.
+class SsspEngine {
+ public:
+  virtual ~SsspEngine() = default;
+
+  // Computes shortest distances from `sources` over `edge_costs`
+  // (CSR-aligned, non-negative). Returns a span of size num_nodes, valid
+  // until the next Run or destruction. Unreachable nodes hold
+  // kUnreachableDistance. With a SettleTargets goal the entries of the
+  // goal's targets are exact (identical to a full search); other entries
+  // may be tentative upper bounds or kUnreachableDistance.
+  virtual std::span<const int64_t> Run(const Graph& g,
+                                       std::span<const int32_t> edge_costs,
+                                       std::span<const SsspSource> sources,
+                                       const SsspGoal& goal) = 0;
+
+  virtual SsspBackend backend() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Binary-heap Dijkstra. Valid for any non-negative costs.
+class DijkstraEngine : public SsspEngine {
+ public:
+  explicit DijkstraEngine(int32_t num_nodes);
+
+  std::span<const int64_t> Run(const Graph& g,
+                               std::span<const int32_t> edge_costs,
+                               std::span<const SsspSource> sources,
+                               const SsspGoal& goal) override;
+
+  SsspBackend backend() const override { return SsspBackend::kDijkstra; }
+  const char* name() const override { return "dijkstra"; }
+
+ private:
+  std::vector<int64_t> dist_;
+  std::vector<std::pair<int64_t, int32_t>> heap_;
+  SsspTargetSet targets_;
+};
+
+// Dial's bucket queue. Every edge cost must lie in [0, max_cost]
+// (Assumption 2's U); the live distance window then spans at most
+// max_cost + 1 values, so a circular bucket array replaces the heap and
+// every queue operation is O(1).
+class DialEngine : public SsspEngine {
+ public:
+  DialEngine(int32_t num_nodes, int32_t max_cost);
+
+  std::span<const int64_t> Run(const Graph& g,
+                               std::span<const int32_t> edge_costs,
+                               std::span<const SsspSource> sources,
+                               const SsspGoal& goal) override;
+
+  SsspBackend backend() const override { return SsspBackend::kDial; }
+  const char* name() const override { return "dial"; }
+  int32_t max_cost() const { return max_cost_; }
+
+ private:
+  int32_t max_cost_;
+  std::vector<int64_t> dist_;
+  std::vector<std::vector<int32_t>> buckets_;
+  SsspTargetSet targets_;
+};
+
+// Resolves kAuto to a concrete backend for a graph of `num_nodes` nodes
+// whose costs are bounded by `max_edge_cost`: Dial when the bound is small
+// relative to n (its bucket array has max_edge_cost + 1 entries and its
+// sweep walks every distance value up to the search radius), Dijkstra
+// otherwise. Concrete requests pass through unchanged.
+SsspBackend ResolveSsspBackend(SsspBackend requested, int32_t num_nodes,
+                               int32_t max_edge_cost);
+
+// Builds a reusable engine for searches over graphs of `num_nodes` nodes
+// with costs in [0, max_edge_cost]. kAuto resolves via
+// ResolveSsspBackend.
+std::unique_ptr<SsspEngine> MakeSsspEngine(SsspBackend backend,
+                                           int32_t num_nodes,
+                                           int32_t max_edge_cost);
+
+}  // namespace snd
+
+#endif  // SND_PATHS_SSSP_ENGINE_H_

@@ -1,6 +1,7 @@
 #include "snd/util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "snd/util/check.h"
@@ -153,12 +154,23 @@ void ThreadPool::SetGlobalThreads(int32_t n) {
 int32_t ThreadPool::GlobalThreads() { return Global().num_threads(); }
 
 int32_t ThreadPool::DefaultThreads() {
-  if (const char* env = std::getenv("SND_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return ClampThreads(parsed);
-  }
   const auto hw = static_cast<int32_t>(std::thread::hardware_concurrency());
-  return ClampThreads(hw > 0 ? hw : 1);
+  const int32_t fallback = ClampThreads(hw > 0 ? hw : 1);
+  if (const char* env = std::getenv("SND_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed <= 0) {
+      // Same voice as the CLI's flag errors: name the offending value, do
+      // not die over an environment variable.
+      std::fprintf(stderr,
+                   "snd: invalid SND_THREADS value '%s'; using %d threads\n",
+                   env, fallback);
+      return fallback;
+    }
+    return ClampThreads(
+        static_cast<int32_t>(std::min<long>(parsed, kMaxThreads)));
+  }
+  return fallback;
 }
 
 }  // namespace snd

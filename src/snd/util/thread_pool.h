@@ -8,7 +8,7 @@
 //
 //  * ParallelFor(n, fn) calls fn(i, slot) for every i in [0, n), where
 //    `slot` in [0, num_threads()) identifies the executing lane - callers
-//    use it to index per-thread scratch (e.g. DijkstraWorkspace) without
+//    use it to index per-thread scratch (e.g. an SsspEngine) without
 //    locking. The calling thread participates as slot 0.
 //  * Determinism: the schedule is dynamic, but every index writes its own
 //    output slot, so results are bitwise independent of the thread count.
@@ -72,6 +72,9 @@ class ThreadPool {
 
   // SND_THREADS environment variable if set, otherwise
   // std::thread::hardware_concurrency(); always in [1, kMaxThreads].
+  // Invalid or non-positive SND_THREADS values (e.g. "abc", "0") emit a
+  // one-line stderr warning naming the value and fall back to the
+  // hardware default.
   static int32_t DefaultThreads();
 
  private:

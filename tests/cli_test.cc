@@ -65,6 +65,18 @@ TEST_F(CliTest, FlagsAreAccepted) {
             0);
 }
 
+TEST_F(CliTest, SsspFlagSelectsBackend) {
+  for (const char* flag : {"--sssp=auto", "--sssp=dijkstra", "--sssp=dial"}) {
+    EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "1",
+                          flag}),
+              0)
+        << flag;
+  }
+  EXPECT_NE(SndCliMain({"series", graph_path_, states_path_,
+                        "--sssp=bogus"}),
+            0);
+}
+
 TEST_F(CliTest, ThreadsFlagConfiguresThePool) {
   EXPECT_EQ(SndCliMain({"series", graph_path_, states_path_, "--threads=2"}),
             0);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "snd/util/random.h"
+#include "test_util.h"
+
 namespace snd {
 namespace {
 
@@ -93,6 +96,43 @@ TEST(GraphTest, ToEdgeListRoundTrip) {
   const Graph g2 = Graph::FromEdges(g.num_nodes(), g.ToEdgeList());
   EXPECT_EQ(g2.num_edges(), g.num_edges());
   EXPECT_EQ(g2.ToEdgeList(), g.ToEdgeList());
+}
+
+// The CSR lookups EdgeSource (binary search on the offset array) and
+// FindEdge (binary search within a neighbor range) must agree with the
+// flat edge list on arbitrary graphs, including duplicates-collapsed and
+// disconnected ones.
+TEST(GraphTest, EdgeLookupsAgreeWithEdgeListOnRandomGraphs) {
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng(900 + static_cast<uint64_t>(trial));
+    const int32_t n = 1 + static_cast<int32_t>(rng.UniformInt(0, 60));
+    const int32_t m = static_cast<int32_t>(rng.UniformInt(0, 5 * n));
+    const Graph g = testing_util::RandomDirectedGraph(n, m, &rng);
+
+    const std::vector<Edge> edges = g.ToEdgeList();
+    ASSERT_EQ(static_cast<int64_t>(edges.size()), g.num_edges());
+    for (int64_t e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = edges[static_cast<size_t>(e)];
+      EXPECT_EQ(g.EdgeSource(e), edge.src) << "trial=" << trial << " e=" << e;
+      EXPECT_EQ(g.EdgeTarget(e), edge.dst) << "trial=" << trial << " e=" << e;
+      EXPECT_EQ(g.FindEdge(edge.src, edge.dst), e)
+          << "trial=" << trial << " e=" << e;
+    }
+
+    // Round-trip: rebuilding from the edge list reproduces the CSR form.
+    const Graph rebuilt = Graph::FromEdges(n, edges);
+    EXPECT_EQ(rebuilt.ToEdgeList(), edges) << "trial=" << trial;
+
+    // Negative probes: FindEdge rejects pairs absent from the edge list.
+    for (int probe = 0; probe < 20; ++probe) {
+      const auto u = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+      const auto v = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+      const bool present =
+          std::find(edges.begin(), edges.end(), Edge{u, v}) != edges.end();
+      EXPECT_EQ(g.HasEdge(u, v), present)
+          << "trial=" << trial << " " << u << "->" << v;
+    }
+  }
 }
 
 TEST(GraphTest, EmptyGraph) {

@@ -5,6 +5,7 @@
 #include "snd/paths/bellman_ford.h"
 #include "snd/paths/dial.h"
 #include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 #include "test_util.h"
 
 namespace snd {
@@ -53,15 +54,17 @@ TEST(DijkstraTest, MultiSourceTakesMinimum) {
   EXPECT_EQ(dist[2], 3);  // Via source 3 (2 + 1), not via 0 (10).
 }
 
-TEST(DijkstraTest, WorkspaceReusableAcrossRuns) {
+TEST(DijkstraTest, EngineReusableAcrossRuns) {
   const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
   const std::vector<int32_t> costs{4, 4};
-  DijkstraWorkspace ws(3);
+  DijkstraEngine engine(3);
   const SsspSource s0{0, 0};
-  const auto& d0 = ws.Run(g, costs, std::span<const SsspSource>(&s0, 1));
+  const auto d0 = engine.Run(g, costs, std::span<const SsspSource>(&s0, 1),
+                             SsspGoal::AllNodes());
   EXPECT_EQ(d0[2], 8);
   const SsspSource s1{1, 0};
-  const auto& d1 = ws.Run(g, costs, std::span<const SsspSource>(&s1, 1));
+  const auto d1 = engine.Run(g, costs, std::span<const SsspSource>(&s1, 1),
+                             SsspGoal::AllNodes());
   EXPECT_EQ(d1[0], kUnreachableDistance);
   EXPECT_EQ(d1[2], 4);
 }
@@ -134,6 +137,29 @@ TEST_P(MultiSourceAgreementTest, DijkstraMatchesBellmanFordAndDial) {
   const auto dial = DialShortestPaths(g, costs, sources, 9);
   EXPECT_EQ(dij, bf);
   EXPECT_EQ(dij, dial);
+
+  // Target-pruned searches must agree with the full search on every
+  // settled target, for both engine backends (duplicates in the target
+  // set are allowed by the SsspGoal contract and exercised here).
+  std::vector<int32_t> targets;
+  const int32_t t = 1 + static_cast<int32_t>(rng.UniformInt(0, 5));
+  for (int32_t i = 0; i < t; ++i) {
+    targets.push_back(static_cast<int32_t>(rng.UniformInt(0, n - 1)));
+  }
+  targets.push_back(targets.front());
+  const SsspGoal goal = SsspGoal::SettleTargets(targets);
+  DijkstraEngine dijkstra_engine(n);
+  DialEngine dial_engine(n, 9);
+  const auto pruned_dij = dijkstra_engine.Run(g, costs, sources, goal);
+  const auto pruned_dial = dial_engine.Run(g, costs, sources, goal);
+  for (int32_t target : targets) {
+    EXPECT_EQ(pruned_dij[static_cast<size_t>(target)],
+              dij[static_cast<size_t>(target)])
+        << "dijkstra target " << target;
+    EXPECT_EQ(pruned_dial[static_cast<size_t>(target)],
+              dij[static_cast<size_t>(target)])
+        << "dial target " << target;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, MultiSourceAgreementTest,

@@ -224,6 +224,80 @@ TEST_F(SndParallelTest, BatchBuiltMetricIndexMatchesPointwiseIndex) {
   EXPECT_EQ(batched.NearestNeighbor(query), plain.NearestNeighbor(query));
 }
 
+TEST_F(SndParallelTest, SndIsBitwiseIdenticalAcrossSsspBackends) {
+  Rng rng(21);
+  const int32_t n = 70;
+  const Graph graph = RandomSymmetricGraph(n, 140, &rng);
+  const std::vector<NetworkState> states = MakeSeries(n, 6, &rng);
+
+  // Reference: explicit Dijkstra, single thread.
+  SndOptions reference_options;
+  reference_options.sssp_backend = SsspBackend::kDijkstra;
+  const SndCalculator reference_calc(&graph, reference_options);
+  ThreadPool::SetGlobalThreads(1);
+  const double reference_value =
+      reference_calc.Compute(states[0], states[1]).value;
+  const std::vector<double> reference_series =
+      reference_calc.AdjacentDistanceSeries(states);
+
+  for (const SsspBackend backend :
+       {SsspBackend::kAuto, SsspBackend::kDijkstra, SsspBackend::kDial}) {
+    SndOptions options;
+    options.sssp_backend = backend;
+    const SndCalculator calc(&graph, options);
+    for (const int32_t threads : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(threads);
+      EXPECT_EQ(calc.Compute(states[0], states[1]).value, reference_value)
+          << SsspBackendName(backend) << " threads=" << threads;
+      const std::vector<double> series = calc.AdjacentDistanceSeries(states);
+      ASSERT_EQ(series.size(), reference_series.size());
+      for (size_t t = 0; t < series.size(); ++t) {
+        EXPECT_EQ(series[t], reference_series[t])
+            << SsspBackendName(backend) << " t=" << t
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(SndParallelTest, BackendsMatchTheDenseReferencePath) {
+  Rng rng(22);
+  const int32_t n = 40;
+  const Graph graph = RandomSymmetricGraph(n, 80, &rng);
+  const NetworkState a = RandomState(n, 0.4, &rng);
+  const NetworkState b = RandomState(n, 0.5, &rng);
+  for (const SsspBackend backend :
+       {SsspBackend::kAuto, SsspBackend::kDijkstra, SsspBackend::kDial}) {
+    SndOptions options;
+    options.sssp_backend = backend;
+    const SndCalculator calc(&graph, options);
+    // The target-pruned fast path must agree with the dense reference
+    // computation (which settles every node) to the same tolerance the
+    // core tests allow between the two formulations.
+    const double fast = calc.Compute(a, b).value;
+    EXPECT_NEAR(fast, calc.ComputeReference(a, b).value,
+                1e-6 * (1.0 + fast))
+        << SsspBackendName(backend);
+  }
+}
+
+TEST_F(SndParallelTest, AutoBackendResolvesAgainstModelCostBound) {
+  Rng rng(23);
+  const int32_t n = 60;
+  const Graph graph = RandomSymmetricGraph(n, 120, &rng);
+  SndOptions options;  // Default model U is small relative to n.
+  const SndCalculator auto_calc(&graph, options);
+  EXPECT_EQ(auto_calc.sssp_backend(),
+            ResolveSsspBackend(SsspBackend::kAuto, n,
+                               auto_calc.model().MaxEdgeCost()));
+  options.sssp_backend = SsspBackend::kDijkstra;
+  const SndCalculator dijkstra_calc(&graph, options);
+  EXPECT_EQ(dijkstra_calc.sssp_backend(), SsspBackend::kDijkstra);
+  options.sssp_backend = SsspBackend::kDial;
+  const SndCalculator dial_calc(&graph, options);
+  EXPECT_EQ(dial_calc.sssp_backend(), SsspBackend::kDial);
+}
+
 TEST_F(SndParallelTest, GroundDistanceMatrixIsDeterministic) {
   Rng rng(19);
   const int32_t n = 40;

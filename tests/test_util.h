@@ -2,12 +2,13 @@
 #ifndef SND_TESTS_TEST_UTIL_H_
 #define SND_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "snd/emd/dense_matrix.h"
 #include "snd/graph/graph.h"
 #include "snd/opinion/network_state.h"
-#include "snd/paths/dijkstra.h"
+#include "snd/paths/sssp_engine.h"
 #include "snd/util/random.h"
 
 namespace snd {
@@ -71,8 +72,15 @@ inline DenseMatrix AllPairsMatrix(const Graph& g,
                                   const std::vector<int32_t>& costs,
                                   double unreachable) {
   DenseMatrix d(g.num_nodes(), g.num_nodes(), 0.0);
+  int32_t max_cost = 0;
+  for (int32_t c : costs) max_cost = std::max(max_cost, c);
+  const std::unique_ptr<SsspEngine> engine =
+      MakeSsspEngine(SsspBackend::kAuto, g.num_nodes(), max_cost);
   for (int32_t u = 0; u < g.num_nodes(); ++u) {
-    const auto dist = Dijkstra(g, costs, u);
+    const SsspSource source{u, 0};
+    const std::span<const int64_t> dist =
+        engine->Run(g, costs, std::span<const SsspSource>(&source, 1),
+                    SsspGoal::AllNodes());
     for (int32_t v = 0; v < g.num_nodes(); ++v) {
       d.Set(u, v,
             dist[static_cast<size_t>(v)] == kUnreachableDistance

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace snd {
@@ -147,6 +150,61 @@ TEST(ThreadPoolTest, DefaultThreadsIsPositiveAndCapped) {
   const int32_t n = ThreadPool::DefaultThreads();
   EXPECT_GE(n, 1);
   EXPECT_LE(n, ThreadPool::kMaxThreads);
+}
+
+// Restores the SND_THREADS environment variable on scope exit so the
+// other tests (and TearDown-style resets) see the original value.
+class ScopedSndThreadsEnv {
+ public:
+  explicit ScopedSndThreadsEnv(const char* value) {
+    const char* old = getenv("SND_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    setenv("SND_THREADS", value, /*overwrite=*/1);
+  }
+  ~ScopedSndThreadsEnv() {
+    if (had_value_) {
+      setenv("SND_THREADS", saved_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("SND_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ThreadPoolTest, ValidSndThreadsEnvIsHonored) {
+  ScopedSndThreadsEnv env("3");
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ThreadPoolTest, InvalidSndThreadsValuesWarnOnceAndFallBack) {
+  for (const char* bad : {"abc", "0", "-4", "", "7x"}) {
+    ScopedSndThreadsEnv env(bad);
+    ::testing::internal::CaptureStderr();
+    const int32_t n = ThreadPool::DefaultThreads();
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    EXPECT_GE(n, 1) << "value '" << bad << "'";
+    EXPECT_LE(n, ThreadPool::kMaxThreads);
+    // One line, naming the offending value (CLI error style).
+    EXPECT_NE(warning.find("invalid SND_THREADS value '" + std::string(bad) +
+                           "'"),
+              std::string::npos)
+        << "value '" << bad << "' warning: " << warning;
+    EXPECT_EQ(std::count(warning.begin(), warning.end(), '\n'), 1)
+        << warning;
+  }
+}
+
+TEST(ThreadPoolTest, OversizedSndThreadsValueIsClampedSilently) {
+  ScopedSndThreadsEnv env("100000");
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(ThreadPool::DefaultThreads(), ThreadPool::kMaxThreads);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
 }
 
 TEST(ThreadPoolTest, ManySmallBatchesBackToBack) {
