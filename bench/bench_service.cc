@@ -1,0 +1,145 @@
+// Service-layer benchmark: quantifies what residency and result caching
+// buy over the per-invocation CLI workflow on one resident scale-free
+// network — cold-vs-warm request latency and warm requests/sec for
+// `distance`, `series` and `matrix`, plus the overlap case (`series`
+// after `matrix`, every pair a cache hit). Always built; its record
+// lands in the bench-all JSON artifact.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "snd/graph/generators.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/evolution.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/service.h"
+#include "snd/util/random.h"
+#include "snd/util/stopwatch.h"
+#include "snd/util/thread_pool.h"
+
+namespace snd {
+namespace {
+
+double TimedCall(SndService* service, const std::string& request) {
+  Stopwatch watch;
+  const ServiceResponse response = service->Call(request);
+  const double millis = watch.ElapsedMillis();
+  if (!response.ok) {
+    std::fprintf(stderr, "bench_service: '%s' failed: %s\n",
+                 request.c_str(), response.header.c_str());
+    std::exit(1);
+  }
+  return millis;
+}
+
+int Run() {
+  const bool full = bench::FullScale();
+  const int32_t n = full ? 20000 : 2000;
+  const int32_t series_length = full ? 16 : 10;
+  bench::PrintHeader(
+      "bench_service",
+      "Serving subsystem: resident sessions + result LRU vs cold "
+      "computation (cold/warm latency, warm req/s)");
+
+  Rng rng(17);
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = n;
+  const Graph graph = GenerateScaleFree(graph_options, &rng);
+  SyntheticEvolution evolution(&graph, 23);
+  const std::vector<NetworkState> states = evolution.GenerateSeries(
+      series_length, n / 20, {0.15, 0.05}, {0.15, 0.05}, {});
+
+  const std::string graph_path = "bench_service.graph.edges";
+  const std::string states_path = "bench_service.states.txt";
+  if (!WriteEdgeList(graph, graph_path) ||
+      !WriteStateSeries(states, states_path)) {
+    std::fprintf(stderr, "bench_service: cannot write fixtures\n");
+    return 1;
+  }
+
+  Stopwatch total;
+  SndService service;
+  std::printf("n=%d T=%d threads=%d\n", n, series_length,
+              ThreadPool::GlobalThreads());
+
+  const double load_graph_ms =
+      TimedCall(&service, "load_graph g " + graph_path);
+  const double load_states_ms =
+      TimedCall(&service, "load_states g " + states_path);
+  std::printf("session load: graph %.1f ms, states %.1f ms "
+              "(paid once, amortized over every request)\n",
+              load_graph_ms, load_states_ms);
+
+  // distance: cold builds the calculator + computes; warm is a pure LRU
+  // hit, the per-invocation CLI equivalent re-pays the cold path every
+  // time.
+  const double distance_cold = TimedCall(&service, "distance g 0 1");
+  const double distance_warm = TimedCall(&service, "distance g 0 1");
+  std::printf("distance    cold %9.2f ms   warm %9.4f ms   (%.0fx)\n",
+              distance_cold, distance_warm,
+              distance_cold / std::max(distance_warm, 1e-6));
+
+  const double series_cold = TimedCall(&service, "series g");
+  const double series_warm = TimedCall(&service, "series g");
+  std::printf("series      cold %9.2f ms   warm %9.4f ms   (%.0fx)\n",
+              series_cold, series_warm,
+              series_cold / std::max(series_warm, 1e-6));
+
+  const double matrix_cold = TimedCall(&service, "matrix g");
+  const double matrix_warm = TimedCall(&service, "matrix g");
+  std::printf("matrix      cold %9.2f ms   warm %9.4f ms   (%.0fx)\n",
+              matrix_cold, matrix_warm,
+              matrix_cold / std::max(matrix_warm, 1e-6));
+  std::printf("  (matrix cold reuses the %d series pairs already cached; "
+              "series after matrix is below)\n",
+              series_length - 1);
+
+  // Overlap: a series whose pairs were all computed by the matrix.
+  const double overlap_ms = TimedCall(&service, "series g");
+  std::printf("series after matrix: %.4f ms (every pair a cache hit)\n",
+              overlap_ms);
+
+  // Warm throughput over all distinct pairs, twice (all hits).
+  const int32_t sweeps = 2;
+  int64_t requests = 0;
+  Stopwatch throughput;
+  for (int32_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (int32_t i = 0; i < series_length; ++i) {
+      for (int32_t j = i + 1; j < series_length; ++j) {
+        TimedCall(&service, "distance g " + std::to_string(i) + " " +
+                                std::to_string(j));
+        ++requests;
+      }
+    }
+  }
+  const double throughput_seconds = throughput.ElapsedSeconds();
+  std::printf("warm throughput: %.0f req/s (%lld distance requests in "
+              "%.3f s)\n",
+              static_cast<double>(requests) /
+                  std::max(throughput_seconds, 1e-9),
+              static_cast<long long>(requests), throughput_seconds);
+
+  const ServiceCounters counters = service.counters();
+  std::printf("counters: result hits %lld misses %lld, calc builds %lld "
+              "hits %lld, sssp_runs %lld, transport_solves %lld\n",
+              static_cast<long long>(counters.result_hits),
+              static_cast<long long>(counters.result_misses),
+              static_cast<long long>(counters.calc_builds),
+              static_cast<long long>(counters.calc_hits),
+              static_cast<long long>(counters.work.sssp_runs),
+              static_cast<long long>(counters.work.transport_solves));
+  std::printf("\ntotal time: %.3f s\n", total.ElapsedSeconds());
+
+  std::remove(graph_path.c_str());
+  std::remove(states_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace snd
+
+int main() { return snd::Run(); }

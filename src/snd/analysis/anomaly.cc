@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "snd/util/check.h"
+#include "snd/util/stats.h"  // MinMaxScale for ScoreAdjacentDistances.
 
 namespace snd {
 
@@ -58,6 +59,16 @@ std::vector<double> AnomalyScores(const std::vector<double>& distances) {
     scores[t] = score;
   }
   return scores;
+}
+
+std::vector<double> ScoreAdjacentDistances(
+    const std::vector<double>& distances,
+    const std::vector<NetworkState>& states,
+    std::vector<double>* normalized) {
+  const std::vector<double> scaled =
+      MinMaxScale(NormalizeByActiveUsers(distances, states));
+  if (normalized != nullptr) *normalized = scaled;
+  return AnomalyScores(scaled);
 }
 
 }  // namespace snd

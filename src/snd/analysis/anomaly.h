@@ -41,6 +41,16 @@ std::vector<double> NormalizeByChangedUsers(
 // boundary contribute zero.
 std::vector<double> AnomalyScores(const std::vector<double>& distances);
 
+// The full Section 6.2 scoring pipeline over precomputed adjacent
+// distances d[t] = d(states[t], states[t+1]): normalize by active
+// users, min-max scale (the scaled values are written to *normalized
+// when non-null), then AnomalyScores. One implementation shared by the
+// CLI and service front ends so their rankings cannot drift.
+std::vector<double> ScoreAdjacentDistances(
+    const std::vector<double>& distances,
+    const std::vector<NetworkState>& states,
+    std::vector<double>* normalized);
+
 }  // namespace snd
 
 #endif  // SND_ANALYSIS_ANOMALY_H_

@@ -9,112 +9,34 @@
 #include "snd/core/snd.h"
 #include "snd/graph/io.h"
 #include "snd/opinion/state_io.h"
-#include "snd/util/stats.h"
+#include "snd/service/options_parse.h"
 #include "snd/util/table.h"
 #include "snd/util/thread_pool.h"
 
 namespace snd {
 namespace {
 
-constexpr char kUsage[] =
-    "usage: snd_cli <command> <graph.edges> <states.txt> [...] [flags]\n"
-    "commands:\n"
-    "  distance <i> <j>   SND between states i and j\n"
-    "  series             distances between adjacent states\n"
-    "  anomalies          transitions ranked by anomaly score\n"
-    "  help               print this message (also --help, -h)\n"
-    "flags:\n"
-    "  --model=agnostic|icc|lt\n"
-    "  --solver=simplex|ssp|cost-scaling\n"
-    "  --banks=per-bin|per-cluster|global\n"
-    "  --sssp=auto|dijkstra|dial\n"
-    "                     shortest-path backend (auto picks Dial's bucket\n"
-    "                     queue when the model's max edge cost is small\n"
-    "                     relative to n; results are identical for all)\n"
-    "  --threads=N        worker threads (default: SND_THREADS or all\n"
-    "                     cores; results are identical for any N)\n";
+// The flag block comes verbatim from the shared parser's help text
+// (service/options_parse.h), so the usage can never document a
+// vocabulary the parser does not accept.
+const std::string& Usage() {
+  static const std::string usage =
+      std::string(
+          "usage: snd_cli <command> <graph.edges> <states.txt> [...] "
+          "[flags]\n"
+          "commands:\n"
+          "  distance <i> <j>   SND between states i and j\n"
+          "  series             distances between adjacent states\n"
+          "  anomalies          transitions ranked by anomaly score\n"
+          "  help               print this message (also --help, -h)\n"
+          "flags:\n") +
+      kSndFlagUsage;
+  return usage;
+}
 
 int Fail(const std::string& message) {
-  std::fprintf(stderr, "snd_cli: %s\n%s", message.c_str(), kUsage);
+  std::fprintf(stderr, "snd_cli: %s\n%s", message.c_str(), Usage().c_str());
   return 1;
-}
-
-bool ParseFlag(const std::string& arg, const std::string& name,
-               std::string* value) {
-  const std::string prefix = "--" + name + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  *value = arg.substr(prefix.size());
-  return true;
-}
-
-// Parses the flag tail of the command line. On failure returns nullopt and
-// sets *error to a message naming the offending token. `*threads` receives
-// the --threads value, or 0 when the flag is absent.
-std::optional<SndOptions> ParseOptions(const std::vector<std::string>& flags,
-                                       int32_t* threads, std::string* error) {
-  SndOptions options;
-  *threads = 0;
-  for (const std::string& flag : flags) {
-    std::string value;
-    if (ParseFlag(flag, "threads", &value)) {
-      int parsed = 0;
-      if (std::sscanf(value.c_str(), "%d", &parsed) != 1 || parsed < 1 ||
-          parsed > ThreadPool::kMaxThreads) {
-        *error = "invalid --threads value '" + value + "'";
-        return std::nullopt;
-      }
-      *threads = parsed;
-    } else if (ParseFlag(flag, "model", &value)) {
-      if (value == "agnostic") {
-        options.model = GroundModelKind::kModelAgnostic;
-      } else if (value == "icc") {
-        options.model = GroundModelKind::kIndependentCascade;
-      } else if (value == "lt") {
-        options.model = GroundModelKind::kLinearThreshold;
-      } else {
-        *error = "unknown --model value '" + value + "'";
-        return std::nullopt;
-      }
-    } else if (ParseFlag(flag, "solver", &value)) {
-      if (value == "simplex") {
-        options.solver = TransportAlgorithm::kSimplex;
-      } else if (value == "ssp") {
-        options.solver = TransportAlgorithm::kSsp;
-      } else if (value == "cost-scaling") {
-        options.solver = TransportAlgorithm::kCostScaling;
-        options.apportionment = BankApportionment::kLargestRemainder;
-      } else {
-        *error = "unknown --solver value '" + value + "'";
-        return std::nullopt;
-      }
-    } else if (ParseFlag(flag, "sssp", &value)) {
-      if (value == "auto") {
-        options.sssp_backend = SsspBackend::kAuto;
-      } else if (value == "dijkstra") {
-        options.sssp_backend = SsspBackend::kDijkstra;
-      } else if (value == "dial") {
-        options.sssp_backend = SsspBackend::kDial;
-      } else {
-        *error = "unknown --sssp value '" + value + "'";
-        return std::nullopt;
-      }
-    } else if (ParseFlag(flag, "banks", &value)) {
-      if (value == "per-bin") {
-        options.bank_strategy = BankStrategy::kPerBin;
-      } else if (value == "per-cluster") {
-        options.bank_strategy = BankStrategy::kPerCluster;
-      } else if (value == "global") {
-        options.bank_strategy = BankStrategy::kSingleGlobal;
-      } else {
-        *error = "unknown --banks value '" + value + "'";
-        return std::nullopt;
-      }
-    } else {
-      *error = "unrecognized flag '" + flag + "'";
-      return std::nullopt;
-    }
-  }
-  return options;
 }
 
 bool IsKnownCommand(const std::string& command) {
@@ -125,9 +47,8 @@ bool IsKnownCommand(const std::string& command) {
 std::vector<double> ScoredSeries(const SndCalculator& calc,
                                  const std::vector<NetworkState>& states,
                                  std::vector<double>* normalized) {
-  const auto distances = calc.AdjacentDistanceSeries(states);
-  *normalized = MinMaxScale(NormalizeByActiveUsers(distances, states));
-  return AnomalyScores(*normalized);
+  return ScoreAdjacentDistances(calc.AdjacentDistanceSeries(states), states,
+                                normalized);
 }
 
 }  // namespace
@@ -135,7 +56,7 @@ std::vector<double> ScoredSeries(const SndCalculator& calc,
 int SndCliMain(const std::vector<std::string>& args) {
   if (!args.empty() &&
       (args[0] == "--help" || args[0] == "-h" || args[0] == "help")) {
-    std::printf("%s", kUsage);
+    std::printf("%s", Usage().c_str());
     return 0;
   }
   if (args.empty()) return Fail("missing arguments");
@@ -154,11 +75,10 @@ int SndCliMain(const std::vector<std::string>& args) {
                                            static_cast<long>(positional_end),
                                        args.end());
   std::string flag_error;
-  int32_t threads = 0;
-  const std::optional<SndOptions> options =
-      ParseOptions(flags, &threads, &flag_error);
-  if (!options.has_value()) return Fail(flag_error);
-  if (threads > 0) ThreadPool::SetGlobalThreads(threads);
+  const std::optional<ParsedSndFlags> parsed =
+      ParseSndFlags(flags, &flag_error);
+  if (!parsed.has_value()) return Fail(flag_error);
+  if (parsed->threads > 0) ThreadPool::SetGlobalThreads(parsed->threads);
 
   const std::optional<Graph> graph = ReadEdgeList(graph_path);
   if (!graph.has_value()) {
@@ -175,7 +95,7 @@ int SndCliMain(const std::vector<std::string>& args) {
     }
   }
 
-  const SndCalculator calc(&graph.value(), *options);
+  const SndCalculator calc(&graph.value(), parsed->options);
   if (command == "distance") {
     int i = -1, j = -1;
     if (std::sscanf(args[3].c_str(), "%d", &i) != 1 ||

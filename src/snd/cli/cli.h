@@ -7,13 +7,18 @@
 //   snd_cli anomalies <graph.edges> <states.txt> [flags]
 //   snd_cli help | --help | -h
 //
-// Flags:
-//   --model=agnostic|icc|lt     ground-distance model (default agnostic)
-//   --solver=simplex|ssp|cost-scaling
-//   --banks=per-bin|per-cluster|global
+// Flags (the canonical grammar and help text are kSndFlagUsage in
+// snd/service/options_parse.h — the parser both front ends share; keep
+// this block in lockstep with it):
+//   --model=agnostic|icc|lt           ground-distance model
+//   --solver=simplex|ssp|cost-scaling transportation solver
+//   --banks=per-bin|per-cluster|global  EMD* bank placement
+//   --sssp=auto|dijkstra|dial         shortest-path backend
+//   --threads=N                       worker threads (any N, same values)
 //
 // Graph files are WriteEdgeList format, state files WriteStateSeries
-// format.
+// format. For a resident-session, many-queries front end over the same
+// grammar, see tools/snd_serve and snd/service/service.h.
 #ifndef SND_CLI_CLI_H_
 #define SND_CLI_CLI_H_
 

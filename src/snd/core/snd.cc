@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <mutex>
 #include <utility>
 
@@ -40,25 +41,40 @@ size_t OpSlot(Opinion op) { return op == Opinion::kPositive ? 0 : 1; }
 }  // namespace
 
 // Per-(state, opinion) edge-cost store shared by every term of every pair
-// in a batch. Entries are computed lazily and exactly once (std::call_once
-// makes concurrent first requests safe); the reversed-cost buffer is
-// derived on demand so pairs that never hit the reverse-SSSP branch pay
-// nothing for it.
+// in a batch — and, when caller-owned (MakeEdgeCostCache), across batch
+// calls over one resident append-only state series. Entries are computed
+// lazily and exactly once (std::call_once makes concurrent first requests
+// safe); the reversed-cost buffer is derived on demand so pairs that
+// never hit the reverse-SSSP branch pay nothing for it. Growth for
+// appended states happens in EnsureStates at batch entry (a serial
+// point); std::deque keeps existing entries pinned while growing.
 class SndCalculator::EdgeCostCache {
  public:
   EdgeCostCache(const SndCalculator& calc,
-                const std::vector<NetworkState>& states)
-      : calc_(calc), states_(states), entries_(states.size() * 2) {}
+                const std::vector<NetworkState>* states)
+      : calc_(calc), states_(states) {
+    EnsureStates();
+  }
 
   EdgeCostCache(const EdgeCostCache&) = delete;
   EdgeCostCache& operator=(const EdgeCostCache&) = delete;
 
+  const std::vector<NetworkState>* states() const { return states_; }
+
+  // Grows the entry table to cover states appended since the last call.
+  // Must not race with Costs/RevCosts; called from the serial prologue of
+  // BatchDistances.
+  void EnsureStates() {
+    while (entries_.size() < states_->size() * 2) entries_.emplace_back();
+  }
+
   const std::vector<int32_t>& Costs(int32_t state, Opinion op) {
     Entry& entry = EntryFor(state, op);
     std::call_once(entry.costs_once, [&] {
-      calc_.model_->ComputeEdgeCosts(*calc_.graph_,
-                                     states_[static_cast<size_t>(state)], op,
-                                     &entry.costs);
+      calc_.edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
+      calc_.model_->ComputeEdgeCosts(
+          *calc_.graph_, (*states_)[static_cast<size_t>(state)], op,
+          &entry.costs);
     });
     return entry.costs;
   }
@@ -89,9 +105,25 @@ class SndCalculator::EdgeCostCache {
   }
 
   const SndCalculator& calc_;
-  const std::vector<NetworkState>& states_;
-  std::vector<Entry> entries_;
+  const std::vector<NetworkState>* states_;
+  std::deque<Entry> entries_;
 };
+
+std::shared_ptr<SndCalculator::EdgeCostCache> SndCalculator::MakeEdgeCostCache(
+    const std::vector<NetworkState>* states) const {
+  SND_CHECK(states != nullptr);
+  return std::make_shared<EdgeCostCache>(*this, states);
+}
+
+SndWorkCounters SndCalculator::work_counters() const {
+  SndWorkCounters counters;
+  counters.sssp_runs = sssp_runs_.load(std::memory_order_relaxed);
+  counters.transport_solves =
+      transport_solves_.load(std::memory_order_relaxed);
+  counters.edge_cost_builds =
+      edge_cost_builds_.load(std::memory_order_relaxed);
+  return counters;
+}
 
 SndCalculator::SndCalculator(const Graph* graph, SndOptions options)
     : graph_(graph),
@@ -219,6 +251,18 @@ double SndCalculator::Distance(const NetworkState& a,
 
 std::vector<double> SndCalculator::BatchDistances(
     const std::vector<NetworkState>& states, const StatePairs& pairs) const {
+  EdgeCostCache cache(*this, &states);
+  return BatchDistances(states, pairs, &cache);
+}
+
+std::vector<double> SndCalculator::BatchDistances(
+    const std::vector<NetworkState>& states, const StatePairs& pairs,
+    EdgeCostCache* cache) const {
+  SND_CHECK(cache != nullptr);
+  // A cache built over a different vector would serve costs of the wrong
+  // states; this is the misuse SND_CHECK can catch.
+  SND_CHECK(cache->states() == &states);
+  cache->EnsureStates();
   for (const NetworkState& state : states) {
     SND_CHECK(state.num_users() == graph_->num_nodes());
   }
@@ -226,7 +270,6 @@ std::vector<double> SndCalculator::BatchDistances(
   std::vector<double> values(pairs.size(), 0.0);
   if (pairs.empty()) return values;
 
-  EdgeCostCache cache(*this, states);
   ThreadPool& pool = ThreadPool::Global();
   // Per-lane scratch, created on first use so only the lanes that
   // actually run pay the O(n) workspace allocation.
@@ -246,7 +289,7 @@ std::vector<double> SndCalculator::BatchDistances(
         double value = 0.0;
         for (size_t t = 0; t < specs.size(); ++t) {
           TermContext ctx;
-          ctx.cache = &cache;
+          ctx.cache = cache;
           ctx.distance_state_index = distance_index[t];
           ctx.scratch = lane.get();
           value += ComputeTermFast(specs[t], ctx).cost;
@@ -304,10 +347,12 @@ DenseMatrix SndCalculator::GroundDistanceMatrix(const NetworkState& state,
                                                 Opinion op) const {
   const int32_t n = graph_->num_nodes();
   std::vector<int32_t> costs;
+  edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
   model_->ComputeEdgeCosts(*graph_, state, op, &costs);
   const auto disconnection = static_cast<double>(DisconnectionCost());
   DenseMatrix d(n, n, 0.0);
   auto compute_row = [&](int32_t u, SsspEngine* engine) {
+    sssp_runs_.fetch_add(1, std::memory_order_relaxed);
     const SsspSource source{u, 0};
     const std::span<const int64_t> dist =
         engine->Run(*graph_, costs, std::span<const SsspSource>(&source, 1),
@@ -347,6 +392,7 @@ SndTermResult SndCalculator::ComputeTermReference(const TermSpec& spec) const {
   EmdStarOptions emd_options;
   emd_options.apportionment = options_.apportionment;
   Stopwatch watch;
+  transport_solves_.fetch_add(1, std::memory_order_relaxed);
   result.cost = ComputeEmdStar(p, q, ground, banks_, *solver_, emd_options);
   result.transport_seconds = watch.ElapsedSeconds();
   return result;
@@ -365,6 +411,7 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
   if (ctx.cache != nullptr) {
     costs_ptr = &ctx.cache->Costs(ctx.distance_state_index, spec.op);
   } else {
+    edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
     model_->ComputeEdgeCosts(*graph_, *spec.distance_state, spec.op,
                              &local_costs);
     costs_ptr = &local_costs;
@@ -496,6 +543,7 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
     }
     cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
     for_each_row(rows, [&](int64_t r, TermScratch* scratch) {
+      sssp_runs_.fetch_add(1, std::memory_order_relaxed);
       const SsspSource source{sup[static_cast<size_t>(r)], 0};
       const std::span<const int64_t> dist = scratch->engine->Run(
           *graph_, costs, std::span<const SsspSource>(&source, 1), row_goal);
@@ -539,6 +587,7 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
     const std::vector<int32_t>& rev_costs = *rev_ptr;
     for_each_row(static_cast<int64_t>(con.size()),
                  [&](int64_t jc, TermScratch* scratch) {
+      sssp_runs_.fetch_add(1, std::memory_order_relaxed);
       const SsspSource source{con[static_cast<size_t>(jc)], 0};
       const std::span<const int64_t> dist = scratch->engine->Run(
           reversed_, rev_costs, std::span<const SsspSource>(&source, 1),
@@ -562,6 +611,7 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
   const TransportProblem problem(std::move(supply), std::move(demand),
                                  std::move(cost));
   Stopwatch transport_watch;
+  transport_solves_.fetch_add(1, std::memory_order_relaxed);
   result.cost = solver_->Solve(problem).total_cost;
   result.transport_seconds = transport_watch.ElapsedSeconds();
   return result;

@@ -29,6 +29,7 @@
 #define SND_CORE_SND_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -65,6 +66,33 @@ struct SndResult {
   // Number of users whose opinion differs between the two states.
   int32_t n_delta = 0;
   double total_seconds = 0.0;
+};
+
+// Cumulative per-calculator work counters. They let long-lived callers
+// that cache SND results (the service layer's result LRU) *prove* that a
+// warm hit performed no graph work: take a snapshot, repeat the query,
+// and assert the counters did not move. Counters are monotone, updated
+// with relaxed atomics (safe to read concurrently with computation,
+// exact once the computation has returned), and never reset. They count
+// calculator-level work only; SSSPs the ICC model runs internally while
+// costing edges show up as edge_cost_builds, not sssp_runs.
+struct SndWorkCounters {
+  // Single-source shortest-path searches executed (term rows, reference
+  // matrix rows).
+  int64_t sssp_runs = 0;
+  // Transportation problems handed to the flow solver.
+  int64_t transport_solves = 0;
+  // Per-(state, opinion) edge costings (model ComputeEdgeCosts calls).
+  int64_t edge_cost_builds = 0;
+
+  // Aggregation across calculators (the service layer folds retired and
+  // live calculators into one cumulative total).
+  SndWorkCounters& operator+=(const SndWorkCounters& other) {
+    sssp_runs += other.sssp_runs;
+    transport_solves += other.transport_solves;
+    edge_cost_builds += other.edge_cost_builds;
+    return *this;
+  }
 };
 
 class SndCalculator {
@@ -109,6 +137,32 @@ class SndCalculator {
   // must outlive the returned callback.
   BatchDistanceFn BatchFn() const;
 
+  // The per-(state, opinion) edge-cost store of the batch engine,
+  // exposed opaquely so long-lived callers (the service layer) can keep
+  // edge costs and reversed-cost buffers warm across *calls* over one
+  // resident state series, not just across the pairs of one call.
+  class EdgeCostCache;
+
+  // A reusable cache over `*states`. Requirements, unchecked beyond what
+  // SND_CHECKs can see: `*states` outlives the cache; between calls it
+  // may only grow by appending (an append-only series keeps every cached
+  // entry valid); existing elements are never mutated in place. Replace
+  // the cache when the series is replaced. The calculator must outlive
+  // the cache (the cache costs edges with the calculator's model).
+  std::shared_ptr<EdgeCostCache> MakeEdgeCostCache(
+      const std::vector<NetworkState>* states) const;
+
+  // BatchDistances with a caller-owned cache created by MakeEdgeCostCache
+  // over this same `states` vector: per-(state, opinion) work done by an
+  // earlier call is not repeated. Values are bitwise identical to the
+  // cache-less overload.
+  std::vector<double> BatchDistances(const std::vector<NetworkState>& states,
+                                     const StatePairs& pairs,
+                                     EdgeCostCache* cache) const;
+
+  // Snapshot of the cumulative work counters (see SndWorkCounters).
+  SndWorkCounters work_counters() const;
+
   // Dense reference computation (O(n) SSSPs + full transportation).
   SndResult ComputeReference(const NetworkState& a,
                              const NetworkState& b) const;
@@ -141,10 +195,6 @@ class SndCalculator {
     Opinion op;
     bool forward;
   };
-
-  // Shared per-(state, opinion) edge-cost store for batch evaluation;
-  // defined in snd.cc.
-  class EdgeCostCache;
 
   // Reusable per-lane scratch so batch evaluation does not reallocate the
   // O(n) SSSP workspaces for every term of every pair. The engine is built
@@ -183,6 +233,13 @@ class SndCalculator {
   std::vector<int64_t> reverse_origin_;  // Reversed edge -> original edge.
   BankSpec banks_;
   std::vector<std::vector<int32_t>> cluster_members_;
+
+  // Cumulative work counters (SndWorkCounters); mutable because Compute
+  // paths are const, relaxed because exact ordering is irrelevant —
+  // callers read them between computations.
+  mutable std::atomic<int64_t> sssp_runs_{0};
+  mutable std::atomic<int64_t> transport_solves_{0};
+  mutable std::atomic<int64_t> edge_cost_builds_{0};
 };
 
 }  // namespace snd

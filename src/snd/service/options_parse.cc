@@ -1,0 +1,137 @@
+#include "snd/service/options_parse.h"
+
+#include <cstdio>
+
+#include "snd/util/check.h"
+#include "snd/util/thread_pool.h"
+
+namespace snd {
+
+bool SplitSndFlag(const std::string& arg, const std::string& name,
+                  std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+const char kSndFlagUsage[] =
+    "  --model=agnostic|icc|lt\n"
+    "  --solver=simplex|ssp|cost-scaling\n"
+    "  --banks=per-bin|per-cluster|global\n"
+    "  --sssp=auto|dijkstra|dial\n"
+    "                     shortest-path backend (auto picks Dial's bucket\n"
+    "                     queue when the model's max edge cost is small\n"
+    "                     relative to n; results are identical for all)\n"
+    "  --threads=N        worker threads (default: SND_THREADS or all\n"
+    "                     cores; results are identical for any N)\n";
+
+bool LooksLikeSndFlag(const std::string& arg) {
+  return arg.rfind("--", 0) == 0;
+}
+
+std::optional<ParsedSndFlags> ParseSndFlags(
+    const std::vector<std::string>& flags, std::string* error) {
+  ParsedSndFlags parsed;
+  for (const std::string& flag : flags) {
+    std::string value;
+    if (SplitSndFlag(flag, "threads", &value)) {
+      int threads = 0, consumed = 0;
+      // %n rejects trailing garbage ("1e3", "4,") that bare %d would
+      // silently accept — the wire protocol names every bad token.
+      if (std::sscanf(value.c_str(), "%d%n", &threads, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || threads < 1 ||
+          threads > ThreadPool::kMaxThreads) {
+        *error = "invalid --threads value '" + value + "'";
+        return std::nullopt;
+      }
+      parsed.threads = threads;
+    } else if (SplitSndFlag(flag, "model", &value)) {
+      if (value == "agnostic") {
+        parsed.options.model = GroundModelKind::kModelAgnostic;
+      } else if (value == "icc") {
+        parsed.options.model = GroundModelKind::kIndependentCascade;
+      } else if (value == "lt") {
+        parsed.options.model = GroundModelKind::kLinearThreshold;
+      } else {
+        *error = "unknown --model value '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (SplitSndFlag(flag, "solver", &value)) {
+      if (value == "simplex") {
+        parsed.options.solver = TransportAlgorithm::kSimplex;
+      } else if (value == "ssp") {
+        parsed.options.solver = TransportAlgorithm::kSsp;
+      } else if (value == "cost-scaling") {
+        parsed.options.solver = TransportAlgorithm::kCostScaling;
+        parsed.options.apportionment = BankApportionment::kLargestRemainder;
+      } else {
+        *error = "unknown --solver value '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (SplitSndFlag(flag, "sssp", &value)) {
+      if (value == "auto") {
+        parsed.options.sssp_backend = SsspBackend::kAuto;
+      } else if (value == "dijkstra") {
+        parsed.options.sssp_backend = SsspBackend::kDijkstra;
+      } else if (value == "dial") {
+        parsed.options.sssp_backend = SsspBackend::kDial;
+      } else {
+        *error = "unknown --sssp value '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (SplitSndFlag(flag, "banks", &value)) {
+      if (value == "per-bin") {
+        parsed.options.bank_strategy = BankStrategy::kPerBin;
+      } else if (value == "per-cluster") {
+        parsed.options.bank_strategy = BankStrategy::kPerCluster;
+      } else if (value == "global") {
+        parsed.options.bank_strategy = BankStrategy::kSingleGlobal;
+      } else {
+        *error = "unknown --banks value '" + value + "'";
+        return std::nullopt;
+      }
+    } else {
+      *error = "unrecognized flag '" + flag + "'";
+      return std::nullopt;
+    }
+  }
+  return parsed;
+}
+
+std::string SndOptionsSignature(const SndOptions& options) {
+  std::string signature = GroundModelKindName(options.model);
+  signature += ',';
+  signature += TransportAlgorithmName(options.solver);
+  // The parser derives apportionment from --solver, but a hand-built
+  // SndOptions can set it independently, and calculators with different
+  // apportionment produce different values — it must key the caches.
+  signature += options.apportionment == BankApportionment::kLargestRemainder
+                   ? "/lr"
+                   : "/prop";
+  signature += ',';
+  signature += BankStrategyName(options.bank_strategy);
+  // Every scalar knob that shapes the banks (and hence the values): a
+  // hand-built SndOptions differing in any of these must not share a
+  // signature. The model parameter *structs* (agnostic/icc/lt) are
+  // excluded by contract — see the header.
+  // Worst case ~130 chars (two %.17g with 4-digit exponents, INT32/UINT64
+  // extremes); a truncated signature would let distinct options collide,
+  // so leave headroom and assert none happened.
+  char banks[192];
+  const int written =
+      std::snprintf(banks, sizeof(banks), "/%d/%d/%.17g/%.17g/%llu/%d/%d",
+                    options.banks_per_cluster,
+                    static_cast<int>(options.gamma_policy),
+                    options.gamma_scale, options.fixed_gamma,
+                    static_cast<unsigned long long>(options.clustering_seed),
+                    options.lp_max_iterations,
+                    options.lp_min_community_size);
+  SND_CHECK(written > 0 && written < static_cast<int>(sizeof(banks)));
+  signature += banks;
+  signature += ',';
+  signature += SsspBackendName(options.sssp_backend);
+  return signature;
+}
+
+}  // namespace snd

@@ -1,0 +1,51 @@
+#include "snd/service/result_cache.h"
+
+#include <algorithm>
+
+namespace snd {
+
+ResultCache::ResultCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::optional<double> ResultCache::Get(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key, double value) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, value);
+  map_.emplace(key, lru_.begin());
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+size_t ResultCache::EraseMatchingPrefix(const std::string& prefix) {
+  size_t erased = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+}  // namespace snd

@@ -1,0 +1,63 @@
+// Bounded LRU cache mapping request keys to SND values — the layer that
+// makes repeated and overlapping service queries (a `series` whose pairs
+// are a subset of an earlier `matrix`) cost zero transport/SSSP work.
+//
+// Keys are opaque strings built by the dispatcher from (graph name,
+// graph epoch, states epoch, options signature, state pair); epochs are
+// never reused (see session.h), so a stale entry can never be returned —
+// eviction exists purely to bound memory. EraseMatchingPrefix lets the
+// dispatcher reclaim a reloaded or evicted graph's entries eagerly
+// instead of waiting for them to age out.
+//
+// Not thread-safe; the service dispatches requests serially (one session
+// per connection) and the parallelism lives below, in the batch engine.
+#ifndef SND_SERVICE_RESULT_CACHE_H_
+#define SND_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace snd {
+
+class ResultCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;  // Capacity evictions only, not invalidations.
+  };
+
+  // Capacity in entries, clamped to >= 1.
+  explicit ResultCache(size_t capacity);
+
+  // The cached value for `key`, touching it most-recently-used; counts a
+  // hit or a miss.
+  std::optional<double> Get(const std::string& key);
+
+  // Inserts (or refreshes) `key`, evicting least-recently-used entries
+  // over capacity.
+  void Put(const std::string& key, double value);
+
+  // Drops every entry whose key starts with `prefix`; returns how many.
+  size_t EraseMatchingPrefix(const std::string& prefix);
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, double>>;
+
+  size_t capacity_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace snd
+
+#endif  // SND_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,518 @@
+#include "snd/service/service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "snd/analysis/anomaly.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/options_parse.h"
+#include "snd/util/check.h"
+#include "snd/util/thread_pool.h"
+
+namespace snd {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// %.17g round-trips every double exactly, so text-mode clients can
+// compare values bitwise with in-process results.
+std::string FormatValue(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+ServiceResponse Error(std::string message) {
+  ServiceResponse response;
+  response.ok = false;
+  response.header = std::move(message);
+  return response;
+}
+
+ServiceResponse Ok(std::string header) {
+  ServiceResponse response;
+  response.ok = true;
+  response.header = std::move(header);
+  return response;
+}
+
+// Session names become cache-key prefixes delimited by '|', so keep them
+// to a charset that cannot collide with the key grammar (and stays
+// shell/log friendly).
+bool ValidSessionName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseIndex(const std::string& token, int32_t* index) {
+  if (token.empty()) return false;
+  int32_t value = 0;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    if (value > (INT32_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *index = value;
+  return true;
+}
+
+// The grammar summary served by `help`: the command block here plus the
+// shared flag block (kSndFlagUsage), split into protocol rows.
+constexpr char kCommandUsage[] =
+    "commands:\n"
+    "  load_graph <name> <graph.edges>     load or replace a named graph\n"
+    "  load_states <name> <states.txt>     load/replace the state series\n"
+    "  append_state <name> <v1> ... <vn>   append one state (-1/0/1 each)\n"
+    "  distance <name> <i> <j> [flags]     SND between states i and j\n"
+    "  series <name> [flags]               SND over adjacent states\n"
+    "  matrix <name> [flags]               full pairwise SND matrix\n"
+    "  anomalies <name> [flags]            transitions by anomaly score\n"
+    "  info                                sessions, caches, counters\n"
+    "  evict <name>                        drop a graph and its artifacts\n"
+    "  help                                this summary\n"
+    "  quit                                end the session\n"
+    "flags:\n";
+
+void AppendLines(const char* text, std::vector<std::string>* rows) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) rows->push_back(line);
+}
+
+}  // namespace
+
+SndService::SndService(SndServiceConfig config)
+    : config_(config), results_(config.result_cache_capacity) {
+  config_.max_calculators = std::max<size_t>(1, config_.max_calculators);
+}
+
+SndService::~SndService() = default;
+
+ServiceResponse SndService::HelpCmd() {
+  ServiceResponse response;
+  response.ok = true;
+  AppendLines(kCommandUsage, &response.rows);
+  AppendLines(kSndFlagUsage, &response.rows);
+  response.header = "help rows " + std::to_string(response.rows.size());
+  return response;
+}
+
+ServiceResponse SndService::Call(const std::string& request) {
+  const std::vector<std::string> tokens = Tokenize(request);
+  if (tokens.empty()) return Error("empty request");
+  const std::string& command = tokens[0];
+  if (command == "load_graph") return LoadGraphCmd(tokens);
+  if (command == "load_states") return LoadStatesCmd(tokens);
+  if (command == "append_state") return AppendStateCmd(tokens);
+  if (command == "distance" || command == "series" || command == "matrix" ||
+      command == "anomalies") {
+    return ComputeCmd(tokens);
+  }
+  if (command == "info") return InfoCmd(tokens);
+  if (command == "evict") return EvictCmd(tokens);
+  if (command == "help" || command == "quit") {
+    if (tokens.size() > 1) {
+      return Error("unexpected token '" + tokens[1] + "'");
+    }
+    return command == "help" ? HelpCmd() : Ok("bye");
+  }
+  return Error("unknown command '" + command + "'");
+}
+
+ServiceResponse SndService::LoadGraphCmd(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) return Error("load_graph: missing arguments");
+  if (tokens.size() > 3) return Error("unexpected token '" + tokens[3] + "'");
+  const std::string& name = tokens[1];
+  if (!ValidSessionName(name)) {
+    return Error("invalid graph name '" + name + "'");
+  }
+  std::optional<Graph> graph = ReadEdgeList(tokens[2]);
+  if (!graph.has_value()) {
+    return Error("cannot read graph from " + tokens[2]);
+  }
+  // Reload: retire the old epoch's calculators and cached results before
+  // the registry bumps epochs, so no stale artifact survives.
+  PurgeGraphArtifacts(name);
+  const GraphSession& session = registry_.LoadGraph(name, *std::move(graph));
+  return Ok("graph " + name + " nodes " +
+            std::to_string(session.graph->num_nodes()) + " edges " +
+            std::to_string(session.graph->num_edges()) + " epoch " +
+            std::to_string(session.graph_epoch));
+}
+
+ServiceResponse SndService::LoadStatesCmd(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) return Error("load_states: missing arguments");
+  if (tokens.size() > 3) return Error("unexpected token '" + tokens[3] + "'");
+  const std::string& name = tokens[1];
+  GraphSession* session = registry_.Find(name);
+  if (session == nullptr) return Error("unknown graph '" + name + "'");
+  std::optional<std::vector<NetworkState>> states =
+      ReadStateSeries(tokens[2]);
+  if (!states.has_value()) {
+    return Error("cannot read states from " + tokens[2]);
+  }
+  for (const NetworkState& state : *states) {
+    if (state.num_users() != session->graph->num_nodes()) {
+      return Error("state size does not match graph '" + name + "'");
+    }
+  }
+  // Eager memory reclamation only — correctness needs neither step. The
+  // old series' results are unreachable once states_epoch bumps, and
+  // EvaluatePairs rebuilds any edge-cost cache whose epoch is stale;
+  // releasing both now just avoids holding dead buffers until the next
+  // request. Calculators survive (the graph is unchanged).
+  results_.EraseMatchingPrefix(name + "|");
+  for (auto& [key, entry] : calculators_) {
+    if (key.rfind(name + "|", 0) == 0) entry.edge_costs.reset();
+  }
+  registry_.ReplaceStates(session, *std::move(states));
+  return Ok("states " + name + " count " +
+            std::to_string(session->states.size()) + " users " +
+            std::to_string(session->graph->num_nodes()) + " epoch " +
+            std::to_string(session->states_epoch));
+}
+
+ServiceResponse SndService::AppendStateCmd(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) return Error("append_state: missing arguments");
+  const std::string& name = tokens[1];
+  GraphSession* session = registry_.Find(name);
+  if (session == nullptr) return Error("unknown graph '" + name + "'");
+  const auto n = static_cast<size_t>(session->graph->num_nodes());
+  if (tokens.size() - 2 != n) {
+    return Error("append_state: expected " + std::to_string(n) +
+                 " opinion values, got " + std::to_string(tokens.size() - 2));
+  }
+  std::vector<int8_t> values;
+  values.reserve(n);
+  for (size_t k = 2; k < tokens.size(); ++k) {
+    const std::string& token = tokens[k];
+    if (token == "-1") {
+      values.push_back(-1);
+    } else if (token == "0") {
+      values.push_back(0);
+    } else if (token == "1") {
+      values.push_back(1);
+    } else {
+      return Error("invalid opinion value '" + token + "'");
+    }
+  }
+  registry_.AppendState(session, NetworkState::FromValues(std::move(values)));
+  return Ok("states " + name + " count " +
+            std::to_string(session->states.size()) + " users " +
+            std::to_string(session->graph->num_nodes()) + " epoch " +
+            std::to_string(session->states_epoch));
+}
+
+SndService::CalcEntry* SndService::GetCalculator(
+    const std::string& name, const GraphSession& session,
+    const SndOptions& options, const std::string& signature) {
+  const std::string key =
+      name + "|g" + std::to_string(session.graph_epoch) + "|" + signature;
+  const auto it = calculators_.find(key);
+  if (it != calculators_.end()) {
+    ++calc_hits_;
+    it->second.last_used = ++calc_ticks_;
+    return &it->second;
+  }
+  // Over capacity: retire the least recently used calculator (its work
+  // counters fold into the retired total so `info` stays cumulative).
+  while (calculators_.size() >= config_.max_calculators) {
+    auto victim = calculators_.begin();
+    for (auto candidate = calculators_.begin();
+         candidate != calculators_.end(); ++candidate) {
+      if (candidate->second.last_used < victim->second.last_used) {
+        victim = candidate;
+      }
+    }
+    retired_work_ += victim->second.calc->work_counters();
+    calculators_.erase(victim);
+  }
+  ++calc_builds_;
+  CalcEntry entry;
+  entry.graph = session.graph;
+  entry.calc = std::make_unique<SndCalculator>(entry.graph.get(), options);
+  entry.last_used = ++calc_ticks_;
+  const auto [pos, inserted] = calculators_.emplace(key, std::move(entry));
+  SND_CHECK(inserted);
+  return &pos->second;
+}
+
+std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
+                                              CalcEntry* entry,
+                                              const std::string& key_prefix,
+                                              const StatePairs& pairs) {
+  std::vector<double> values(pairs.size(), 0.0);
+  StatePairs missing;
+  std::vector<size_t> missing_pos;
+  std::vector<std::string> missing_keys;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    std::string key = key_prefix + std::to_string(pairs[k].first) + "," +
+                      std::to_string(pairs[k].second);
+    const std::optional<double> cached = results_.Get(key);
+    if (cached.has_value()) {
+      values[k] = *cached;
+    } else {
+      missing.push_back(pairs[k]);
+      missing_pos.push_back(k);
+      missing_keys.push_back(std::move(key));
+    }
+  }
+  if (missing.empty()) return values;
+  if (entry->edge_costs == nullptr ||
+      entry->edge_costs_epoch != session.states_epoch) {
+    entry->edge_costs = entry->calc->MakeEdgeCostCache(&session.states);
+    entry->edge_costs_epoch = session.states_epoch;
+  }
+  const std::vector<double> computed = entry->calc->BatchDistances(
+      session.states, missing, entry->edge_costs.get());
+  for (size_t k = 0; k < missing.size(); ++k) {
+    values[missing_pos[k]] = computed[k];
+    results_.Put(missing_keys[k], computed[k]);
+  }
+  return values;
+}
+
+ServiceResponse SndService::ComputeCmd(
+    const std::vector<std::string>& tokens) {
+  const std::string& command = tokens[0];
+  if (tokens.size() < 2) return Error(command + ": missing arguments");
+  const std::string& name = tokens[1];
+  GraphSession* session = registry_.Find(name);
+  if (session == nullptr) return Error("unknown graph '" + name + "'");
+  const auto num_states = static_cast<int32_t>(session->states.size());
+
+  size_t positional_end = 2;
+  int32_t i = 0, j = 0;
+  if (command == "distance") {
+    if (tokens.size() < 4) return Error("distance: missing arguments");
+    for (size_t k = 2; k < 4; ++k) {
+      int32_t* index = (k == 2) ? &i : &j;
+      if (!ParseIndex(tokens[k], index)) {
+        return Error("invalid state index '" + tokens[k] + "'");
+      }
+      if (*index >= num_states) {
+        return Error("state index '" + tokens[k] + "' out of range (have " +
+                     std::to_string(num_states) + " states)");
+      }
+    }
+    positional_end = 4;
+  } else if (num_states < 2) {
+    return Error(command + ": need at least two states (have " +
+                 std::to_string(num_states) + ")");
+  }
+
+  std::vector<std::string> flags;
+  for (size_t k = positional_end; k < tokens.size(); ++k) {
+    if (!LooksLikeSndFlag(tokens[k])) {
+      return Error("unexpected token '" + tokens[k] + "'");
+    }
+    flags.push_back(tokens[k]);
+  }
+  std::string flag_error;
+  const std::optional<ParsedSndFlags> parsed =
+      ParseSndFlags(flags, &flag_error);
+  if (!parsed.has_value()) return Error(flag_error);
+  if (parsed->threads > 0) ThreadPool::SetGlobalThreads(parsed->threads);
+
+  const std::string signature = SndOptionsSignature(parsed->options);
+  CalcEntry* entry =
+      GetCalculator(name, *session, parsed->options, signature);
+  const std::string key_prefix =
+      name + "|g" + std::to_string(session->graph_epoch) + "|s" +
+      std::to_string(session->states_epoch) + "|" + signature + "|";
+
+  if (command == "distance") {
+    // SND is symmetric; evaluate the canonical (lower, higher)
+    // orientation so reversed queries share cache entries with `series`
+    // and `matrix`, which enumerate pairs as i < j.
+    const std::vector<double> values = EvaluatePairs(
+        *session, entry, key_prefix, {{std::min(i, j), std::max(i, j)}});
+    ServiceResponse response =
+        Ok("distance " + name + " " + std::to_string(i) + " " +
+           std::to_string(j) + " " + FormatValue(values[0]));
+    response.values = values;
+    return response;
+  }
+
+  if (command == "series") {
+    const StatePairs pairs = AdjacentPairs(num_states);
+    ServiceResponse response =
+        Ok("series " + name + " count " + std::to_string(pairs.size()));
+    response.values = EvaluatePairs(*session, entry, key_prefix, pairs);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      response.rows.push_back(std::to_string(pairs[k].first) + " " +
+                              std::to_string(pairs[k].second) + " " +
+                              FormatValue(response.values[k]));
+    }
+    return response;
+  }
+
+  if (command == "matrix") {
+    const StatePairs pairs = AllUnorderedPairs(num_states);
+    const std::vector<double> values =
+        EvaluatePairs(*session, entry, key_prefix, pairs);
+    ServiceResponse response =
+        Ok("matrix " + name + " rows " + std::to_string(num_states));
+    response.values.assign(
+        static_cast<size_t>(num_states) * static_cast<size_t>(num_states),
+        0.0);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const auto [a, b] = pairs[k];
+      response.values[static_cast<size_t>(a) * num_states + b] = values[k];
+      response.values[static_cast<size_t>(b) * num_states + a] = values[k];
+    }
+    for (int32_t r = 0; r < num_states; ++r) {
+      std::string row;
+      for (int32_t c = 0; c < num_states; ++c) {
+        if (c > 0) row += ' ';
+        row += FormatValue(
+            response.values[static_cast<size_t>(r) * num_states + c]);
+      }
+      response.rows.push_back(std::move(row));
+    }
+    return response;
+  }
+
+  // anomalies: the shared Section 6.2 scoring pipeline (the same
+  // ScoreAdjacentDistances the CLI uses) over cache-served distances.
+  const StatePairs pairs = AdjacentPairs(num_states);
+  const std::vector<double> distances =
+      EvaluatePairs(*session, entry, key_prefix, pairs);
+  const std::vector<double> scores =
+      ScoreAdjacentDistances(distances, session->states, nullptr);
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+  });
+  ServiceResponse response =
+      Ok("anomalies " + name + " count " + std::to_string(scores.size()));
+  for (size_t r = 0; r < order.size(); ++r) {
+    response.values.push_back(scores[order[r]]);
+    response.rows.push_back(std::to_string(r + 1) + " " +
+                            std::to_string(order[r]) + " " +
+                            FormatValue(scores[order[r]]));
+  }
+  return response;
+}
+
+ServiceResponse SndService::InfoCmd(const std::vector<std::string>& tokens) {
+  if (tokens.size() > 1) return Error("unexpected token '" + tokens[1] + "'");
+  const ServiceCounters counters = this->counters();
+  ServiceResponse response;
+  response.ok = true;
+  for (const auto& [name, session] : registry_.sessions()) {
+    response.rows.push_back(
+        "graph " + name + " nodes " +
+        std::to_string(session.graph->num_nodes()) + " edges " +
+        std::to_string(session.graph->num_edges()) + " graph_epoch " +
+        std::to_string(session.graph_epoch) + " states " +
+        std::to_string(session.states.size()) + " states_epoch " +
+        std::to_string(session.states_epoch));
+  }
+  response.rows.push_back(
+      "calculators size " + std::to_string(calculators_.size()) +
+      " capacity " + std::to_string(config_.max_calculators) + " builds " +
+      std::to_string(counters.calc_builds) + " hits " +
+      std::to_string(counters.calc_hits));
+  response.rows.push_back(
+      "results size " + std::to_string(counters.result_size) + " capacity " +
+      std::to_string(results_.capacity()) + " hits " +
+      std::to_string(counters.result_hits) + " misses " +
+      std::to_string(counters.result_misses) + " evictions " +
+      std::to_string(counters.result_evictions));
+  response.rows.push_back(
+      "work sssp_runs " + std::to_string(counters.work.sssp_runs) +
+      " transport_solves " +
+      std::to_string(counters.work.transport_solves) +
+      " edge_cost_builds " +
+      std::to_string(counters.work.edge_cost_builds));
+  response.rows.push_back("threads " +
+                          std::to_string(ThreadPool::GlobalThreads()));
+  response.header = "info rows " + std::to_string(response.rows.size());
+  return response;
+}
+
+ServiceResponse SndService::EvictCmd(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) return Error("evict: missing arguments");
+  if (tokens.size() > 2) return Error("unexpected token '" + tokens[2] + "'");
+  const std::string& name = tokens[1];
+  if (registry_.Find(name) == nullptr) {
+    return Error("unknown graph '" + name + "'");
+  }
+  PurgeGraphArtifacts(name);
+  registry_.Evict(name);
+  return Ok("evict " + name);
+}
+
+void SndService::PurgeGraphArtifacts(const std::string& name) {
+  const std::string prefix = name + "|";
+  for (auto it = calculators_.begin(); it != calculators_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      retired_work_ += it->second.calc->work_counters();
+      it = calculators_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  results_.EraseMatchingPrefix(prefix);
+}
+
+ServiceCounters SndService::counters() const {
+  ServiceCounters counters;
+  counters.result_hits = results_.stats().hits;
+  counters.result_misses = results_.stats().misses;
+  counters.result_evictions = results_.stats().evictions;
+  counters.result_size = static_cast<int64_t>(results_.size());
+  counters.calc_builds = calc_builds_;
+  counters.calc_hits = calc_hits_;
+  counters.work = retired_work_;
+  for (const auto& [key, entry] : calculators_) {
+    counters.work += entry.calc->work_counters();
+  }
+  return counters;
+}
+
+void SndService::WriteResponse(const ServiceResponse& response,
+                               std::ostream& out) {
+  out << (response.ok ? "ok " : "error ") << response.header << '\n';
+  for (const std::string& row : response.rows) out << row << '\n';
+}
+
+void SndService::ServeStream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const ServiceResponse response = Call(line);
+    WriteResponse(response, out);
+    out.flush();
+    if (response.ok && response.header == "bye") return;
+  }
+}
+
+}  // namespace snd

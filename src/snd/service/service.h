@@ -1,0 +1,174 @@
+// The SND serving subsystem: a transport-agnostic request dispatcher
+// over resident sessions, turning the per-invocation CLI workflow (parse
+// graph, rebuild banks, compute from zero) into a long-running service
+// that keeps graphs, state series, calculators and results hot across
+// requests.
+//
+// Request protocol — newline-delimited text, one request per line,
+// tokens separated by whitespace; blank lines and lines starting with
+// '#' are ignored. Flags use the CLI vocabulary (see
+// service/options_parse.h):
+//
+//   load_graph <name> <graph.edges>     load or replace a named graph
+//   load_states <name> <states.txt>     load/replace the state series
+//   append_state <name> <v1> ... <vn>   append one state (-1/0/1 each)
+//   distance <name> <i> <j> [flags]     SND between states i and j
+//   series <name> [flags]               SND over adjacent states
+//   matrix <name> [flags]               full pairwise SND matrix
+//   anomalies <name> [flags]            transitions by anomaly score
+//   info                                sessions, caches, work counters
+//   evict <name>                        drop a graph and its artifacts
+//   help                                protocol summary
+//   quit                                end the session (stream mode)
+//
+// Response format — first line "ok <header>" or "error <message>".
+// Exactly the responses whose header *ends* in "rows <n>" or "count <n>"
+// (series, matrix, anomalies, info, help) are followed by that many data
+// lines; every other response is a single line, so the stream needs no
+// terminators. (A "count" mid-header — `load_states`'s "count 5 users
+// 20 epoch 3" — is not a row count; only the final two tokens frame.)
+// Values are printed with %.17g (round-trips doubles exactly).
+// Malformed requests name the offending token, like the CLI.
+//
+// Caching layers behind a request:
+//  * one SndCalculator per (graph name, graph epoch, options signature),
+//    LRU-bounded — the bank clustering, cluster diameters and reversed
+//    graph are built once, not per request;
+//  * one EdgeCostCache per calculator and states epoch — per-(state,
+//    opinion) edge costs and reversed-cost buffers persist across
+//    requests over the resident series;
+//  * a bounded LRU of SND values keyed on (graph epoch, states epoch,
+//    options signature, state pair) — repeated queries, and queries
+//    whose pairs overlap earlier ones (series ⊂ matrix), do zero SSSP
+//    and transport work. SND is symmetric, so pairs are evaluated in
+//    the canonical (lower, higher) orientation: `distance g 3 1` hits
+//    the entry a `matrix` or `distance g 1 3` populated.
+//    SndCalculator::work_counters() exposed through `info` proves all
+//    of it.
+//
+// Requests are dispatched serially (one session per connection; the
+// parallelism lives below, in the batch engine on the shared
+// ThreadPool). Results are bitwise identical to direct SndCalculator
+// calls for every backend and thread count.
+#ifndef SND_SERVICE_SERVICE_H_
+#define SND_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snd/core/snd.h"
+#include "snd/service/result_cache.h"
+#include "snd/service/session.h"
+
+namespace snd {
+
+struct SndServiceConfig {
+  // Bound on resident SND values (one double per (pair, options) key).
+  size_t result_cache_capacity = 1 << 16;
+  // Bound on resident calculators (each holds banks + reversed graph +
+  // an edge-cost cache over the series).
+  size_t max_calculators = 8;
+};
+
+// One response. `header`/`rows` are the wire payload (without the
+// "ok "/"error " prefix); `values` carries the raw doubles of numeric
+// responses so in-process callers (tests, benches) can assert bitwise
+// equality without parsing text.
+struct ServiceResponse {
+  bool ok = false;
+  std::string header;  // Error message when !ok.
+  std::vector<std::string> rows;
+  std::vector<double> values;
+};
+
+// Snapshot of the service's cache effectiveness, also printed by `info`.
+struct ServiceCounters {
+  int64_t result_hits = 0;
+  int64_t result_misses = 0;
+  int64_t result_evictions = 0;
+  int64_t result_size = 0;
+  int64_t calc_builds = 0;
+  int64_t calc_hits = 0;
+  // Aggregate over all calculators this service ever built (live ones
+  // plus those retired by eviction or reload).
+  SndWorkCounters work;
+};
+
+class SndService {
+ public:
+  explicit SndService(SndServiceConfig config = SndServiceConfig());
+  ~SndService();
+
+  SndService(const SndService&) = delete;
+  SndService& operator=(const SndService&) = delete;
+
+  // Dispatches one request line and returns the response. Deterministic:
+  // the same request sequence yields the same responses (and bitwise the
+  // same values) for any thread count and SSSP backend.
+  ServiceResponse Call(const std::string& request);
+
+  // Reads requests from `in` line by line and writes each response to
+  // `out` (flushed per response, so socket peers see replies promptly)
+  // until EOF or `quit`.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  // Serializes a response in the wire format described above.
+  static void WriteResponse(const ServiceResponse& response,
+                            std::ostream& out);
+
+  ServiceCounters counters() const;
+
+ private:
+  // A resident calculator and its cross-request edge-cost cache, keyed
+  // by (graph name, graph epoch, options signature).
+  struct CalcEntry {
+    std::shared_ptr<const Graph> graph;  // Keeps the epoch's graph alive.
+    std::unique_ptr<SndCalculator> calc;
+    std::shared_ptr<SndCalculator::EdgeCostCache> edge_costs;
+    uint64_t edge_costs_epoch = 0;  // states_epoch the cache was built on.
+    uint64_t last_used = 0;         // LRU tick.
+  };
+
+  ServiceResponse LoadGraphCmd(const std::vector<std::string>& tokens);
+  ServiceResponse LoadStatesCmd(const std::vector<std::string>& tokens);
+  ServiceResponse AppendStateCmd(const std::vector<std::string>& tokens);
+  ServiceResponse ComputeCmd(const std::vector<std::string>& tokens);
+  ServiceResponse InfoCmd(const std::vector<std::string>& tokens);
+  ServiceResponse EvictCmd(const std::vector<std::string>& tokens);
+  static ServiceResponse HelpCmd();
+
+  // The calculator for (session, options), built on first use.
+  CalcEntry* GetCalculator(const std::string& name,
+                           const GraphSession& session,
+                           const SndOptions& options,
+                           const std::string& signature);
+
+  // SND values for `pairs` over the session's states: cached values are
+  // served from the result LRU, the rest go through one BatchDistances
+  // call sharing the entry's edge-cost cache, then populate the LRU.
+  std::vector<double> EvaluatePairs(const GraphSession& session,
+                                    CalcEntry* entry,
+                                    const std::string& key_prefix,
+                                    const StatePairs& pairs);
+
+  // Drops every calculator and cached result of `name` (reload/evict),
+  // folding retired calculators' work counters into retired_work_.
+  void PurgeGraphArtifacts(const std::string& name);
+
+  SndServiceConfig config_;
+  SessionRegistry registry_;
+  ResultCache results_;
+  std::map<std::string, CalcEntry> calculators_;
+  uint64_t calc_ticks_ = 0;
+  int64_t calc_builds_ = 0;
+  int64_t calc_hits_ = 0;
+  SndWorkCounters retired_work_;
+};
+
+}  // namespace snd
+
+#endif  // SND_SERVICE_SERVICE_H_

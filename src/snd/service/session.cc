@@ -1,0 +1,44 @@
+#include "snd/service/session.h"
+
+#include <utility>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+GraphSession& SessionRegistry::LoadGraph(const std::string& name,
+                                         Graph graph) {
+  GraphSession& session = sessions_[name];
+  session.graph = std::make_shared<const Graph>(std::move(graph));
+  session.graph_epoch = ++next_epoch_;
+  session.states.clear();
+  session.states_epoch = ++next_epoch_;
+  return session;
+}
+
+void SessionRegistry::ReplaceStates(GraphSession* session,
+                                    std::vector<NetworkState> states) {
+  SND_CHECK(session != nullptr);
+  for (const NetworkState& state : states) {
+    SND_CHECK(state.num_users() == session->graph->num_nodes());
+  }
+  session->states = std::move(states);
+  session->states_epoch = ++next_epoch_;
+}
+
+void SessionRegistry::AppendState(GraphSession* session, NetworkState state) {
+  SND_CHECK(session != nullptr);
+  SND_CHECK(state.num_users() == session->graph->num_nodes());
+  session->states.push_back(std::move(state));
+}
+
+GraphSession* SessionRegistry::Find(const std::string& name) {
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+bool SessionRegistry::Evict(const std::string& name) {
+  return sessions_.erase(name) > 0;
+}
+
+}  // namespace snd

@@ -1,0 +1,74 @@
+// The session registry of the serving subsystem: named graphs and their
+// state series held resident in memory with epoch versioning.
+//
+// Epochs are session-global and strictly increasing, so a (name,
+// graph_epoch, states_epoch) triple never repeats — cache keys built
+// from epochs can never alias across reloads. The two epochs move
+// independently:
+//  * graph_epoch bumps when the graph under a name is (re)loaded. A
+//    reload also clears the session's states (they may not match the new
+//    graph) and bumps states_epoch.
+//  * states_epoch bumps when the state series is *replaced*. Appending a
+//    state does NOT bump it: an append-only series keeps every existing
+//    state index meaning the same state, so results cached under the
+//    current epoch stay valid.
+//
+// Graphs are held through shared_ptr so calculators built against an
+// epoch keep their graph alive after a reload replaces it in the
+// registry. The registry does no I/O and no validation beyond its own
+// invariants; the dispatcher (service.cc) owns both.
+#ifndef SND_SERVICE_SESSION_H_
+#define SND_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/opinion/network_state.h"
+
+namespace snd {
+
+struct GraphSession {
+  std::shared_ptr<const Graph> graph;
+  uint64_t graph_epoch = 0;
+  // The resident state series. Lives at a stable address (inside the
+  // registry's node-based map), so long-lived edge-cost caches may hold
+  // a pointer to it across appends.
+  std::vector<NetworkState> states;
+  uint64_t states_epoch = 0;
+};
+
+class SessionRegistry {
+ public:
+  // Loads (or reloads) the graph under `name`. Bumps graph_epoch, clears
+  // any resident states, bumps states_epoch. Returns the session.
+  GraphSession& LoadGraph(const std::string& name, Graph graph);
+
+  // Replaces the session's state series; bumps states_epoch. Every state
+  // must already be validated against the session's graph.
+  void ReplaceStates(GraphSession* session, std::vector<NetworkState> states);
+
+  // Appends one state; states_epoch is unchanged (see file comment).
+  void AppendState(GraphSession* session, NetworkState state);
+
+  // The session under `name`, or nullptr.
+  GraphSession* Find(const std::string& name);
+
+  // Drops the session. Returns false if no such name.
+  bool Evict(const std::string& name);
+
+  const std::map<std::string, GraphSession>& sessions() const {
+    return sessions_;
+  }
+
+ private:
+  std::map<std::string, GraphSession> sessions_;
+  uint64_t next_epoch_ = 0;
+};
+
+}  // namespace snd
+
+#endif  // SND_SERVICE_SESSION_H_

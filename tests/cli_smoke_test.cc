@@ -3,17 +3,11 @@
 // executable (path baked in as SND_CLI_BIN by the build) against a tiny
 // generated fixture and checks exit codes and output shape.
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
-#if !defined(_WIN32)
-#include <sys/wait.h>
-#endif
-
+#include "smoke_util.h"
 #include "snd/graph/generators.h"
 #include "snd/graph/io.h"
 #include "snd/opinion/evolution.h"
@@ -26,60 +20,21 @@
 namespace snd {
 namespace {
 
-struct RunResult {
-  int exit_code = -1;
-  std::string out;
-  std::string err;
-};
-
-// Shell-quotes a path for command composition.
-std::string Quoted(const std::string& path) { return "\"" + path + "\""; }
-
-// A temp path unique to the currently running test, so suite members can
-// run as concurrent CTest jobs without clobbering each other's files.
-std::string TestTempPath(const std::string& suffix) {
-  const ::testing::TestInfo* info =
-      ::testing::UnitTest::GetInstance()->current_test_info();
-  return ::testing::TempDir() + "/cli_smoke_" + info->name() + "_" + suffix;
-}
-
-std::string ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
-}
+using testing_util::BinaryRunResult;
+using testing_util::RunBinary;
+using testing_util::ShellQuoted;
+using testing_util::SmokeTempPath;
 
 // Runs `snd_cli <args>` through the shell, capturing stdout and stderr.
-RunResult RunCli(const std::string& args) {
-  const std::string out_path = TestTempPath("out.txt");
-  const std::string err_path = TestTempPath("err.txt");
-  std::string command = Quoted(SND_CLI_BIN) + " " + args + " >" +
-                        Quoted(out_path) + " 2>" + Quoted(err_path);
-#if defined(_WIN32)
-  // cmd.exe strips the first and last quote of the line; an extra outer
-  // pair keeps the quoted binary path intact.
-  command = Quoted(command);
-#endif
-  const int status = std::system(command.c_str());
-  RunResult result;
-#if defined(_WIN32)
-  result.exit_code = status;
-#else
-  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-#endif
-  result.out = ReadFile(out_path);
-  result.err = ReadFile(err_path);
-  std::remove(out_path.c_str());
-  std::remove(err_path.c_str());
-  return result;
+BinaryRunResult RunCli(const std::string& args) {
+  return RunBinary(SND_CLI_BIN, args, "cli_smoke");
 }
 
 class CliSmokeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    graph_path_ = TestTempPath("graph.edges");
-    states_path_ = TestTempPath("states.txt");
+    graph_path_ = SmokeTempPath("cli_smoke", "graph.edges");
+    states_path_ = SmokeTempPath("cli_smoke", "states.txt");
     const Graph g = GenerateRing(20, 2);
     ASSERT_TRUE(WriteEdgeList(g, graph_path_));
     SyntheticEvolution evolution(&g, 2);
@@ -99,7 +54,7 @@ class CliSmokeTest : public ::testing::Test {
 
 TEST_F(CliSmokeTest, HelpExitsZeroAndPrintsUsageToStdout) {
   for (const char* spelling : {"--help", "-h", "help"}) {
-    const RunResult result = RunCli(spelling);
+    const BinaryRunResult result = RunCli(spelling);
     EXPECT_EQ(result.exit_code, 0) << spelling;
     EXPECT_NE(result.out.find("usage: snd_cli"), std::string::npos)
         << spelling;
@@ -108,15 +63,16 @@ TEST_F(CliSmokeTest, HelpExitsZeroAndPrintsUsageToStdout) {
 }
 
 TEST_F(CliSmokeTest, DistanceCommandPrintsValue) {
-  const RunResult result =
-      RunCli("distance " + Quoted(graph_path_) + " " + Quoted(states_path_) + " 0 1");
+  const BinaryRunResult result =
+      RunCli("distance " + ShellQuoted(graph_path_) + " " +
+             ShellQuoted(states_path_) + " 0 1");
   EXPECT_EQ(result.exit_code, 0) << result.err;
   EXPECT_NE(result.out.find("SND(0, 1) ="), std::string::npos) << result.out;
 }
 
 TEST_F(CliSmokeTest, SeriesCommandPrintsTable) {
-  const RunResult result =
-      RunCli("series " + Quoted(graph_path_) + " " + Quoted(states_path_));
+  const BinaryRunResult result = RunCli(
+      "series " + ShellQuoted(graph_path_) + " " + ShellQuoted(states_path_));
   EXPECT_EQ(result.exit_code, 0) << result.err;
   EXPECT_NE(result.out.find("transition"), std::string::npos) << result.out;
   EXPECT_NE(result.out.find("anomaly score"), std::string::npos)
@@ -125,15 +81,16 @@ TEST_F(CliSmokeTest, SeriesCommandPrintsTable) {
 }
 
 TEST_F(CliSmokeTest, MissingArgumentsFails) {
-  const RunResult result = RunCli("");
+  const BinaryRunResult result = RunCli("");
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.err.find("missing arguments"), std::string::npos)
       << result.err;
 }
 
 TEST_F(CliSmokeTest, UnknownCommandNamesToken) {
-  const RunResult result =
-      RunCli("frobnicate " + Quoted(graph_path_) + " " + Quoted(states_path_));
+  const BinaryRunResult result = RunCli("frobnicate " +
+                                        ShellQuoted(graph_path_) + " " +
+                                        ShellQuoted(states_path_));
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.err.find("unknown command 'frobnicate'"),
             std::string::npos)
@@ -141,17 +98,17 @@ TEST_F(CliSmokeTest, UnknownCommandNamesToken) {
 }
 
 TEST_F(CliSmokeTest, BadFlagValuesNameToken) {
-  const RunResult bad_model =
-      RunCli("series " + Quoted(graph_path_) + " " + Quoted(states_path_) +
-             " --model=bogus");
+  const BinaryRunResult bad_model =
+      RunCli("series " + ShellQuoted(graph_path_) + " " +
+             ShellQuoted(states_path_) + " --model=bogus");
   EXPECT_EQ(bad_model.exit_code, 1);
   EXPECT_NE(bad_model.err.find("unknown --model value 'bogus'"),
             std::string::npos)
       << bad_model.err;
 
-  const RunResult bad_flag =
-      RunCli("series " + Quoted(graph_path_) + " " + Quoted(states_path_) +
-             " --frobnicate");
+  const BinaryRunResult bad_flag =
+      RunCli("series " + ShellQuoted(graph_path_) + " " +
+             ShellQuoted(states_path_) + " --frobnicate");
   EXPECT_EQ(bad_flag.exit_code, 1);
   EXPECT_NE(bad_flag.err.find("unrecognized flag '--frobnicate'"),
             std::string::npos)

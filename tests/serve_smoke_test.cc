@@ -1,0 +1,118 @@
+// End-to-end smoke test for the built `snd_serve` binary: pipes a
+// scripted session through the real executable (path baked in as
+// SND_SERVE_BIN by the build) and diffs the output byte-for-byte against
+// the in-process SndService::ServeStream on the same script — the
+// service layer's own determinism guarantee makes that an exact oracle.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "smoke_util.h"
+#include "snd/graph/generators.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/evolution.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/service.h"
+#include "snd/util/thread_pool.h"
+
+#ifndef SND_SERVE_BIN
+#error "SND_SERVE_BIN must be defined to the snd_serve executable path"
+#endif
+
+namespace snd {
+namespace {
+
+using testing_util::BinaryRunResult;
+using testing_util::RunBinary;
+using testing_util::SmokeTempPath;
+
+BinaryRunResult RunServe(const std::string& args, const std::string& input) {
+  return RunBinary(SND_SERVE_BIN, args, "serve_smoke", input);
+}
+
+class ServeSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = SmokeTempPath("serve_smoke", "graph.edges");
+    states_path_ = SmokeTempPath("serve_smoke", "states.txt");
+    const Graph g = GenerateRing(20, 2);
+    ASSERT_TRUE(WriteEdgeList(g, graph_path_));
+    SyntheticEvolution evolution(&g, 2);
+    ASSERT_TRUE(WriteStateSeries(
+        evolution.GenerateSeries(4, 5, {0.2, 0.05}, {0.2, 0.05}, {}),
+        states_path_));
+  }
+
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(states_path_.c_str());
+    // The in-process reference session may execute --threads flags;
+    // restore the pool so later tests see the default parallelism.
+    ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  }
+
+  std::string graph_path_;
+  std::string states_path_;
+};
+
+TEST_F(ServeSmokeTest, HelpExitsZeroAndPrintsUsageToStdout) {
+  for (const char* spelling : {"--help", "-h", "help"}) {
+    const BinaryRunResult result = RunServe(spelling, "");
+    EXPECT_EQ(result.exit_code, 0) << spelling;
+    EXPECT_NE(result.out.find("usage: snd_serve"), std::string::npos)
+        << spelling;
+    EXPECT_TRUE(result.err.empty()) << spelling << " stderr: " << result.err;
+  }
+}
+
+TEST_F(ServeSmokeTest, BadFlagNamesTokenAndExitsNonzero) {
+  const BinaryRunResult result = RunServe("--frobnicate", "");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unrecognized flag '--frobnicate'"),
+            std::string::npos)
+      << result.err;
+}
+
+TEST_F(ServeSmokeTest, ScriptedSessionMatchesInProcessServiceExactly) {
+  const std::string script =
+      "# scripted smoke session\n"
+      "load_graph g " + graph_path_ + "\n" +
+      "load_states g " + states_path_ + "\n" +
+      "distance g 0 1 --threads=1\n"
+      "distance g 0 1\n"
+      "series g\n"
+      "matrix g\n"
+      "anomalies g\n"
+      "distance g 0 1 --sssp=dijkstra\n"
+      "distance g 0 1 --sssp=dial\n"
+      "bogus request\n"
+      "evict g\n"
+      "quit\n";
+
+  const BinaryRunResult binary = RunServe("", script);
+  ASSERT_EQ(binary.exit_code, 0) << binary.err;
+
+  SndService reference;
+  std::istringstream in(script);
+  std::ostringstream expected;
+  reference.ServeStream(in, expected);
+
+  // Byte-for-byte: the service is deterministic, so the spawned binary
+  // must produce exactly the in-process transcript. (`info` is excluded
+  // from the script: its thread row depends on the host default.)
+  EXPECT_EQ(binary.out, expected.str());
+  EXPECT_NE(binary.out.find("ok bye"), std::string::npos) << binary.out;
+}
+
+TEST_F(ServeSmokeTest, EofWithoutQuitExitsCleanly) {
+  const std::string script = "load_graph g " + graph_path_ + "\n";
+  const BinaryRunResult result = RunServe("", script);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("ok graph g nodes 20"), std::string::npos)
+      << result.out;
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,388 @@
+// In-process tests of the serving subsystem (snd/service/service.h):
+// protocol error paths (malformed requests name the offending token),
+// cache semantics (warm repeats and overlapping queries do zero
+// SSSP/transport work, proven by SndCalculator::work_counters), epoch
+// invalidation on reload, append-only series retention, LRU bounds, and
+// bitwise identity of service answers with direct SndCalculator calls
+// across SSSP backends and thread counts.
+#include "snd/service/service.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smoke_util.h"
+#include "snd/core/snd.h"
+#include "snd/graph/generators.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/evolution.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/options_parse.h"
+#include "snd/service/result_cache.h"
+#include "snd/util/thread_pool.h"
+
+namespace snd {
+namespace {
+
+std::string TestTempPath(const std::string& suffix) {
+  return testing_util::SmokeTempPath("service", suffix);
+}
+
+// A small fixture session: ring graph, short synthetic series, both
+// written to temp files so the protocol's load-by-path commands work.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = TestTempPath("graph.edges");
+    states_path_ = TestTempPath("states.txt");
+    graph_ = GenerateRing(24, 2);
+    SyntheticEvolution evolution(&graph_, 7);
+    states_ = evolution.GenerateSeries(5, 6, {0.25, 0.05}, {0.25, 0.05}, {});
+    ASSERT_TRUE(WriteEdgeList(graph_, graph_path_));
+    ASSERT_TRUE(WriteStateSeries(states_, states_path_));
+  }
+
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(states_path_.c_str());
+    ThreadPool::SetGlobalThreads(1);
+  }
+
+  // Loads the fixture into `service` under the name "g".
+  void LoadFixture(SndService* service) {
+    ASSERT_TRUE(service->Call("load_graph g " + graph_path_).ok);
+    ASSERT_TRUE(service->Call("load_states g " + states_path_).ok);
+  }
+
+  std::string graph_path_;
+  std::string states_path_;
+  Graph graph_;
+  std::vector<NetworkState> states_;
+};
+
+TEST_F(ServiceTest, MalformedRequestsNameTheOffendingToken) {
+  SndService service;
+  LoadFixture(&service);
+  const struct {
+    const char* request;
+    const char* expected;
+  } kCases[] = {
+      {"frobnicate g", "unknown command 'frobnicate'"},
+      {"load_graph", "load_graph: missing arguments"},
+      {"load_graph g path extra", "unexpected token 'extra'"},
+      {"load_graph bad|name somewhere", "invalid graph name 'bad|name'"},
+      {"load_states nope somewhere", "unknown graph 'nope'"},
+      {"append_state nope 1", "unknown graph 'nope'"},
+      {"append_state g 1 0", "append_state: expected 24 opinion values"},
+      {"distance g x 1", "invalid state index 'x'"},
+      {"distance g -1 1", "invalid state index '-1'"},
+      {"distance g 0 99",
+       "state index '99' out of range (have 5 states)"},
+      {"distance g 0 1 stray", "unexpected token 'stray'"},
+      {"distance g 0 1 --model=bogus", "unknown --model value 'bogus'"},
+      {"series g --sssp=slow", "unknown --sssp value 'slow'"},
+      {"matrix g --frobnicate=1", "unrecognized flag '--frobnicate=1'"},
+      {"anomalies g --threads=0", "invalid --threads value '0'"},
+      {"anomalies g --threads=1e3", "invalid --threads value '1e3'"},
+      {"evict nope", "unknown graph 'nope'"},
+      {"info extra", "unexpected token 'extra'"},
+      {"help me", "unexpected token 'me'"},
+      {"quit now", "unexpected token 'now'"},
+      {"", "empty request"},
+  };
+  for (const auto& test_case : kCases) {
+    const ServiceResponse response = service.Call(test_case.request);
+    EXPECT_FALSE(response.ok) << test_case.request;
+    EXPECT_NE(response.header.find(test_case.expected), std::string::npos)
+        << test_case.request << " -> " << response.header;
+  }
+  // A full-length append with one bad value names that value.
+  std::string append = "append_state g";
+  for (int k = 0; k < 23; ++k) append += " 0";
+  append += " 2";
+  const ServiceResponse response = service.Call(append);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.header.find("invalid opinion value '2'"),
+            std::string::npos)
+      << response.header;
+}
+
+TEST_F(ServiceTest, LoadStatesRejectsMismatchedStateSize) {
+  SndService service;
+  LoadFixture(&service);
+  const std::string small_path = TestTempPath("small_states.txt");
+  const Graph small = GenerateRing(5, 1);
+  SyntheticEvolution evolution(&small, 3);
+  ASSERT_TRUE(WriteStateSeries(
+      evolution.GenerateSeries(2, 2, {0.2, 0.0}, {0.2, 0.0}, {}),
+      small_path));
+  const ServiceResponse response =
+      service.Call("load_states g " + small_path);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.header.find("state size does not match graph 'g'"),
+            std::string::npos)
+      << response.header;
+  std::remove(small_path.c_str());
+}
+
+TEST_F(ServiceTest, WarmRepeatDoesZeroSsspOrTransportWork) {
+  SndService service;
+  LoadFixture(&service);
+  const ServiceResponse cold = service.Call("distance g 0 1");
+  ASSERT_TRUE(cold.ok) << cold.header;
+  const ServiceCounters after_cold = service.counters();
+  EXPECT_EQ(after_cold.result_misses, 1);
+  EXPECT_GT(after_cold.work.sssp_runs, 0);
+  EXPECT_GT(after_cold.work.transport_solves, 0);
+
+  const ServiceResponse warm = service.Call("distance g 0 1");
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.values.size(), 1u);
+  EXPECT_EQ(warm.values[0], cold.values[0]);
+  const ServiceCounters after_warm = service.counters();
+  EXPECT_EQ(after_warm.result_hits, after_cold.result_hits + 1);
+  EXPECT_EQ(after_warm.result_misses, after_cold.result_misses);
+  // The proof: not one SSSP, transport solve, or edge costing happened.
+  EXPECT_EQ(after_warm.work.sssp_runs, after_cold.work.sssp_runs);
+  EXPECT_EQ(after_warm.work.transport_solves,
+            after_cold.work.transport_solves);
+  EXPECT_EQ(after_warm.work.edge_cost_builds,
+            after_cold.work.edge_cost_builds);
+  // One calculator served both requests.
+  EXPECT_EQ(after_warm.calc_builds, 1);
+  EXPECT_EQ(after_warm.calc_hits, 1);
+}
+
+TEST_F(ServiceTest, SeriesIsServedEntirelyFromAnEarlierMatrix) {
+  SndService service;
+  LoadFixture(&service);
+  const ServiceResponse matrix = service.Call("matrix g");
+  ASSERT_TRUE(matrix.ok) << matrix.header;
+  const ServiceCounters after_matrix = service.counters();
+
+  const ServiceResponse series = service.Call("series g");
+  ASSERT_TRUE(series.ok) << series.header;
+  const ServiceCounters after_series = service.counters();
+  // Adjacent pairs are a subset of the matrix's unordered pairs: all
+  // hits, zero new misses, zero new work of any kind.
+  EXPECT_EQ(after_series.result_misses, after_matrix.result_misses);
+  EXPECT_EQ(after_series.result_hits,
+            after_matrix.result_hits +
+                static_cast<int64_t>(states_.size()) - 1);
+  EXPECT_EQ(after_series.work.sssp_runs, after_matrix.work.sssp_runs);
+  EXPECT_EQ(after_series.work.transport_solves,
+            after_matrix.work.transport_solves);
+  EXPECT_EQ(after_series.work.edge_cost_builds,
+            after_matrix.work.edge_cost_builds);
+  // And the values agree with the matrix diagonal band.
+  const auto n = static_cast<size_t>(states_.size());
+  for (size_t t = 0; t + 1 < n; ++t) {
+    EXPECT_EQ(series.values[t], matrix.values[t * n + (t + 1)]) << t;
+  }
+}
+
+TEST_F(ServiceTest, ReversedDistanceQueriesShareCacheEntries) {
+  SndService service;
+  LoadFixture(&service);
+  const ServiceResponse forward = service.Call("distance g 1 3");
+  ASSERT_TRUE(forward.ok) << forward.header;
+  const ServiceCounters before = service.counters();
+  // SND is symmetric and pairs are canonicalized, so the reversed query
+  // is a pure cache hit with the identical value.
+  const ServiceResponse reversed = service.Call("distance g 3 1");
+  ASSERT_TRUE(reversed.ok) << reversed.header;
+  EXPECT_EQ(reversed.values[0], forward.values[0]);
+  const ServiceCounters after = service.counters();
+  EXPECT_EQ(after.result_misses, before.result_misses);
+  EXPECT_EQ(after.result_hits, before.result_hits + 1);
+  EXPECT_EQ(after.work.sssp_runs, before.work.sssp_runs);
+  EXPECT_EQ(after.work.transport_solves, before.work.transport_solves);
+}
+
+TEST_F(ServiceTest, ReloadBumpsEpochAndInvalidatesCachedResults) {
+  SndService service;
+  LoadFixture(&service);
+  const ServiceResponse first = service.Call("distance g 0 1");
+  ASSERT_TRUE(first.ok);
+  const ServiceCounters before = service.counters();
+  EXPECT_GT(before.result_size, 0);
+
+  // Reload the same graph file: a new epoch, even with identical bytes.
+  const ServiceResponse reload = service.Call("load_graph g " + graph_path_);
+  ASSERT_TRUE(reload.ok) << reload.header;
+  EXPECT_NE(reload.header.find("epoch"), std::string::npos);
+  EXPECT_EQ(service.counters().result_size, 0);  // Eagerly purged.
+
+  // States were reset by the reload; the old query is recomputed from
+  // scratch under the new epoch.
+  const ServiceResponse stale = service.Call("distance g 0 1");
+  EXPECT_FALSE(stale.ok);
+  EXPECT_NE(stale.header.find("out of range (have 0 states)"),
+            std::string::npos)
+      << stale.header;
+  ASSERT_TRUE(service.Call("load_states g " + states_path_).ok);
+  const ServiceResponse recomputed = service.Call("distance g 0 1");
+  ASSERT_TRUE(recomputed.ok);
+  EXPECT_EQ(recomputed.values[0], first.values[0]);  // Same data, same value.
+  const ServiceCounters after = service.counters();
+  EXPECT_EQ(after.result_misses, before.result_misses + 1);
+  EXPECT_GT(after.work.sssp_runs, before.work.sssp_runs);
+  EXPECT_EQ(after.calc_builds, 2);  // New epoch, new calculator.
+}
+
+TEST_F(ServiceTest, AppendStateKeepsExistingCacheEntriesValid) {
+  SndService service;
+  LoadFixture(&service);
+  ASSERT_TRUE(service.Call("series g").ok);
+  const ServiceCounters before = service.counters();
+
+  // Append a copy of the last state through the protocol.
+  std::string append = "append_state g";
+  const NetworkState& last = states_.back();
+  for (int32_t u = 0; u < last.num_users(); ++u) {
+    append += " " + std::to_string(static_cast<int>(last.value(u)));
+  }
+  ASSERT_TRUE(service.Call(append).ok);
+
+  // The extended series recomputes only the one new transition; every
+  // earlier transition is a hit because states_epoch did not move.
+  const ServiceResponse series = service.Call("series g");
+  ASSERT_TRUE(series.ok);
+  EXPECT_EQ(series.values.size(), states_.size());
+  const ServiceCounters after = service.counters();
+  EXPECT_EQ(after.result_misses, before.result_misses + 1);
+  EXPECT_EQ(after.result_hits,
+            before.result_hits + static_cast<int64_t>(states_.size()) - 1);
+  EXPECT_EQ(series.values.back(), 0.0);  // Identical adjacent states.
+}
+
+TEST_F(ServiceTest, AnswersAreBitwiseIdenticalToDirectCalculatorCalls) {
+  SndService service;
+  LoadFixture(&service);
+  const int32_t hw = ThreadPool::DefaultThreads();
+  const std::vector<int32_t> thread_counts =
+      hw > 2 ? std::vector<int32_t>{1, 2, hw} : std::vector<int32_t>{1, 2};
+  for (const char* backend : {"auto", "dijkstra", "dial"}) {
+    const std::string flag = std::string("--sssp=") + backend;
+    std::string error;
+    const auto parsed = ParseSndFlags({flag}, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const SndCalculator direct(&graph_, parsed->options);
+    const double expected_distance = direct.Distance(states_[1], states_[3]);
+    const std::vector<double> expected_series =
+        direct.AdjacentDistanceSeries(states_);
+    for (const int32_t threads : thread_counts) {
+      ThreadPool::SetGlobalThreads(threads);
+      const ServiceResponse distance = service.Call(
+          "distance g 1 3 " + flag + " --threads=" + std::to_string(threads));
+      ASSERT_TRUE(distance.ok) << distance.header;
+      EXPECT_EQ(distance.values[0], expected_distance)
+          << backend << " threads=" << threads;
+      const ServiceResponse series = service.Call("series g " + flag);
+      ASSERT_TRUE(series.ok) << series.header;
+      ASSERT_EQ(series.values.size(), expected_series.size());
+      for (size_t t = 0; t < expected_series.size(); ++t) {
+        EXPECT_EQ(series.values[t], expected_series[t])
+            << backend << " threads=" << threads << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_F(ServiceTest, EvictDropsTheSessionAndItsArtifacts) {
+  SndService service;
+  LoadFixture(&service);
+  ASSERT_TRUE(service.Call("distance g 0 1").ok);
+  EXPECT_GT(service.counters().result_size, 0);
+  const ServiceResponse evict = service.Call("evict g");
+  ASSERT_TRUE(evict.ok) << evict.header;
+  EXPECT_EQ(service.counters().result_size, 0);
+  EXPECT_FALSE(service.Call("distance g 0 1").ok);
+}
+
+TEST_F(ServiceTest, ResultCacheRespectsItsBound) {
+  SndServiceConfig config;
+  config.result_cache_capacity = 2;
+  SndService service(config);
+  LoadFixture(&service);
+  ASSERT_TRUE(service.Call("distance g 0 1").ok);
+  ASSERT_TRUE(service.Call("distance g 0 2").ok);
+  ASSERT_TRUE(service.Call("distance g 0 3").ok);
+  const ServiceCounters counters = service.counters();
+  EXPECT_LE(counters.result_size, 2);
+  EXPECT_GE(counters.result_evictions, 1);
+}
+
+TEST_F(ServiceTest, ServeStreamRunsAScriptedSessionAndStopsAtQuit) {
+  SndService service;
+  std::istringstream in(
+      "# a comment and a blank line are ignored\n"
+      "\n"
+      "load_graph g " + graph_path_ + "\n" +
+      "load_states g " + states_path_ + "\n" +
+      "distance g 0 1\n"
+      "nonsense\n"
+      "quit\n"
+      "distance g 0 1\n");
+  std::ostringstream out;
+  service.ServeStream(in, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ok graph g nodes 24"), std::string::npos) << text;
+  EXPECT_NE(text.find("ok states g count 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("ok distance g 0 1 "), std::string::npos) << text;
+  EXPECT_NE(text.find("error unknown command 'nonsense'"),
+            std::string::npos)
+      << text;
+  // The session ends at quit: exactly one distance response was written.
+  EXPECT_NE(text.find("ok bye"), std::string::npos) << text;
+  const size_t first = text.find("ok distance");
+  EXPECT_EQ(text.find("ok distance", first + 1), std::string::npos) << text;
+}
+
+TEST_F(ServiceTest, InfoReportsSessionsCachesAndWorkCounters) {
+  SndService service;
+  LoadFixture(&service);
+  ASSERT_TRUE(service.Call("distance g 0 1").ok);
+  ASSERT_TRUE(service.Call("distance g 0 1").ok);
+  const ServiceResponse info = service.Call("info");
+  ASSERT_TRUE(info.ok) << info.header;
+  ASSERT_EQ(info.rows.size(), 5u);
+  EXPECT_NE(info.rows[0].find("graph g nodes 24"), std::string::npos);
+  EXPECT_NE(info.rows[1].find("calculators size 1"), std::string::npos);
+  EXPECT_NE(info.rows[2].find("hits 1 misses 1"), std::string::npos)
+      << info.rows[2];
+  EXPECT_NE(info.rows[3].find("work sssp_runs"), std::string::npos);
+  EXPECT_NE(info.rows[4].find("threads "), std::string::npos);
+}
+
+// Unit coverage for the LRU itself, independent of the dispatcher.
+TEST(ResultCacheTest, LruEvictionAndPrefixErase) {
+  ResultCache cache(2);
+  cache.Put("a|1", 1.0);
+  cache.Put("b|1", 2.0);
+  EXPECT_EQ(cache.Get("a|1"), 1.0);  // Touch: "b|1" is now LRU.
+  cache.Put("c|1", 3.0);             // Evicts "b|1".
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_FALSE(cache.Get("b|1").has_value());
+  EXPECT_EQ(cache.Get("a|1"), 1.0);
+  EXPECT_EQ(cache.Get("c|1"), 3.0);
+  EXPECT_EQ(cache.EraseMatchingPrefix("a|"), 1u);
+  EXPECT_FALSE(cache.Get("a|1").has_value());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingKeys) {
+  ResultCache cache(4);
+  cache.Put("k", 1.0);
+  cache.Put("k", 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("k"), 2.0);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+}  // namespace
+}  // namespace snd

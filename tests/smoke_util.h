@@ -1,0 +1,93 @@
+// Shared subprocess harness for the end-to-end *_smoke_test suites,
+// which spawn the real built binaries (snd_cli, snd_serve). One copy of
+// the platform-sensitive pieces — shell quoting, exit-status decoding,
+// stdin/stdout/stderr redirection through temp files — so a portability
+// fix reaches every smoke test at once.
+#ifndef SND_TESTS_SMOKE_UTIL_H_
+#define SND_TESTS_SMOKE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#endif
+
+namespace snd {
+namespace testing_util {
+
+struct BinaryRunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+// Shell-quotes a path for command composition.
+inline std::string ShellQuoted(const std::string& path) {
+  return "\"" + path + "\"";
+}
+
+// A temp path unique to the currently running test, so suite members can
+// run as concurrent CTest jobs without clobbering each other's files.
+inline std::string SmokeTempPath(const std::string& prefix,
+                                 const std::string& suffix) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/" + prefix + "_" + info->name() + "_" +
+         suffix;
+}
+
+inline std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// Runs `binary <args>` through the shell with `input` piped to stdin,
+// capturing stdout and stderr. `temp_prefix` namespaces the redirect
+// files per suite.
+inline BinaryRunResult RunBinary(const std::string& binary,
+                                 const std::string& args,
+                                 const std::string& temp_prefix,
+                                 const std::string& input = "") {
+  const std::string in_path = SmokeTempPath(temp_prefix, "in.txt");
+  const std::string out_path = SmokeTempPath(temp_prefix, "out.txt");
+  const std::string err_path = SmokeTempPath(temp_prefix, "err.txt");
+  {
+    std::ofstream in(in_path, std::ios::binary);
+    in << input;
+  }
+  std::string command = ShellQuoted(binary) + " " + args + " <" +
+                        ShellQuoted(in_path) + " >" +
+                        ShellQuoted(out_path) + " 2>" +
+                        ShellQuoted(err_path);
+#if defined(_WIN32)
+  // cmd.exe strips the first and last quote of the line; an extra outer
+  // pair keeps the quoted binary path intact.
+  command = ShellQuoted(command);
+#endif
+  const int status = std::system(command.c_str());
+  BinaryRunResult result;
+#if defined(_WIN32)
+  result.exit_code = status;
+#else
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+  result.out = ReadFileToString(out_path);
+  result.err = ReadFileToString(err_path);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return result;
+}
+
+}  // namespace testing_util
+}  // namespace snd
+
+#endif  // SND_TESTS_SMOKE_UTIL_H_

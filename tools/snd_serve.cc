@@ -1,0 +1,223 @@
+// The `snd_serve` front end of the serving subsystem
+// (snd/service/service.h): speaks the newline-delimited request protocol
+// over stdio by default, or over a loopback TCP socket with --listen.
+//
+// usage: snd_serve [flags]
+//   (no flags)         serve one session on stdin/stdout until EOF/quit
+//   --listen=PORT      accept TCP connections on 127.0.0.1:PORT, one
+//                      session per connection, served sequentially (the
+//                      compute parallelism lives in the shared thread
+//                      pool below the dispatcher); port 0 picks a free
+//                      port and prints it
+//   --cache=N          result-LRU capacity in entries (default 65536)
+//   --help, -h         print this message
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "snd/service/options_parse.h"  // SplitSndFlag for --listen/--cache.
+#include "snd/service/service.h"
+
+#if !defined(_WIN32)
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "snd/util/thread_pool.h"
+#endif
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: snd_serve [flags]\n"
+    "  (no flags)         serve one session on stdin/stdout\n"
+    "  --listen=PORT      serve TCP sessions on 127.0.0.1:PORT (0 picks a\n"
+    "                     free port and prints it); one session per\n"
+    "                     connection, served sequentially\n"
+    "  --cache=N          result-LRU capacity in entries (default 65536)\n"
+    "  --help, -h         print this message\n"
+    "Protocol: send `help` (or see the README's Serving section).\n";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "snd_serve: %s\n%s", message.c_str(), kUsage);
+  return 1;
+}
+
+#if !defined(_WIN32)
+
+// A std::streambuf over a POSIX fd, enough to hand the service's
+// ServeStream an istream/ostream pair speaking to a socket.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t got;
+    do {
+      got = ::read(fd_, in_, sizeof(in_));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + got);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (Flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return Flush(); }
+
+ private:
+  int Flush() {
+    const char* data = pbase();
+    size_t remaining = static_cast<size_t>(pptr() - pbase());
+    while (remaining > 0) {
+      const ssize_t put = ::write(fd_, data, remaining);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      data += put;
+      remaining -= static_cast<size_t>(put);
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+int ServeTcp(int port, size_t cache_capacity) {
+  // A client closing its socket mid-response must not kill the server:
+  // without this, FdStreamBuf's write() raises SIGPIPE whose default
+  // disposition terminates the process.
+  std::signal(SIGPIPE, SIG_IGN);
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Fail("cannot create socket");
+  const int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    ::close(listener);
+    return Fail("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listener, 4) != 0) {
+    ::close(listener);
+    return Fail("cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t address_len = sizeof(address);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&address),
+                &address_len);
+  // The bound port on stdout (line-buffered by the flush) so scripts can
+  // use --listen=0.
+  std::printf("listening 127.0.0.1:%d\n", ntohs(address.sin_port));
+  std::fflush(stdout);
+  // --threads is process-global pool state; remember the startup value
+  // so one session's flag cannot leak into the next connection.
+  const int32_t base_threads = snd::ThreadPool::GlobalThreads();
+  for (;;) {
+    const int connection = ::accept(listener, nullptr, nullptr);
+    if (connection < 0) {
+      // Only a broken listener is fatal. Transient, often client-induced
+      // errors (ECONNABORTED handshake aborts, EMFILE/ENFILE pressure)
+      // must not take the whole service down.
+      if (errno == EBADF || errno == EINVAL) {
+        ::close(listener);
+        return Fail("accept failed");
+      }
+      if (errno != EINTR) {
+        std::perror("snd_serve: accept");
+        // Persistent conditions (EMFILE under fd pressure) would
+        // otherwise busy-spin this loop at full CPU.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      continue;
+    }
+    {
+      // One session — registry, caches, epochs — per connection.
+      FdStreamBuf in_buf(connection), out_buf(connection);
+      std::istream in(&in_buf);
+      std::ostream out(&out_buf);
+      snd::SndServiceConfig config;
+      config.result_cache_capacity = cache_capacity;
+      snd::SndService service(config);
+      service.ServeStream(in, out);
+      out.flush();
+    }
+    ::close(connection);
+    snd::ThreadPool::SetGlobalThreads(base_threads);
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int listen_port = -1;
+  size_t cache_capacity = snd::SndServiceConfig().result_cache_capacity;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    std::string value;
+    if (arg == "--help" || arg == "-h" || arg == "help") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (snd::SplitSndFlag(arg, "listen", &value)) {
+      int port = -1, consumed = 0;
+      if (std::sscanf(value.c_str(), "%d%n", &port, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || port < 0 ||
+          port > 65535) {
+        return Fail("invalid --listen value '" + value + "'");
+      }
+      listen_port = port;
+    } else if (snd::SplitSndFlag(arg, "cache", &value)) {
+      long long capacity = 0;
+      int consumed = 0;
+      if (std::sscanf(value.c_str(), "%lld%n", &capacity, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || capacity < 1) {
+        return Fail("invalid --cache value '" + value + "'");
+      }
+      cache_capacity = static_cast<size_t>(capacity);
+    } else {
+      return Fail("unrecognized flag '" + arg + "'");
+    }
+  }
+
+  if (listen_port >= 0) {
+#if defined(_WIN32)
+    return Fail("--listen is not supported on this platform");
+#else
+    return ServeTcp(listen_port, cache_capacity);
+#endif
+  }
+
+  snd::SndServiceConfig config;
+  config.result_cache_capacity = cache_capacity;
+  snd::SndService service(config);
+  service.ServeStream(std::cin, std::cout);
+  return 0;
+}
