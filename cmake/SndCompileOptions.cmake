@@ -9,7 +9,11 @@ function(snd_compile_options target)
     if(SND_WERROR)
       target_compile_options(${target} PRIVATE -Werror)
     endif()
-    if(SND_SANITIZE)
+    if(SND_SANITIZE STREQUAL "thread")
+      target_compile_options(${target} PRIVATE
+        -fsanitize=thread -fno-omit-frame-pointer)
+      target_link_options(${target} PRIVATE -fsanitize=thread)
+    elseif(SND_SANITIZE)
       target_compile_options(${target} PRIVATE
         -fsanitize=address,undefined -fno-omit-frame-pointer)
       target_link_options(${target} PRIVATE -fsanitize=address,undefined)

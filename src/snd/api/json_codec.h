@@ -1,0 +1,53 @@
+// The JSON codec: machine-client framing over the same typed core —
+// one JSON object per line in, one JSON object per line out
+// (`snd_serve --format=json`). Same commands, same semantics, same
+// bitwise values as the text protocol; only the framing differs.
+//
+// Request grammar (one object per line; "cmd" selects the command):
+//   {"cmd":"load_graph","name":"g","path":"graph.edges"}
+//   {"cmd":"load_states","name":"g","path":"states.txt"}
+//   {"cmd":"append_state","name":"g","values":[-1,0,1]}
+//   {"cmd":"distance","name":"g","i":0,"j":1,"flags":["--sssp=dial"]}
+//   {"cmd":"series","name":"g","flags":[...]}      flags optional
+//   {"cmd":"matrix","name":"g"}
+//   {"cmd":"anomalies","name":"g"}
+//   {"cmd":"info"}        {"cmd":"evict","name":"g"}
+//   {"cmd":"version"}     {"cmd":"help"}     {"cmd":"quit"}
+//
+// "flags" reuses the text vocabulary (service/options_parse.h) so the
+// two wires cannot drift: the same strings, the same diagnostics.
+//
+// Response framing — exactly one object per request, terminated by
+// '\n'. Success objects carry {"ok":true,"cmd":<noun>,...} with the
+// typed payload (numbers via FormatDouble, so values round-trip
+// bitwise); errors carry {"ok":false,"code":<status code
+// name>,"error":<message>}. See the README's JSON grammar for the full
+// per-command field list.
+#ifndef SND_API_JSON_CODEC_H_
+#define SND_API_JSON_CODEC_H_
+
+#include <string>
+
+#include "snd/api/requests.h"
+#include "snd/api/responses.h"
+#include "snd/api/status.h"
+
+namespace snd {
+
+// Parses one JSON request line into a typed Request. Malformed JSON,
+// missing or mistyped fields, and unknown commands return
+// kInvalidArgument naming the problem.
+StatusOr<Request> ParseJsonRequest(const std::string& line);
+
+// Renders a typed response (or an error status) as one JSON object,
+// without the trailing newline (the serve loop frames lines).
+std::string RenderJsonResponse(const Response& response);
+std::string RenderJsonError(const Status& status);
+
+// JSON string escaping ('"', '\\', control characters), exposed for
+// tests.
+std::string JsonEscaped(const std::string& text);
+
+}  // namespace snd
+
+#endif  // SND_API_JSON_CODEC_H_

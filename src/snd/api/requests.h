@@ -1,0 +1,103 @@
+// Typed request vocabulary of the SND API v1. One struct per protocol
+// command, closed into the `Request` variant that
+// SndService::Dispatch() — the one true entry point — consumes.
+//
+// Requests are *typed*, not stringly: compute requests carry a parsed
+// SndOptions (produced by ParseSndFlags for wire clients, or built
+// directly by in-process callers), append_state carries int8 opinion
+// values, indices are int32. Wire grammars — the newline-text protocol
+// and the one-object-per-line JSON protocol — live in the codecs
+// (text_codec.h, json_codec.h), which translate their framing into
+// these structs and surface malformed input as Status values *before*
+// dispatch; the service only ever sees well-formed requests and
+// validates semantics (names, index ranges, state sizes).
+//
+// `help` and `quit` are part of the variant too, so every line of every
+// wire session flows through Dispatch: help returns the protocol
+// summary as rows, quit returns ByeResponse, which the serve loop takes
+// as end-of-session.
+#ifndef SND_API_REQUESTS_H_
+#define SND_API_REQUESTS_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "snd/core/snd_options.h"
+
+namespace snd {
+
+// Shared shape of the four compute requests: the session name plus the
+// value-affecting options and the process-wide thread override
+// (--threads; 0 = leave unchanged). Requests carrying threads > 0 are
+// dispatched as writers: swapping the global pool must not race with
+// in-flight parallel compute.
+struct ComputeRequestBase {
+  std::string name;
+  SndOptions options;
+  int32_t threads = 0;
+};
+
+// Loads (or replaces) the graph under `name` from a WriteEdgeList file.
+struct LoadGraphRequest {
+  std::string name;
+  std::string path;
+};
+
+// Loads (or replaces) the session's state series from a
+// WriteStateSeries file.
+struct LoadStatesRequest {
+  std::string name;
+  std::string path;
+};
+
+// Appends one state; `values` are -1/0/1 per user and must match the
+// session graph's node count.
+struct AppendStateRequest {
+  std::string name;
+  std::vector<int8_t> values;
+};
+
+// SND between states i and j.
+struct DistanceRequest : ComputeRequestBase {
+  int32_t i = 0;
+  int32_t j = 0;
+};
+
+// SND over adjacent states (d[t] = SND(t, t+1)).
+struct SeriesRequest : ComputeRequestBase {};
+
+// Full symmetric pairwise SND matrix.
+struct MatrixRequest : ComputeRequestBase {};
+
+// Transitions ranked by Section 6.2 anomaly score.
+struct AnomaliesRequest : ComputeRequestBase {};
+
+// Sessions, cache and work counters (see InfoResponse for the
+// documented deterministic ordering).
+struct InfoRequest {};
+
+// Drops a session and every artifact derived from it.
+struct EvictRequest {
+  std::string name;
+};
+
+// The library/protocol version (snd::VersionString()).
+struct VersionRequest {};
+
+// The protocol summary, as rows of text.
+struct HelpRequest {};
+
+// Ends the wire session; Dispatch answers ByeResponse.
+struct QuitRequest {};
+
+using Request =
+    std::variant<LoadGraphRequest, LoadStatesRequest, AppendStateRequest,
+                 DistanceRequest, SeriesRequest, MatrixRequest,
+                 AnomaliesRequest, InfoRequest, EvictRequest, VersionRequest,
+                 HelpRequest, QuitRequest>;
+
+}  // namespace snd
+
+#endif  // SND_API_REQUESTS_H_

@@ -1,0 +1,23 @@
+#include "snd/api/responses.h"
+
+#include <variant>
+
+namespace snd {
+
+std::vector<double> ResponseValues(const Response& response) {
+  if (const auto* distance = std::get_if<DistanceResponse>(&response)) {
+    return {distance->value};
+  }
+  if (const auto* series = std::get_if<SeriesResponse>(&response)) {
+    return series->values;
+  }
+  if (const auto* matrix = std::get_if<MatrixResponse>(&response)) {
+    return matrix->values;
+  }
+  if (const auto* anomalies = std::get_if<AnomaliesResponse>(&response)) {
+    return anomalies->scores;
+  }
+  return {};
+}
+
+}  // namespace snd

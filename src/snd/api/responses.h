@@ -1,0 +1,125 @@
+// Typed response vocabulary of the SND API v1: the value side of
+// SndService::Dispatch's StatusOr<Response>. Responses carry doubles,
+// pairs and epochs directly — no text to parse — so in-process clients
+// (tests, benches, embedding applications) assert on bitwise values
+// while the codecs render the same objects onto their wire formats.
+//
+// ResponseValues() flattens the numeric payload of any response in its
+// canonical order (the order the text protocol prints), which is what
+// the cross-codec bitwise-identity tests compare.
+#ifndef SND_API_RESPONSES_H_
+#define SND_API_RESPONSES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "snd/core/snd.h"  // SndWorkCounters.
+#include "snd/opinion/distance_types.h"  // StatePairs.
+
+namespace snd {
+
+struct LoadGraphResponse {
+  std::string name;
+  int32_t nodes = 0;
+  int64_t edges = 0;
+  uint64_t epoch = 0;  // graph_epoch after the load.
+};
+
+// Answer to both load_states and append_state: the series' new shape.
+struct LoadStatesResponse {
+  std::string name;
+  int64_t count = 0;  // States resident after the operation.
+  int32_t users = 0;
+  uint64_t epoch = 0;  // states_epoch (unchanged by append).
+};
+
+struct DistanceResponse {
+  std::string name;
+  int32_t i = 0;
+  int32_t j = 0;
+  double value = 0.0;
+};
+
+struct SeriesResponse {
+  std::string name;
+  StatePairs pairs;  // (t, t+1) in order.
+  std::vector<double> values;  // values[k] = SND over pairs[k].
+};
+
+struct MatrixResponse {
+  std::string name;
+  int32_t num_states = 0;
+  // Row-major num_states x num_states, symmetric, zero diagonal.
+  std::vector<double> values;
+};
+
+struct AnomaliesResponse {
+  std::string name;
+  // Rank order (most anomalous first; score ties break on the earlier
+  // transition): transitions[r] is the transition index t (state t ->
+  // t+1) of rank r, scores[r] its anomaly score.
+  std::vector<int32_t> transitions;
+  std::vector<double> scores;
+};
+
+// The `info` snapshot. Ordering is part of the contract so scripted
+// diffs and monitoring scrapes are stable: sessions sorted by name,
+// then the calculator-cache, result-cache, work-counter and thread
+// lines, each with its counters in the fixed order the fields below
+// are declared in.
+struct InfoResponse {
+  struct SessionInfo {
+    std::string name;
+    int32_t nodes = 0;
+    int64_t edges = 0;
+    uint64_t graph_epoch = 0;
+    int64_t states = 0;
+    uint64_t states_epoch = 0;
+  };
+  std::vector<SessionInfo> sessions;  // Sorted by name.
+  int64_t calc_size = 0;
+  int64_t calc_capacity = 0;
+  int64_t calc_builds = 0;
+  int64_t calc_hits = 0;
+  int64_t result_size = 0;
+  int64_t result_capacity = 0;
+  int64_t result_hits = 0;
+  int64_t result_misses = 0;
+  int64_t result_evictions = 0;
+  SndWorkCounters work;
+  int32_t threads = 0;
+};
+
+struct EvictResponse {
+  std::string name;
+};
+
+struct VersionResponse {
+  std::string version;  // snd::VersionString().
+};
+
+struct HelpResponse {
+  std::vector<std::string> rows;  // The protocol summary, one line each.
+};
+
+// Session-ending acknowledgement of QuitRequest ("ok bye" on the text
+// wire); the serve loops stop after writing it.
+struct ByeResponse {};
+
+using Response =
+    std::variant<LoadGraphResponse, LoadStatesResponse, DistanceResponse,
+                 SeriesResponse, MatrixResponse, AnomaliesResponse,
+                 InfoResponse, EvictResponse, VersionResponse, HelpResponse,
+                 ByeResponse>;
+
+// The numeric payload of `response` in canonical (text-wire print)
+// order: distance -> {value}, series -> values, matrix -> the full
+// row-major matrix, anomalies -> scores by rank; every other response
+// is empty. The cross-path bitwise-identity tests compare exactly this.
+std::vector<double> ResponseValues(const Response& response);
+
+}  // namespace snd
+
+#endif  // SND_API_RESPONSES_H_

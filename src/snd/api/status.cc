@@ -1,0 +1,32 @@
+#include "snd/api/status.h"
+
+namespace snd {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";  // Unreachable for in-range codes.
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+}  // namespace snd

@@ -1,0 +1,141 @@
+// Error model of the typed SND API: a `Status` carrying a canonical
+// error code plus a human-readable message, and `StatusOr<T>` for
+// functions that return a value or an error.
+//
+// Every service, session, and options-parse error path returns one of
+// these instead of a raw string, so programmatic clients can branch on
+// the code while the wire codecs decide how to render it: the text
+// codec emits `error <message>` (byte-compatible with the pre-typed
+// protocol, whose diagnostics always name the offending token), and the
+// JSON codec emits both the code and the message.
+//
+// Code vocabulary (a deliberate subset of the widespread gRPC/absl
+// canon, so the meanings need no local documentation):
+//   kOk                  not an error; Status() default
+//   kInvalidArgument     the request itself is malformed (bad token,
+//                        unknown flag value, out-of-range index)
+//   kNotFound            a named session does not exist
+//   kFailedPrecondition  the request is well-formed but the session
+//                        state cannot satisfy it (too few states,
+//                        mismatched state size)
+//   kResourceExhausted   a capacity bound would be exceeded
+//   kUnavailable         an external resource cannot be read (graph or
+//                        state file)
+//   kUnimplemented       the command exists but is not supported here
+//   kInternal            an invariant failed; always a bug
+#ifndef SND_API_STATUS_H_
+#define SND_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "snd/util/check.h"
+
+namespace snd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kResourceExhausted = 4,
+  kUnavailable = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+// Stable lower_snake_case name of `code` ("invalid_argument"), as
+// rendered by the JSON codec's "code" field.
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Ok status: the default.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok", or "<code_name>: <message>" — for logs and test failures; the
+  // codecs render their own wire forms.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value of type T or the Status explaining why there is none. The
+// invariant: exactly one of value/error is present — ok() statuses
+// cannot be stored (SND_CHECK enforced), so `if (!result.ok())` is a
+// complete error check.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl: `return MakeRequest(...)` and
+  // `return Status::NotFound(...)` both read naturally at call sites.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SND_CHECK(!status_.ok());  // An ok StatusOr must carry a value.
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SND_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SND_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SND_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // Ok iff value_ holds.
+};
+
+}  // namespace snd
+
+#endif  // SND_API_STATUS_H_

@@ -12,6 +12,7 @@
 #include "snd/service/options_parse.h"
 #include "snd/util/table.h"
 #include "snd/util/thread_pool.h"
+#include "snd/util/version.h"
 
 namespace snd {
 namespace {
@@ -28,6 +29,7 @@ const std::string& Usage() {
           "  distance <i> <j>   SND between states i and j\n"
           "  series             distances between adjacent states\n"
           "  anomalies          transitions ranked by anomaly score\n"
+          "  version            print the library version (also --version)\n"
           "  help               print this message (also --help, -h)\n"
           "flags:\n") +
       kSndFlagUsage;
@@ -59,6 +61,10 @@ int SndCliMain(const std::vector<std::string>& args) {
     std::printf("%s", Usage().c_str());
     return 0;
   }
+  if (!args.empty() && (args[0] == "--version" || args[0] == "version")) {
+    std::printf("snd_cli %s\n", VersionString());
+    return 0;
+  }
   if (args.empty()) return Fail("missing arguments");
   const std::string& command = args[0];
   if (!IsKnownCommand(command)) {
@@ -74,10 +80,8 @@ int SndCliMain(const std::vector<std::string>& args) {
   const std::vector<std::string> flags(args.begin() +
                                            static_cast<long>(positional_end),
                                        args.end());
-  std::string flag_error;
-  const std::optional<ParsedSndFlags> parsed =
-      ParseSndFlags(flags, &flag_error);
-  if (!parsed.has_value()) return Fail(flag_error);
+  const StatusOr<ParsedSndFlags> parsed = ParseSndFlags(flags);
+  if (!parsed.ok()) return Fail(parsed.status().message());
   if (parsed->threads > 0) ThreadPool::SetGlobalThreads(parsed->threads);
 
   const std::optional<Graph> graph = ReadEdgeList(graph_path);

@@ -5,6 +5,7 @@
 //   snd_cli distance  <graph.edges> <states.txt> <i> <j> [flags]
 //   snd_cli series    <graph.edges> <states.txt> [flags]
 //   snd_cli anomalies <graph.edges> <states.txt> [flags]
+//   snd_cli version | --version      (snd::VersionString())
 //   snd_cli help | --help | -h
 //
 // Flags (the canonical grammar and help text are kSndFlagUsage in

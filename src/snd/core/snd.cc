@@ -46,8 +46,9 @@ size_t OpSlot(Opinion op) { return op == Opinion::kPositive ? 0 : 1; }
 // lazily and exactly once (std::call_once makes concurrent first requests
 // safe); the reversed-cost buffer is derived on demand so pairs that
 // never hit the reverse-SSSP branch pay nothing for it. Growth for
-// appended states happens in EnsureStates at batch entry (a serial
-// point); std::deque keeps existing entries pinned while growing.
+// appended states happens in EnsureStates at batch entry, serialized by
+// its own mutex so overlapping batch calls (the shared service) are
+// safe; std::deque keeps existing entries pinned while growing.
 class SndCalculator::EdgeCostCache {
  public:
   EdgeCostCache(const SndCalculator& calc,
@@ -62,9 +63,12 @@ class SndCalculator::EdgeCostCache {
   const std::vector<NetworkState>* states() const { return states_; }
 
   // Grows the entry table to cover states appended since the last call.
-  // Must not race with Costs/RevCosts; called from the serial prologue of
-  // BatchDistances.
+  // Called from the prologue of BatchDistances; the mutex makes the
+  // growth safe when concurrent batch calls share one cache (the shared
+  // service overlaps read requests). Must not race with an *append* to
+  // `*states` itself — the service's session lock guarantees that.
   void EnsureStates() {
+    const std::lock_guard<std::mutex> lock(grow_mu_);
     while (entries_.size() < states_->size() * 2) entries_.emplace_back();
   }
 
@@ -106,6 +110,7 @@ class SndCalculator::EdgeCostCache {
 
   const SndCalculator& calc_;
   const std::vector<NetworkState>* states_;
+  std::mutex grow_mu_;  // Serializes EnsureStates growth.
   std::deque<Entry> entries_;
 };
 

@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "snd/util/check.h"
+#include "snd/util/format.h"
 #include "snd/util/thread_pool.h"
 
 namespace snd {
@@ -30,8 +30,8 @@ bool LooksLikeSndFlag(const std::string& arg) {
   return arg.rfind("--", 0) == 0;
 }
 
-std::optional<ParsedSndFlags> ParseSndFlags(
-    const std::vector<std::string>& flags, std::string* error) {
+StatusOr<ParsedSndFlags> ParseSndFlags(
+    const std::vector<std::string>& flags) {
   ParsedSndFlags parsed;
   for (const std::string& flag : flags) {
     std::string value;
@@ -42,8 +42,8 @@ std::optional<ParsedSndFlags> ParseSndFlags(
       if (std::sscanf(value.c_str(), "%d%n", &threads, &consumed) != 1 ||
           consumed != static_cast<int>(value.size()) || threads < 1 ||
           threads > ThreadPool::kMaxThreads) {
-        *error = "invalid --threads value '" + value + "'";
-        return std::nullopt;
+        return Status::InvalidArgument("invalid --threads value '" + value +
+                                       "'");
       }
       parsed.threads = threads;
     } else if (SplitSndFlag(flag, "model", &value)) {
@@ -54,8 +54,8 @@ std::optional<ParsedSndFlags> ParseSndFlags(
       } else if (value == "lt") {
         parsed.options.model = GroundModelKind::kLinearThreshold;
       } else {
-        *error = "unknown --model value '" + value + "'";
-        return std::nullopt;
+        return Status::InvalidArgument("unknown --model value '" + value +
+                                       "'");
       }
     } else if (SplitSndFlag(flag, "solver", &value)) {
       if (value == "simplex") {
@@ -66,8 +66,8 @@ std::optional<ParsedSndFlags> ParseSndFlags(
         parsed.options.solver = TransportAlgorithm::kCostScaling;
         parsed.options.apportionment = BankApportionment::kLargestRemainder;
       } else {
-        *error = "unknown --solver value '" + value + "'";
-        return std::nullopt;
+        return Status::InvalidArgument("unknown --solver value '" + value +
+                                       "'");
       }
     } else if (SplitSndFlag(flag, "sssp", &value)) {
       if (value == "auto") {
@@ -77,8 +77,8 @@ std::optional<ParsedSndFlags> ParseSndFlags(
       } else if (value == "dial") {
         parsed.options.sssp_backend = SsspBackend::kDial;
       } else {
-        *error = "unknown --sssp value '" + value + "'";
-        return std::nullopt;
+        return Status::InvalidArgument("unknown --sssp value '" + value +
+                                       "'");
       }
     } else if (SplitSndFlag(flag, "banks", &value)) {
       if (value == "per-bin") {
@@ -88,12 +88,11 @@ std::optional<ParsedSndFlags> ParseSndFlags(
       } else if (value == "global") {
         parsed.options.bank_strategy = BankStrategy::kSingleGlobal;
       } else {
-        *error = "unknown --banks value '" + value + "'";
-        return std::nullopt;
+        return Status::InvalidArgument("unknown --banks value '" + value +
+                                       "'");
       }
     } else {
-      *error = "unrecognized flag '" + flag + "'";
-      return std::nullopt;
+      return Status::InvalidArgument("unrecognized flag '" + flag + "'");
     }
   }
   return parsed;
@@ -114,21 +113,15 @@ std::string SndOptionsSignature(const SndOptions& options) {
   // Every scalar knob that shapes the banks (and hence the values): a
   // hand-built SndOptions differing in any of these must not share a
   // signature. The model parameter *structs* (agnostic/icc/lt) are
-  // excluded by contract — see the header.
-  // Worst case ~130 chars (two %.17g with 4-digit exponents, INT32/UINT64
-  // extremes); a truncated signature would let distinct options collide,
-  // so leave headroom and assert none happened.
-  char banks[192];
-  const int written =
-      std::snprintf(banks, sizeof(banks), "/%d/%d/%.17g/%.17g/%llu/%d/%d",
-                    options.banks_per_cluster,
-                    static_cast<int>(options.gamma_policy),
-                    options.gamma_scale, options.fixed_gamma,
-                    static_cast<unsigned long long>(options.clustering_seed),
-                    options.lp_max_iterations,
-                    options.lp_min_community_size);
-  SND_CHECK(written > 0 && written < static_cast<int>(sizeof(banks)));
-  signature += banks;
+  // excluded by contract — see the header. The doubles go through
+  // FormatDouble (%.17g), so distinct values can never collide.
+  signature += '/' + std::to_string(options.banks_per_cluster);
+  signature += '/' + std::to_string(static_cast<int>(options.gamma_policy));
+  signature += '/' + FormatDouble(options.gamma_scale);
+  signature += '/' + FormatDouble(options.fixed_gamma);
+  signature += '/' + std::to_string(options.clustering_seed);
+  signature += '/' + std::to_string(options.lp_max_iterations);
+  signature += '/' + std::to_string(options.lp_min_community_size);
   signature += ',';
   signature += SsspBackendName(options.sssp_backend);
   return signature;

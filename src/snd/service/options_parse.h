@@ -16,10 +16,10 @@
 #define SND_SERVICE_OPTIONS_PARSE_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "snd/api/status.h"
 #include "snd/core/snd_options.h"
 
 namespace snd {
@@ -45,11 +45,10 @@ bool LooksLikeSndFlag(const std::string& arg);
 bool SplitSndFlag(const std::string& arg, const std::string& name,
                   std::string* value);
 
-// Parses a flag list. On failure returns nullopt and sets *error to a
+// Parses a flag list. On failure returns kInvalidArgument with a
 // message naming the offending token, e.g. "unknown --model value 'x'"
 // or "unrecognized flag '--x'".
-std::optional<ParsedSndFlags> ParseSndFlags(
-    const std::vector<std::string>& flags, std::string* error);
+StatusOr<ParsedSndFlags> ParseSndFlags(const std::vector<std::string>& flags);
 
 // Canonical signature of the value-affecting SndOptions scalars: model
 // kind, solver + apportionment, bank strategy and every bank-shaping

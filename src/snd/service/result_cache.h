@@ -9,13 +9,19 @@
 // dispatcher reclaim a reloaded or evicted graph's entries eagerly
 // instead of waiting for them to age out.
 //
-// Not thread-safe; the service dispatches requests serially (one session
-// per connection) and the parallelism lives below, in the batch engine.
+// Thread-safe: every operation takes an internal mutex, so the shared
+// service hits one cache from all connections. The lock is held only
+// for the map/list manipulation — never across compute — and the cache
+// is the innermost lock in the service's ordering (nothing else is
+// acquired while it is held). Concurrent misses of one key may both
+// compute and Put; compute is deterministic, so both Put the identical
+// value and the second simply refreshes the entry.
 #ifndef SND_SERVICE_RESULT_CACHE_H_
 #define SND_SERVICE_RESULT_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -34,6 +40,9 @@ class ResultCache {
   // Capacity in entries, clamped to >= 1.
   explicit ResultCache(size_t capacity);
 
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
   // The cached value for `key`, touching it most-recently-used; counts a
   // hit or a miss.
   std::optional<double> Get(const std::string& key);
@@ -45,17 +54,19 @@ class ResultCache {
   // Drops every entry whose key starts with `prefix`; returns how many.
   size_t EraseMatchingPrefix(const std::string& prefix);
 
-  const Stats& stats() const { return stats_; }
-  size_t size() const { return map_.size(); }
+  // Snapshot (by value: the counters keep moving concurrently).
+  Stats stats() const;
+  size_t size() const;
   size_t capacity() const { return capacity_; }
 
  private:
   using LruList = std::list<std::pair<std::string, double>>;
 
-  size_t capacity_;
-  LruList lru_;  // Front = most recently used.
-  std::unordered_map<std::string, LruList::iterator> map_;
-  Stats stats_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // Front = most recently used. Guarded by mu_.
+  std::unordered_map<std::string, LruList::iterator> map_;  // Guarded by mu_.
+  Stats stats_;  // Guarded by mu_.
 };
 
 }  // namespace snd

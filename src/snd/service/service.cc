@@ -1,80 +1,25 @@
 #include "snd/service/service.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
-#include <cstdio>
 #include <istream>
 #include <numeric>
 #include <ostream>
 #include <sstream>
 #include <utility>
+#include <variant>
 
 #include "snd/analysis/anomaly.h"
+#include "snd/api/json_codec.h"
 #include "snd/graph/io.h"
 #include "snd/opinion/state_io.h"
 #include "snd/service/options_parse.h"
 #include "snd/util/check.h"
 #include "snd/util/thread_pool.h"
+#include "snd/util/version.h"
 
 namespace snd {
 namespace {
-
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string token;
-  while (in >> token) tokens.push_back(token);
-  return tokens;
-}
-
-// %.17g round-trips every double exactly, so text-mode clients can
-// compare values bitwise with in-process results.
-std::string FormatValue(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-ServiceResponse Error(std::string message) {
-  ServiceResponse response;
-  response.ok = false;
-  response.header = std::move(message);
-  return response;
-}
-
-ServiceResponse Ok(std::string header) {
-  ServiceResponse response;
-  response.ok = true;
-  response.header = std::move(header);
-  return response;
-}
-
-// Session names become cache-key prefixes delimited by '|', so keep them
-// to a charset that cannot collide with the key grammar (and stays
-// shell/log friendly).
-bool ValidSessionName(const std::string& name) {
-  if (name.empty()) return false;
-  for (char c : name) {
-    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-          c == '-' || c == '.')) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool ParseIndex(const std::string& token, int32_t* index) {
-  if (token.empty()) return false;
-  int32_t value = 0;
-  for (char c : token) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
-    if (value > (INT32_MAX - (c - '0')) / 10) return false;
-    value = value * 10 + (c - '0');
-  }
-  *index = value;
-  return true;
-}
 
 // The grammar summary served by `help`: the command block here plus the
 // shared flag block (kSndFlagUsage), split into protocol rows.
@@ -89,6 +34,7 @@ constexpr char kCommandUsage[] =
     "  anomalies <name> [flags]            transitions by anomaly score\n"
     "  info                                sessions, caches, counters\n"
     "  evict <name>                        drop a graph and its artifacts\n"
+    "  version                             protocol/library version\n"
     "  help                                this summary\n"
     "  quit                                end the session\n"
     "flags:\n";
@@ -108,74 +54,105 @@ SndService::SndService(SndServiceConfig config)
 
 SndService::~SndService() = default;
 
-ServiceResponse SndService::HelpCmd() {
-  ServiceResponse response;
-  response.ok = true;
-  AppendLines(kCommandUsage, &response.rows);
-  AppendLines(kSndFlagUsage, &response.rows);
-  response.header = "help rows " + std::to_string(response.rows.size());
-  return response;
+SndService::CalcEntry::~CalcEntry() {
+  // The last reference is gone, so `calc` is quiescent: this snapshot
+  // is the calculator's final, complete work count.
+  if (calc != nullptr) {
+    const std::lock_guard<std::mutex> lock(owner->retired_mu_);
+    owner->retired_work_ += calc->work_counters();
+  }
 }
 
-ServiceResponse SndService::Call(const std::string& request) {
-  const std::vector<std::string> tokens = Tokenize(request);
-  if (tokens.empty()) return Error("empty request");
-  const std::string& command = tokens[0];
-  if (command == "load_graph") return LoadGraphCmd(tokens);
-  if (command == "load_states") return LoadStatesCmd(tokens);
-  if (command == "append_state") return AppendStateCmd(tokens);
-  if (command == "distance" || command == "series" || command == "matrix" ||
-      command == "anomalies") {
-    return ComputeCmd(tokens);
-  }
-  if (command == "info") return InfoCmd(tokens);
-  if (command == "evict") return EvictCmd(tokens);
-  if (command == "help" || command == "quit") {
-    if (tokens.size() > 1) {
-      return Error("unexpected token '" + tokens[1] + "'");
-    }
-    return command == "help" ? HelpCmd() : Ok("bye");
-  }
-  return Error("unknown command '" + command + "'");
+StatusOr<Response> SndService::HelpCmd() {
+  HelpResponse help;
+  AppendLines(kCommandUsage, &help.rows);
+  AppendLines(kSndFlagUsage, &help.rows);
+  return Response(std::move(help));
 }
 
-ServiceResponse SndService::LoadGraphCmd(
-    const std::vector<std::string>& tokens) {
-  if (tokens.size() < 3) return Error("load_graph: missing arguments");
-  if (tokens.size() > 3) return Error("unexpected token '" + tokens[3] + "'");
-  const std::string& name = tokens[1];
-  if (!ValidSessionName(name)) {
-    return Error("invalid graph name '" + name + "'");
+StatusOr<Response> SndService::Dispatch(const Request& request) {
+  if (const auto* typed = std::get_if<LoadGraphRequest>(&request)) {
+    return LoadGraphCmd(*typed);
   }
-  std::optional<Graph> graph = ReadEdgeList(tokens[2]);
+  if (const auto* typed = std::get_if<LoadStatesRequest>(&request)) {
+    return LoadStatesCmd(*typed);
+  }
+  if (const auto* typed = std::get_if<AppendStateRequest>(&request)) {
+    return AppendStateCmd(*typed);
+  }
+  if (const auto* typed = std::get_if<DistanceRequest>(&request)) {
+    return ComputeCmd(request, *typed);
+  }
+  if (const auto* typed = std::get_if<SeriesRequest>(&request)) {
+    return ComputeCmd(request, *typed);
+  }
+  if (const auto* typed = std::get_if<MatrixRequest>(&request)) {
+    return ComputeCmd(request, *typed);
+  }
+  if (const auto* typed = std::get_if<AnomaliesRequest>(&request)) {
+    return ComputeCmd(request, *typed);
+  }
+  if (std::get_if<InfoRequest>(&request) != nullptr) return InfoCmd();
+  if (const auto* typed = std::get_if<EvictRequest>(&request)) {
+    return EvictCmd(*typed);
+  }
+  if (std::get_if<VersionRequest>(&request) != nullptr) {
+    return Response(VersionResponse{VersionString()});
+  }
+  if (std::get_if<HelpRequest>(&request) != nullptr) return HelpCmd();
+  if (std::get_if<QuitRequest>(&request) != nullptr) {
+    return Response(ByeResponse{});
+  }
+  return Status::Internal("unhandled request variant");
+}
+
+StatusOr<Response> SndService::LoadGraphCmd(const LoadGraphRequest& request) {
+  // Wire codecs validate the name at parse time; typed in-process
+  // callers hit this check.
+  if (!ValidSessionName(request.name)) {
+    return Status::InvalidArgument("invalid graph name '" + request.name +
+                                   "'");
+  }
+  // File I/O before the writer lock: a slow disk must not stall readers.
+  std::optional<Graph> graph = ReadEdgeList(request.path);
   if (!graph.has_value()) {
-    return Error("cannot read graph from " + tokens[2]);
+    return Status::Unavailable("cannot read graph from " + request.path);
   }
+  std::unique_lock lock(session_mu_);
   // Reload: retire the old epoch's calculators and cached results before
   // the registry bumps epochs, so no stale artifact survives.
-  PurgeGraphArtifacts(name);
-  const GraphSession& session = registry_.LoadGraph(name, *std::move(graph));
-  return Ok("graph " + name + " nodes " +
-            std::to_string(session.graph->num_nodes()) + " edges " +
-            std::to_string(session.graph->num_edges()) + " epoch " +
-            std::to_string(session.graph_epoch));
+  PurgeGraphArtifacts(request.name);
+  const GraphSession& session =
+      registry_.LoadGraph(request.name, *std::move(graph));
+  return Response(LoadGraphResponse{request.name, session.graph->num_nodes(),
+                                    session.graph->num_edges(),
+                                    session.graph_epoch});
 }
 
-ServiceResponse SndService::LoadStatesCmd(
-    const std::vector<std::string>& tokens) {
-  if (tokens.size() < 3) return Error("load_states: missing arguments");
-  if (tokens.size() > 3) return Error("unexpected token '" + tokens[3] + "'");
-  const std::string& name = tokens[1];
-  GraphSession* session = registry_.Find(name);
-  if (session == nullptr) return Error("unknown graph '" + name + "'");
+StatusOr<Response> SndService::LoadStatesCmd(
+    const LoadStatesRequest& request) {
+  // Existence check first (and again under the writer lock below): the
+  // legacy protocol reports an unknown graph before an unreadable file.
+  {
+    std::shared_lock lock(session_mu_);
+    if (registry_.Find(request.name) == nullptr) {
+      return Status::NotFound("unknown graph '" + request.name + "'");
+    }
+  }
   std::optional<std::vector<NetworkState>> states =
-      ReadStateSeries(tokens[2]);
+      ReadStateSeries(request.path);
   if (!states.has_value()) {
-    return Error("cannot read states from " + tokens[2]);
+    return Status::Unavailable("cannot read states from " + request.path);
+  }
+  std::unique_lock lock(session_mu_);
+  GraphSession* session = registry_.Find(request.name);
+  if (session == nullptr) {  // Evicted between the check and the lock.
+    return Status::NotFound("unknown graph '" + request.name + "'");
   }
   for (const NetworkState& state : *states) {
     if (state.num_users() != session->graph->num_nodes()) {
-      return Error("state size does not match graph '" + name + "'");
+      return Status::FailedPrecondition("state size does not match graph '" +
+                                        request.name + "'");
     }
   }
   // Eager memory reclamation only — correctness needs neither step. The
@@ -183,81 +160,96 @@ ServiceResponse SndService::LoadStatesCmd(
   // EvaluatePairs rebuilds any edge-cost cache whose epoch is stale;
   // releasing both now just avoids holding dead buffers until the next
   // request. Calculators survive (the graph is unchanged).
-  results_.EraseMatchingPrefix(name + "|");
-  for (auto& [key, entry] : calculators_) {
-    if (key.rfind(name + "|", 0) == 0) entry.edge_costs.reset();
-  }
-  registry_.ReplaceStates(session, *std::move(states));
-  return Ok("states " + name + " count " +
-            std::to_string(session->states.size()) + " users " +
-            std::to_string(session->graph->num_nodes()) + " epoch " +
-            std::to_string(session->states_epoch));
-}
-
-ServiceResponse SndService::AppendStateCmd(
-    const std::vector<std::string>& tokens) {
-  if (tokens.size() < 2) return Error("append_state: missing arguments");
-  const std::string& name = tokens[1];
-  GraphSession* session = registry_.Find(name);
-  if (session == nullptr) return Error("unknown graph '" + name + "'");
-  const auto n = static_cast<size_t>(session->graph->num_nodes());
-  if (tokens.size() - 2 != n) {
-    return Error("append_state: expected " + std::to_string(n) +
-                 " opinion values, got " + std::to_string(tokens.size() - 2));
-  }
-  std::vector<int8_t> values;
-  values.reserve(n);
-  for (size_t k = 2; k < tokens.size(); ++k) {
-    const std::string& token = tokens[k];
-    if (token == "-1") {
-      values.push_back(-1);
-    } else if (token == "0") {
-      values.push_back(0);
-    } else if (token == "1") {
-      values.push_back(1);
-    } else {
-      return Error("invalid opinion value '" + token + "'");
+  results_.EraseMatchingPrefix(request.name + "|");
+  {
+    std::lock_guard calc_lock(calc_mu_);
+    for (auto& [key, entry] : calculators_) {
+      if (key.rfind(request.name + "|", 0) == 0) {
+        std::lock_guard entry_lock(entry->mu);
+        entry->edge_costs.reset();
+      }
     }
   }
-  registry_.AppendState(session, NetworkState::FromValues(std::move(values)));
-  return Ok("states " + name + " count " +
-            std::to_string(session->states.size()) + " users " +
-            std::to_string(session->graph->num_nodes()) + " epoch " +
-            std::to_string(session->states_epoch));
+  registry_.ReplaceStates(session, *std::move(states));
+  return Response(LoadStatesResponse{
+      request.name, static_cast<int64_t>(session->states.size()),
+      session->graph->num_nodes(), session->states_epoch});
 }
 
-SndService::CalcEntry* SndService::GetCalculator(
+StatusOr<Response> SndService::AppendStateCmd(
+    const AppendStateRequest& request) {
+  std::unique_lock lock(session_mu_);
+  GraphSession* session = registry_.Find(request.name);
+  if (session == nullptr) {
+    return Status::NotFound("unknown graph '" + request.name + "'");
+  }
+  const auto n = static_cast<size_t>(session->graph->num_nodes());
+  if (request.values.size() != n) {
+    return Status::InvalidArgument(
+        "append_state: expected " + std::to_string(n) +
+        " opinion values, got " + std::to_string(request.values.size()));
+  }
+  for (const int8_t value : request.values) {
+    if (value < -1 || value > 1) {  // Typed callers only; codecs reject.
+      return Status::InvalidArgument(
+          "invalid opinion value '" + std::to_string(value) + "'");
+    }
+  }
+  registry_.AppendState(session, NetworkState::FromValues(std::vector<int8_t>(
+                                     request.values)));
+  return Response(LoadStatesResponse{
+      request.name, static_cast<int64_t>(session->states.size()),
+      session->graph->num_nodes(), session->states_epoch});
+}
+
+std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
     const std::string& name, const GraphSession& session,
     const SndOptions& options, const std::string& signature) {
   const std::string key =
       name + "|g" + std::to_string(session.graph_epoch) + "|" + signature;
-  const auto it = calculators_.find(key);
-  if (it != calculators_.end()) {
-    ++calc_hits_;
-    it->second.last_used = ++calc_ticks_;
-    return &it->second;
-  }
-  // Over capacity: retire the least recently used calculator (its work
-  // counters fold into the retired total so `info` stays cumulative).
-  while (calculators_.size() >= config_.max_calculators) {
-    auto victim = calculators_.begin();
-    for (auto candidate = calculators_.begin();
-         candidate != calculators_.end(); ++candidate) {
-      if (candidate->second.last_used < victim->second.last_used) {
-        victim = candidate;
+  std::shared_ptr<CalcEntry> entry;
+  {
+    std::lock_guard lock(calc_mu_);
+    const auto it = calculators_.find(key);
+    if (it != calculators_.end()) {
+      ++calc_hits_;
+      it->second->last_used = ++calc_ticks_;
+      entry = it->second;
+    } else {
+      // Over capacity: retire the least recently used calculator.
+      // In-flight computations on the victim keep it alive through
+      // their shared_ptr; its work counters fold into the retired
+      // total when the last reference drops (~CalcEntry), so `info`
+      // stays exactly cumulative.
+      while (calculators_.size() >= config_.max_calculators) {
+        auto victim = calculators_.begin();
+        for (auto candidate = calculators_.begin();
+             candidate != calculators_.end(); ++candidate) {
+          if (candidate->second->last_used < victim->second->last_used) {
+            victim = candidate;
+          }
+        }
+        calculators_.erase(victim);
       }
+      ++calc_builds_;
+      entry = std::make_shared<CalcEntry>(this);
+      entry->graph = session.graph;
+      entry->last_used = ++calc_ticks_;
+      calculators_.emplace(key, entry);
     }
-    retired_work_ += victim->second.calc->work_counters();
-    calculators_.erase(victim);
   }
-  ++calc_builds_;
-  CalcEntry entry;
-  entry.graph = session.graph;
-  entry.calc = std::make_unique<SndCalculator>(entry.graph.get(), options);
-  entry.last_used = ++calc_ticks_;
-  const auto [pos, inserted] = calculators_.emplace(key, std::move(entry));
-  SND_CHECK(inserted);
-  return &pos->second;
+  // Construction happens outside calc_mu_ (building banks and the
+  // reversed graph can be expensive; unrelated lookups must not wait)
+  // but under the entry's own mutex, so concurrent first users of one
+  // calculator build it exactly once.
+  {
+    std::lock_guard lock(entry->mu);
+    if (entry->calc == nullptr) {
+      entry->calc = std::make_unique<SndCalculator>(entry->graph.get(),
+                                                    options);
+    }
+  }
+  return entry;
 }
 
 std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
@@ -281,13 +273,21 @@ std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
     }
   }
   if (missing.empty()) return values;
-  if (entry->edge_costs == nullptr ||
-      entry->edge_costs_epoch != session.states_epoch) {
-    entry->edge_costs = entry->calc->MakeEdgeCostCache(&session.states);
-    entry->edge_costs_epoch = session.states_epoch;
+  // Swap in a fresh edge-cost cache if the states epoch moved; compute
+  // itself runs outside the entry mutex so concurrent readers overlap
+  // (the batch path and the shared cache are internally synchronized).
+  std::shared_ptr<SndCalculator::EdgeCostCache> edge_costs;
+  {
+    std::lock_guard lock(entry->mu);
+    if (entry->edge_costs == nullptr ||
+        entry->edge_costs_epoch != session.states_epoch) {
+      entry->edge_costs = entry->calc->MakeEdgeCostCache(&session.states);
+      entry->edge_costs_epoch = session.states_epoch;
+    }
+    edge_costs = entry->edge_costs;
   }
   const std::vector<double> computed = entry->calc->BatchDistances(
-      session.states, missing, entry->edge_costs.get());
+      session.states, missing, edge_costs.get());
   for (size_t k = 0; k < missing.size(); ++k) {
     values[missing_pos[k]] = computed[k];
     results_.Put(missing_keys[k], computed[k]);
@@ -295,187 +295,177 @@ std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
   return values;
 }
 
-ServiceResponse SndService::ComputeCmd(
-    const std::vector<std::string>& tokens) {
-  const std::string& command = tokens[0];
-  if (tokens.size() < 2) return Error(command + ": missing arguments");
-  const std::string& name = tokens[1];
-  GraphSession* session = registry_.Find(name);
-  if (session == nullptr) return Error("unknown graph '" + name + "'");
-  const auto num_states = static_cast<int32_t>(session->states.size());
-
-  size_t positional_end = 2;
-  int32_t i = 0, j = 0;
-  if (command == "distance") {
-    if (tokens.size() < 4) return Error("distance: missing arguments");
-    for (size_t k = 2; k < 4; ++k) {
-      int32_t* index = (k == 2) ? &i : &j;
-      if (!ParseIndex(tokens[k], index)) {
-        return Error("invalid state index '" + tokens[k] + "'");
-      }
-      if (*index >= num_states) {
-        return Error("state index '" + tokens[k] + "' out of range (have " +
-                     std::to_string(num_states) + " states)");
-      }
+StatusOr<Response> SndService::ComputeCmd(const Request& request,
+                                          const ComputeRequestBase& base) {
+  const auto body = [&]() -> StatusOr<Response> {
+    const GraphSession* session = registry_.Find(base.name);
+    if (session == nullptr) {
+      return Status::NotFound("unknown graph '" + base.name + "'");
     }
-    positional_end = 4;
-  } else if (num_states < 2) {
-    return Error(command + ": need at least two states (have " +
-                 std::to_string(num_states) + ")");
-  }
+    const auto num_states = static_cast<int32_t>(session->states.size());
 
-  std::vector<std::string> flags;
-  for (size_t k = positional_end; k < tokens.size(); ++k) {
-    if (!LooksLikeSndFlag(tokens[k])) {
-      return Error("unexpected token '" + tokens[k] + "'");
+    const auto* distance = std::get_if<DistanceRequest>(&request);
+    if (distance != nullptr) {
+      for (const int32_t index : {distance->i, distance->j}) {
+        if (index < 0 || index >= num_states) {
+          return Status::InvalidArgument(
+              "state index '" + std::to_string(index) +
+              "' out of range (have " + std::to_string(num_states) +
+              " states)");
+        }
+      }
+    } else if (num_states < 2) {
+      const char* noun = std::get_if<SeriesRequest>(&request) != nullptr
+                             ? "series"
+                             : std::get_if<MatrixRequest>(&request) != nullptr
+                                   ? "matrix"
+                                   : "anomalies";
+      return Status::FailedPrecondition(
+          std::string(noun) + ": need at least two states (have " +
+          std::to_string(num_states) + ")");
     }
-    flags.push_back(tokens[k]);
-  }
-  std::string flag_error;
-  const std::optional<ParsedSndFlags> parsed =
-      ParseSndFlags(flags, &flag_error);
-  if (!parsed.has_value()) return Error(flag_error);
-  if (parsed->threads > 0) ThreadPool::SetGlobalThreads(parsed->threads);
 
-  const std::string signature = SndOptionsSignature(parsed->options);
-  CalcEntry* entry =
-      GetCalculator(name, *session, parsed->options, signature);
-  const std::string key_prefix =
-      name + "|g" + std::to_string(session->graph_epoch) + "|s" +
-      std::to_string(session->states_epoch) + "|" + signature + "|";
+    // --threads is process-global pool state, applied only once the
+    // request is known valid (and only under the writer lock — see
+    // Dispatch below — so the swap cannot race with parallel compute).
+    if (base.threads > 0) ThreadPool::SetGlobalThreads(base.threads);
 
-  if (command == "distance") {
-    // SND is symmetric; evaluate the canonical (lower, higher)
-    // orientation so reversed queries share cache entries with `series`
-    // and `matrix`, which enumerate pairs as i < j.
-    const std::vector<double> values = EvaluatePairs(
-        *session, entry, key_prefix, {{std::min(i, j), std::max(i, j)}});
-    ServiceResponse response =
-        Ok("distance " + name + " " + std::to_string(i) + " " +
-           std::to_string(j) + " " + FormatValue(values[0]));
-    response.values = values;
-    return response;
-  }
+    const std::string signature = SndOptionsSignature(base.options);
+    const std::shared_ptr<CalcEntry> entry =
+        GetCalculator(base.name, *session, base.options, signature);
+    const std::string key_prefix =
+        base.name + "|g" + std::to_string(session->graph_epoch) + "|s" +
+        std::to_string(session->states_epoch) + "|" + signature + "|";
 
-  if (command == "series") {
+    if (distance != nullptr) {
+      // SND is symmetric; evaluate the canonical (lower, higher)
+      // orientation so reversed queries share cache entries with
+      // `series` and `matrix`, which enumerate pairs as i < j.
+      const std::vector<double> values =
+          EvaluatePairs(*session, entry.get(), key_prefix,
+                        {{std::min(distance->i, distance->j),
+                          std::max(distance->i, distance->j)}});
+      return Response(DistanceResponse{base.name, distance->i, distance->j,
+                                       values[0]});
+    }
+
+    if (std::get_if<SeriesRequest>(&request) != nullptr) {
+      SeriesResponse response;
+      response.name = base.name;
+      response.pairs = AdjacentPairs(num_states);
+      response.values =
+          EvaluatePairs(*session, entry.get(), key_prefix, response.pairs);
+      return Response(std::move(response));
+    }
+
+    if (std::get_if<MatrixRequest>(&request) != nullptr) {
+      const StatePairs pairs = AllUnorderedPairs(num_states);
+      const std::vector<double> values =
+          EvaluatePairs(*session, entry.get(), key_prefix, pairs);
+      MatrixResponse response;
+      response.name = base.name;
+      response.num_states = num_states;
+      response.values.assign(
+          static_cast<size_t>(num_states) * static_cast<size_t>(num_states),
+          0.0);
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        const auto [a, b] = pairs[k];
+        response.values[static_cast<size_t>(a) * num_states + b] = values[k];
+        response.values[static_cast<size_t>(b) * num_states + a] = values[k];
+      }
+      return Response(std::move(response));
+    }
+
+    // anomalies: the shared Section 6.2 scoring pipeline (the same
+    // ScoreAdjacentDistances the CLI uses) over cache-served distances.
     const StatePairs pairs = AdjacentPairs(num_states);
-    ServiceResponse response =
-        Ok("series " + name + " count " + std::to_string(pairs.size()));
-    response.values = EvaluatePairs(*session, entry, key_prefix, pairs);
-    for (size_t k = 0; k < pairs.size(); ++k) {
-      response.rows.push_back(std::to_string(pairs[k].first) + " " +
-                              std::to_string(pairs[k].second) + " " +
-                              FormatValue(response.values[k]));
+    const std::vector<double> distances =
+        EvaluatePairs(*session, entry.get(), key_prefix, pairs);
+    const std::vector<double> scores =
+        ScoreAdjacentDistances(distances, session->states, nullptr);
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+    });
+    AnomaliesResponse response;
+    response.name = base.name;
+    for (const size_t t : order) {
+      response.transitions.push_back(static_cast<int32_t>(t));
+      response.scores.push_back(scores[t]);
     }
-    return response;
-  }
+    return Response(std::move(response));
+  };
 
-  if (command == "matrix") {
-    const StatePairs pairs = AllUnorderedPairs(num_states);
-    const std::vector<double> values =
-        EvaluatePairs(*session, entry, key_prefix, pairs);
-    ServiceResponse response =
-        Ok("matrix " + name + " rows " + std::to_string(num_states));
-    response.values.assign(
-        static_cast<size_t>(num_states) * static_cast<size_t>(num_states),
-        0.0);
-    for (size_t k = 0; k < pairs.size(); ++k) {
-      const auto [a, b] = pairs[k];
-      response.values[static_cast<size_t>(a) * num_states + b] = values[k];
-      response.values[static_cast<size_t>(b) * num_states + a] = values[k];
-    }
-    for (int32_t r = 0; r < num_states; ++r) {
-      std::string row;
-      for (int32_t c = 0; c < num_states; ++c) {
-        if (c > 0) row += ' ';
-        row += FormatValue(
-            response.values[static_cast<size_t>(r) * num_states + c]);
-      }
-      response.rows.push_back(std::move(row));
-    }
-    return response;
+  // Reads share the session lock and run concurrently; a request that
+  // swaps the global thread pool is dispatched as a writer so the swap
+  // cannot race with in-flight ParallelFor work.
+  if (base.threads > 0) {
+    std::unique_lock lock(session_mu_);
+    return body();
   }
-
-  // anomalies: the shared Section 6.2 scoring pipeline (the same
-  // ScoreAdjacentDistances the CLI uses) over cache-served distances.
-  const StatePairs pairs = AdjacentPairs(num_states);
-  const std::vector<double> distances =
-      EvaluatePairs(*session, entry, key_prefix, pairs);
-  const std::vector<double> scores =
-      ScoreAdjacentDistances(distances, session->states, nullptr);
-  std::vector<size_t> order(scores.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
-  });
-  ServiceResponse response =
-      Ok("anomalies " + name + " count " + std::to_string(scores.size()));
-  for (size_t r = 0; r < order.size(); ++r) {
-    response.values.push_back(scores[order[r]]);
-    response.rows.push_back(std::to_string(r + 1) + " " +
-                            std::to_string(order[r]) + " " +
-                            FormatValue(scores[order[r]]));
-  }
-  return response;
+  std::shared_lock lock(session_mu_);
+  return body();
 }
 
-ServiceResponse SndService::InfoCmd(const std::vector<std::string>& tokens) {
-  if (tokens.size() > 1) return Error("unexpected token '" + tokens[1] + "'");
+StatusOr<Response> SndService::InfoCmd() {
+  InfoResponse info;
+  {
+    std::shared_lock lock(session_mu_);
+    for (const auto& [name, session] : registry_.sessions()) {
+      InfoResponse::SessionInfo row;
+      row.name = name;
+      row.nodes = session.graph->num_nodes();
+      row.edges = session.graph->num_edges();
+      row.graph_epoch = session.graph_epoch;
+      row.states = static_cast<int64_t>(session.states.size());
+      row.states_epoch = session.states_epoch;
+      info.sessions.push_back(std::move(row));
+    }
+    // Read under the shared lock: a --threads request swaps the global
+    // pool under the exclusive lock, so an unlocked read here could
+    // touch the pool object mid-replacement.
+    info.threads = ThreadPool::GlobalThreads();
+  }
   const ServiceCounters counters = this->counters();
-  ServiceResponse response;
-  response.ok = true;
-  for (const auto& [name, session] : registry_.sessions()) {
-    response.rows.push_back(
-        "graph " + name + " nodes " +
-        std::to_string(session.graph->num_nodes()) + " edges " +
-        std::to_string(session.graph->num_edges()) + " graph_epoch " +
-        std::to_string(session.graph_epoch) + " states " +
-        std::to_string(session.states.size()) + " states_epoch " +
-        std::to_string(session.states_epoch));
+  {
+    std::lock_guard lock(calc_mu_);
+    info.calc_size = static_cast<int64_t>(calculators_.size());
   }
-  response.rows.push_back(
-      "calculators size " + std::to_string(calculators_.size()) +
-      " capacity " + std::to_string(config_.max_calculators) + " builds " +
-      std::to_string(counters.calc_builds) + " hits " +
-      std::to_string(counters.calc_hits));
-  response.rows.push_back(
-      "results size " + std::to_string(counters.result_size) + " capacity " +
-      std::to_string(results_.capacity()) + " hits " +
-      std::to_string(counters.result_hits) + " misses " +
-      std::to_string(counters.result_misses) + " evictions " +
-      std::to_string(counters.result_evictions));
-  response.rows.push_back(
-      "work sssp_runs " + std::to_string(counters.work.sssp_runs) +
-      " transport_solves " +
-      std::to_string(counters.work.transport_solves) +
-      " edge_cost_builds " +
-      std::to_string(counters.work.edge_cost_builds));
-  response.rows.push_back("threads " +
-                          std::to_string(ThreadPool::GlobalThreads()));
-  response.header = "info rows " + std::to_string(response.rows.size());
-  return response;
+  info.calc_capacity = static_cast<int64_t>(config_.max_calculators);
+  info.calc_builds = counters.calc_builds;
+  info.calc_hits = counters.calc_hits;
+  info.result_size = counters.result_size;
+  info.result_capacity = static_cast<int64_t>(results_.capacity());
+  info.result_hits = counters.result_hits;
+  info.result_misses = counters.result_misses;
+  info.result_evictions = counters.result_evictions;
+  info.work = counters.work;
+  return Response(std::move(info));
 }
 
-ServiceResponse SndService::EvictCmd(const std::vector<std::string>& tokens) {
-  if (tokens.size() < 2) return Error("evict: missing arguments");
-  if (tokens.size() > 2) return Error("unexpected token '" + tokens[2] + "'");
-  const std::string& name = tokens[1];
-  if (registry_.Find(name) == nullptr) {
-    return Error("unknown graph '" + name + "'");
+StatusOr<Response> SndService::EvictCmd(const EvictRequest& request) {
+  std::unique_lock lock(session_mu_);
+  if (registry_.Find(request.name) == nullptr) {
+    return Status::NotFound("unknown graph '" + request.name + "'");
   }
-  PurgeGraphArtifacts(name);
-  registry_.Evict(name);
-  return Ok("evict " + name);
+  PurgeGraphArtifacts(request.name);
+  registry_.Evict(request.name);
+  return Response(EvictResponse{request.name});
 }
 
 void SndService::PurgeGraphArtifacts(const std::string& name) {
   const std::string prefix = name + "|";
-  for (auto it = calculators_.begin(); it != calculators_.end();) {
-    if (it->first.rfind(prefix, 0) == 0) {
-      retired_work_ += it->second.calc->work_counters();
-      it = calculators_.erase(it);
-    } else {
-      ++it;
+  {
+    std::lock_guard lock(calc_mu_);
+    for (auto it = calculators_.begin(); it != calculators_.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        // ~CalcEntry folds the work counters once the last reference
+        // (possibly an in-flight reader's) drops.
+        it = calculators_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   results_.EraseMatchingPrefix(prefix);
@@ -483,35 +473,80 @@ void SndService::PurgeGraphArtifacts(const std::string& name) {
 
 ServiceCounters SndService::counters() const {
   ServiceCounters counters;
-  counters.result_hits = results_.stats().hits;
-  counters.result_misses = results_.stats().misses;
-  counters.result_evictions = results_.stats().evictions;
+  const ResultCache::Stats result_stats = results_.stats();
+  counters.result_hits = result_stats.hits;
+  counters.result_misses = result_stats.misses;
+  counters.result_evictions = result_stats.evictions;
   counters.result_size = static_cast<int64_t>(results_.size());
-  counters.calc_builds = calc_builds_;
-  counters.calc_hits = calc_hits_;
-  counters.work = retired_work_;
-  for (const auto& [key, entry] : calculators_) {
-    counters.work += entry.calc->work_counters();
+  // Sequential (never nested) acquisition: retired_mu_ is a leaf lock a
+  // destructor may take while calc_mu_ is held.
+  {
+    std::lock_guard lock(retired_mu_);
+    counters.work = retired_work_;
+  }
+  // Snapshot the table under calc_mu_, then release it before touching
+  // any entry->mu: an entry mid-build holds its mutex for the whole
+  // (possibly expensive) SndCalculator construction, and blocking on it
+  // with calc_mu_ held would stall every GetCalculator lookup behind
+  // one cold build.
+  std::vector<std::shared_ptr<CalcEntry>> entries;
+  {
+    std::lock_guard lock(calc_mu_);
+    counters.calc_builds = calc_builds_;
+    counters.calc_hits = calc_hits_;
+    entries.reserve(calculators_.size());
+    for (const auto& [key, entry] : calculators_) entries.push_back(entry);
+  }
+  for (const std::shared_ptr<CalcEntry>& entry : entries) {
+    std::lock_guard entry_lock(entry->mu);
+    if (entry->calc != nullptr) counters.work += entry->calc->work_counters();
   }
   return counters;
 }
 
-void SndService::WriteResponse(const ServiceResponse& response,
-                               std::ostream& out) {
-  out << (response.ok ? "ok " : "error ") << response.header << '\n';
-  for (const std::string& row : response.rows) out << row << '\n';
+ServiceResponse SndService::Call(const std::string& request) {
+  const StatusOr<Request> parsed = ParseTextRequest(request);
+  if (!parsed.ok()) return RenderTextError(parsed.status());
+  const StatusOr<Response> response = Dispatch(*parsed);
+  if (!response.ok()) return RenderTextError(response.status());
+  return RenderTextResponse(*response);
 }
 
-void SndService::ServeStream(std::istream& in, std::ostream& out) {
+void SndService::WriteResponse(const ServiceResponse& response,
+                               std::ostream& out) {
+  WriteTextResponse(response, out);
+}
+
+void SndService::ServeStream(std::istream& in, std::ostream& out,
+                             WireFormat format) {
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     const size_t start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#') continue;
-    const ServiceResponse response = Call(line);
-    WriteResponse(response, out);
-    out.flush();
-    if (response.ok && response.header == "bye") return;
+    if (start == std::string::npos) continue;
+    if (format == WireFormat::kText && line[start] == '#') continue;
+    if (format == WireFormat::kText) {
+      const ServiceResponse response = Call(line);
+      WriteTextResponse(response, out);
+      out.flush();
+      if (response.ok && response.header == "bye") return;
+    } else {
+      const StatusOr<Request> request = ParseJsonRequest(line);
+      if (!request.ok()) {
+        out << RenderJsonError(request.status()) << '\n';
+        out.flush();
+        continue;
+      }
+      const StatusOr<Response> response = Dispatch(*request);
+      if (!response.ok()) {
+        out << RenderJsonError(response.status()) << '\n';
+        out.flush();
+        continue;
+      }
+      out << RenderJsonResponse(*response) << '\n';
+      out.flush();
+      if (std::holds_alternative<ByeResponse>(*response)) return;
+    }
   }
 }
 

@@ -1,55 +1,54 @@
-// The SND serving subsystem: a transport-agnostic request dispatcher
-// over resident sessions, turning the per-invocation CLI workflow (parse
-// graph, rebuild banks, compute from zero) into a long-running service
-// that keeps graphs, state series, calculators and results hot across
-// requests.
+// The SND serving subsystem, v1 typed core: a concurrency-safe request
+// dispatcher over resident shared sessions, keeping graphs, state
+// series, calculators and results hot across requests and across
+// *connections*.
 //
-// Request protocol — newline-delimited text, one request per line,
-// tokens separated by whitespace; blank lines and lines starting with
-// '#' are ignored. Flags use the CLI vocabulary (see
-// service/options_parse.h):
+//   Dispatch(const Request&) -> StatusOr<Response>
 //
-//   load_graph <name> <graph.edges>     load or replace a named graph
-//   load_states <name> <states.txt>     load/replace the state series
-//   append_state <name> <v1> ... <vn>   append one state (-1/0/1 each)
-//   distance <name> <i> <j> [flags]     SND between states i and j
-//   series <name> [flags]               SND over adjacent states
-//   matrix <name> [flags]               full pairwise SND matrix
-//   anomalies <name> [flags]            transitions by anomaly score
-//   info                                sessions, caches, work counters
-//   evict <name>                        drop a graph and its artifacts
-//   help                                protocol summary
-//   quit                                end the session (stream mode)
+// is the one true entry point: every wire protocol — the newline text
+// protocol (api/text_codec.h) and the JSON protocol (api/json_codec.h)
+// — is a thin codec over it, and in-process clients call it directly
+// with typed requests. Errors are Status values with canonical codes
+// (api/status.h); the text codec renders them in the legacy
+// "error <message>" shape, byte-for-byte.
 //
-// Response format — first line "ok <header>" or "error <message>".
-// Exactly the responses whose header *ends* in "rows <n>" or "count <n>"
-// (series, matrix, anomalies, info, help) are followed by that many data
-// lines; every other response is a single line, so the stream needs no
-// terminators. (A "count" mid-header — `load_states`'s "count 5 users
-// 20 epoch 3" — is not a row count; only the final two tokens frame.)
-// Values are printed with %.17g (round-trips doubles exactly).
-// Malformed requests name the offending token, like the CLI.
+// Concurrency model — many clients, one resident network:
+//  * One process-wide SndService (and thus one SessionRegistry) is
+//    shared by every connection; `snd_serve` threads each connection
+//    over it, so N clients hammer one resident graph with zero
+//    reparsing.
+//  * A std::shared_mutex guards the sessions. Read requests (distance /
+//    series / matrix / anomalies / info / version / help) hold the
+//    shared lock and run concurrently; mutations (load_graph /
+//    load_states / append_state / evict) take the writer lock and bump
+//    epochs, so a reader can never observe a torn graph/states pair.
+//    A read request carrying --threads is dispatched as a writer: it
+//    swaps the global thread pool, which must not race with in-flight
+//    parallel compute.
+//  * The result LRU and the calculator table have their own internal
+//    locks (fine-grained, held only around lookups/inserts — never
+//    during compute). Concurrent readers missing the same cold pair may
+//    both compute it; both arrive at the bitwise-identical value
+//    (compute is deterministic), so the cache stays consistent.
+//  * File I/O (load_graph / load_states) happens before the writer lock
+//    is taken, so a slow disk never stalls readers.
 //
-// Caching layers behind a request:
-//  * one SndCalculator per (graph name, graph epoch, options signature),
-//    LRU-bounded — the bank clustering, cluster diameters and reversed
-//    graph are built once, not per request;
-//  * one EdgeCostCache per calculator and states epoch — per-(state,
-//    opinion) edge costs and reversed-cost buffers persist across
-//    requests over the resident series;
-//  * a bounded LRU of SND values keyed on (graph epoch, states epoch,
-//    options signature, state pair) — repeated queries, and queries
-//    whose pairs overlap earlier ones (series ⊂ matrix), do zero SSSP
-//    and transport work. SND is symmetric, so pairs are evaluated in
-//    the canonical (lower, higher) orientation: `distance g 3 1` hits
-//    the entry a `matrix` or `distance g 1 3` populated.
-//    SndCalculator::work_counters() exposed through `info` proves all
-//    of it.
+// Caching layers behind a request (unchanged from the pre-typed
+// service): one SndCalculator per (graph name, graph epoch, options
+// signature) LRU-bounded; one EdgeCostCache per calculator and states
+// epoch; a bounded LRU of SND values keyed on (graph epoch, states
+// epoch, options signature, canonical state pair). SND is symmetric, so
+// pairs are cached in (lower, higher) orientation. The work counters
+// exposed through `info` prove warm requests do zero SSSP/transport
+// work.
 //
-// Requests are dispatched serially (one session per connection; the
-// parallelism lives below, in the batch engine on the shared
-// ThreadPool). Results are bitwise identical to direct SndCalculator
-// calls for every backend and thread count.
+// `info` output is deterministic and its ordering is contract: sessions
+// sorted by name (one row each), then the calculators row, the results
+// row, the work row, and the threads row, fields in that fixed order —
+// locked in by test.
+//
+// Results are bitwise identical to direct SndCalculator calls for every
+// backend, thread count, and wire format.
 #ifndef SND_SERVICE_SERVICE_H_
 #define SND_SERVICE_SERVICE_H_
 
@@ -57,14 +56,27 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "snd/api/requests.h"
+#include "snd/api/responses.h"
+#include "snd/api/status.h"
+#include "snd/api/text_codec.h"  // ServiceResponse (legacy text shape).
 #include "snd/core/snd.h"
 #include "snd/service/result_cache.h"
 #include "snd/service/session.h"
 
 namespace snd {
+
+// Wire formats ServeStream can speak; see api/text_codec.h and
+// api/json_codec.h for the grammars.
+enum class WireFormat {
+  kText,
+  kJson,
+};
 
 struct SndServiceConfig {
   // Bound on resident SND values (one double per (pair, options) key).
@@ -72,17 +84,6 @@ struct SndServiceConfig {
   // Bound on resident calculators (each holds banks + reversed graph +
   // an edge-cost cache over the series).
   size_t max_calculators = 8;
-};
-
-// One response. `header`/`rows` are the wire payload (without the
-// "ok "/"error " prefix); `values` carries the raw doubles of numeric
-// responses so in-process callers (tests, benches) can assert bitwise
-// equality without parsing text.
-struct ServiceResponse {
-  bool ok = false;
-  std::string header;  // Error message when !ok.
-  std::vector<std::string> rows;
-  std::vector<double> values;
 };
 
 // Snapshot of the service's cache effectiveness, also printed by `info`.
@@ -106,17 +107,29 @@ class SndService {
   SndService(const SndService&) = delete;
   SndService& operator=(const SndService&) = delete;
 
-  // Dispatches one request line and returns the response. Deterministic:
-  // the same request sequence yields the same responses (and bitwise the
-  // same values) for any thread count and SSSP backend.
+  // The typed entry point. Thread-safe: may be called concurrently from
+  // any number of threads; see the file comment for the locking
+  // discipline. Deterministic: the same request sequence yields the
+  // same responses (and bitwise the same values) for any thread count
+  // and SSSP backend.
+  StatusOr<Response> Dispatch(const Request& request);
+
+  // Text-protocol convenience: ParseTextRequest -> Dispatch ->
+  // RenderText{Response,Error}. Byte-compatible with the pre-typed
+  // protocol. Thread-safe (it is Dispatch plus stateless codec work).
   ServiceResponse Call(const std::string& request);
 
   // Reads requests from `in` line by line and writes each response to
   // `out` (flushed per response, so socket peers see replies promptly)
-  // until EOF or `quit`.
-  void ServeStream(std::istream& in, std::ostream& out);
+  // until EOF or `quit`. Text mode skips blank lines and '#' comments;
+  // JSON mode skips blank lines. Many ServeStream calls may run
+  // concurrently over one service — that is the shared-session
+  // deployment.
+  void ServeStream(std::istream& in, std::ostream& out,
+                   WireFormat format = WireFormat::kText);
 
-  // Serializes a response in the wire format described above.
+  // Serializes a response in the text wire format (legacy name, kept
+  // for in-process callers; identical to WriteTextResponse).
   static void WriteResponse(const ServiceResponse& response,
                             std::ostream& out);
 
@@ -124,32 +137,51 @@ class SndService {
 
  private:
   // A resident calculator and its cross-request edge-cost cache, keyed
-  // by (graph name, graph epoch, options signature).
+  // by (graph name, graph epoch, options signature). Held by shared_ptr
+  // so table eviction cannot free an entry another thread is computing
+  // on; the destructor folds the calculator's *final* work counters
+  // into the service's retired total, so counts accumulated by an
+  // in-flight reader after its entry was evicted are never lost and
+  // `info` stays exactly cumulative.
   struct CalcEntry {
+    explicit CalcEntry(SndService* owner) : owner(owner) {}
+    ~CalcEntry();
+    CalcEntry(const CalcEntry&) = delete;
+    CalcEntry& operator=(const CalcEntry&) = delete;
+
+    SndService* const owner;  // Outlives every entry (Dispatch contract).
+    // Guards construction of `calc` and the edge_costs swap. NOT held
+    // during BatchDistances — compute runs lock-free on the entry
+    // (SndCalculator's batch path is const and internally
+    // synchronized), so readers of different pairs overlap.
+    std::mutex mu;
     std::shared_ptr<const Graph> graph;  // Keeps the epoch's graph alive.
-    std::unique_ptr<SndCalculator> calc;
+    std::unique_ptr<SndCalculator> calc;  // Built under mu, then immutable.
     std::shared_ptr<SndCalculator::EdgeCostCache> edge_costs;
     uint64_t edge_costs_epoch = 0;  // states_epoch the cache was built on.
-    uint64_t last_used = 0;         // LRU tick.
+    uint64_t last_used = 0;         // LRU tick; guarded by calc_mu_.
   };
 
-  ServiceResponse LoadGraphCmd(const std::vector<std::string>& tokens);
-  ServiceResponse LoadStatesCmd(const std::vector<std::string>& tokens);
-  ServiceResponse AppendStateCmd(const std::vector<std::string>& tokens);
-  ServiceResponse ComputeCmd(const std::vector<std::string>& tokens);
-  ServiceResponse InfoCmd(const std::vector<std::string>& tokens);
-  ServiceResponse EvictCmd(const std::vector<std::string>& tokens);
-  static ServiceResponse HelpCmd();
+  StatusOr<Response> LoadGraphCmd(const LoadGraphRequest& request);
+  StatusOr<Response> LoadStatesCmd(const LoadStatesRequest& request);
+  StatusOr<Response> AppendStateCmd(const AppendStateRequest& request);
+  StatusOr<Response> ComputeCmd(const Request& request,
+                                const ComputeRequestBase& base);
+  StatusOr<Response> InfoCmd();
+  StatusOr<Response> EvictCmd(const EvictRequest& request);
+  StatusOr<Response> HelpCmd();
 
-  // The calculator for (session, options), built on first use.
-  CalcEntry* GetCalculator(const std::string& name,
-                           const GraphSession& session,
-                           const SndOptions& options,
-                           const std::string& signature);
+  // The calculator for (session, options), built on first use. Locks
+  // calc_mu_ for the table and the entry's own mutex for construction.
+  std::shared_ptr<CalcEntry> GetCalculator(const std::string& name,
+                                           const GraphSession& session,
+                                           const SndOptions& options,
+                                           const std::string& signature);
 
   // SND values for `pairs` over the session's states: cached values are
   // served from the result LRU, the rest go through one BatchDistances
   // call sharing the entry's edge-cost cache, then populate the LRU.
+  // Caller holds (at least) the shared session lock.
   std::vector<double> EvaluatePairs(const GraphSession& session,
                                     CalcEntry* entry,
                                     const std::string& key_prefix,
@@ -157,16 +189,33 @@ class SndService {
 
   // Drops every calculator and cached result of `name` (reload/evict),
   // folding retired calculators' work counters into retired_work_.
+  // Caller holds the exclusive session lock.
   void PurgeGraphArtifacts(const std::string& name);
 
   SndServiceConfig config_;
-  SessionRegistry registry_;
-  ResultCache results_;
-  std::map<std::string, CalcEntry> calculators_;
+
+  // Lock order (outer to inner): session_mu_ -> calc_mu_ -> entry->mu.
+  // results_ locks internally and is never held across another lock.
+  mutable std::shared_mutex session_mu_;
+  SessionRegistry registry_;  // Guarded by session_mu_.
+
+  ResultCache results_;  // Internally synchronized.
+
+  // Work of destroyed calculators, folded in by ~CalcEntry. Guarded by
+  // its own leaf mutex (a destructor may run while calc_mu_ is held —
+  // table erase dropping the last reference — or on a reader thread
+  // holding no other lock); never acquire another lock under it.
+  // Declared BEFORE calculators_: members destroy in reverse order, and
+  // destroying the table runs ~CalcEntry, which must still find this
+  // mutex and accumulator alive.
+  mutable std::mutex retired_mu_;
+  SndWorkCounters retired_work_;
+
+  mutable std::mutex calc_mu_;  // Guards the four members below.
+  std::map<std::string, std::shared_ptr<CalcEntry>> calculators_;
   uint64_t calc_ticks_ = 0;
   int64_t calc_builds_ = 0;
   int64_t calc_hits_ = 0;
-  SndWorkCounters retired_work_;
 };
 
 }  // namespace snd

@@ -1,10 +1,22 @@
 #include "snd/service/session.h"
 
+#include <cctype>
 #include <utility>
 
 #include "snd/util/check.h"
 
 namespace snd {
+
+bool ValidSessionName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
 
 GraphSession& SessionRegistry::LoadGraph(const std::string& name,
                                          Graph graph) {

@@ -17,6 +17,13 @@
 // epoch keep their graph alive after a reload replaces it in the
 // registry. The registry does no I/O and no validation beyond its own
 // invariants; the dispatcher (service.cc) owns both.
+//
+// Concurrency: the registry itself is not synchronized. In the shared
+// deployment there is one process-wide registry inside the shared
+// SndService, guarded by the service's std::shared_mutex — read
+// requests traverse sessions under the shared lock, mutations
+// (LoadGraph/ReplaceStates/AppendState/Evict) run under the exclusive
+// lock, so epochs and the graph/states pair can never be observed torn.
 #ifndef SND_SERVICE_SESSION_H_
 #define SND_SERVICE_SESSION_H_
 
@@ -30,6 +37,13 @@
 #include "snd/opinion/network_state.h"
 
 namespace snd {
+
+// Session names become cache-key prefixes delimited by '|', so they are
+// restricted to a charset that cannot collide with the key grammar (and
+// stays shell/log friendly): [A-Za-z0-9_.-]+. Both the wire codecs
+// (parse time) and the service (typed requests built in-process) check
+// against this one predicate.
+bool ValidSessionName(const std::string& name);
 
 struct GraphSession {
   std::shared_ptr<const Graph> graph;

@@ -1,0 +1,15 @@
+#include "snd/util/format.h"
+
+#include <cstdio>
+
+namespace snd {
+
+std::string FormatDouble(double value) {
+  // 17 significant digits, sign, decimal point, 4-digit exponent and
+  // terminator fit comfortably in 32 bytes.
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace snd

@@ -1,0 +1,13 @@
+#include "snd/util/version.h"
+
+// The build injects the project() version; the fallback only appears if
+// a consumer compiles this file outside the CMake build.
+#ifndef SND_VERSION_STRING
+#define SND_VERSION_STRING "0.0.0-unknown"
+#endif
+
+namespace snd {
+
+const char* VersionString() { return SND_VERSION_STRING; }
+
+}  // namespace snd

@@ -1,0 +1,16 @@
+// Single source of truth for the library version, fed from the CMake
+// project() declaration (SND_VERSION_STRING compile definition on the
+// snd target). Everything that reports a version — snd_cli --version,
+// snd_serve --version, the `version` protocol request in both codecs —
+// calls VersionString(), so the number cannot diverge across surfaces.
+#ifndef SND_UTIL_VERSION_H_
+#define SND_UTIL_VERSION_H_
+
+namespace snd {
+
+// The project version, e.g. "0.1.0".
+const char* VersionString();
+
+}  // namespace snd
+
+#endif  // SND_UTIL_VERSION_H_

@@ -12,6 +12,7 @@
 #include "snd/graph/io.h"
 #include "snd/opinion/evolution.h"
 #include "snd/opinion/state_io.h"
+#include "snd/util/version.h"
 
 #ifndef SND_CLI_BIN
 #error "SND_CLI_BIN must be defined to the snd_cli executable path"
@@ -57,6 +58,16 @@ TEST_F(CliSmokeTest, HelpExitsZeroAndPrintsUsageToStdout) {
     const BinaryRunResult result = RunCli(spelling);
     EXPECT_EQ(result.exit_code, 0) << spelling;
     EXPECT_NE(result.out.find("usage: snd_cli"), std::string::npos)
+        << spelling;
+    EXPECT_TRUE(result.err.empty()) << spelling << " stderr: " << result.err;
+  }
+}
+
+TEST_F(CliSmokeTest, VersionExitsZeroAndPrintsTheLibraryVersion) {
+  for (const char* spelling : {"--version", "version"}) {
+    const BinaryRunResult result = RunCli(spelling);
+    EXPECT_EQ(result.exit_code, 0) << spelling;
+    EXPECT_EQ(result.out, std::string("snd_cli ") + VersionString() + "\n")
         << spelling;
     EXPECT_TRUE(result.err.empty()) << spelling << " stderr: " << result.err;
   }

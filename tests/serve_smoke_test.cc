@@ -4,6 +4,7 @@
 // the in-process SndService::ServeStream on the same script — the
 // service layer's own determinism guarantee makes that an exact oracle.
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "snd/opinion/state_io.h"
 #include "snd/service/service.h"
 #include "snd/util/thread_pool.h"
+#include "snd/util/version.h"
 
 #ifndef SND_SERVE_BIN
 #error "SND_SERVE_BIN must be defined to the snd_serve executable path"
@@ -104,6 +106,111 @@ TEST_F(ServeSmokeTest, ScriptedSessionMatchesInProcessServiceExactly) {
   // from the script: its thread row depends on the host default.)
   EXPECT_EQ(binary.out, expected.str());
   EXPECT_NE(binary.out.find("ok bye"), std::string::npos) << binary.out;
+}
+
+// The byte-for-byte compatibility pin: this transcript was produced by
+// the PRE-redesign (PR 4) service on a hand-written fixture whose SND
+// values are exact small integers, and the typed-core text codec must
+// keep reproducing it forever. (The CI stdio smoke diffs the same
+// bytes.)
+TEST_F(ServeSmokeTest, TextModeReproducesThePreRedesignTranscript) {
+  const std::string edges = SmokeTempPath("serve_smoke", "pin.edges");
+  const std::string states = SmokeTempPath("serve_smoke", "pin.states");
+  {
+    std::ofstream out(edges);
+    out << "# nodes 4\n0 1\n1 0\n1 2\n2 1\n2 3\n3 2\n";
+  }
+  {
+    std::ofstream out(states);
+    out << "# states 2 users 4\n1 0 0 -1\n1 1 -1 -1\n";
+  }
+  const std::string script =
+      "load_graph g " + edges + "\n" +
+      "load_states g " + states + "\n" +
+      "distance g 0 1\n"
+      "distance g 1 0\n"
+      "series g\n"
+      "bogus request\n"
+      "distance g 9 0\n"
+      "evict g\n"
+      "distance g 0 1\n"
+      "quit\n";
+  const BinaryRunResult result = RunServe("", script);
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_EQ(result.out,
+            "ok graph g nodes 4 edges 6 epoch 1\n"
+            "ok states g count 2 users 4 epoch 3\n"
+            "ok distance g 0 1 2\n"
+            "ok distance g 1 0 2\n"
+            "ok series g count 1\n"
+            "0 1 2\n"
+            "error unknown command 'bogus'\n"
+            "error state index '9' out of range (have 2 states)\n"
+            "ok evict g\n"
+            "error unknown graph 'g'\n"
+            "ok bye\n");
+  std::remove(edges.c_str());
+  std::remove(states.c_str());
+}
+
+TEST_F(ServeSmokeTest, VersionFlagPrintsTheLibraryVersion) {
+  const BinaryRunResult result = RunServe("--version", "");
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_EQ(result.out, std::string("snd_serve ") + VersionString() + "\n");
+  // And the protocol request answers the same version on the wire.
+  const BinaryRunResult request = RunServe("", "version\nquit\n");
+  EXPECT_EQ(request.exit_code, 0) << request.err;
+  EXPECT_EQ(request.out, std::string("ok version ") + VersionString() +
+                             "\nok bye\n");
+}
+
+TEST_F(ServeSmokeTest, JsonModeSpeaksOneObjectPerLine) {
+  const std::string script =
+      "{\"cmd\":\"load_graph\",\"name\":\"g\",\"path\":\"" + graph_path_ +
+      "\"}\n" +
+      "{\"cmd\":\"load_states\",\"name\":\"g\",\"path\":\"" + states_path_ +
+      "\"}\n" +
+      "{\"cmd\":\"distance\",\"name\":\"g\",\"i\":0,\"j\":1}\n"
+      "{\"cmd\":\"distance\",\"name\":\"g\",\"i\":0,\"j\":1,"
+      "\"flags\":[\"--sssp=dial\"]}\n"
+      "nonsense\n"
+      "{\"cmd\":\"quit\"}\n";
+  const BinaryRunResult binary = RunServe("--format=json", script);
+  ASSERT_EQ(binary.exit_code, 0) << binary.err;
+
+  // Oracle: the in-process service over the JSON codec.
+  SndService reference;
+  std::istringstream in(script);
+  std::ostringstream expected;
+  reference.ServeStream(in, expected, WireFormat::kJson);
+  EXPECT_EQ(binary.out, expected.str());
+
+  // Shape checks on the bytes themselves.
+  EXPECT_NE(binary.out.find("{\"ok\":true,\"cmd\":\"graph\""),
+            std::string::npos)
+      << binary.out;
+  EXPECT_NE(binary.out.find("\"code\":\"invalid_argument\""),
+            std::string::npos)
+      << binary.out;
+  EXPECT_NE(binary.out.find("{\"ok\":true,\"cmd\":\"bye\"}"),
+            std::string::npos)
+      << binary.out;
+  // The two distance responses carry the identical value bytes: the
+  // second (dial) query is answered from the shared result cache and
+  // rendered through the same FormatDouble.
+  const auto value_bytes = [&](size_t from, size_t* next) {
+    const size_t pos = binary.out.find("\"value\":", from);
+    EXPECT_NE(pos, std::string::npos) << binary.out;
+    const size_t start = pos + sizeof("\"value\":") - 1;
+    const size_t end = binary.out.find('}', start);
+    *next = end;
+    return binary.out.substr(start, end - start);
+  };
+  size_t after_first = 0, after_second = 0;
+  const std::string first = value_bytes(0, &after_first);
+  const std::string second = value_bytes(after_first, &after_second);
+  EXPECT_EQ(first, second) << binary.out;
+  EXPECT_FALSE(first.empty());
 }
 
 TEST_F(ServeSmokeTest, EofWithoutQuitExitsCleanly) {

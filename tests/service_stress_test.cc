@@ -1,0 +1,443 @@
+// Concurrency stress for the shared-session service: N threads mixing
+// read requests (distance/series/matrix/info) with mutations
+// (append_state, evict + reload) over ONE SndService — in-process
+// against Dispatch, and end-to-end over TCP against a spawned
+// `snd_serve --listen=0` with one socket per client thread. Read
+// results must be bitwise identical to the precomputed direct values,
+// and observed epochs must never be torn (states_epoch > graph_epoch is
+// a registry invariant for every live session). Runs under asan-ubsan
+// and under the tsan preset in CI.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smoke_util.h"
+#include "snd/core/snd.h"
+#include "snd/graph/generators.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/evolution.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/service.h"
+#include "snd/util/thread_pool.h"
+
+#if !defined(_WIN32)
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace snd {
+namespace {
+
+using testing_util::SmokeTempPath;
+
+// Thread-safe failure collector: gtest EXPECTs are not guaranteed safe
+// off the main thread, so workers record and the main thread asserts.
+class FailureLog {
+ public:
+  void Record(const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++failures_;
+    if (first_.empty()) first_ = message;
+  }
+  void ExpectEmpty() const {
+    EXPECT_EQ(failures_, 0) << "first failure: " << first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int failures_ = 0;
+  std::string first_;
+};
+
+class ServiceStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = SmokeTempPath("stress", "graph.edges");
+    states_path_ = SmokeTempPath("stress", "states.txt");
+    graph_ = GenerateRing(16, 2);
+    SyntheticEvolution evolution(&graph_, 5);
+    states_ = evolution.GenerateSeries(4, 4, {0.25, 0.05}, {0.25, 0.05}, {});
+    ASSERT_TRUE(WriteEdgeList(graph_, graph_path_));
+    ASSERT_TRUE(WriteStateSeries(states_, states_path_));
+    const SndCalculator direct(&graph_, SndOptions());
+    expected_series_ = direct.AdjacentDistanceSeries(states_);
+    expected_01_ = direct.Distance(states_[0], states_[1]);
+  }
+
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(states_path_.c_str());
+    ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  }
+
+  std::string graph_path_;
+  std::string states_path_;
+  Graph graph_;
+  std::vector<NetworkState> states_;
+  std::vector<double> expected_series_;
+  double expected_01_ = 0.0;
+};
+
+TEST_F(ServiceStressTest, ConcurrentReadersAndWritersOnOneSharedService) {
+  SndService service;
+  ASSERT_TRUE(service.Call("load_graph g " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_states g " + states_path_).ok);
+  const ServiceResponse initial_info = service.Call("info");
+  ASSERT_TRUE(initial_info.ok);
+
+  const size_t base_transitions = states_.size() - 1;
+  FailureLog failures;
+
+  // Readers: distance + series + matrix + info over the stable prefix.
+  const int kReaders = 4;
+  const int kReads = 30;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (int k = 0; k < kReads; ++k) {
+        if ((k + r) % 3 == 0) {
+          DistanceRequest request;
+          request.name = "g";
+          request.i = 0;
+          request.j = 1;
+          const StatusOr<Response> response =
+              service.Dispatch(Request(request));
+          if (!response.ok()) {
+            failures.Record("distance failed: " +
+                            response.status().ToString());
+            continue;
+          }
+          const double value = std::get<DistanceResponse>(*response).value;
+          if (value != expected_01_) {
+            failures.Record("distance value drifted");
+          }
+        } else if ((k + r) % 3 == 1) {
+          const StatusOr<Response> response =
+              service.Dispatch(Request(SeriesRequest{{"g", SndOptions(), 0}}));
+          if (!response.ok()) {
+            failures.Record("series failed: " + response.status().ToString());
+            continue;
+          }
+          const auto& series = std::get<SeriesResponse>(*response);
+          if (series.values.size() < base_transitions) {
+            failures.Record("series shrank");
+            continue;
+          }
+          // The stable prefix is bitwise fixed; appended transitions are
+          // copies of the last state, so their SND is exactly 0.
+          for (size_t t = 0; t < series.values.size(); ++t) {
+            const double expected =
+                t < base_transitions ? expected_series_[t] : 0.0;
+            if (series.values[t] != expected) {
+              failures.Record("series value drifted at t=" +
+                              std::to_string(t));
+              break;
+            }
+          }
+        } else {
+          const StatusOr<Response> response =
+              service.Dispatch(Request(InfoRequest{}));
+          if (!response.ok()) {
+            failures.Record("info failed: " + response.status().ToString());
+            continue;
+          }
+          // Torn-epoch check: for every live session the registry
+          // bumps graph_epoch then states_epoch under one writer lock,
+          // so a reader must always observe states_epoch > graph_epoch.
+          for (const auto& session :
+               std::get<InfoResponse>(*response).sessions) {
+            if (session.states_epoch <= session.graph_epoch) {
+              failures.Record("torn epochs on session " + session.name);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // Writer 1: grows g's series with copies of the last state (epoch
+  // stays put; every cached prefix result stays valid).
+  threads.emplace_back([&] {
+    AppendStateRequest append;
+    append.name = "g";
+    for (int32_t u = 0; u < states_.back().num_users(); ++u) {
+      append.values.push_back(states_.back().value(u));
+    }
+    for (int k = 0; k < 10; ++k) {
+      const StatusOr<Response> response = service.Dispatch(Request(append));
+      if (!response.ok()) {
+        failures.Record("append failed: " + response.status().ToString());
+      }
+    }
+  });
+
+  // Writer 2: churns a second session through load/read/evict cycles.
+  threads.emplace_back([&] {
+    for (int k = 0; k < 6; ++k) {
+      if (!service.Call("load_graph h " + graph_path_).ok ||
+          !service.Call("load_states h " + states_path_).ok) {
+        failures.Record("h load failed");
+        continue;
+      }
+      const ServiceResponse read = service.Call("distance h 0 1");
+      // Not guaranteed to succeed (another iteration may have evicted),
+      // but a success must carry the exact value.
+      if (read.ok && read.values[0] != expected_01_) {
+        failures.Record("h distance drifted");
+      }
+      service.Call("evict h");
+    }
+  });
+
+  for (std::thread& thread : threads) thread.join();
+  failures.ExpectEmpty();
+
+  // Post-conditions: the series is the base prefix plus exact zeros.
+  const ServiceResponse series = service.Call("series g");
+  ASSERT_TRUE(series.ok) << series.header;
+  ASSERT_EQ(series.values.size(), base_transitions + 10);
+  for (size_t t = 0; t < series.values.size(); ++t) {
+    const double expected =
+        t < base_transitions ? expected_series_[t] : 0.0;
+    EXPECT_EQ(series.values[t], expected) << t;
+  }
+  // And the matrix over the original indices still matches the direct
+  // computation bitwise.
+  DistanceRequest request;
+  request.name = "g";
+  request.i = 1;
+  request.j = 3;
+  const StatusOr<Response> final_distance =
+      service.Dispatch(Request(request));
+  ASSERT_TRUE(final_distance.ok());
+  const SndCalculator direct(&graph_, SndOptions());
+  EXPECT_EQ(std::get<DistanceResponse>(*final_distance).value,
+            direct.Distance(states_[1], states_[3]));
+}
+
+#if !defined(_WIN32)
+
+// A line-oriented TCP client for the stress test.
+class LineClient {
+ public:
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    // A generous receive timeout keeps a lost response from hanging the
+    // suite (tsan-instrumented cold computes are slow, so not too
+    // tight).
+    timeval timeout{60, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t put =
+          ::write(fd_, framed.data() + sent, framed.size() - sent);
+      if (put <= 0) return false;
+      sent += static_cast<size_t>(put);
+    }
+    return true;
+  }
+
+  // Reads one '\n'-terminated line (without the terminator).
+  bool ReadLine(std::string* line) {
+    line->clear();
+    char c = 0;
+    for (;;) {
+      const ssize_t got = ::read(fd_, &c, 1);
+      if (got <= 0) return false;
+      if (c == '\n') return true;
+      *line += c;
+    }
+  }
+
+  // Sends a single-line request and returns its single-line response.
+  bool Roundtrip(const std::string& request, std::string* response) {
+    return Send(request) && ReadLine(response);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Spawns `snd_serve --listen=0` and scrapes the bound port from its
+// stdout. The child is killed (SIGKILL) on teardown.
+class SpawnedServer {
+ public:
+  bool Start(const std::string& binary) {
+    int out_pipe[2];
+    if (::pipe(out_pipe) != 0) return false;
+    pid_ = ::fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      ::execl(binary.c_str(), binary.c_str(), "--listen=0",
+              static_cast<char*>(nullptr));
+      std::_Exit(127);
+    }
+    ::close(out_pipe[1]);
+    // Scrape "listening 127.0.0.1:PORT\n".
+    std::string banner;
+    char c = 0;
+    while (banner.find('\n') == std::string::npos) {
+      const ssize_t got = ::read(out_pipe[0], &c, 1);
+      if (got <= 0) break;
+      banner += c;
+    }
+    ::close(out_pipe[0]);
+    const size_t colon = banner.rfind(':');
+    if (colon == std::string::npos) return false;
+    port_ = std::atoi(banner.c_str() + colon + 1);
+    return port_ > 0;
+  }
+
+  ~SpawnedServer() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  int port() const { return port_; }
+
+ private:
+  pid_t pid_ = -1;
+  int port_ = 0;
+};
+
+#ifndef SND_SERVE_BIN
+#error "SND_SERVE_BIN must be defined to the snd_serve executable path"
+#endif
+
+TEST_F(ServiceStressTest, TcpClientsShareOneResidentGraphConcurrently) {
+  SpawnedServer server;
+  ASSERT_TRUE(server.Start(SND_SERVE_BIN));
+
+  // One client performs the load; every other client sees the session
+  // without reloading — the shared-registry guarantee.
+  LineClient loader;
+  ASSERT_TRUE(loader.Connect(server.port()));
+  std::string response;
+  ASSERT_TRUE(loader.Roundtrip("load_graph g " + graph_path_, &response));
+  ASSERT_EQ(response.rfind("ok graph g ", 0), 0u) << response;
+  ASSERT_TRUE(loader.Roundtrip("load_states g " + states_path_, &response));
+  ASSERT_EQ(response.rfind("ok states g ", 0), 0u) << response;
+  // Warm the pair once so the reference bytes exist.
+  std::string reference;
+  ASSERT_TRUE(loader.Roundtrip("distance g 0 1", &reference));
+  ASSERT_EQ(reference.rfind("ok distance g 0 1 ", 0), 0u) << reference;
+
+  FailureLog failures;
+  const int kClients = 4;
+  const int kRequests = 12;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect(server.port())) {
+        failures.Record("client connect failed");
+        return;
+      }
+      for (int k = 0; k < kRequests; ++k) {
+        std::string line;
+        if ((k + c) % 2 == 0) {
+          if (!client.Roundtrip("distance g 0 1", &line)) {
+            failures.Record("distance roundtrip failed");
+            return;
+          }
+          // Bitwise identity on the wire: every client, every time,
+          // byte-for-byte the same response.
+          if (line != reference) {
+            failures.Record("distance bytes drifted: " + line);
+          }
+        } else {
+          if (!client.Send("series g")) {
+            failures.Record("series send failed");
+            return;
+          }
+          std::string header;
+          if (!client.ReadLine(&header) ||
+              header.rfind("ok series g count ", 0) != 0) {
+            failures.Record("series header: " + header);
+            return;
+          }
+          const int rows =
+              std::atoi(header.c_str() + sizeof("ok series g count ") - 1);
+          for (int t = 0; t < rows; ++t) {
+            if (!client.ReadLine(&line)) {
+              failures.Record("series row read failed");
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  // A concurrent writer client growing the series over its own socket.
+  threads.emplace_back([&] {
+    LineClient writer;
+    if (!writer.Connect(server.port())) {
+      failures.Record("writer connect failed");
+      return;
+    }
+    std::string append = "append_state g";
+    for (int32_t u = 0; u < states_.back().num_users(); ++u) {
+      append += " " + std::to_string(static_cast<int>(states_.back().value(u)));
+    }
+    for (int k = 0; k < 8; ++k) {
+      std::string line;
+      if (!writer.Roundtrip(append, &line) ||
+          line.rfind("ok states g ", 0) != 0) {
+        failures.Record("append over tcp failed: " + line);
+        return;
+      }
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  failures.ExpectEmpty();
+
+  // The resident session survived every client: a fresh connection
+  // still reads the same bytes for the warm pair.
+  LineClient last;
+  ASSERT_TRUE(last.Connect(server.port()));
+  ASSERT_TRUE(last.Roundtrip("distance g 0 1", &response));
+  EXPECT_EQ(response, reference);
+  ASSERT_TRUE(last.Roundtrip("info", &response));
+  EXPECT_EQ(response.rfind("ok info rows ", 0), 0u) << response;
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace
+}  // namespace snd

@@ -23,6 +23,7 @@
 #include "snd/service/options_parse.h"
 #include "snd/service/result_cache.h"
 #include "snd/util/thread_pool.h"
+#include "snd/util/version.h"
 
 namespace snd {
 namespace {
@@ -267,9 +268,8 @@ TEST_F(ServiceTest, AnswersAreBitwiseIdenticalToDirectCalculatorCalls) {
       hw > 2 ? std::vector<int32_t>{1, 2, hw} : std::vector<int32_t>{1, 2};
   for (const char* backend : {"auto", "dijkstra", "dial"}) {
     const std::string flag = std::string("--sssp=") + backend;
-    std::string error;
-    const auto parsed = ParseSndFlags({flag}, &error);
-    ASSERT_TRUE(parsed.has_value()) << error;
+    const auto parsed = ParseSndFlags({flag});
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     const SndCalculator direct(&graph_, parsed->options);
     const double expected_distance = direct.Distance(states_[1], states_[3]);
     const std::vector<double> expected_series =
@@ -356,6 +356,76 @@ TEST_F(ServiceTest, InfoReportsSessionsCachesAndWorkCounters) {
       << info.rows[2];
   EXPECT_NE(info.rows[3].find("work sssp_runs"), std::string::npos);
   EXPECT_NE(info.rows[4].find("threads "), std::string::npos);
+}
+
+TEST_F(ServiceTest, TypedDispatchMatchesTextProtocolBitwise) {
+  SndService service;
+  LoadFixture(&service);
+  // Typed path: no strings anywhere.
+  DistanceRequest typed;
+  typed.name = "g";
+  typed.i = 1;
+  typed.j = 3;
+  const StatusOr<Response> dispatched = service.Dispatch(Request(typed));
+  ASSERT_TRUE(dispatched.ok()) << dispatched.status().ToString();
+  const auto* distance = std::get_if<DistanceResponse>(&*dispatched);
+  ASSERT_NE(distance, nullptr);
+  // Text path over the same service: same cache, same value, bitwise.
+  const ServiceResponse text = service.Call("distance g 1 3");
+  ASSERT_TRUE(text.ok) << text.header;
+  ASSERT_EQ(text.values.size(), 1u);
+  EXPECT_EQ(text.values[0], distance->value);
+  // And the typed error side carries codes, not just strings.
+  typed.name = "nope";
+  const StatusOr<Response> missing = service.Dispatch(Request(typed));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(missing.status().message(), "unknown graph 'nope'");
+}
+
+TEST_F(ServiceTest, VersionIsServedOnBothTheTypedAndTextPaths) {
+  SndService service;
+  const StatusOr<Response> typed = service.Dispatch(Request(VersionRequest{}));
+  ASSERT_TRUE(typed.ok());
+  const auto* version = std::get_if<VersionResponse>(&*typed);
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->version, VersionString());
+  const ServiceResponse text = service.Call("version");
+  ASSERT_TRUE(text.ok) << text.header;
+  EXPECT_EQ(text.header, std::string("version ") + VersionString());
+  EXPECT_FALSE(service.Call("version now").ok);
+}
+
+// The `info` ordering contract: sessions sorted by name, then the
+// calculators / results / work / threads rows, counters in fixed field
+// order. Locked in so scripted diffs and scrapes stay stable.
+TEST_F(ServiceTest, InfoOrderingIsDocumentedAndDeterministic) {
+  SndService service;
+  // Load under names that sort opposite to their load order.
+  ASSERT_TRUE(service.Call("load_graph zz " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_graph aa " + graph_path_).ok);
+  const ServiceResponse info = service.Call("info");
+  ASSERT_TRUE(info.ok) << info.header;
+  ASSERT_EQ(info.rows.size(), 6u);
+  EXPECT_EQ(info.rows[0].rfind("graph aa nodes 24 edges ", 0), 0u)
+      << info.rows[0];
+  EXPECT_EQ(info.rows[1].rfind("graph zz nodes 24 edges ", 0), 0u)
+      << info.rows[1];
+  EXPECT_EQ(info.rows[2].rfind("calculators size ", 0), 0u) << info.rows[2];
+  EXPECT_NE(info.rows[2].find(" capacity "), std::string::npos);
+  EXPECT_NE(info.rows[2].find(" builds "), std::string::npos);
+  EXPECT_NE(info.rows[2].find(" hits "), std::string::npos);
+  EXPECT_EQ(info.rows[3].rfind("results size ", 0), 0u) << info.rows[3];
+  EXPECT_NE(info.rows[3].find(" misses "), std::string::npos);
+  EXPECT_NE(info.rows[3].find(" evictions "), std::string::npos);
+  EXPECT_EQ(info.rows[4].rfind("work sssp_runs ", 0), 0u) << info.rows[4];
+  EXPECT_NE(info.rows[4].find(" transport_solves "), std::string::npos);
+  EXPECT_NE(info.rows[4].find(" edge_cost_builds "), std::string::npos);
+  EXPECT_EQ(info.rows[5].rfind("threads ", 0), 0u) << info.rows[5];
+  // Deterministic: an identical second snapshot renders identically.
+  const ServiceResponse again = service.Call("info");
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.rows, info.rows);
 }
 
 // Unit coverage for the LRU itself, independent of the dispatcher.

@@ -1,0 +1,68 @@
+// Round-trip coverage for snd::FormatDouble, the one %.17g definition
+// shared by the text codec, the JSON codec, and the options signature:
+// parsing the formatted text back must reproduce the exact bit pattern
+// for every finite double.
+#include "snd/util/format.h"
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+uint64_t BitsOf(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void ExpectRoundTrip(double value) {
+  const std::string text = FormatDouble(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  EXPECT_EQ(end, text.c_str() + text.size()) << text;
+  EXPECT_EQ(BitsOf(parsed), BitsOf(value)) << text;
+}
+
+TEST(FormatDoubleTest, NotableValuesRoundTrip) {
+  for (const double value :
+       {0.0, -0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 2.0 / 3.0, 1e-300, 1e300,
+        DBL_MIN, DBL_MAX, DBL_EPSILON, 4.9406564584124654e-324 /* denormal */,
+        3.0000000000000004, 0.30000000000000004}) {
+    ExpectRoundTrip(value);
+  }
+}
+
+TEST(FormatDoubleTest, RandomBitPatternsRoundTrip) {
+  std::mt19937_64 rng(20260729);
+  int finite = 0;
+  while (finite < 20000) {
+    const uint64_t bits = rng();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    if (!std::isfinite(value)) continue;  // NaN/inf are not wire values.
+    ++finite;
+    ExpectRoundTrip(value);
+  }
+  // And random "ordinary magnitude" values, the ones the wire actually
+  // carries.
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int k = 0; k < 20000; ++k) ExpectRoundTrip(dist(rng));
+}
+
+TEST(FormatDoubleTest, IntegralValuesPrintWithoutExponentNoise) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+}
+
+}  // namespace
+}  // namespace snd

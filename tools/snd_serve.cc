@@ -1,15 +1,20 @@
 // The `snd_serve` front end of the serving subsystem
-// (snd/service/service.h): speaks the newline-delimited request protocol
-// over stdio by default, or over a loopback TCP socket with --listen.
+// (snd/service/service.h): speaks the newline-delimited text protocol
+// (api/text_codec.h) or the one-object-per-line JSON protocol
+// (api/json_codec.h) over stdio by default, or over a loopback TCP
+// socket with --listen.
 //
 // usage: snd_serve [flags]
 //   (no flags)         serve one session on stdin/stdout until EOF/quit
-//   --listen=PORT      accept TCP connections on 127.0.0.1:PORT, one
-//                      session per connection, served sequentially (the
-//                      compute parallelism lives in the shared thread
-//                      pool below the dispatcher); port 0 picks a free
-//                      port and prints it
+//   --listen=PORT      accept TCP connections on 127.0.0.1:PORT, each
+//                      connection served on its own thread over ONE
+//                      shared session registry — every client sees the
+//                      same resident graphs, states, and caches; reads
+//                      run concurrently, mutations take the writer lock
+//                      (port 0 picks a free port and prints it)
+//   --format=text|json wire format (default text)
 //   --cache=N          result-LRU capacity in entries (default 65536)
+//   --version          print the version and exit
 //   --help, -h         print this message
 #include <cerrno>
 #include <cstdio>
@@ -20,17 +25,19 @@
 
 #include "snd/service/options_parse.h"  // SplitSndFlag for --listen/--cache.
 #include "snd/service/service.h"
+#include "snd/util/version.h"
 
 #if !defined(_WIN32)
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
+#include <memory>
+#include <system_error>
 #include <thread>
-
-#include "snd/util/thread_pool.h"
 #endif
 
 namespace {
@@ -39,9 +46,12 @@ constexpr char kUsage[] =
     "usage: snd_serve [flags]\n"
     "  (no flags)         serve one session on stdin/stdout\n"
     "  --listen=PORT      serve TCP sessions on 127.0.0.1:PORT (0 picks a\n"
-    "                     free port and prints it); one session per\n"
-    "                     connection, served sequentially\n"
+    "                     free port and prints it); one thread per\n"
+    "                     connection over one shared session registry —\n"
+    "                     reads run concurrently, mutations exclusively\n"
+    "  --format=text|json wire format (default text)\n"
     "  --cache=N          result-LRU capacity in entries (default 65536)\n"
+    "  --version          print the version and exit\n"
     "  --help, -h         print this message\n"
     "Protocol: send `help` (or see the README's Serving section).\n";
 
@@ -106,7 +116,7 @@ class FdStreamBuf : public std::streambuf {
   char out_[4096];
 };
 
-int ServeTcp(int port, size_t cache_capacity) {
+int ServeTcp(int port, size_t cache_capacity, snd::WireFormat format) {
   // A client closing its socket mid-response must not kill the server:
   // without this, FdStreamBuf's write() raises SIGPIPE whose default
   // disposition terminates the process.
@@ -125,7 +135,7 @@ int ServeTcp(int port, size_t cache_capacity) {
     ::close(listener);
     return Fail("cannot bind 127.0.0.1:" + std::to_string(port));
   }
-  if (::listen(listener, 4) != 0) {
+  if (::listen(listener, 16) != 0) {
     ::close(listener);
     return Fail("cannot listen on 127.0.0.1:" + std::to_string(port));
   }
@@ -136,9 +146,17 @@ int ServeTcp(int port, size_t cache_capacity) {
   // use --listen=0.
   std::printf("listening 127.0.0.1:%d\n", ntohs(address.sin_port));
   std::fflush(stdout);
-  // --threads is process-global pool state; remember the startup value
-  // so one session's flag cannot leak into the next connection.
-  const int32_t base_threads = snd::ThreadPool::GlobalThreads();
+  // ONE shared service for the whole process: every connection sees the
+  // same resident graphs and caches. SndService::Dispatch is
+  // thread-safe (shared_mutex sessions, locked caches), so connections
+  // are served concurrently, each on its own detached thread.
+  snd::SndServiceConfig config;
+  config.result_cache_capacity = cache_capacity;
+  snd::SndService service(config);
+  // One thread per live connection, bounded so a crowd of idle clients
+  // cannot exhaust process resources.
+  constexpr int kMaxConnections = 256;
+  std::atomic<int> active_connections{0};
   for (;;) {
     const int connection = ::accept(listener, nullptr, nullptr);
     if (connection < 0) {
@@ -146,8 +164,11 @@ int ServeTcp(int port, size_t cache_capacity) {
       // errors (ECONNABORTED handshake aborts, EMFILE/ENFILE pressure)
       // must not take the whole service down.
       if (errno == EBADF || errno == EINVAL) {
-        ::close(listener);
-        return Fail("accept failed");
+        // Exit without unwinding: detached connection threads may still
+        // be dispatching on `service`, so destroying it (or returning
+        // through main) would race them. The OS reclaims everything.
+        std::fprintf(stderr, "snd_serve: accept failed\n");
+        std::_Exit(1);
       }
       if (errno != EINTR) {
         std::perror("snd_serve: accept");
@@ -157,19 +178,34 @@ int ServeTcp(int port, size_t cache_capacity) {
       }
       continue;
     }
-    {
-      // One session — registry, caches, epochs — per connection.
-      FdStreamBuf in_buf(connection), out_buf(connection);
-      std::istream in(&in_buf);
-      std::ostream out(&out_buf);
-      snd::SndServiceConfig config;
-      config.result_cache_capacity = cache_capacity;
-      snd::SndService service(config);
-      service.ServeStream(in, out);
-      out.flush();
+    // Admission control: a connection costs a thread, so a crowd of
+    // idle clients must not exhaust the process. Excess connections are
+    // closed immediately (the client sees EOF and can retry).
+    if (active_connections.load(std::memory_order_relaxed) >=
+        kMaxConnections) {
+      ::close(connection);
+      continue;
     }
-    ::close(connection);
-    snd::ThreadPool::SetGlobalThreads(base_threads);
+    active_connections.fetch_add(1, std::memory_order_relaxed);
+    try {
+      std::thread([connection, format, &service, &active_connections] {
+        FdStreamBuf in_buf(connection), out_buf(connection);
+        std::istream in(&in_buf);
+        std::ostream out(&out_buf);
+        service.ServeStream(in, out, format);
+        out.flush();
+        ::close(connection);
+        active_connections.fetch_sub(1, std::memory_order_relaxed);
+      }).detach();
+    } catch (const std::system_error&) {
+      // Thread creation failed (EAGAIN under pressure): shed this
+      // connection, keep the server alive — same policy as the accept
+      // error handling above.
+      active_connections.fetch_sub(1, std::memory_order_relaxed);
+      ::close(connection);
+      std::perror("snd_serve: thread");
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
   }
 }
 
@@ -180,11 +216,15 @@ int ServeTcp(int port, size_t cache_capacity) {
 int main(int argc, char** argv) {
   int listen_port = -1;
   size_t cache_capacity = snd::SndServiceConfig().result_cache_capacity;
+  snd::WireFormat format = snd::WireFormat::kText;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     std::string value;
     if (arg == "--help" || arg == "-h" || arg == "help") {
       std::printf("%s", kUsage);
+      return 0;
+    } else if (arg == "--version" || arg == "version") {
+      std::printf("snd_serve %s\n", snd::VersionString());
       return 0;
     } else if (snd::SplitSndFlag(arg, "listen", &value)) {
       int port = -1, consumed = 0;
@@ -194,6 +234,14 @@ int main(int argc, char** argv) {
         return Fail("invalid --listen value '" + value + "'");
       }
       listen_port = port;
+    } else if (snd::SplitSndFlag(arg, "format", &value)) {
+      if (value == "text") {
+        format = snd::WireFormat::kText;
+      } else if (value == "json") {
+        format = snd::WireFormat::kJson;
+      } else {
+        return Fail("invalid --format value '" + value + "'");
+      }
     } else if (snd::SplitSndFlag(arg, "cache", &value)) {
       long long capacity = 0;
       int consumed = 0;
@@ -211,13 +259,13 @@ int main(int argc, char** argv) {
 #if defined(_WIN32)
     return Fail("--listen is not supported on this platform");
 #else
-    return ServeTcp(listen_port, cache_capacity);
+    return ServeTcp(listen_port, cache_capacity, format);
 #endif
   }
 
   snd::SndServiceConfig config;
   config.result_cache_capacity = cache_capacity;
   snd::SndService service(config);
-  service.ServeStream(std::cin, std::cout);
+  service.ServeStream(std::cin, std::cout, format);
   return 0;
 }
