@@ -9,6 +9,12 @@ function(snd_compile_options target)
     if(SND_WERROR)
       target_compile_options(${target} PRIVATE -Werror)
     endif()
+    if(SND_THREAD_SAFETY AND CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      # The annotations in util/thread_annotations.h only expand under
+      # clang; gcc builds them away, so the flags are clang-gated too.
+      target_compile_options(${target} PRIVATE
+        -Wthread-safety -Werror=thread-safety)
+    endif()
     if(SND_SANITIZE STREQUAL "thread")
       target_compile_options(${target} PRIVATE
         -fsanitize=thread -fno-omit-frame-pointer)

@@ -49,7 +49,10 @@ enum class StatusCode {
 // rendered by the JSON codec's "code" field.
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class: any call that returns a Status and drops
+// it is a compile warning (-Werror in CI) — error paths cannot be
+// silently ignored. Deliberate drops must say so via (void)/std::ignore.
+class [[nodiscard]] Status {
  public:
   // Ok status: the default.
   Status() = default;
@@ -101,7 +104,7 @@ class Status {
 // cannot be stored (SND_CHECK enforced), so `if (!result.ok())` is a
 // complete error check.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, mirroring absl: `return MakeRequest(...)` and
   // `return Status::NotFound(...)` both read naturally at call sites.
@@ -111,7 +114,7 @@ class StatusOr {
   }
 
   bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     SND_CHECK(ok());

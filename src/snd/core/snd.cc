@@ -11,6 +11,7 @@
 #include "snd/emd/emd_star.h"
 #include "snd/emd/reductions.h"
 #include "snd/paths/sssp_engine.h"
+#include "snd/util/mutex.h"
 #include "snd/util/stopwatch.h"
 #include "snd/util/thread_pool.h"
 
@@ -68,7 +69,7 @@ class SndCalculator::EdgeCostCache {
   // service overlaps read requests). Must not race with an *append* to
   // `*states` itself — the service's session lock guarantees that.
   void EnsureStates() {
-    const std::lock_guard<std::mutex> lock(grow_mu_);
+    const MutexLock lock(grow_mu_);
     while (entries_.size() < states_->size() * 2) entries_.emplace_back();
   }
 
@@ -110,7 +111,9 @@ class SndCalculator::EdgeCostCache {
 
   const SndCalculator& calc_;
   const std::vector<NetworkState>* states_;
-  std::mutex grow_mu_;  // Serializes EnsureStates growth.
+  Mutex grow_mu_;  // Serializes EnsureStates growth.
+  // Deliberately unannotated: entries are read lock-free after growth
+  // (std::deque pins them), with per-entry std::call_once init.
   std::deque<Entry> entries_;
 };
 

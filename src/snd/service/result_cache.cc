@@ -8,7 +8,7 @@ ResultCache::ResultCache(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {}
 
 std::optional<double> ResultCache::Get(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -20,7 +20,7 @@ std::optional<double> ResultCache::Get(const std::string& key) {
 }
 
 void ResultCache::Put(const std::string& key, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = value;
@@ -37,7 +37,7 @@ void ResultCache::Put(const std::string& key, double value) {
 }
 
 size_t ResultCache::EraseMatchingPrefix(const std::string& prefix) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   size_t erased = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {
@@ -52,12 +52,12 @@ size_t ResultCache::EraseMatchingPrefix(const std::string& prefix) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 size_t ResultCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return map_.size();
 }
 

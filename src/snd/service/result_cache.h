@@ -21,11 +21,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "snd/util/mutex.h"
+#include "snd/util/thread_annotations.h"
 
 namespace snd {
 
@@ -45,28 +47,29 @@ class ResultCache {
 
   // The cached value for `key`, touching it most-recently-used; counts a
   // hit or a miss.
-  std::optional<double> Get(const std::string& key);
+  std::optional<double> Get(const std::string& key) SND_EXCLUDES(mu_);
 
   // Inserts (or refreshes) `key`, evicting least-recently-used entries
   // over capacity.
-  void Put(const std::string& key, double value);
+  void Put(const std::string& key, double value) SND_EXCLUDES(mu_);
 
   // Drops every entry whose key starts with `prefix`; returns how many.
-  size_t EraseMatchingPrefix(const std::string& prefix);
+  size_t EraseMatchingPrefix(const std::string& prefix) SND_EXCLUDES(mu_);
 
   // Snapshot (by value: the counters keep moving concurrently).
-  Stats stats() const;
-  size_t size() const;
+  Stats stats() const SND_EXCLUDES(mu_);
+  size_t size() const SND_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
  private:
   using LruList = std::list<std::pair<std::string, double>>;
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // Front = most recently used. Guarded by mu_.
-  std::unordered_map<std::string, LruList::iterator> map_;  // Guarded by mu_.
-  Stats stats_;  // Guarded by mu_.
+  mutable Mutex mu_;
+  LruList lru_ SND_GUARDED_BY(mu_);  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> map_
+      SND_GUARDED_BY(mu_);
+  Stats stats_ SND_GUARDED_BY(mu_);
 };
 
 }  // namespace snd

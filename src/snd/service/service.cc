@@ -56,9 +56,10 @@ SndService::~SndService() = default;
 
 SndService::CalcEntry::~CalcEntry() {
   // The last reference is gone, so `calc` is quiescent: this snapshot
-  // is the calculator's final, complete work count.
+  // is the calculator's final, complete work count. (No lock on `mu`
+  // needed for `calc` itself — nothing else can reference this entry.)
   if (calc != nullptr) {
-    const std::lock_guard<std::mutex> lock(owner->retired_mu_);
+    const MutexLock lock(owner->retired_mu_);
     owner->retired_work_ += calc->work_counters();
   }
 }
@@ -118,7 +119,7 @@ StatusOr<Response> SndService::LoadGraphCmd(const LoadGraphRequest& request) {
   if (!graph.has_value()) {
     return Status::Unavailable("cannot read graph from " + request.path);
   }
-  std::unique_lock lock(session_mu_);
+  const WriterMutexLock lock(session_mu_);
   // Reload: retire the old epoch's calculators and cached results before
   // the registry bumps epochs, so no stale artifact survives.
   PurgeGraphArtifacts(request.name);
@@ -134,7 +135,7 @@ StatusOr<Response> SndService::LoadStatesCmd(
   // Existence check first (and again under the writer lock below): the
   // legacy protocol reports an unknown graph before an unreadable file.
   {
-    std::shared_lock lock(session_mu_);
+    const ReaderMutexLock lock(session_mu_);
     if (registry_.Find(request.name) == nullptr) {
       return Status::NotFound("unknown graph '" + request.name + "'");
     }
@@ -144,7 +145,7 @@ StatusOr<Response> SndService::LoadStatesCmd(
   if (!states.has_value()) {
     return Status::Unavailable("cannot read states from " + request.path);
   }
-  std::unique_lock lock(session_mu_);
+  const WriterMutexLock lock(session_mu_);
   GraphSession* session = registry_.Find(request.name);
   if (session == nullptr) {  // Evicted between the check and the lock.
     return Status::NotFound("unknown graph '" + request.name + "'");
@@ -162,11 +163,11 @@ StatusOr<Response> SndService::LoadStatesCmd(
   // request. Calculators survive (the graph is unchanged).
   results_.EraseMatchingPrefix(request.name + "|");
   {
-    std::lock_guard calc_lock(calc_mu_);
-    for (auto& [key, entry] : calculators_) {
+    const MutexLock calc_lock(calc_mu_);
+    for (auto& [key, slot] : calculators_) {
       if (key.rfind(request.name + "|", 0) == 0) {
-        std::lock_guard entry_lock(entry->mu);
-        entry->edge_costs.reset();
+        const MutexLock entry_lock(slot.entry->mu);
+        slot.entry->edge_costs.reset();
       }
     }
   }
@@ -178,7 +179,7 @@ StatusOr<Response> SndService::LoadStatesCmd(
 
 StatusOr<Response> SndService::AppendStateCmd(
     const AppendStateRequest& request) {
-  std::unique_lock lock(session_mu_);
+  const WriterMutexLock lock(session_mu_);
   GraphSession* session = registry_.Find(request.name);
   if (session == nullptr) {
     return Status::NotFound("unknown graph '" + request.name + "'");
@@ -209,12 +210,12 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
       name + "|g" + std::to_string(session.graph_epoch) + "|" + signature;
   std::shared_ptr<CalcEntry> entry;
   {
-    std::lock_guard lock(calc_mu_);
+    const MutexLock lock(calc_mu_);
     const auto it = calculators_.find(key);
     if (it != calculators_.end()) {
       ++calc_hits_;
-      it->second->last_used = ++calc_ticks_;
-      entry = it->second;
+      it->second.last_used = ++calc_ticks_;
+      entry = it->second.entry;
     } else {
       // Over capacity: retire the least recently used calculator.
       // In-flight computations on the victim keep it alive through
@@ -225,17 +226,15 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
         auto victim = calculators_.begin();
         for (auto candidate = calculators_.begin();
              candidate != calculators_.end(); ++candidate) {
-          if (candidate->second->last_used < victim->second->last_used) {
+          if (candidate->second.last_used < victim->second.last_used) {
             victim = candidate;
           }
         }
         calculators_.erase(victim);
       }
       ++calc_builds_;
-      entry = std::make_shared<CalcEntry>(this);
-      entry->graph = session.graph;
-      entry->last_used = ++calc_ticks_;
-      calculators_.emplace(key, entry);
+      entry = std::make_shared<CalcEntry>(this, session.graph);
+      calculators_.emplace(key, CalcSlot{entry, ++calc_ticks_});
     }
   }
   // Construction happens outside calc_mu_ (building banks and the
@@ -243,7 +242,7 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
   // but under the entry's own mutex, so concurrent first users of one
   // calculator build it exactly once.
   {
-    std::lock_guard lock(entry->mu);
+    const MutexLock lock(entry->mu);
     if (entry->calc == nullptr) {
       entry->calc = std::make_unique<SndCalculator>(entry->graph.get(),
                                                     options);
@@ -276,17 +275,22 @@ std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
   // Swap in a fresh edge-cost cache if the states epoch moved; compute
   // itself runs outside the entry mutex so concurrent readers overlap
   // (the batch path and the shared cache are internally synchronized).
+  // The calculator pointer is read under the mutex; the pointee is
+  // immutable once built (GetCalculator), so using it lock-free after
+  // is safe.
+  SndCalculator* calc = nullptr;
   std::shared_ptr<SndCalculator::EdgeCostCache> edge_costs;
   {
-    std::lock_guard lock(entry->mu);
+    const MutexLock lock(entry->mu);
+    calc = entry->calc.get();
     if (entry->edge_costs == nullptr ||
         entry->edge_costs_epoch != session.states_epoch) {
-      entry->edge_costs = entry->calc->MakeEdgeCostCache(&session.states);
+      entry->edge_costs = calc->MakeEdgeCostCache(&session.states);
       entry->edge_costs_epoch = session.states_epoch;
     }
     edge_costs = entry->edge_costs;
   }
-  const std::vector<double> computed = entry->calc->BatchDistances(
+  const std::vector<double> computed = calc->BatchDistances(
       session.states, missing, edge_costs.get());
   for (size_t k = 0; k < missing.size(); ++k) {
     values[missing_pos[k]] = computed[k];
@@ -297,121 +301,126 @@ std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
 
 StatusOr<Response> SndService::ComputeCmd(const Request& request,
                                           const ComputeRequestBase& base) {
-  const auto body = [&]() -> StatusOr<Response> {
-    const GraphSession* session = registry_.Find(base.name);
-    if (session == nullptr) {
-      return Status::NotFound("unknown graph '" + base.name + "'");
-    }
-    const auto num_states = static_cast<int32_t>(session->states.size());
-
-    const auto* distance = std::get_if<DistanceRequest>(&request);
-    if (distance != nullptr) {
-      for (const int32_t index : {distance->i, distance->j}) {
-        if (index < 0 || index >= num_states) {
-          return Status::InvalidArgument(
-              "state index '" + std::to_string(index) +
-              "' out of range (have " + std::to_string(num_states) +
-              " states)");
-        }
-      }
-    } else if (num_states < 2) {
-      const char* noun = std::get_if<SeriesRequest>(&request) != nullptr
-                             ? "series"
-                             : std::get_if<MatrixRequest>(&request) != nullptr
-                                   ? "matrix"
-                                   : "anomalies";
-      return Status::FailedPrecondition(
-          std::string(noun) + ": need at least two states (have " +
-          std::to_string(num_states) + ")");
-    }
-
-    // --threads is process-global pool state, applied only once the
-    // request is known valid (and only under the writer lock — see
-    // Dispatch below — so the swap cannot race with parallel compute).
-    if (base.threads > 0) ThreadPool::SetGlobalThreads(base.threads);
-
-    const std::string signature = SndOptionsSignature(base.options);
-    const std::shared_ptr<CalcEntry> entry =
-        GetCalculator(base.name, *session, base.options, signature);
-    const std::string key_prefix =
-        base.name + "|g" + std::to_string(session->graph_epoch) + "|s" +
-        std::to_string(session->states_epoch) + "|" + signature + "|";
-
-    if (distance != nullptr) {
-      // SND is symmetric; evaluate the canonical (lower, higher)
-      // orientation so reversed queries share cache entries with
-      // `series` and `matrix`, which enumerate pairs as i < j.
-      const std::vector<double> values =
-          EvaluatePairs(*session, entry.get(), key_prefix,
-                        {{std::min(distance->i, distance->j),
-                          std::max(distance->i, distance->j)}});
-      return Response(DistanceResponse{base.name, distance->i, distance->j,
-                                       values[0]});
-    }
-
-    if (std::get_if<SeriesRequest>(&request) != nullptr) {
-      SeriesResponse response;
-      response.name = base.name;
-      response.pairs = AdjacentPairs(num_states);
-      response.values =
-          EvaluatePairs(*session, entry.get(), key_prefix, response.pairs);
-      return Response(std::move(response));
-    }
-
-    if (std::get_if<MatrixRequest>(&request) != nullptr) {
-      const StatePairs pairs = AllUnorderedPairs(num_states);
-      const std::vector<double> values =
-          EvaluatePairs(*session, entry.get(), key_prefix, pairs);
-      MatrixResponse response;
-      response.name = base.name;
-      response.num_states = num_states;
-      response.values.assign(
-          static_cast<size_t>(num_states) * static_cast<size_t>(num_states),
-          0.0);
-      for (size_t k = 0; k < pairs.size(); ++k) {
-        const auto [a, b] = pairs[k];
-        response.values[static_cast<size_t>(a) * num_states + b] = values[k];
-        response.values[static_cast<size_t>(b) * num_states + a] = values[k];
-      }
-      return Response(std::move(response));
-    }
-
-    // anomalies: the shared Section 6.2 scoring pipeline (the same
-    // ScoreAdjacentDistances the CLI uses) over cache-served distances.
-    const StatePairs pairs = AdjacentPairs(num_states);
-    const std::vector<double> distances =
-        EvaluatePairs(*session, entry.get(), key_prefix, pairs);
-    const std::vector<double> scores =
-        ScoreAdjacentDistances(distances, session->states, nullptr);
-    std::vector<size_t> order(scores.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
-    });
-    AnomaliesResponse response;
-    response.name = base.name;
-    for (const size_t t : order) {
-      response.transitions.push_back(static_cast<int32_t>(t));
-      response.scores.push_back(scores[t]);
-    }
-    return Response(std::move(response));
-  };
-
   // Reads share the session lock and run concurrently; a request that
   // swaps the global thread pool is dispatched as a writer so the swap
   // cannot race with in-flight ParallelFor work.
   if (base.threads > 0) {
-    std::unique_lock lock(session_mu_);
-    return body();
+    const WriterMutexLock lock(session_mu_);
+    return ComputeLocked(request, base);
   }
-  std::shared_lock lock(session_mu_);
-  return body();
+  const ReaderMutexLock lock(session_mu_);
+  return ComputeLocked(request, base);
+}
+
+// A method rather than a lambda inside ComputeCmd so the lock
+// requirement is an annotation the analysis checks (attributes on
+// lambdas are clang-only syntax soup; an SND_REQUIRES_SHARED method is
+// checked at every call site).
+StatusOr<Response> SndService::ComputeLocked(const Request& request,
+                                             const ComputeRequestBase& base) {
+  const GraphSession* session = registry_.Find(base.name);
+  if (session == nullptr) {
+    return Status::NotFound("unknown graph '" + base.name + "'");
+  }
+  const auto num_states = static_cast<int32_t>(session->states.size());
+
+  const auto* distance = std::get_if<DistanceRequest>(&request);
+  if (distance != nullptr) {
+    for (const int32_t index : {distance->i, distance->j}) {
+      if (index < 0 || index >= num_states) {
+        return Status::InvalidArgument(
+            "state index '" + std::to_string(index) +
+            "' out of range (have " + std::to_string(num_states) +
+            " states)");
+      }
+    }
+  } else if (num_states < 2) {
+    const char* noun = std::get_if<SeriesRequest>(&request) != nullptr
+                           ? "series"
+                           : std::get_if<MatrixRequest>(&request) != nullptr
+                                 ? "matrix"
+                                 : "anomalies";
+    return Status::FailedPrecondition(
+        std::string(noun) + ": need at least two states (have " +
+        std::to_string(num_states) + ")");
+  }
+
+  // --threads is process-global pool state, applied only once the
+  // request is known valid (and only under the writer lock — see
+  // ComputeCmd — so the swap cannot race with parallel compute).
+  if (base.threads > 0) ThreadPool::SetGlobalThreads(base.threads);
+
+  const std::string signature = SndOptionsSignature(base.options);
+  const std::shared_ptr<CalcEntry> entry =
+      GetCalculator(base.name, *session, base.options, signature);
+  const std::string key_prefix =
+      base.name + "|g" + std::to_string(session->graph_epoch) + "|s" +
+      std::to_string(session->states_epoch) + "|" + signature + "|";
+
+  if (distance != nullptr) {
+    // SND is symmetric; evaluate the canonical (lower, higher)
+    // orientation so reversed queries share cache entries with
+    // `series` and `matrix`, which enumerate pairs as i < j.
+    const std::vector<double> values =
+        EvaluatePairs(*session, entry.get(), key_prefix,
+                      {{std::min(distance->i, distance->j),
+                        std::max(distance->i, distance->j)}});
+    return Response(DistanceResponse{base.name, distance->i, distance->j,
+                                     values[0]});
+  }
+
+  if (std::get_if<SeriesRequest>(&request) != nullptr) {
+    SeriesResponse response;
+    response.name = base.name;
+    response.pairs = AdjacentPairs(num_states);
+    response.values =
+        EvaluatePairs(*session, entry.get(), key_prefix, response.pairs);
+    return Response(std::move(response));
+  }
+
+  if (std::get_if<MatrixRequest>(&request) != nullptr) {
+    const StatePairs pairs = AllUnorderedPairs(num_states);
+    const std::vector<double> values =
+        EvaluatePairs(*session, entry.get(), key_prefix, pairs);
+    MatrixResponse response;
+    response.name = base.name;
+    response.num_states = num_states;
+    response.values.assign(
+        static_cast<size_t>(num_states) * static_cast<size_t>(num_states),
+        0.0);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const auto [a, b] = pairs[k];
+      response.values[static_cast<size_t>(a) * num_states + b] = values[k];
+      response.values[static_cast<size_t>(b) * num_states + a] = values[k];
+    }
+    return Response(std::move(response));
+  }
+
+  // anomalies: the shared Section 6.2 scoring pipeline (the same
+  // ScoreAdjacentDistances the CLI uses) over cache-served distances.
+  const StatePairs pairs = AdjacentPairs(num_states);
+  const std::vector<double> distances =
+      EvaluatePairs(*session, entry.get(), key_prefix, pairs);
+  const std::vector<double> scores =
+      ScoreAdjacentDistances(distances, session->states, nullptr);
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+  });
+  AnomaliesResponse response;
+  response.name = base.name;
+  for (const size_t t : order) {
+    response.transitions.push_back(static_cast<int32_t>(t));
+    response.scores.push_back(scores[t]);
+  }
+  return Response(std::move(response));
 }
 
 StatusOr<Response> SndService::InfoCmd() {
   InfoResponse info;
   {
-    std::shared_lock lock(session_mu_);
+    const ReaderMutexLock lock(session_mu_);
     for (const auto& [name, session] : registry_.sessions()) {
       InfoResponse::SessionInfo row;
       row.name = name;
@@ -429,7 +438,7 @@ StatusOr<Response> SndService::InfoCmd() {
   }
   const ServiceCounters counters = this->counters();
   {
-    std::lock_guard lock(calc_mu_);
+    const MutexLock lock(calc_mu_);
     info.calc_size = static_cast<int64_t>(calculators_.size());
   }
   info.calc_capacity = static_cast<int64_t>(config_.max_calculators);
@@ -445,7 +454,7 @@ StatusOr<Response> SndService::InfoCmd() {
 }
 
 StatusOr<Response> SndService::EvictCmd(const EvictRequest& request) {
-  std::unique_lock lock(session_mu_);
+  const WriterMutexLock lock(session_mu_);
   if (registry_.Find(request.name) == nullptr) {
     return Status::NotFound("unknown graph '" + request.name + "'");
   }
@@ -457,7 +466,7 @@ StatusOr<Response> SndService::EvictCmd(const EvictRequest& request) {
 void SndService::PurgeGraphArtifacts(const std::string& name) {
   const std::string prefix = name + "|";
   {
-    std::lock_guard lock(calc_mu_);
+    const MutexLock lock(calc_mu_);
     for (auto it = calculators_.begin(); it != calculators_.end();) {
       if (it->first.rfind(prefix, 0) == 0) {
         // ~CalcEntry folds the work counters once the last reference
@@ -481,7 +490,7 @@ ServiceCounters SndService::counters() const {
   // Sequential (never nested) acquisition: retired_mu_ is a leaf lock a
   // destructor may take while calc_mu_ is held.
   {
-    std::lock_guard lock(retired_mu_);
+    const MutexLock lock(retired_mu_);
     counters.work = retired_work_;
   }
   // Snapshot the table under calc_mu_, then release it before touching
@@ -491,14 +500,16 @@ ServiceCounters SndService::counters() const {
   // one cold build.
   std::vector<std::shared_ptr<CalcEntry>> entries;
   {
-    std::lock_guard lock(calc_mu_);
+    const MutexLock lock(calc_mu_);
     counters.calc_builds = calc_builds_;
     counters.calc_hits = calc_hits_;
     entries.reserve(calculators_.size());
-    for (const auto& [key, entry] : calculators_) entries.push_back(entry);
+    for (const auto& [key, slot] : calculators_) {
+      entries.push_back(slot.entry);
+    }
   }
   for (const std::shared_ptr<CalcEntry>& entry : entries) {
-    std::lock_guard entry_lock(entry->mu);
+    const MutexLock entry_lock(entry->mu);
     if (entry->calc != nullptr) counters.work += entry->calc->work_counters();
   }
   return counters;

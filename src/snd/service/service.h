@@ -56,8 +56,6 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -68,6 +66,8 @@
 #include "snd/core/snd.h"
 #include "snd/service/result_cache.h"
 #include "snd/service/session.h"
+#include "snd/util/mutex.h"
+#include "snd/util/thread_annotations.h"
 
 namespace snd {
 
@@ -144,22 +144,34 @@ class SndService {
   // in-flight reader after its entry was evicted are never lost and
   // `info` stays exactly cumulative.
   struct CalcEntry {
-    explicit CalcEntry(SndService* owner) : owner(owner) {}
+    CalcEntry(SndService* owner, std::shared_ptr<const Graph> graph)
+        : owner(owner), graph(std::move(graph)) {}
     ~CalcEntry();
     CalcEntry(const CalcEntry&) = delete;
     CalcEntry& operator=(const CalcEntry&) = delete;
 
     SndService* const owner;  // Outlives every entry (Dispatch contract).
+    // Keeps the epoch's graph alive; const after construction.
+    const std::shared_ptr<const Graph> graph;
     // Guards construction of `calc` and the edge_costs swap. NOT held
-    // during BatchDistances — compute runs lock-free on the entry
-    // (SndCalculator's batch path is const and internally
+    // during BatchDistances — compute runs lock-free on a pointer read
+    // under mu (SndCalculator's batch path is const and internally
     // synchronized), so readers of different pairs overlap.
-    std::mutex mu;
-    std::shared_ptr<const Graph> graph;  // Keeps the epoch's graph alive.
-    std::unique_ptr<SndCalculator> calc;  // Built under mu, then immutable.
-    std::shared_ptr<SndCalculator::EdgeCostCache> edge_costs;
-    uint64_t edge_costs_epoch = 0;  // states_epoch the cache was built on.
-    uint64_t last_used = 0;         // LRU tick; guarded by calc_mu_.
+    Mutex mu;
+    // Built under mu, then immutable.
+    std::unique_ptr<SndCalculator> calc SND_GUARDED_BY(mu);
+    std::shared_ptr<SndCalculator::EdgeCostCache> edge_costs
+        SND_GUARDED_BY(mu);
+    // states_epoch the edge-cost cache was built on.
+    uint64_t edge_costs_epoch SND_GUARDED_BY(mu) = 0;
+  };
+
+  // A table slot: the shared entry plus its LRU tick. The tick lives
+  // here, not in CalcEntry, so everything the table mutates is guarded
+  // by one capability (calc_mu_) the analysis can name.
+  struct CalcSlot {
+    std::shared_ptr<CalcEntry> entry;
+    uint64_t last_used = 0;
   };
 
   StatusOr<Response> LoadGraphCmd(const LoadGraphRequest& request);
@@ -171,33 +183,43 @@ class SndService {
   StatusOr<Response> EvictCmd(const EvictRequest& request);
   StatusOr<Response> HelpCmd();
 
+  // The compute body shared by distance/series/matrix/anomalies;
+  // ComputeCmd wraps it in the shared (or, for --threads requests,
+  // exclusive) session lock.
+  StatusOr<Response> ComputeLocked(const Request& request,
+                                   const ComputeRequestBase& base)
+      SND_REQUIRES_SHARED(session_mu_);
+
   // The calculator for (session, options), built on first use. Locks
   // calc_mu_ for the table and the entry's own mutex for construction.
+  // Caller holds (at least) the shared session lock keeping `session`
+  // alive.
   std::shared_ptr<CalcEntry> GetCalculator(const std::string& name,
                                            const GraphSession& session,
                                            const SndOptions& options,
-                                           const std::string& signature);
+                                           const std::string& signature)
+      SND_REQUIRES_SHARED(session_mu_);
 
   // SND values for `pairs` over the session's states: cached values are
   // served from the result LRU, the rest go through one BatchDistances
   // call sharing the entry's edge-cost cache, then populate the LRU.
-  // Caller holds (at least) the shared session lock.
   std::vector<double> EvaluatePairs(const GraphSession& session,
                                     CalcEntry* entry,
                                     const std::string& key_prefix,
-                                    const StatePairs& pairs);
+                                    const StatePairs& pairs)
+      SND_REQUIRES_SHARED(session_mu_);
 
   // Drops every calculator and cached result of `name` (reload/evict),
   // folding retired calculators' work counters into retired_work_.
-  // Caller holds the exclusive session lock.
-  void PurgeGraphArtifacts(const std::string& name);
+  void PurgeGraphArtifacts(const std::string& name)
+      SND_REQUIRES(session_mu_);
 
   SndServiceConfig config_;
 
   // Lock order (outer to inner): session_mu_ -> calc_mu_ -> entry->mu.
   // results_ locks internally and is never held across another lock.
-  mutable std::shared_mutex session_mu_;
-  SessionRegistry registry_;  // Guarded by session_mu_.
+  mutable SharedMutex session_mu_;
+  SessionRegistry registry_ SND_GUARDED_BY(session_mu_);
 
   ResultCache results_;  // Internally synchronized.
 
@@ -208,14 +230,14 @@ class SndService {
   // Declared BEFORE calculators_: members destroy in reverse order, and
   // destroying the table runs ~CalcEntry, which must still find this
   // mutex and accumulator alive.
-  mutable std::mutex retired_mu_;
-  SndWorkCounters retired_work_;
+  mutable Mutex retired_mu_;
+  SndWorkCounters retired_work_ SND_GUARDED_BY(retired_mu_);
 
-  mutable std::mutex calc_mu_;  // Guards the four members below.
-  std::map<std::string, std::shared_ptr<CalcEntry>> calculators_;
-  uint64_t calc_ticks_ = 0;
-  int64_t calc_builds_ = 0;
-  int64_t calc_hits_ = 0;
+  mutable Mutex calc_mu_ SND_ACQUIRED_AFTER(session_mu_);
+  std::map<std::string, CalcSlot> calculators_ SND_GUARDED_BY(calc_mu_);
+  uint64_t calc_ticks_ SND_GUARDED_BY(calc_mu_) = 0;
+  int64_t calc_builds_ SND_GUARDED_BY(calc_mu_) = 0;
+  int64_t calc_hits_ SND_GUARDED_BY(calc_mu_) = 0;
 };
 
 }  // namespace snd

@@ -1,0 +1,93 @@
+// Clang thread-safety-analysis attribute macros (SND_GUARDED_BY,
+// SND_REQUIRES, ...), expanding to nothing on compilers without the
+// analysis. Annotating a mutex-guarded member turns the repo's locking
+// comments ("guarded by mu_") into compile-time checks: a clang build
+// with -Wthread-safety (the `clang-analyze` preset / SND_THREAD_SAFETY
+// CMake option, -Werror=thread-safety in CI) rejects any access that
+// does not hold the named capability.
+//
+// The vocabulary mirrors the upstream documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an SND_
+// prefix. Use the annotated wrappers in util/mutex.h — the analysis
+// only understands mutexes whose operations carry acquire/release
+// attributes, which the std primitives lack.
+#ifndef SND_UTIL_THREAD_ANNOTATIONS_H_
+#define SND_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SND_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SND_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+// On a class: instances are capabilities (lockable objects).
+#define SND_CAPABILITY(x) SND_THREAD_ANNOTATION_(capability(x))
+
+// On a class: RAII object that acquires a capability in its constructor
+// and releases it in its destructor.
+#define SND_SCOPED_CAPABILITY SND_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: reads need the capability held (shared suffices),
+// writes need it held exclusively.
+#define SND_GUARDED_BY(x) SND_THREAD_ANNOTATION_(guarded_by(x))
+
+// On a pointer member: the pointed-to data is guarded (the pointer
+// itself is not).
+#define SND_PT_GUARDED_BY(x) SND_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On a capability member: documents (and, under -Wthread-safety-beta,
+// checks) the acquisition order relative to other capabilities.
+#define SND_ACQUIRED_BEFORE(...) \
+  SND_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SND_ACQUIRED_AFTER(...) \
+  SND_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On a function: the caller must hold the capability (exclusively /
+// shared) on entry, and still holds it on exit.
+#define SND_REQUIRES(...) \
+  SND_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SND_REQUIRES_SHARED(...) \
+  SND_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires the capability; it must not be held on entry.
+#define SND_ACQUIRE(...) \
+  SND_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SND_ACQUIRE_SHARED(...) \
+  SND_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// On a function: releases the capability; it must be held on entry. The
+// plain RELEASE form on a scoped-capability destructor also releases a
+// capability that was acquired shared (generic release).
+#define SND_RELEASE(...) \
+  SND_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SND_RELEASE_SHARED(...) \
+  SND_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define SND_RELEASE_GENERIC(...) \
+  SND_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the capability iff the return
+// value equals the first macro argument.
+#define SND_TRY_ACQUIRE(...) \
+  SND_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define SND_TRY_ACQUIRE_SHARED(...) \
+  SND_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// On a function: the capability must NOT be held by the caller (the
+// function acquires it internally; prevents self-deadlock).
+#define SND_EXCLUDES(...) SND_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts the capability is held without acquiring it.
+#define SND_ASSERT_CAPABILITY(x) SND_THREAD_ANNOTATION_(assert_capability(x))
+#define SND_ASSERT_SHARED_CAPABILITY(x) \
+  SND_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// On a function: returns a reference to the named capability.
+#define SND_RETURN_CAPABILITY(x) SND_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code whose safety argument the analysis cannot
+// express (e.g. publish-then-read-immutably). Always pair with a
+// comment explaining the actual invariant.
+#define SND_NO_THREAD_SAFETY_ANALYSIS \
+  SND_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SND_UTIL_THREAD_ANNOTATIONS_H_

@@ -19,8 +19,8 @@ int32_t ClampThreads(int32_t n) {
   return std::clamp(n, 1, ThreadPool::kMaxThreads);
 }
 
-std::mutex g_global_mu;
-std::unique_ptr<ThreadPool> g_global;  // Guarded by g_global_mu.
+Mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global SND_GUARDED_BY(g_global_mu);
 // Lock-free fast path for Global(): the hot paths call it per term, so
 // steady-state reads must not contend on g_global_mu.
 std::atomic<ThreadPool*> g_global_fast{nullptr};
@@ -37,10 +37,10 @@ ThreadPool::ThreadPool(int32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -55,7 +55,7 @@ void ThreadPool::Drain(Batch* batch, int32_t slot) {
     try {
       for (int64_t i = begin; i < end; ++i) (*batch->fn)(i, slot);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(batch->mu);
+      const MutexLock lock(batch->mu);
       if (!batch->error) batch->error = std::current_exception();
       // Cancel the remaining indices; in-flight chunks finish on their own.
       batch->next.store(batch->n, std::memory_order_relaxed);
@@ -70,9 +70,10 @@ void ThreadPool::WorkerMain(int32_t slot) {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lock(mu_);
+      // Plain while, not a wait-with-predicate lambda: the guarded
+      // reads stay in this scope, where the analysis sees the lock.
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(lock);
       if (shutdown_) return;
       seen_epoch = epoch_;
       batch = batch_;
@@ -84,8 +85,8 @@ void ThreadPool::WorkerMain(int32_t slot) {
     Drain(batch.get(), slot);
     tls_in_parallel_region = false;
     if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(batch->mu);
-      batch->done_cv.notify_all();
+      const MutexLock lock(batch->mu);
+      batch->done_cv.NotifyAll();
     }
   }
 }
@@ -101,37 +102,39 @@ void ThreadPool::ParallelFor(
     return;
   }
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const MutexLock run_lock(run_mu_);
   // Chunked dynamic schedule: large enough to amortize the atomic
   // fetch_add on fine-grained bodies, small enough to balance skew.
   const int64_t chunk =
       std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
   auto batch = std::make_shared<Batch>(n, &fn, chunk);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     batch_ = batch;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   tls_in_parallel_region = true;
   Drain(batch.get(), tls_slot);
   tls_in_parallel_region = false;
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done_cv.wait(lock, [&] {
-      return batch->active.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(batch->mu);
+    while (batch->active.load(std::memory_order_acquire) != 0) {
+      batch->done_cv.Wait(lock);
+    }
+    error = batch->error;  // Read under mu: workers write it under mu.
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::Global() {
   if (ThreadPool* pool = g_global_fast.load(std::memory_order_acquire)) {
     return *pool;
   }
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  const MutexLock lock(g_global_mu);
   if (!g_global) {
     g_global = std::make_unique<ThreadPool>(DefaultThreads());
     g_global_fast.store(g_global.get(), std::memory_order_release);
@@ -141,7 +144,7 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::SetGlobalThreads(int32_t n) {
   const int32_t parallelism = ClampThreads(n);
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  const MutexLock lock(g_global_mu);
   if (g_global && g_global->num_threads() == parallelism) return;
   // Publish the new pool only after it is fully constructed; destroying
   // the old one joins its workers. As documented, this must not race

@@ -20,13 +20,15 @@
 #define SND_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "snd/util/mutex.h"
+#include "snd/util/thread_annotations.h"
 
 namespace snd {
 
@@ -88,21 +90,23 @@ class ThreadPool {
     const int64_t chunk;
     std::atomic<int64_t> next{0};
     std::atomic<int32_t> active{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::exception_ptr error;  // First failure; guarded by mu.
+    Mutex mu;
+    CondVar done_cv;
+    std::exception_ptr error SND_GUARDED_BY(mu);  // First failure.
   };
 
   void WorkerMain(int32_t slot);
   static void Drain(Batch* batch, int32_t slot);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::shared_ptr<Batch> batch_;  // Current batch; guarded by mu_.
-  uint64_t epoch_ = 0;            // Bumped per dispatch; guarded by mu_.
-  bool shutdown_ = false;         // Guarded by mu_.
-  std::mutex run_mu_;             // Serializes external ParallelFor calls.
+  // Serializes external ParallelFor calls; taken before mu_ (the only
+  // two-lock path in the pool).
+  Mutex run_mu_ SND_ACQUIRED_BEFORE(mu_);
+  Mutex mu_;
+  CondVar work_cv_;
+  std::shared_ptr<Batch> batch_ SND_GUARDED_BY(mu_);  // Current batch.
+  uint64_t epoch_ SND_GUARDED_BY(mu_) = 0;  // Bumped per dispatch.
+  bool shutdown_ SND_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace snd

@@ -225,6 +225,205 @@ TEST_F(ServiceStressTest, ConcurrentReadersAndWritersOnOneSharedService) {
             direct.Distance(states_[1], states_[3]));
 }
 
+// Evict racing load_graph on ONE session name: both are writers, so
+// they serialize under the session lock, and every interleaving must
+// leave the registry coherent — a load wins or an evict wins, never a
+// torn session. Readers on a separate stable session must be entirely
+// undisturbed. Runs under the tsan preset in CI.
+TEST_F(ServiceStressTest, EvictRacesLoadGraphWithoutTornSessions) {
+  SndService service;
+  ASSERT_TRUE(service.Call("load_graph stable " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_states stable " + states_path_).ok);
+
+  FailureLog failures;
+  std::vector<std::thread> threads;
+
+  // Loaders: (re)create session "r" as fast as possible.
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 12; ++k) {
+        const StatusOr<Response> graph =
+            service.Dispatch(Request(LoadGraphRequest{"r", graph_path_}));
+        if (!graph.ok()) {
+          failures.Record("load_graph r failed: " + graph.status().ToString());
+          continue;
+        }
+        // May fail with kNotFound if an evictor won the race between
+        // the two loads; any other failure is a bug.
+        const StatusOr<Response> states =
+            service.Dispatch(Request(LoadStatesRequest{"r", states_path_}));
+        if (!states.ok() &&
+            states.status().code() != StatusCode::kNotFound) {
+          failures.Record("load_states r failed: " +
+                          states.status().ToString());
+        }
+      }
+    });
+  }
+
+  // Evictors: drop "r"; kNotFound simply means a loader has not
+  // recreated it yet.
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 12; ++k) {
+        const StatusOr<Response> evicted =
+            service.Dispatch(Request(EvictRequest{"r"}));
+        if (!evicted.ok() &&
+            evicted.status().code() != StatusCode::kNotFound) {
+          failures.Record("evict r failed: " + evicted.status().ToString());
+        }
+      }
+    });
+  }
+
+  // Readers: the stable session must stay bitwise exact and info must
+  // never show torn epochs, no matter how the churn interleaves.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      for (int k = 0; k < 20; ++k) {
+        if ((k + r) % 2 == 0) {
+          DistanceRequest request;
+          request.name = "stable";
+          request.i = 0;
+          request.j = 1;
+          const StatusOr<Response> response =
+              service.Dispatch(Request(request));
+          if (!response.ok()) {
+            failures.Record("stable distance failed: " +
+                            response.status().ToString());
+          } else if (std::get<DistanceResponse>(*response).value !=
+                     expected_01_) {
+            failures.Record("stable distance drifted");
+          }
+        } else {
+          const StatusOr<Response> response =
+              service.Dispatch(Request(InfoRequest{}));
+          if (!response.ok()) {
+            failures.Record("info failed: " + response.status().ToString());
+            continue;
+          }
+          for (const auto& session :
+               std::get<InfoResponse>(*response).sessions) {
+            if (session.states_epoch <= session.graph_epoch) {
+              failures.Record("torn epochs on session " + session.name);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  for (std::thread& thread : threads) thread.join();
+  failures.ExpectEmpty();
+
+  // Whatever state the churn left "r" in, a fresh load must fully
+  // recover it with the exact direct value.
+  ASSERT_TRUE(service.Call("load_graph r " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_states r " + states_path_).ok);
+  DistanceRequest request;
+  request.name = "r";
+  request.i = 0;
+  request.j = 1;
+  const StatusOr<Response> final_distance = service.Dispatch(Request(request));
+  ASSERT_TRUE(final_distance.ok());
+  EXPECT_EQ(std::get<DistanceResponse>(*final_distance).value, expected_01_);
+}
+
+// Evict racing reads on ONE session name: a reader holds the shared
+// lock while computing, an evictor takes the writer lock to drop the
+// session and purge its calculators/results. A read must either
+// succeed with the bitwise-exact value (it beat the evict, or a reload
+// recreated the session) or fail kNotFound / kFailedPrecondition (it
+// lost, or landed between load_graph and load_states) — never a torn
+// value, never a crash from a calculator whose entry was purged
+// mid-compute (the shared_ptr keeps it alive). Runs under the tsan
+// preset in CI.
+TEST_F(ServiceStressTest, EvictRacesReadsReturnExactValuesOrCleanErrors) {
+  SndService service;
+  ASSERT_TRUE(service.Call("load_graph g " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_states g " + states_path_).ok);
+
+  const size_t base_transitions = states_.size() - 1;
+  FailureLog failures;
+  std::vector<std::thread> threads;
+
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      for (int k = 0; k < 25; ++k) {
+        if ((k + r) % 2 == 0) {
+          DistanceRequest request;
+          request.name = "g";
+          request.i = 0;
+          request.j = 1;
+          const StatusOr<Response> response =
+              service.Dispatch(Request(request));
+          if (response.ok()) {
+            if (std::get<DistanceResponse>(*response).value != expected_01_) {
+              failures.Record("distance drifted under evict churn");
+            }
+          } else if (response.status().code() != StatusCode::kNotFound &&
+                     response.status().code() !=
+                         StatusCode::kFailedPrecondition) {
+            failures.Record("distance bad error: " +
+                            response.status().ToString());
+          }
+        } else {
+          const StatusOr<Response> response =
+              service.Dispatch(Request(SeriesRequest{{"g", SndOptions(), 0}}));
+          if (response.ok()) {
+            const auto& series = std::get<SeriesResponse>(*response);
+            if (series.values.size() != base_transitions) {
+              failures.Record("series size drifted under evict churn");
+              continue;
+            }
+            for (size_t t = 0; t < series.values.size(); ++t) {
+              if (series.values[t] != expected_series_[t]) {
+                failures.Record("series value drifted under evict churn");
+                break;
+              }
+            }
+          } else if (response.status().code() != StatusCode::kNotFound &&
+                     response.status().code() !=
+                         StatusCode::kFailedPrecondition) {
+            failures.Record("series bad error: " +
+                            response.status().ToString());
+          }
+        }
+      }
+    });
+  }
+
+  // The churn thread: evict, then immediately reload, repeatedly. Every
+  // reload bumps the epochs, so readers recompute — and must land on
+  // bitwise the same values (compute is deterministic).
+  threads.emplace_back([&] {
+    for (int k = 0; k < 8; ++k) {
+      const StatusOr<Response> evicted =
+          service.Dispatch(Request(EvictRequest{"g"}));
+      if (!evicted.ok() &&
+          evicted.status().code() != StatusCode::kNotFound) {
+        failures.Record("evict failed: " + evicted.status().ToString());
+      }
+      if (!service.Call("load_graph g " + graph_path_).ok ||
+          !service.Call("load_states g " + states_path_).ok) {
+        failures.Record("reload after evict failed");
+      }
+    }
+  });
+
+  for (std::thread& thread : threads) thread.join();
+  failures.ExpectEmpty();
+
+  // The final reload serves the exact direct value, warm or cold.
+  DistanceRequest request;
+  request.name = "g";
+  request.i = 0;
+  request.j = 1;
+  const StatusOr<Response> final_distance = service.Dispatch(Request(request));
+  ASSERT_TRUE(final_distance.ok());
+  EXPECT_EQ(std::get<DistanceResponse>(*final_distance).value, expected_01_);
+}
+
 #if !defined(_WIN32)
 
 // A line-oriented TCP client for the stress test.

@@ -1,0 +1,11 @@
+// Fixture: double-format must fire on the %g specifier and the
+// std::to_string(double) call; the %d line must NOT fire.
+#include <cstdio>
+#include <string>
+
+void Fixture(double value, int count) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "value=%g", value);
+  std::snprintf(buf, sizeof(buf), "count=%d", count);
+  std::string s = std::to_string(static_cast<double>(count));
+}

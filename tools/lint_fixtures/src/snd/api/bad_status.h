@@ -1,0 +1,19 @@
+// Fixture: nodiscard-status must fire on the class and the accessor.
+#ifndef SND_LINT_FIXTURE_BAD_STATUS_H_
+#define SND_LINT_FIXTURE_BAD_STATUS_H_
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+#endif  // SND_LINT_FIXTURE_BAD_STATUS_H_

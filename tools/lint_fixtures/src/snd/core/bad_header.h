@@ -1,0 +1,9 @@
+// Fixture: using-namespace-header must fire.
+#ifndef SND_LINT_FIXTURE_BAD_HEADER_H_
+#define SND_LINT_FIXTURE_BAD_HEADER_H_
+
+#include <string>
+
+using namespace std;
+
+#endif  // SND_LINT_FIXTURE_BAD_HEADER_H_

@@ -1,0 +1,11 @@
+// Fixture: raw-thread must fire on both lines below.
+#include <future>
+#include <thread>
+
+void Fixture() {
+  std::thread worker([] {});
+  auto task = std::async([] { return 1; });
+  worker.join();
+  task.wait();
+  // A comment mentioning std::thread(...) must NOT fire.
+}

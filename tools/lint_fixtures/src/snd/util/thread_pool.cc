@@ -1,0 +1,8 @@
+// Fixture: raw-thread must NOT fire here — src/snd/util/thread_pool.*
+// is the one sanctioned home of raw std::thread construction.
+#include <thread>
+
+void Fixture() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: the waiver comment must suppress raw-thread on this line.
+#include <thread>
+
+void Fixture() {
+  std::thread worker([] {});  // snd-lint: allow(raw-thread) -- fixture
+  worker.join();
+}

@@ -1,0 +1,378 @@
+#!/usr/bin/env python3
+"""snd_lint: repo-invariant linter for the SND codebase.
+
+Enforces cross-cutting rules that the compiler cannot, emitting findings
+in the machine-greppable form
+
+    file:line: rule-id message
+
+and exiting 0 when clean, 1 when there are findings, 2 on usage or
+internal errors.  Run from anywhere:
+
+    python3 tools/snd_lint.py --root /path/to/repo
+    python3 tools/snd_lint.py --root /path/to/repo --self-test
+
+Rules
+-----
+raw-thread
+    No std::thread / std::jthread construction and no std::async in
+    src/, tools/ or bench/.  All parallelism must go through
+    snd::ThreadPool (src/snd/util/thread_pool.*), which is the one
+    exempted location; tests are out of scope (they may spawn client
+    threads to exercise the service).
+
+double-format
+    No printf-family floating-point conversions (%g/%f/%e/%a) and no
+    std::to_string on a double/float in the wire layers (src/snd/api/,
+    src/snd/service/, tools/).  Doubles crossing the wire must be
+    printed with snd::FormatDouble (src/snd/util/format.h) so values
+    round-trip bitwise and the cache-key/text/JSON formats can never
+    drift apart.
+
+using-namespace-header
+    No `using namespace` at any scope in a header.  Headers are
+    included everywhere; a using-directive there pollutes every
+    translation unit.
+
+nodiscard-status
+    The Status / StatusOr class definitions in src/snd/api/ must carry
+    [[nodiscard]], and StatusOr::status() must be [[nodiscard]] — the
+    API contract that error returns cannot be silently dropped is
+    enforced at the type, and this rule keeps it from regressing.
+
+Waivers
+-------
+A finding on a specific line can be waived with a trailing comment
+naming the rule:
+
+    std::thread([&] { ... });  // snd-lint: allow(raw-thread) -- reason
+
+Waivers are per-line and per-rule; prefer fixing or relocating the code.
+
+Adding a rule
+-------------
+Add a Rule instance to RULES (id, scope predicate, checker) and a
+fixture file under tools/lint_fixtures/ that violates it; --self-test
+fails until the new rule catches its fixture, so a rule that silently
+never fires cannot land.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Source preprocessing
+# --------------------------------------------------------------------------
+
+def _scan(lines, blank_strings):
+    """Lines with comments blanked; optionally string contents too.
+
+    One character-level pass with comment/string state carried across
+    lines, so `//` inside a literal and literals inside /* */ are both
+    handled. Blanked spans become spaces, preserving line numbers.
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        chars = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            c = line[i]
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                    elif line[j] == quote:
+                        j += 1
+                        break
+                    else:
+                        j += 1
+                if blank_strings:
+                    chars.append(quote + "_" + quote)
+                else:
+                    chars.append(line[i:j])
+                i = j
+                continue
+            chars.append(c)
+            i += 1
+        out.append("".join(chars))
+    return out
+
+
+def strip_comments_keep_strings(lines):
+    return _scan(lines, blank_strings=False)
+
+
+def code_only(lines):
+    """Lines with comments AND string/char literal contents blanked."""
+    return _scan(lines, blank_strings=True)
+
+
+# --------------------------------------------------------------------------
+# Findings and waivers
+# --------------------------------------------------------------------------
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.line}: {self.rule} {self.message}"
+
+
+_WAIVER = re.compile(r"//\s*snd-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+def waived(raw_line, rule_id):
+    match = _WAIVER.search(raw_line)
+    return match is not None and match.group(1) == rule_id
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+# Matches construction — `std::thread(...)`, `std::thread t(...)`,
+# brace forms — but not `std::thread::hardware_concurrency()`,
+# `std::thread&`, or `std::vector<std::thread>`.
+_RAW_THREAD = re.compile(
+    r"\bstd::(thread|jthread)\s*(\w+\s*)?[({]|\bstd::async\s*\(")
+_FLOAT_SPEC = re.compile(r"%[-+ #0-9.*']*(?:hh|h|ll|l|L)?[gGeEfFaA]\b")
+_TO_STRING_FLOAT = re.compile(
+    r"\bstd::to_string\s*\(\s*[^()]*\b(?:double|float)\b"
+    r"|\bstd::to_string\s*\(\s*[0-9]*\.[0-9]")
+_USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+_STATUS_CLASS = re.compile(r"^\s*class\s+(Status|StatusOr)\b")
+_STATUS_ACCESSOR = re.compile(r"\bconst\s+Status&\s+status\s*\(\s*\)\s*const")
+
+
+def _in(path, *prefixes):
+    return any(path.startswith(p + os.sep) or os.path.dirname(path) == p
+               for p in prefixes)
+
+
+def check_raw_thread(rel, raw, code):
+    base = os.path.basename(rel)
+    if rel.startswith(os.path.join("src", "snd", "util")) and \
+            base.startswith("thread_pool."):
+        return  # The one sanctioned home of raw threads.
+    for i, line in enumerate(code, start=1):
+        match = _RAW_THREAD.search(line)
+        if match is None:
+            continue
+        # `std::thread::hardware_concurrency()` and declarations like
+        # `std::vector<std::thread>` do not match (no '(' after the
+        # type), so anything here really constructs a thread or task.
+        yield i, ("raw thread/async construction; route parallelism "
+                  "through snd::ThreadPool (src/snd/util/thread_pool.h)")
+
+
+def check_double_format(rel, raw, code):
+    # Float specifiers live inside string literals, so scan the
+    # comment-stripped (strings kept) text.
+    stripped = strip_comments_keep_strings(raw)
+    for i, line in enumerate(stripped, start=1):
+        if _FLOAT_SPEC.search(line):
+            yield i, ("printf float conversion in a wire layer; print "
+                      "doubles with snd::FormatDouble "
+                      "(src/snd/util/format.h)")
+        elif _TO_STRING_FLOAT.search(line):
+            yield i, ("std::to_string on a floating value in a wire "
+                      "layer; use snd::FormatDouble "
+                      "(src/snd/util/format.h)")
+
+
+def check_using_namespace_header(rel, raw, code):
+    for i, line in enumerate(code, start=1):
+        if _USING_NAMESPACE.search(line):
+            yield i, "`using namespace` in a header pollutes every includer"
+
+
+def check_nodiscard_status(rel, raw, code):
+    for i, line in enumerate(code, start=1):
+        if _STATUS_CLASS.search(line) and "[[nodiscard]]" not in line:
+            yield i, ("Status/StatusOr class must be declared "
+                      "[[nodiscard]] so dropped error returns warn")
+        elif _STATUS_ACCESSOR.search(line) and "[[nodiscard]]" not in line:
+            yield i, "StatusOr::status() must be [[nodiscard]]"
+
+
+class Rule:
+    def __init__(self, rule_id, applies, check):
+        self.rule_id = rule_id
+        self.applies = applies  # rel-path predicate
+        self.check = check      # (rel, raw_lines, code_lines) -> (line, msg)
+
+
+_CPP_EXT = (".cc", ".h")
+_WIRE_DIRS = (os.path.join("src", "snd", "api"),
+              os.path.join("src", "snd", "service"),
+              "tools")
+
+RULES = [
+    Rule("raw-thread",
+         lambda rel: rel.endswith(_CPP_EXT) and
+         _in(rel, "src", "tools", "bench"),
+         check_raw_thread),
+    Rule("double-format",
+         lambda rel: rel.endswith(_CPP_EXT) and _in(rel, *_WIRE_DIRS),
+         check_double_format),
+    Rule("using-namespace-header",
+         lambda rel: rel.endswith(".h"),
+         check_using_namespace_header),
+    Rule("nodiscard-status",
+         lambda rel: rel.endswith(".h") and
+         _in(rel, os.path.join("src", "snd", "api")),
+         check_nodiscard_status),
+]
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+_SKIP_DIRS = {"build", ".git", "lint_fixtures", "third_party", "data"}
+
+
+def source_files(root):
+    for top in ("src", "tools", "bench", "tests", "examples"):
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(_CPP_EXT):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_tree(root, files=None):
+    findings = []
+    for path in (files if files is not None else source_files(root)):
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read().splitlines()
+        except OSError as err:
+            print(f"snd_lint: cannot read {rel}: {err}", file=sys.stderr)
+            return None
+        code = code_only(raw)
+        for rule in RULES:
+            if not rule.applies(rel):
+                continue
+            for line_no, message in rule.check(rel, raw, code):
+                if waived(raw[line_no - 1], rule.rule_id):
+                    continue
+                findings.append(Finding(path, line_no, rule.rule_id, message))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule must catch its seeded fixture violation
+# --------------------------------------------------------------------------
+
+# rule-id -> fixture file (relative to the fixture root) that must
+# trigger it.  Files in CLEAN_FIXTURES must trigger nothing: they prove
+# the scope exemptions and the waiver syntax actually suppress.
+EXPECTED_VIOLATIONS = {
+    "raw-thread": os.path.join("src", "snd", "emd", "bad_thread.cc"),
+    "double-format": os.path.join("src", "snd", "api", "bad_format.cc"),
+    "using-namespace-header": os.path.join("src", "snd", "core",
+                                           "bad_header.h"),
+    "nodiscard-status": os.path.join("src", "snd", "api", "bad_status.h"),
+}
+CLEAN_FIXTURES = [
+    os.path.join("src", "snd", "util", "thread_pool.cc"),  # scope exemption
+    os.path.join("tools", "waived_thread.cc"),             # waiver comment
+]
+
+
+def self_test(repo_root):
+    fixture_root = os.path.join(repo_root, "tools", "lint_fixtures")
+    if not os.path.isdir(fixture_root):
+        print(f"snd_lint: missing fixture dir {fixture_root}",
+              file=sys.stderr)
+        return 2
+    failures = []
+
+    for rule_id, rel in EXPECTED_VIOLATIONS.items():
+        path = os.path.join(fixture_root, rel)
+        findings = lint_tree(fixture_root, files=[path])
+        if findings is None:
+            return 2
+        hits = [f for f in findings if f.rule == rule_id]
+        if not hits:
+            failures.append(f"rule {rule_id} did not fire on fixture {rel}")
+        for f in findings:
+            print(f.render(fixture_root) + "  [expected]")
+
+    for rel in CLEAN_FIXTURES:
+        path = os.path.join(fixture_root, rel)
+        findings = lint_tree(fixture_root, files=[path])
+        if findings is None:
+            return 2
+        for f in findings:
+            failures.append(
+                f"clean fixture {rel} produced: {f.render(fixture_root)}")
+
+    if failures:
+        for failure in failures:
+            print(f"snd_lint: self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"snd_lint: self-test OK ({len(EXPECTED_VIOLATIONS)} rules fire, "
+          f"{len(CLEAN_FIXTURES)} clean fixtures stay clean)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule catches its fixture")
+    parser.add_argument("files", nargs="*",
+                        help="lint only these files (default: whole tree)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"snd_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    if args.self_test:
+        return self_test(root)
+
+    files = [os.path.abspath(f) for f in args.files] or None
+    findings = lint_tree(root, files=files)
+    if findings is None:
+        return 2
+    for finding in findings:
+        print(finding.render(root))
+    if findings:
+        print(f"snd_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
