@@ -305,6 +305,24 @@ StatusOr<int32_t> IndexField(const JsonObject& object,
   return static_cast<int32_t>(*number);
 }
 
+// Optional integer field with a default (subscribe's from/count).
+StatusOr<int64_t> OptionalInt64Field(const JsonObject& object,
+                                     const std::string& field,
+                                     int64_t fallback, bool allow_negative) {
+  const auto it = object.find(field);
+  if (it == object.end()) return fallback;
+  const double* number = std::get_if<double>(&it->second.value);
+  // Exact-integer doubles only, within the 2^53 exactness range.
+  if (number == nullptr || *number != std::floor(*number) ||
+      std::abs(*number) > 9007199254740992.0 ||
+      (!allow_negative && *number < 0)) {
+    return Status::InvalidArgument(
+        "field '" + field + "' must be " +
+        (allow_negative ? "an integer" : "a non-negative integer"));
+  }
+  return static_cast<int64_t>(*number);
+}
+
 // The optional "flags" array, parsed with the shared vocabulary so the
 // JSON wire reports the same token-naming diagnostics as the text wire.
 Status FillComputeBaseFromJson(const JsonObject& object,
@@ -446,6 +464,39 @@ StatusOr<Request> ParseJsonRequest(const std::string& line) {
     return Request(std::move(request));
   }
 
+  if (*cmd == "add_edge" || *cmd == "remove_edge") {
+    const Status extra = UnexpectedFields(object, {"cmd", "name", "u", "v"});
+    if (!extra.ok()) return extra;
+    StatusOr<std::string> name = StringField(object, "name");
+    if (!name.ok()) return name.status();
+    StatusOr<int32_t> u = IndexField(object, "u");
+    if (!u.ok()) return u.status();
+    StatusOr<int32_t> v = IndexField(object, "v");
+    if (!v.ok()) return v.status();
+    if (*cmd == "add_edge") {
+      return Request(AddEdgeRequest{*std::move(name), *u, *v});
+    }
+    return Request(RemoveEdgeRequest{*std::move(name), *u, *v});
+  }
+
+  if (*cmd == "subscribe") {
+    const Status extra =
+        UnexpectedFields(object, {"cmd", "name", "from", "count", "flags"});
+    if (!extra.ok()) return extra;
+    SubscribeRequest request;
+    const Status base = FillComputeBaseFromJson(object, &request);
+    if (!base.ok()) return base;
+    StatusOr<int64_t> from =
+        OptionalInt64Field(object, "from", -1, /*allow_negative=*/true);
+    if (!from.ok()) return from.status();
+    StatusOr<int64_t> count =
+        OptionalInt64Field(object, "count", 0, /*allow_negative=*/false);
+    if (!count.ok()) return count.status();
+    request.from = *from;
+    request.count = *count;
+    return Request(std::move(request));
+  }
+
   if (*cmd == "distance") {
     const Status extra =
         UnexpectedFields(object, {"cmd", "name", "i", "j", "flags"});
@@ -513,6 +564,16 @@ std::string RenderJsonResponse(const Response& response) {
           out += ",\"count\":" + std::to_string(typed.count);
           out += ",\"users\":" + std::to_string(typed.users);
           out += ",\"epoch\":" + std::to_string(typed.epoch);
+        } else if constexpr (std::is_same_v<T, MutateEdgeResponse>) {
+          AppendField(&out, "cmd", typed.added ? "add_edge" : "remove_edge");
+          out += ',';
+          AppendField(&out, "name", typed.name);
+          out += ",\"u\":" + std::to_string(typed.u);
+          out += ",\"v\":" + std::to_string(typed.v);
+          out += ",\"edges\":" + std::to_string(typed.edges);
+          out += ",\"sub_epoch\":" + std::to_string(typed.sub_epoch);
+          out += ",\"retained\":" + std::to_string(typed.results_retained);
+          out += ",\"erased\":" + std::to_string(typed.results_erased);
         } else if constexpr (std::is_same_v<T, DistanceResponse>) {
           AppendField(&out, "cmd", "distance");
           out += ',';
@@ -569,6 +630,9 @@ std::string RenderJsonResponse(const Response& response) {
             out += ",\"states\":" + std::to_string(session.states);
             out +=
                 ",\"states_epoch\":" + std::to_string(session.states_epoch);
+            out += ",\"sub_epoch\":" +
+                   std::to_string(session.graph_sub_epoch);
+            out += ",\"first_state\":" + std::to_string(session.first_state);
             out += '}';
           }
           out += "],\"calculators\":{\"size\":" +
@@ -588,7 +652,9 @@ std::string RenderJsonResponse(const Response& response) {
                  ",\"transport_solves\":" +
                  std::to_string(typed.work.transport_solves) +
                  ",\"edge_cost_builds\":" +
-                 std::to_string(typed.work.edge_cost_builds) + '}';
+                 std::to_string(typed.work.edge_cost_builds) +
+                 ",\"edge_cost_patches\":" +
+                 std::to_string(typed.work.edge_cost_patches) + '}';
           out += ",\"threads\":" + std::to_string(typed.threads);
         } else if constexpr (std::is_same_v<T, EvictResponse>) {
           AppendField(&out, "cmd", "evict");

@@ -74,6 +74,37 @@ struct MatrixRequest : ComputeRequestBase {};
 // Transitions ranked by Section 6.2 anomaly score.
 struct AnomaliesRequest : ComputeRequestBase {};
 
+// Adds the directed edge u->v to the session's graph in place
+// (incremental mutation: bumps the graph sub-epoch, keeps the state
+// series and every unaffected cached artifact).
+struct AddEdgeRequest {
+  std::string name;
+  int32_t u = 0;
+  int32_t v = 0;
+};
+
+// Removes the directed edge u->v from the session's graph in place
+// (same sub-epoch semantics as AddEdgeRequest).
+struct RemoveEdgeRequest {
+  std::string name;
+  int32_t u = 0;
+  int32_t v = 0;
+};
+
+// Streams the adjacent-SND anomaly series: one event per transition
+// (global index t, pair (t, t+1)), starting at `from` and continuing
+// live as append_state calls arrive. Only meaningful on a streaming
+// connection — Dispatch rejects it, ServeStream and
+// SndService::Subscribe serve it. `from` < 0 means "next future
+// transition"; `count` 0 streams until the session is evicted/replaced
+// or the connection ends. Thread overrides are not accepted
+// (base.threads must stay 0): a subscriber holds the reader lock only
+// briefly per batch and must not swap the global pool.
+struct SubscribeRequest : ComputeRequestBase {
+  int64_t from = -1;
+  int64_t count = 0;
+};
+
 // Sessions, cache and work counters (see InfoResponse for the
 // documented deterministic ordering).
 struct InfoRequest {};
@@ -94,6 +125,7 @@ struct QuitRequest {};
 
 using Request =
     std::variant<LoadGraphRequest, LoadStatesRequest, AppendStateRequest,
+                 AddEdgeRequest, RemoveEdgeRequest, SubscribeRequest,
                  DistanceRequest, SeriesRequest, MatrixRequest,
                  AnomaliesRequest, InfoRequest, EvictRequest, VersionRequest,
                  HelpRequest, QuitRequest>;

@@ -77,6 +77,11 @@ struct InfoResponse {
     uint64_t graph_epoch = 0;
     int64_t states = 0;
     uint64_t states_epoch = 0;
+    // Appended after states_epoch on the wire (scrapers key on the
+    // leading fields): in-place mutation sub-epoch and the global index
+    // of the first resident state (> 0 once retention has trimmed).
+    uint64_t graph_sub_epoch = 0;
+    int64_t first_state = 0;
   };
   std::vector<SessionInfo> sessions;  // Sorted by name.
   int64_t calc_size = 0;
@@ -90,6 +95,22 @@ struct InfoResponse {
   int64_t result_evictions = 0;
   SndWorkCounters work;
   int32_t threads = 0;
+};
+
+// Answer to add_edge and remove_edge: the graph's new shape plus the
+// outcome of the targeted invalidation (how many cached SND values the
+// mutation kept vs erased), so clients and tests can observe the
+// incremental path doing proportional work.
+struct MutateEdgeResponse {
+  std::string name;
+  bool added = true;  // true: add_edge, false: remove_edge.
+  int32_t u = 0;
+  int32_t v = 0;
+  int64_t edges = 0;          // Edge count after the mutation.
+  uint64_t graph_epoch = 0;   // Unchanged by a mutation.
+  uint64_t sub_epoch = 0;     // graph_sub_epoch after the mutation.
+  int64_t results_retained = 0;
+  int64_t results_erased = 0;
 };
 
 struct EvictResponse {
@@ -109,10 +130,10 @@ struct HelpResponse {
 struct ByeResponse {};
 
 using Response =
-    std::variant<LoadGraphResponse, LoadStatesResponse, DistanceResponse,
-                 SeriesResponse, MatrixResponse, AnomaliesResponse,
-                 InfoResponse, EvictResponse, VersionResponse, HelpResponse,
-                 ByeResponse>;
+    std::variant<LoadGraphResponse, LoadStatesResponse, MutateEdgeResponse,
+                 DistanceResponse, SeriesResponse, MatrixResponse,
+                 AnomaliesResponse, InfoResponse, EvictResponse,
+                 VersionResponse, HelpResponse, ByeResponse>;
 
 // The numeric payload of `response` in canonical (text-wire print)
 // order: distance -> {value}, series -> values, matrix -> the full

@@ -34,6 +34,27 @@ bool ParseIndex(const std::string& token, int32_t* index) {
   return true;
 }
 
+// Signed 64-bit for subscribe's --from/--count values (--from=-1 is the
+// documented "next future transition").
+bool ParseInt64Token(const std::string& token, int64_t* value) {
+  size_t k = 0;
+  bool negative = false;
+  if (!token.empty() && token[0] == '-') {
+    negative = true;
+    k = 1;
+  }
+  if (k == token.size()) return false;
+  int64_t parsed = 0;
+  for (; k < token.size(); ++k) {
+    const char c = token[k];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    if (parsed > (INT64_MAX - (c - '0')) / 10) return false;
+    parsed = parsed * 10 + (c - '0');
+  }
+  *value = negative ? -parsed : parsed;
+  return true;
+}
+
 // Trailing-flag block shared by the four compute commands: every token
 // from `first` on must look like a flag and parse under the shared
 // vocabulary. Precedence note (see the header): parse-time errors —
@@ -130,6 +151,66 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
     return Request(std::move(request));
   }
 
+  if (command == "add_edge" || command == "remove_edge") {
+    if (tokens.size() < 4) {
+      return Status::InvalidArgument(command + ": missing arguments");
+    }
+    if (tokens.size() > 4) {
+      return Status::InvalidArgument("unexpected token '" + tokens[4] + "'");
+    }
+    int32_t u = 0;
+    int32_t v = 0;
+    if (!ParseIndex(tokens[2], &u)) {
+      return Status::InvalidArgument("invalid node index '" + tokens[2] +
+                                     "'");
+    }
+    if (!ParseIndex(tokens[3], &v)) {
+      return Status::InvalidArgument("invalid node index '" + tokens[3] +
+                                     "'");
+    }
+    if (command == "add_edge") {
+      return Request(AddEdgeRequest{tokens[1], u, v});
+    }
+    return Request(RemoveEdgeRequest{tokens[1], u, v});
+  }
+
+  if (command == "subscribe") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("subscribe: missing arguments");
+    }
+    SubscribeRequest request;
+    request.name = tokens[1];
+    std::vector<std::string> flags;
+    for (size_t k = 2; k < tokens.size(); ++k) {
+      const std::string& token = tokens[k];
+      // --from / --count are subscribe framing, not SND options; they
+      // must not reach the shared flag parser (or the options
+      // signature).
+      if (token.rfind("--from=", 0) == 0) {
+        if (!ParseInt64Token(token.substr(7), &request.from)) {
+          return Status::InvalidArgument("invalid --from value '" +
+                                         token.substr(7) + "'");
+        }
+      } else if (token.rfind("--count=", 0) == 0) {
+        int64_t count = 0;
+        if (!ParseInt64Token(token.substr(8), &count) || count < 0) {
+          return Status::InvalidArgument("invalid --count value '" +
+                                         token.substr(8) + "'");
+        }
+        request.count = count;
+      } else if (LooksLikeSndFlag(token)) {
+        flags.push_back(token);
+      } else {
+        return Status::InvalidArgument("unexpected token '" + token + "'");
+      }
+    }
+    StatusOr<ParsedSndFlags> parsed = ParseSndFlags(flags);
+    if (!parsed.ok()) return parsed.status();
+    request.options = parsed->options;
+    request.threads = parsed->threads;
+    return Request(std::move(request));
+  }
+
   if (command == "distance") {
     if (tokens.size() < 4) {
       return Status::InvalidArgument("distance: missing arguments");
@@ -207,6 +288,15 @@ ServiceResponse RenderTextResponse(const Response& response) {
                             std::to_string(typed.count) + " users " +
                             std::to_string(typed.users) + " epoch " +
                             std::to_string(typed.epoch));
+        } else if constexpr (std::is_same_v<T, MutateEdgeResponse>) {
+          return OkResponse(
+              std::string(typed.added ? "add_edge " : "remove_edge ") +
+              typed.name + " " + std::to_string(typed.u) + " " +
+              std::to_string(typed.v) + " edges " +
+              std::to_string(typed.edges) + " sub_epoch " +
+              std::to_string(typed.sub_epoch) + " retained " +
+              std::to_string(typed.results_retained) + " erased " +
+              std::to_string(typed.results_erased));
         } else if constexpr (std::is_same_v<T, DistanceResponse>) {
           return OkResponse("distance " + typed.name + " " +
                             std::to_string(typed.i) + " " +
@@ -248,13 +338,17 @@ ServiceResponse RenderTextResponse(const Response& response) {
           ServiceResponse rendered;
           rendered.ok = true;
           for (const auto& session : typed.sessions) {
+            // sub_epoch/first_state append AFTER the legacy fields:
+            // scrapers key on leading prefixes.
             rendered.rows.push_back(
                 "graph " + session.name + " nodes " +
                 std::to_string(session.nodes) + " edges " +
                 std::to_string(session.edges) + " graph_epoch " +
                 std::to_string(session.graph_epoch) + " states " +
                 std::to_string(session.states) + " states_epoch " +
-                std::to_string(session.states_epoch));
+                std::to_string(session.states_epoch) + " sub_epoch " +
+                std::to_string(session.graph_sub_epoch) + " first_state " +
+                std::to_string(session.first_state));
           }
           rendered.rows.push_back(
               "calculators size " + std::to_string(typed.calc_size) +
@@ -272,7 +366,9 @@ ServiceResponse RenderTextResponse(const Response& response) {
               " transport_solves " +
               std::to_string(typed.work.transport_solves) +
               " edge_cost_builds " +
-              std::to_string(typed.work.edge_cost_builds));
+              std::to_string(typed.work.edge_cost_builds) +
+              " edge_cost_patches " +
+              std::to_string(typed.work.edge_cost_patches));
           rendered.rows.push_back("threads " +
                                   std::to_string(typed.threads));
           rendered.header =

@@ -80,8 +80,49 @@ class SndCalculator::EdgeCostCache {
       calc_.model_->ComputeEdgeCosts(
           *calc_.graph_, (*states_)[static_cast<size_t>(state)], op,
           &entry.costs);
+      entry.costs_built.store(true, std::memory_order_release);
     });
     return entry.costs;
+  }
+
+  // Whether Costs(state, op) has already run (or been patched in).
+  // States appended after the cache's last EnsureStates have no entry
+  // yet and report not-built (the mutation path probes every resident
+  // state; growth must not be forced on a cache being retired).
+  bool CostsBuilt(int32_t state, Opinion op) const {
+    const size_t index = 2 * static_cast<size_t>(state) + OpSlot(op);
+    if (index >= entries_.size()) return false;
+    return entries_[index].costs_built.load(std::memory_order_acquire);
+  }
+
+  // Costs(state, op) without the build path; the entry must be built.
+  const std::vector<int32_t>& BuiltCosts(int32_t state, Opinion op) const {
+    SND_CHECK(CostsBuilt(state, op));
+    return entries_[2 * static_cast<size_t>(state) + OpSlot(op)].costs;
+  }
+
+  // Installs externally patched costs as the (state, op) entry. Only
+  // valid on a fresh entry (mutation-time cache rebuild, before any
+  // reader sees the cache).
+  void InstallPatched(int32_t state, Opinion op, std::vector<int32_t> costs) {
+    Entry& entry = EntryFor(state, op);
+    bool installed = false;
+    std::call_once(entry.costs_once, [&] {
+      entry.costs = std::move(costs);
+      entry.costs_built.store(true, std::memory_order_release);
+      installed = true;
+    });
+    SND_CHECK(installed);
+  }
+
+  // Drops the first `count` states' entries after the caller erased the
+  // same prefix of the backing states vector (sliding-window retention).
+  // Must not race with readers.
+  void Trim(int32_t count) {
+    const MutexLock lock(grow_mu_);
+    SND_CHECK(count >= 0);
+    SND_CHECK(entries_.size() >= 2 * static_cast<size_t>(count));
+    for (int32_t k = 0; k < 2 * count; ++k) entries_.pop_front();
   }
 
   const std::vector<int32_t>& RevCosts(int32_t state, Opinion op) {
@@ -101,6 +142,7 @@ class SndCalculator::EdgeCostCache {
   struct Entry {
     std::once_flag costs_once;
     std::once_flag rev_once;
+    std::atomic<bool> costs_built{false};
     std::vector<int32_t> costs;
     std::vector<int32_t> rev_costs;
   };
@@ -123,6 +165,114 @@ std::shared_ptr<SndCalculator::EdgeCostCache> SndCalculator::MakeEdgeCostCache(
   return std::make_shared<EdgeCostCache>(*this, states);
 }
 
+std::shared_ptr<SndCalculator::EdgeCostCache>
+SndCalculator::MakeEdgeCostCachePatched(
+    const std::vector<NetworkState>* states, const EdgeCostCache& old_cache,
+    const MutationSummary& summary,
+    std::vector<std::pair<int32_t, Opinion>>* patched) const {
+  SND_CHECK(states != nullptr);
+  SND_CHECK(old_cache.states() == states);
+  auto cache = std::make_shared<EdgeCostCache>(*this, states);
+  if (patched != nullptr) patched->clear();
+  const auto count = static_cast<int32_t>(states->size());
+  for (int32_t state = 0; state < count; ++state) {
+    for (const Opinion op : {Opinion::kPositive, Opinion::kNegative}) {
+      if (!old_cache.CostsBuilt(state, op)) continue;
+      std::vector<int32_t> costs;
+      if (!model_->PatchEdgeCosts(*graph_,
+                                  (*states)[static_cast<size_t>(state)], op,
+                                  summary, old_cache.BuiltCosts(state, op),
+                                  &costs)) {
+        continue;
+      }
+      edge_cost_patches_.fetch_add(1, std::memory_order_relaxed);
+      cache->InstallPatched(state, op, std::move(costs));
+      if (patched != nullptr) patched->emplace_back(state, op);
+    }
+  }
+  return cache;
+}
+
+bool SndCalculator::EdgeCostsBuilt(const EdgeCostCache& cache, int32_t state,
+                                   Opinion op) {
+  return cache.CostsBuilt(state, op);
+}
+
+void SndCalculator::TrimEdgeCostCache(EdgeCostCache* cache, int32_t count) {
+  SND_CHECK(cache != nullptr);
+  cache->Trim(count);
+}
+
+std::vector<int64_t> SndCalculator::DistancesToNode(
+    const std::vector<NetworkState>& states, int32_t state, Opinion op,
+    int32_t target, EdgeCostCache* cache) const {
+  SND_CHECK(cache != nullptr);
+  SND_CHECK(cache->states() == &states);
+  cache->EnsureStates();
+  SND_CHECK(0 <= state && state < static_cast<int32_t>(states.size()));
+  SND_CHECK(0 <= target && target < graph_->num_nodes());
+  const std::vector<int32_t>& rev_costs = cache->RevCosts(state, op);
+  const std::unique_ptr<SsspEngine> engine = MakeEngine();
+  sssp_runs_.fetch_add(1, std::memory_order_relaxed);
+  const SsspSource source{target, 0};
+  const std::span<const int64_t> dist =
+      engine->Run(reversed_, rev_costs, std::span<const SsspSource>(&source, 1),
+                  SsspGoal::AllNodes());
+  return {dist.begin(), dist.end()};
+}
+
+std::vector<int32_t> SndCalculator::TermRowSources(const NetworkState& from,
+                                                   const NetworkState& to,
+                                                   Opinion op) const {
+  SND_CHECK(from.num_users() == graph_->num_nodes());
+  SND_CHECK(to.num_users() == graph_->num_nodes());
+  std::vector<double> p = from.OpinionIndicator(op);
+  std::vector<double> q = to.OpinionIndicator(op);
+  const double total_p = HistogramTotal(p);
+  const double total_q = HistogramTotal(q);
+  std::vector<int32_t> sources;
+  if (total_p < total_q) {
+    // Reverse-SSSP branch: the bank rows read cluster minima over the
+    // members of every active bank cluster (mirrors ComputeTermFast).
+    const std::vector<double> bank_caps = ComputeBankCapacities(
+        banks_, p, total_q - total_p, options_.apportionment);
+    const int32_t nb = banks_.banks_per_cluster();
+    std::vector<int32_t> bank_clusters;
+    for (size_t k = 0; k < bank_caps.size(); ++k) {
+      if (bank_caps[k] > 0.0) {
+        bank_clusters.push_back(static_cast<int32_t>(k) / nb);
+      }
+    }
+    std::sort(bank_clusters.begin(), bank_clusters.end());
+    bank_clusters.erase(
+        std::unique(bank_clusters.begin(), bank_clusters.end()),
+        bank_clusters.end());
+    for (int32_t c : bank_clusters) {
+      const std::vector<int32_t>& members =
+          cluster_members_[static_cast<size_t>(c)];
+      sources.insert(sources.end(), members.begin(), members.end());
+    }
+  }
+  CancelCommonMass(&p, &q);
+  const std::vector<int32_t> sup = NonEmptyBins(p);
+  sources.insert(sources.end(), sup.begin(), sup.end());
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+int32_t SndCalculator::EdgeCostAt(const std::vector<NetworkState>& states,
+                                  int32_t state, Opinion op, int64_t e,
+                                  EdgeCostCache* cache) const {
+  SND_CHECK(cache != nullptr);
+  SND_CHECK(cache->states() == &states);
+  cache->EnsureStates();
+  SND_CHECK(0 <= state && state < static_cast<int32_t>(states.size()));
+  const std::vector<int32_t>& costs = cache->Costs(state, op);
+  SND_CHECK(0 <= e && e < static_cast<int64_t>(costs.size()));
+  return costs[static_cast<size_t>(e)];
+}
+
 SndWorkCounters SndCalculator::work_counters() const {
   SndWorkCounters counters;
   counters.sssp_runs = sssp_runs_.load(std::memory_order_relaxed);
@@ -130,6 +280,8 @@ SndWorkCounters SndCalculator::work_counters() const {
       transport_solves_.load(std::memory_order_relaxed);
   counters.edge_cost_builds =
       edge_cost_builds_.load(std::memory_order_relaxed);
+  counters.edge_cost_patches =
+      edge_cost_patches_.load(std::memory_order_relaxed);
   return counters;
 }
 

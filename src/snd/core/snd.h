@@ -84,6 +84,10 @@ struct SndWorkCounters {
   int64_t transport_solves = 0;
   // Per-(state, opinion) edge costings (model ComputeEdgeCosts calls).
   int64_t edge_cost_builds = 0;
+  // Per-(state, opinion) incremental edge costings carried across a graph
+  // mutation (model PatchEdgeCosts calls); O(m) copies instead of full
+  // model evaluations, so they are counted separately from builds.
+  int64_t edge_cost_patches = 0;
 
   // Aggregation across calculators (the service layer folds retired and
   // live calculators into one cumulative total).
@@ -91,6 +95,7 @@ struct SndWorkCounters {
     sssp_runs += other.sssp_runs;
     transport_solves += other.transport_solves;
     edge_cost_builds += other.edge_cost_builds;
+    edge_cost_patches += other.edge_cost_patches;
     return *this;
   }
 };
@@ -159,6 +164,60 @@ class SndCalculator {
   std::vector<double> BatchDistances(const std::vector<NetworkState>& states,
                                      const StatePairs& pairs,
                                      EdgeCostCache* cache) const;
+
+  // Carries `old_cache` (built by the calculator of `summary`'s base
+  // graph over the same `states` vector) across a graph mutation: every
+  // (state, opinion) entry that was built in the old cache is re-created
+  // for this calculator's graph via the model's PatchEdgeCosts, counted
+  // as edge_cost_patches. Entries the model declines to patch (and
+  // entries never built) are left lazy, to be rebuilt on first use as
+  // usual. `patched`, if non-null, receives the (state index, opinion)
+  // list that was successfully carried over. Must not race with readers
+  // of `old_cache`.
+  std::shared_ptr<EdgeCostCache> MakeEdgeCostCachePatched(
+      const std::vector<NetworkState>* states, const EdgeCostCache& old_cache,
+      const MutationSummary& summary,
+      std::vector<std::pair<int32_t, Opinion>>* patched) const;
+
+  // Whether the (state, opinion) edge costs were already built (or
+  // patched) in `cache`. Lets mutation-time certificate logic restrict
+  // itself to entries that are actually warm.
+  static bool EdgeCostsBuilt(const EdgeCostCache& cache, int32_t state,
+                             Opinion op);
+
+  // Drops the first `count` states from `cache` after the caller has
+  // erased the same prefix of the backing states vector (sliding-window
+  // retention). Entry k of the trimmed cache corresponds to the new
+  // states[k]. Must not race with readers of `cache`.
+  static void TrimEdgeCostCache(EdgeCostCache* cache, int32_t count);
+
+  // Reverse shortest-path distances d(s, target) for every source s under
+  // the ground distance D(states[state], op), served from `cache` (costs
+  // built on demand). One full reverse SSSP, counted in sssp_runs. Used
+  // by the service layer's mutation certificates: after add_edge(u, v)
+  // with new-edge cost c, a source s keeps all its ground-distance rows
+  // iff d(s, u) + c >= d(s, v) on the pre-mutation graph; after
+  // remove_edge, iff d(s, v) is unchanged between the two graphs.
+  std::vector<int64_t> DistancesToNode(const std::vector<NetworkState>& states,
+                                       int32_t state, Opinion op,
+                                       int32_t target,
+                                       EdgeCostCache* cache) const;
+
+  // The users whose ground-distance *rows* feed the EMD* term
+  // EMD*(from^op, to^op, D(from-or-to, op)): the surviving suppliers
+  // after Lemma 2 cancellation, plus — when the supply side is lighter,
+  // i.e. the term runs the reverse-SSSP branch — the members of every
+  // active bank cluster. If none of these users' distance rows changed,
+  // the term's value is unchanged. Sorted ascending, deduplicated.
+  std::vector<int32_t> TermRowSources(const NetworkState& from,
+                                      const NetworkState& to,
+                                      Opinion op) const;
+
+  // The per-edge cost of the new-graph CSR edge `e` (endpoints u->v)
+  // under D(states[state], op), served from `cache`. Builds the entry if
+  // needed.
+  int32_t EdgeCostAt(const std::vector<NetworkState>& states, int32_t state,
+                     Opinion op, int64_t e, EdgeCostCache* cache) const;
 
   // Snapshot of the cumulative work counters (see SndWorkCounters).
   SndWorkCounters work_counters() const;
@@ -240,6 +299,7 @@ class SndCalculator {
   mutable std::atomic<int64_t> sssp_runs_{0};
   mutable std::atomic<int64_t> transport_solves_{0};
   mutable std::atomic<int64_t> edge_cost_builds_{0};
+  mutable std::atomic<int64_t> edge_cost_patches_{0};
 };
 
 }  // namespace snd

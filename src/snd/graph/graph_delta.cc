@@ -1,0 +1,137 @@
+#include "snd/graph/graph_delta.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "snd/graph/graph.h"
+#include "snd/util/check.h"
+
+namespace snd {
+
+GraphDelta::GraphDelta(const Graph* base) : base_(base) {
+  SND_CHECK(base != nullptr);
+}
+
+bool GraphDelta::AddEdge(int32_t u, int32_t v) {
+  if (u == v) return false;
+  if (u < 0 || v < 0 || u >= base_->num_nodes() || v >= base_->num_nodes()) {
+    return false;
+  }
+  const std::pair<int32_t, int32_t> e{u, v};
+  if (base_->HasEdge(u, v)) {
+    // Present in the base: adding is only meaningful if a removal is
+    // staged, in which case the two cancel.
+    return removed_.erase(e) > 0;
+  }
+  return added_.insert(e).second;
+}
+
+bool GraphDelta::RemoveEdge(int32_t u, int32_t v) {
+  if (u < 0 || v < 0 || u >= base_->num_nodes() || v >= base_->num_nodes()) {
+    return false;
+  }
+  const std::pair<int32_t, int32_t> e{u, v};
+  if (base_->HasEdge(u, v)) {
+    return removed_.insert(e).second;
+  }
+  // Absent from the base: removal only cancels a staged insertion.
+  return added_.erase(e) > 0;
+}
+
+bool GraphDelta::HasEdge(int32_t u, int32_t v) const {
+  if (u < 0 || v < 0 || u >= base_->num_nodes() || v >= base_->num_nodes()) {
+    return false;
+  }
+  const std::pair<int32_t, int32_t> e{u, v};
+  if (added_.count(e) > 0) return true;
+  if (removed_.count(e) > 0) return false;
+  return base_->HasEdge(u, v);
+}
+
+int64_t GraphDelta::num_edges() const {
+  return base_->num_edges() + static_cast<int64_t>(added_.size()) -
+         static_cast<int64_t>(removed_.size());
+}
+
+Graph GraphDelta::Compact(MutationSummary* summary) const {
+  const int32_t n = base_->num_nodes();
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(std::max<int64_t>(num_edges(), 0)));
+  // Merge base CSR (already source-major, target-minor) with the staged
+  // sets, which iterate in the same order.
+  auto add_it = added_.begin();
+  for (int32_t u = 0; u < n; ++u) {
+    const auto neighbors = base_->OutNeighbors(u);
+    size_t k = 0;
+    while (true) {
+      const bool base_left = k < neighbors.size();
+      const bool staged_left = add_it != added_.end() && add_it->first == u;
+      if (!base_left && !staged_left) break;
+      if (staged_left && (!base_left || add_it->second < neighbors[k])) {
+        edges.push_back(Edge{u, add_it->second});
+        ++add_it;
+        continue;
+      }
+      const int32_t v = neighbors[k++];
+      if (removed_.count({u, v}) == 0) edges.push_back(Edge{u, v});
+    }
+  }
+  Graph compacted = Graph::FromEdges(n, edges);
+  SND_CHECK(compacted.num_edges() == num_edges());
+
+  if (summary != nullptr) {
+    *summary = MutationSummary{};
+    summary->num_nodes = n;
+    summary->old_edge_of_new.assign(
+        static_cast<size_t>(compacted.num_edges()), -1);
+    for (int32_t u = 0; u < n; ++u) {
+      const auto old_row = base_->OutNeighbors(u);
+      const auto new_row = compacted.OutNeighbors(u);
+      const int64_t old_begin = base_->OutEdgeBegin(u);
+      const int64_t new_begin = compacted.OutEdgeBegin(u);
+      // Two-pointer walk over the sorted rows: matching targets map old
+      // index -> new index; mismatches are the added/removed edges.
+      size_t i = 0;
+      size_t j = 0;
+      bool touched = false;
+      while (i < old_row.size() || j < new_row.size()) {
+        if (i < old_row.size() &&
+            (j >= new_row.size() || old_row[i] < new_row[j])) {
+          summary->removed_edges.push_back(Edge{u, old_row[i]});
+          summary->removed_old_indices.push_back(old_begin +
+                                                 static_cast<int64_t>(i));
+          touched = true;
+          ++i;
+        } else if (j < new_row.size() &&
+                   (i >= old_row.size() || new_row[j] < old_row[i])) {
+          summary->added_edges.push_back(Edge{u, new_row[j]});
+          summary->added_new_indices.push_back(new_begin +
+                                               static_cast<int64_t>(j));
+          summary->old_edge_of_new[static_cast<size_t>(
+              new_begin + static_cast<int64_t>(j))] = -1;
+          touched = true;
+          ++j;
+        } else {
+          summary->old_edge_of_new[static_cast<size_t>(
+              new_begin + static_cast<int64_t>(j))] =
+              old_begin + static_cast<int64_t>(i);
+          ++i;
+          ++j;
+        }
+      }
+      if (touched) summary->touched_nodes.push_back(u);
+    }
+    SND_CHECK(summary->added_edges.size() == added_.size());
+    SND_CHECK(summary->removed_edges.size() == removed_.size());
+  }
+  return compacted;
+}
+
+void GraphDelta::Reset() {
+  added_.clear();
+  removed_.clear();
+}
+
+}  // namespace snd

@@ -1,0 +1,106 @@
+// Delta overlay for incremental mutation of the immutable CSR Graph.
+//
+// Graph stays immutable (the hot SSSP read path is raw CSR with zero
+// overhead); mutation happens by staging edge insertions/removals in a
+// GraphDelta and periodically compacting the overlay back into a fresh
+// CSR Graph. Compact() also produces a MutationSummary that names exactly
+// which nodes and CSR edge ranges were touched, and how every edge of the
+// new graph maps back to the base graph, so downstream caches (edge
+// costs, SSSP results, SND values) can invalidate or patch only the
+// affected region instead of rebuilding from scratch.
+//
+// Thread compatibility: GraphDelta is a plain value type with no internal
+// locking. The service layer stages and compacts deltas while holding its
+// session registry writer lock; library users must provide their own
+// exclusion when sharing a delta across threads.
+#ifndef SND_GRAPH_GRAPH_DELTA_H_
+#define SND_GRAPH_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "snd/graph/graph.h"
+
+namespace snd {
+
+// What changed between a base graph and its compacted successor. All CSR
+// indices refer to the graph named in the field comment; `added_edges`
+// and `removed_edges` are sorted in CSR (source-major, target-minor)
+// order of their respective graphs.
+struct MutationSummary {
+  int32_t num_nodes = 0;
+
+  // Edges present in the new graph but not the base, and their CSR
+  // indices in the new graph (parallel vectors).
+  std::vector<Edge> added_edges;
+  std::vector<int64_t> added_new_indices;
+
+  // Edges present in the base graph but not the new one, and their CSR
+  // indices in the base graph (parallel vectors).
+  std::vector<Edge> removed_edges;
+  std::vector<int64_t> removed_old_indices;
+
+  // For every CSR edge `e` of the new graph: the CSR index of the same
+  // (src, dst) edge in the base graph, or -1 if the edge was added.
+  // Node-indexed per-edge attributes survive the remap unchanged;
+  // edge-indexed attributes can be carried over through this table.
+  std::vector<int64_t> old_edge_of_new;
+
+  // Sources whose out-adjacency changed, sorted ascending, deduplicated.
+  std::vector<int32_t> touched_nodes;
+
+  bool empty() const { return added_edges.empty() && removed_edges.empty(); }
+};
+
+// A set of pending edge insertions/removals on top of an immutable base
+// Graph. Staging is cheap (O(log pending + log outdeg)); reads through
+// HasEdge()/num_edges() see the overlay view without compaction. The base
+// graph must outlive the delta.
+class GraphDelta {
+ public:
+  explicit GraphDelta(const Graph* base);
+
+  // Stages the insertion of edge u->v. Returns false (and stages
+  // nothing) if the edge already exists in the overlay view, if u == v
+  // (self-loops are never stored), or if an endpoint is out of range.
+  // Removing a staged-added edge simply unstages it, and vice versa.
+  bool AddEdge(int32_t u, int32_t v);
+
+  // Stages the removal of edge u->v. Returns false (and stages nothing)
+  // if the edge is absent from the overlay view.
+  bool RemoveEdge(int32_t u, int32_t v);
+
+  // Whether u->v exists in the overlay view (base plus pending ops).
+  bool HasEdge(int32_t u, int32_t v) const;
+
+  // Edge count of the overlay view.
+  int64_t num_edges() const;
+
+  // Number of staged (not yet compacted) operations.
+  int64_t num_pending() const {
+    return static_cast<int64_t>(added_.size() + removed_.size());
+  }
+
+  const Graph& base() const { return *base_; }
+
+  // Builds the compacted CSR graph for the overlay view. The delta itself
+  // is left untouched (call Reset()/rebind to continue from the result).
+  // When `summary` is non-null it receives the full base -> new mapping.
+  Graph Compact(MutationSummary* summary = nullptr) const;
+
+  // Drops all staged operations.
+  void Reset();
+
+ private:
+  const Graph* base_;
+  // Disjoint by construction: added_ holds edges absent from the base,
+  // removed_ edges present in it.
+  std::set<std::pair<int32_t, int32_t>> added_;
+  std::set<std::pair<int32_t, int32_t>> removed_;
+};
+
+}  // namespace snd
+
+#endif  // SND_GRAPH_GRAPH_DELTA_H_

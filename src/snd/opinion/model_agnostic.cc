@@ -11,6 +11,30 @@ ModelAgnosticModel::ModelAgnosticModel(ModelAgnosticParams params)
   SND_CHECK(params_.edge.adoption_cost >= 0);
 }
 
+int32_t ModelAgnosticModel::EdgeCost(const NetworkState& state, Opinion op,
+                                     int64_t e, int32_t u, int32_t v) const {
+  const int8_t op_v = static_cast<int8_t>(op);
+  const int8_t su = state.value(u);
+  const int8_t sv = state.value(v);
+  // The paper's case conditions overlap textually ("c_adverse if
+  // G[u] != op or G[v] = -op" would shadow the neutral case); we apply
+  // the evident intent: adverse penalty when the spreader or the
+  // receiver holds the competing opinion, neutral penalty for neutral
+  // spreaders, friendly penalty for same-opinion spreaders.
+  int32_t penalty;
+  if (su == -op_v || sv == -op_v) {
+    penalty = params_.adverse_penalty;
+  } else if (su == 0) {
+    penalty = params_.neutral_penalty;
+  } else {
+    penalty = params_.friendly_penalty;
+  }
+  // Every edge cost must stay strictly positive (Assumption 2), which
+  // holds because communication_cost >= 1 by default; enforce a floor
+  // of 1 regardless of configuration.
+  return std::max(1, BaseEdgeCost(params_.edge, e, v) + penalty);
+}
+
 void ModelAgnosticModel::ComputeEdgeCosts(const Graph& g,
                                           const NetworkState& state,
                                           Opinion op,
@@ -19,32 +43,40 @@ void ModelAgnosticModel::ComputeEdgeCosts(const Graph& g,
   SND_CHECK(state.num_users() == g.num_nodes());
   ValidateEdgeCostParams(params_.edge, g);
   costs->resize(static_cast<size_t>(g.num_edges()));
-  const int8_t op_v = static_cast<int8_t>(op);
   for (int32_t u = 0; u < g.num_nodes(); ++u) {
-    const int8_t su = state.value(u);
     for (int64_t e = g.OutEdgeBegin(u); e < g.OutEdgeEnd(u); ++e) {
-      const int32_t v = g.EdgeTarget(e);
-      const int8_t sv = state.value(v);
-      // The paper's case conditions overlap textually ("c_adverse if
-      // G[u] != op or G[v] = -op" would shadow the neutral case); we apply
-      // the evident intent: adverse penalty when the spreader or the
-      // receiver holds the competing opinion, neutral penalty for neutral
-      // spreaders, friendly penalty for same-opinion spreaders.
-      int32_t penalty;
-      if (su == -op_v || sv == -op_v) {
-        penalty = params_.adverse_penalty;
-      } else if (su == 0) {
-        penalty = params_.neutral_penalty;
-      } else {
-        penalty = params_.friendly_penalty;
-      }
-      // Every edge cost must stay strictly positive (Assumption 2), which
-      // holds because communication_cost >= 1 by default; enforce a floor
-      // of 1 regardless of configuration.
       (*costs)[static_cast<size_t>(e)] =
-          std::max(1, BaseEdgeCost(params_.edge, e, v) + penalty);
+          EdgeCost(state, op, e, u, g.EdgeTarget(e));
     }
   }
+}
+
+bool ModelAgnosticModel::PatchEdgeCosts(const Graph& g,
+                                        const NetworkState& state, Opinion op,
+                                        const MutationSummary& summary,
+                                        const std::vector<int32_t>& old_costs,
+                                        std::vector<int32_t>* costs) const {
+  if (params_.edge.communication_probabilities.has_value()) return false;
+  SND_CHECK(op != Opinion::kNeutral);
+  SND_CHECK(state.num_users() == g.num_nodes());
+  SND_CHECK(summary.old_edge_of_new.size() ==
+            static_cast<size_t>(g.num_edges()));
+  ValidateEdgeCostParams(params_.edge, g);
+  costs->resize(static_cast<size_t>(g.num_edges()));
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    const int64_t old_e = summary.old_edge_of_new[static_cast<size_t>(e)];
+    if (old_e >= 0) {
+      SND_CHECK(old_e < static_cast<int64_t>(old_costs.size()));
+      (*costs)[static_cast<size_t>(e)] = old_costs[static_cast<size_t>(old_e)];
+    }
+  }
+  for (size_t k = 0; k < summary.added_edges.size(); ++k) {
+    const Edge edge = summary.added_edges[k];
+    const int64_t e = summary.added_new_indices[k];
+    (*costs)[static_cast<size_t>(e)] =
+        EdgeCost(state, op, e, edge.src, edge.dst);
+  }
+  return true;
 }
 
 int32_t ModelAgnosticModel::MaxEdgeCost() const {

@@ -25,11 +25,23 @@ class ModelAgnosticModel final : public OpinionModel {
   void ComputeEdgeCosts(const Graph& g, const NetworkState& state, Opinion op,
                         std::vector<int32_t>* costs) const override;
   int32_t MaxEdgeCost() const override;
+  // Copies mapped costs through summary.old_edge_of_new and recosts only
+  // the added edges. Declines (returns false) when per-edge communication
+  // probabilities are configured: that array is CSR-aligned with the base
+  // graph, so mapped costs could not be reproduced from the new indices.
+  // Per-node susceptibility is indexed by target and survives the remap.
+  bool PatchEdgeCosts(const Graph& g, const NetworkState& state, Opinion op,
+                      const MutationSummary& summary,
+                      const std::vector<int32_t>& old_costs,
+                      std::vector<int32_t>* costs) const override;
   const char* name() const override { return "model-agnostic"; }
 
   const ModelAgnosticParams& params() const { return params_; }
 
  private:
+  int32_t EdgeCost(const NetworkState& state, Opinion op, int64_t e,
+                   int32_t u, int32_t v) const;
+
   ModelAgnosticParams params_;
 };
 

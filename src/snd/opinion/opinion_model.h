@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "snd/graph/graph.h"
+#include "snd/graph/graph_delta.h"
 #include "snd/opinion/network_state.h"
 #include "snd/opinion/quantizer.h"
 
@@ -66,6 +67,32 @@ class OpinionModel {
 
   // Upper bound U on any cost this model can emit.
   virtual int32_t MaxEdgeCost() const = 0;
+
+  // Incremental variant of ComputeEdgeCosts after a graph mutation.
+  // `old_costs` are this model's costs for `summary`'s base graph under
+  // the same (state, op); on success `costs` is filled for `g` (the
+  // compacted graph) and the call returns true.
+  //
+  // Contract: an implementation may return true ONLY if every edge mapped
+  // from the base graph (summary.old_edge_of_new[e] >= 0) keeps its old
+  // cost bit-for-bit, i.e. the model's cost is a pure per-edge function
+  // of the endpoints and their opinions. Models whose costs couple across
+  // edges (ICC's active-set shortest paths, LT's in-degree aggregates)
+  // must keep the default, which declines the patch and forces a full
+  // ComputeEdgeCosts rebuild. Callers count successful patches as
+  // edge-cost patches, not builds.
+  virtual bool PatchEdgeCosts(const Graph& g, const NetworkState& state,
+                              Opinion op, const MutationSummary& summary,
+                              const std::vector<int32_t>& old_costs,
+                              std::vector<int32_t>* costs) const {
+    (void)g;
+    (void)state;
+    (void)op;
+    (void)summary;
+    (void)old_costs;
+    (void)costs;
+    return false;
+  }
 
   virtual const char* name() const = 0;
 };

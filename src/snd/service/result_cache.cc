@@ -51,6 +51,42 @@ size_t ResultCache::EraseMatchingPrefix(const std::string& prefix) {
   return erased;
 }
 
+size_t ResultCache::EraseMatching(
+    const std::string& prefix,
+    const std::function<bool(const std::string&)>& drop) {
+  const MutexLock lock(mu_);
+  size_t erased = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.rfind(prefix, 0) == 0 && drop(it->first)) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+std::vector<std::string> ResultCache::KeysMatchingPrefix(
+    const std::string& prefix) const {
+  const MutexLock lock(mu_);
+  std::vector<std::string> keys;
+  for (const auto& entry : lru_) {
+    if (entry.first.rfind(prefix, 0) == 0) keys.push_back(entry.first);
+  }
+  return keys;
+}
+
+size_t ResultCache::CountMatchingPrefix(const std::string& prefix) const {
+  const MutexLock lock(mu_);
+  size_t count = 0;
+  for (const auto& entry : lru_) {
+    if (entry.first.rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   const MutexLock lock(mu_);
   return stats_;

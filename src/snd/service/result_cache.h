@@ -20,11 +20,13 @@
 #define SND_SERVICE_RESULT_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "snd/util/mutex.h"
 #include "snd/util/thread_annotations.h"
@@ -55,6 +57,26 @@ class ResultCache {
 
   // Drops every entry whose key starts with `prefix`; returns how many.
   size_t EraseMatchingPrefix(const std::string& prefix) SND_EXCLUDES(mu_);
+
+  // Selective variant for targeted invalidation (graph mutations):
+  // drops every entry whose key starts with `prefix` AND for which
+  // `drop(key)` returns true; returns how many. `drop` runs under the
+  // cache mutex — it must be a pure key predicate, never touching the
+  // cache or any outer lock.
+  size_t EraseMatching(const std::string& prefix,
+                       const std::function<bool(const std::string&)>& drop)
+      SND_EXCLUDES(mu_);
+
+  // Number of entries whose key starts with `prefix` (diagnostics).
+  size_t CountMatchingPrefix(const std::string& prefix) const
+      SND_EXCLUDES(mu_);
+
+  // Every resident key starting with `prefix` (a snapshot; order
+  // unspecified). The mutation path lists a signature's keys, decides
+  // retention per pair outside the cache lock, then erases the losers
+  // via EraseMatching.
+  std::vector<std::string> KeysMatchingPrefix(const std::string& prefix)
+      const SND_EXCLUDES(mu_);
 
   // Snapshot (by value: the counters keep moving concurrently).
   Stats stats() const SND_EXCLUDES(mu_);

@@ -1,20 +1,29 @@
 #include "snd/service/service.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <istream>
+#include <map>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 #include <variant>
 
 #include "snd/analysis/anomaly.h"
 #include "snd/api/json_codec.h"
+#include "snd/emd/banks.h"
+#include "snd/graph/graph_delta.h"
 #include "snd/graph/io.h"
 #include "snd/opinion/state_io.h"
+#include "snd/paths/sssp.h"
 #include "snd/service/options_parse.h"
 #include "snd/util/check.h"
+#include "snd/util/format.h"
 #include "snd/util/thread_pool.h"
 #include "snd/util/version.h"
 
@@ -28,6 +37,10 @@ constexpr char kCommandUsage[] =
     "  load_graph <name> <graph.edges>     load or replace a named graph\n"
     "  load_states <name> <states.txt>     load/replace the state series\n"
     "  append_state <name> <v1> ... <vn>   append one state (-1/0/1 each)\n"
+    "  add_edge <name> <u> <v>             add edge u->v in place\n"
+    "  remove_edge <name> <u> <v>          remove edge u->v in place\n"
+    "  subscribe <name> [--from=T] [--count=N] [flags]\n"
+    "                                      stream adjacent-SND events\n"
     "  distance <name> <i> <j> [flags]     SND between states i and j\n"
     "  series <name> [flags]               SND over adjacent states\n"
     "  matrix <name> [flags]               full pairwise SND matrix\n"
@@ -45,6 +58,31 @@ void AppendLines(const char* text, std::vector<std::string>* rows) {
   while (std::getline(in, line)) rows->push_back(line);
 }
 
+// Parses the "i,j" global pair suffix (after the last '|') of a result
+// key; false if the key does not end in such a pair.
+bool ParseKeyPairSuffix(const std::string& key, int64_t* i, int64_t* j) {
+  const size_t bar = key.find_last_of('|');
+  if (bar == std::string::npos) return false;
+  const char* p = key.c_str() + bar + 1;
+  char* end = nullptr;
+  const long long a = std::strtoll(p, &end, 10);
+  if (end == p || *end != ',') return false;
+  p = end + 1;
+  const long long b = std::strtoll(p, &end, 10);
+  if (end == p || *end != '\0') return false;
+  *i = a;
+  *j = b;
+  return true;
+}
+
+// Structural equality of two bank specs: identical clustering and
+// identical gamma matrices mean every EMD* term sees the same transport
+// topology, which the mutation retention certificate requires.
+bool SameBankStructure(const BankSpec& a, const BankSpec& b) {
+  return a.num_clusters == b.num_clusters && a.cluster_of == b.cluster_of &&
+         a.gammas == b.gammas;
+}
+
 }  // namespace
 
 SndService::SndService(SndServiceConfig config)
@@ -52,7 +90,14 @@ SndService::SndService(SndServiceConfig config)
   config_.max_calculators = std::max<size_t>(1, config_.max_calculators);
 }
 
-SndService::~SndService() = default;
+SndService::~SndService() {
+  // Wake every subscriber and wait for them to unwind before members
+  // (registry, caches) start destructing under them.
+  MutexLock lock(change_mu_);
+  shutting_down_ = true;
+  change_cv_.NotifyAll();
+  while (active_subscribers_ > 0) change_cv_.Wait(lock);
+}
 
 SndService::CalcEntry::~CalcEntry() {
   // The last reference is gone, so `calc` is quiescent: this snapshot
@@ -80,6 +125,18 @@ StatusOr<Response> SndService::Dispatch(const Request& request) {
   }
   if (const auto* typed = std::get_if<AppendStateRequest>(&request)) {
     return AppendStateCmd(*typed);
+  }
+  if (const auto* typed = std::get_if<AddEdgeRequest>(&request)) {
+    return MutateEdgeCmd(typed->name, typed->u, typed->v, /*add=*/true);
+  }
+  if (const auto* typed = std::get_if<RemoveEdgeRequest>(&request)) {
+    return MutateEdgeCmd(typed->name, typed->u, typed->v, /*add=*/false);
+  }
+  if (std::get_if<SubscribeRequest>(&request) != nullptr) {
+    // Streaming only: ServeStream intercepts subscribe before Dispatch,
+    // and in-process callers use SndService::Subscribe directly.
+    return Status::FailedPrecondition(
+        "subscribe requires a streaming connection");
   }
   if (const auto* typed = std::get_if<DistanceRequest>(&request)) {
     return ComputeCmd(request, *typed);
@@ -119,15 +176,21 @@ StatusOr<Response> SndService::LoadGraphCmd(const LoadGraphRequest& request) {
   if (!graph.has_value()) {
     return Status::Unavailable("cannot read graph from " + request.path);
   }
-  const WriterMutexLock lock(session_mu_);
-  // Reload: retire the old epoch's calculators and cached results before
-  // the registry bumps epochs, so no stale artifact survives.
-  PurgeGraphArtifacts(request.name);
-  const GraphSession& session =
-      registry_.LoadGraph(request.name, *std::move(graph));
-  return Response(LoadGraphResponse{request.name, session.graph->num_nodes(),
-                                    session.graph->num_edges(),
-                                    session.graph_epoch});
+  StatusOr<Response> result = [&]() -> StatusOr<Response> {
+    const WriterMutexLock lock(session_mu_);
+    // Reload: retire the old epoch's calculators and cached results
+    // before the registry bumps epochs, so no stale artifact survives.
+    PurgeGraphArtifacts(request.name);
+    const GraphSession& session =
+        registry_.LoadGraph(request.name, *std::move(graph));
+    return Response(LoadGraphResponse{request.name,
+                                      session.graph->num_nodes(),
+                                      session.graph->num_edges(),
+                                      session.graph_epoch});
+  }();
+  // Subscribers on a replaced session must wake and end with "replaced".
+  if (result.ok()) NotifyChange();
+  return result;
 }
 
 StatusOr<Response> SndService::LoadStatesCmd(
@@ -145,69 +208,408 @@ StatusOr<Response> SndService::LoadStatesCmd(
   if (!states.has_value()) {
     return Status::Unavailable("cannot read states from " + request.path);
   }
-  const WriterMutexLock lock(session_mu_);
-  GraphSession* session = registry_.Find(request.name);
-  if (session == nullptr) {  // Evicted between the check and the lock.
-    return Status::NotFound("unknown graph '" + request.name + "'");
-  }
-  for (const NetworkState& state : *states) {
-    if (state.num_users() != session->graph->num_nodes()) {
-      return Status::FailedPrecondition("state size does not match graph '" +
-                                        request.name + "'");
+  StatusOr<Response> result = [&]() -> StatusOr<Response> {
+    const WriterMutexLock lock(session_mu_);
+    GraphSession* session = registry_.Find(request.name);
+    if (session == nullptr) {  // Evicted between the check and the lock.
+      return Status::NotFound("unknown graph '" + request.name + "'");
     }
-  }
-  // Eager memory reclamation only — correctness needs neither step. The
-  // old series' results are unreachable once states_epoch bumps, and
-  // EvaluatePairs rebuilds any edge-cost cache whose epoch is stale;
-  // releasing both now just avoids holding dead buffers until the next
-  // request. Calculators survive (the graph is unchanged).
-  results_.EraseMatchingPrefix(request.name + "|");
-  {
-    const MutexLock calc_lock(calc_mu_);
-    for (auto& [key, slot] : calculators_) {
-      if (key.rfind(request.name + "|", 0) == 0) {
-        const MutexLock entry_lock(slot.entry->mu);
-        slot.entry->edge_costs.reset();
+    for (const NetworkState& state : *states) {
+      if (state.num_users() != session->graph->num_nodes()) {
+        return Status::FailedPrecondition(
+            "state size does not match graph '" + request.name + "'");
       }
     }
-  }
-  registry_.ReplaceStates(session, *std::move(states));
-  return Response(LoadStatesResponse{
-      request.name, static_cast<int64_t>(session->states.size()),
-      session->graph->num_nodes(), session->states_epoch});
+    // Eager memory reclamation only — correctness needs neither step.
+    // The old series' results are unreachable once states_epoch bumps,
+    // and EvaluatePairs rebuilds any edge-cost cache whose epoch is
+    // stale; releasing both now just avoids holding dead buffers until
+    // the next request. Calculators survive (the graph is unchanged).
+    results_.EraseMatchingPrefix(request.name + "|");
+    {
+      const MutexLock calc_lock(calc_mu_);
+      for (auto& [key, slot] : calculators_) {
+        if (key.rfind(request.name + "|", 0) == 0) {
+          const MutexLock entry_lock(slot.entry->mu);
+          slot.entry->edge_costs.reset();
+        }
+      }
+    }
+    registry_.ReplaceStates(session, *std::move(states));
+    return Response(LoadStatesResponse{
+        request.name, static_cast<int64_t>(session->states.size()),
+        session->graph->num_nodes(), session->states_epoch});
+  }();
+  if (result.ok()) NotifyChange();
+  return result;
 }
 
 StatusOr<Response> SndService::AppendStateCmd(
     const AppendStateRequest& request) {
-  const WriterMutexLock lock(session_mu_);
-  GraphSession* session = registry_.Find(request.name);
-  if (session == nullptr) {
-    return Status::NotFound("unknown graph '" + request.name + "'");
-  }
-  const auto n = static_cast<size_t>(session->graph->num_nodes());
-  if (request.values.size() != n) {
-    return Status::InvalidArgument(
-        "append_state: expected " + std::to_string(n) +
-        " opinion values, got " + std::to_string(request.values.size()));
-  }
-  for (const int8_t value : request.values) {
-    if (value < -1 || value > 1) {  // Typed callers only; codecs reject.
+  StatusOr<Response> result = [&]() -> StatusOr<Response> {
+    const WriterMutexLock lock(session_mu_);
+    GraphSession* session = registry_.Find(request.name);
+    if (session == nullptr) {
+      return Status::NotFound("unknown graph '" + request.name + "'");
+    }
+    const auto n = static_cast<size_t>(session->graph->num_nodes());
+    if (request.values.size() != n) {
       return Status::InvalidArgument(
-          "invalid opinion value '" + std::to_string(value) + "'");
+          "append_state: expected " + std::to_string(n) +
+          " opinion values, got " + std::to_string(request.values.size()));
+    }
+    for (const int8_t value : request.values) {
+      if (value < -1 || value > 1) {  // Typed callers only; codecs reject.
+        return Status::InvalidArgument(
+            "invalid opinion value '" + std::to_string(value) + "'");
+      }
+    }
+    registry_.AppendState(session,
+                          NetworkState::FromValues(
+                              std::vector<int8_t>(request.values)));
+    // Sliding-window retention (--retain=N): drop the oldest states
+    // past the cap. Global indices keep their meaning — surviving
+    // cached results and in-place-trimmed edge-cost caches stay valid.
+    const int64_t retain =
+        config_.state_retention > 0
+            ? std::max<int64_t>(2, config_.state_retention)
+            : 0;
+    const int64_t excess =
+        retain > 0 ? static_cast<int64_t>(session->states.size()) - retain
+                   : 0;
+    if (excess > 0) {
+      const int64_t new_first = session->first_state_index + excess;
+      // Results of pairs that left the window are unreachable (their
+      // global indices are rejected) — reclaim them eagerly. A key's
+      // pair suffix is "|i,j" with global i < j, so i < new_first
+      // identifies the departed pairs.
+      const std::string result_prefix =
+          request.name + "|g" + std::to_string(session->graph_epoch) +
+          "|s" + std::to_string(session->states_epoch) + "|";
+      results_.EraseMatching(result_prefix, [&](const std::string& key) {
+        int64_t i = 0;
+        int64_t j = 0;
+        if (!ParseKeyPairSuffix(key, &i, &j)) return true;
+        return i < new_first;
+      });
+      // Current-epoch edge-cost caches track the resident window by
+      // local index: trim them in place. Stale-epoch caches would be
+      // rebuilt on next use anyway; just release them.
+      {
+        const std::string calc_prefix =
+            request.name + "|g" + std::to_string(session->graph_epoch) +
+            "." + std::to_string(session->graph_sub_epoch) + "|";
+        const MutexLock calc_lock(calc_mu_);
+        for (auto& [key, slot] : calculators_) {
+          if (key.rfind(calc_prefix, 0) != 0) continue;
+          const MutexLock entry_lock(slot.entry->mu);
+          if (slot.entry->edge_costs != nullptr &&
+              slot.entry->edge_costs_epoch == session->states_epoch) {
+            SndCalculator::TrimEdgeCostCache(slot.entry->edge_costs.get(),
+                                             static_cast<int32_t>(excess));
+          } else {
+            slot.entry->edge_costs.reset();
+          }
+        }
+      }
+      registry_.TrimStates(session, excess);
+    }
+    return Response(LoadStatesResponse{
+        request.name, static_cast<int64_t>(session->states.size()),
+        session->graph->num_nodes(), session->states_epoch});
+  }();
+  if (result.ok()) NotifyChange();
+  return result;
+}
+
+StatusOr<Response> SndService::MutateEdgeCmd(const std::string& name,
+                                             int32_t u, int32_t v,
+                                             bool add) {
+  StatusOr<Response> result = [&]() -> StatusOr<Response> {
+    const WriterMutexLock lock(session_mu_);
+    return MutateEdgeLocked(name, u, v, add);
+  }();
+  if (result.ok()) NotifyChange();
+  return result;
+}
+
+StatusOr<Response> SndService::MutateEdgeLocked(const std::string& name,
+                                                int32_t u, int32_t v,
+                                                bool add) {
+  if (!ValidSessionName(name)) {
+    return Status::InvalidArgument("invalid graph name '" + name + "'");
+  }
+  GraphSession* session = registry_.Find(name);
+  if (session == nullptr) {
+    return Status::NotFound("unknown graph '" + name + "'");
+  }
+  const int32_t n = session->graph->num_nodes();
+  for (const int32_t index : {u, v}) {
+    if (index < 0 || index >= n) {
+      return Status::InvalidArgument(
+          "node index '" + std::to_string(index) + "' out of range (have " +
+          std::to_string(n) + " nodes)");
     }
   }
-  registry_.AppendState(session, NetworkState::FromValues(std::vector<int8_t>(
-                                     request.values)));
-  return Response(LoadStatesResponse{
-      request.name, static_cast<int64_t>(session->states.size()),
-      session->graph->num_nodes(), session->states_epoch});
+  const std::string edge_label =
+      std::to_string(u) + "->" + std::to_string(v);
+  if (add && u == v) {
+    return Status::InvalidArgument("add_edge: self-loop " + edge_label +
+                                   " not allowed");
+  }
+  // Stage the single mutation on a delta overlay and compact
+  // immediately: the resident graph stays a plain CSR, so the read path
+  // (every SSSP of every term) carries zero overlay overhead.
+  GraphDelta delta(session->graph.get());
+  if (add) {
+    if (!delta.AddEdge(u, v)) {
+      return Status::FailedPrecondition("edge " + edge_label +
+                                        " already exists in graph '" +
+                                        name + "'");
+    }
+  } else {
+    if (!delta.RemoveEdge(u, v)) {
+      return Status::FailedPrecondition("no edge " + edge_label +
+                                        " in graph '" + name + "'");
+    }
+  }
+  MutationSummary summary;
+  auto new_graph = std::make_shared<const Graph>(delta.Compact(&summary));
+
+  const uint64_t graph_epoch = session->graph_epoch;
+  const uint64_t old_sub = session->graph_sub_epoch;
+  const uint64_t states_epoch = session->states_epoch;
+  const int64_t first = session->first_state_index;
+  const auto num_states = static_cast<int32_t>(session->states.size());
+
+  // Detach every calculator of this session from the table. Entries of
+  // the pre-mutation sub-epoch are candidates for rebuild+retention
+  // below; anything older is unreachable and simply retires
+  // (~CalcEntry folds its work counters into the cumulative total).
+  const std::string old_calc_prefix = name + "|g" +
+                                      std::to_string(graph_epoch) + "." +
+                                      std::to_string(old_sub) + "|";
+  std::vector<std::shared_ptr<CalcEntry>> old_entries;
+  {
+    const MutexLock lock(calc_mu_);
+    for (auto it = calculators_.begin(); it != calculators_.end();) {
+      if (it->first.rfind(name + "|", 0) == 0) {
+        if (it->first.rfind(old_calc_prefix, 0) == 0) {
+          old_entries.push_back(it->second.entry);
+        }
+        it = calculators_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  registry_.MutateGraph(session, new_graph);
+  const uint64_t new_sub = session->graph_sub_epoch;
+
+  // Rebuild each live calculator on the new graph, patch its edge-cost
+  // cache, and certify which cached SND values the mutation cannot have
+  // changed (see MutateEdgeLocked's declaration for the certificate).
+  constexpr Opinion kOps[2] = {Opinion::kPositive, Opinion::kNegative};
+  std::unordered_set<std::string> retained_keys;
+  for (const std::shared_ptr<CalcEntry>& old_entry : old_entries) {
+    SndCalculator* old_calc = nullptr;
+    std::shared_ptr<SndCalculator::EdgeCostCache> old_cache;
+    {
+      const MutexLock entry_lock(old_entry->mu);
+      old_calc = old_entry->calc.get();
+      if (old_entry->edge_costs != nullptr &&
+          old_entry->edge_costs_epoch == states_epoch) {
+        old_cache = old_entry->edge_costs;
+      }
+    }
+    if (old_calc == nullptr) continue;  // Never built; nothing to carry.
+
+    // Eager rebuild so warm traffic stays warm across the mutation; the
+    // patched cache reuses every built cost buffer the model can remap
+    // (O(edges) copies instead of O(nodes * edges) recosting).
+    auto new_calc_owned =
+        std::make_unique<SndCalculator>(new_graph.get(), old_entry->options);
+    SndCalculator* new_calc = new_calc_owned.get();
+    std::vector<std::pair<int32_t, Opinion>> patched;
+    std::shared_ptr<SndCalculator::EdgeCostCache> new_cache;
+    if (old_cache != nullptr) {
+      new_cache = new_calc->MakeEdgeCostCachePatched(&session->states,
+                                                     *old_cache, summary,
+                                                     &patched);
+    }
+
+    // Retention is sound only if the transport topology is unchanged
+    // (identical bank structure) and every built cost buffer was
+    // patched bit-for-bit; otherwise every cached value of this
+    // signature could differ and all of it must go.
+    bool feasible =
+        old_cache != nullptr &&
+        SameBankStructure(old_calc->banks(), new_calc->banks());
+    std::vector<std::array<bool, 2>> built(
+        static_cast<size_t>(num_states), {false, false});
+    if (feasible) {
+      std::vector<std::array<bool, 2>> patched_ok(
+          static_cast<size_t>(num_states), {false, false});
+      for (const auto& [state, op] : patched) {
+        patched_ok[static_cast<size_t>(state)]
+                  [op == Opinion::kPositive ? 0 : 1] = true;
+      }
+      for (int32_t s = 0; s < num_states && feasible; ++s) {
+        for (size_t k = 0; k < 2; ++k) {
+          if (!SndCalculator::EdgeCostsBuilt(*old_cache, s, kOps[k])) {
+            continue;
+          }
+          built[static_cast<size_t>(s)][k] = true;
+          if (!patched_ok[static_cast<size_t>(s)][k]) feasible = false;
+        }
+      }
+    }
+
+    if (feasible) {
+      // Affected-source masks, one per built (state, op), computed
+      // lazily (only for states cached pairs actually touch). Two
+      // reverse SSSPs each — this is the "work proportional to the
+      // affected region" the incremental path buys.
+      std::vector<std::array<std::optional<std::vector<bool>>, 2>> affected(
+          static_cast<size_t>(num_states));
+      const auto affected_mask =
+          [&](int32_t s, size_t k) -> const std::vector<bool>& {
+        std::optional<std::vector<bool>>& slot =
+            affected[static_cast<size_t>(s)][k];
+        if (!slot.has_value()) {
+          std::vector<bool> mask(static_cast<size_t>(n), false);
+          if (add) {
+            const std::vector<int64_t> du = old_calc->DistancesToNode(
+                session->states, s, kOps[k], u, old_cache.get());
+            const std::vector<int64_t> dv = old_calc->DistancesToNode(
+                session->states, s, kOps[k], v, old_cache.get());
+            const int64_t c = new_calc->EdgeCostAt(
+                session->states, s, kOps[k], summary.added_new_indices[0],
+                new_cache.get());
+            for (int32_t x = 0; x < n; ++x) {
+              // A source that cannot reach u cannot use the new edge.
+              mask[static_cast<size_t>(x)] =
+                  du[static_cast<size_t>(x)] != kUnreachableDistance &&
+                  du[static_cast<size_t>(x)] + c <
+                      dv[static_cast<size_t>(x)];
+            }
+          } else {
+            const std::vector<int64_t> d_old = old_calc->DistancesToNode(
+                session->states, s, kOps[k], v, old_cache.get());
+            const std::vector<int64_t> d_new = new_calc->DistancesToNode(
+                session->states, s, kOps[k], v, new_cache.get());
+            for (int32_t x = 0; x < n; ++x) {
+              mask[static_cast<size_t>(x)] =
+                  d_old[static_cast<size_t>(x)] !=
+                  d_new[static_cast<size_t>(x)];
+            }
+          }
+          slot = std::move(mask);
+        }
+        return *slot;
+      };
+      const auto term_ok = [&](int32_t from, int32_t to,
+                               size_t k) -> bool {
+        const std::vector<bool>& mask = affected_mask(from, k);
+        for (const int32_t s : old_calc->TermRowSources(
+                 session->states[static_cast<size_t>(from)],
+                 session->states[static_cast<size_t>(to)], kOps[k])) {
+          if (mask[static_cast<size_t>(s)]) return false;
+        }
+        return true;
+      };
+      const std::string result_prefix =
+          name + "|g" + std::to_string(graph_epoch) + "|s" +
+          std::to_string(states_epoch) + "|" + old_entry->signature + "|";
+      for (const std::string& key :
+           results_.KeysMatchingPrefix(result_prefix)) {
+        int64_t gi = 0;
+        int64_t gj = 0;
+        if (!ParseKeyPairSuffix(key, &gi, &gj)) continue;
+        const int64_t li = gi - first;
+        const int64_t lj = gj - first;
+        if (li < 0 || lj < 0 || li >= num_states || lj >= num_states) {
+          continue;  // Outside the resident window: let it be erased.
+        }
+        bool keep = true;
+        for (size_t k = 0; k < 2 && keep; ++k) {
+          // Both cost sides must have been built (else the certificate
+          // has nothing to patch against)...
+          keep = built[static_cast<size_t>(li)][k] &&
+                 built[static_cast<size_t>(lj)][k] &&
+                 // ... and no SSSP row source of either directed term
+                 // may be affected on its (state, op) side.
+                 term_ok(static_cast<int32_t>(li),
+                         static_cast<int32_t>(lj), k) &&
+                 term_ok(static_cast<int32_t>(lj),
+                         static_cast<int32_t>(li), k);
+        }
+        if (keep) retained_keys.insert(key);
+      }
+    }
+
+    // Install the rebuilt entry under the new sub-epoch key.
+    auto new_entry = std::make_shared<CalcEntry>(
+        this, new_graph, old_entry->options, old_entry->signature);
+    {
+      const MutexLock entry_lock(new_entry->mu);
+      new_entry->calc = std::move(new_calc_owned);
+      if (new_cache != nullptr) {
+        new_entry->edge_costs = new_cache;
+        new_entry->edge_costs_epoch = states_epoch;
+      }
+    }
+    {
+      const MutexLock lock(calc_mu_);
+      while (calculators_.size() >= config_.max_calculators) {
+        auto victim = calculators_.begin();
+        for (auto candidate = calculators_.begin();
+             candidate != calculators_.end(); ++candidate) {
+          if (candidate->second.last_used < victim->second.last_used) {
+            victim = candidate;
+          }
+        }
+        calculators_.erase(victim);
+      }
+      ++calc_builds_;
+      calculators_.emplace(name + "|g" + std::to_string(graph_epoch) +
+                               "." + std::to_string(new_sub) + "|" +
+                               old_entry->signature,
+                           CalcSlot{new_entry, ++calc_ticks_});
+    }
+  }
+
+  // One sweep drops everything the certificates did not explicitly
+  // keep — including signatures with no live calculator and keys from
+  // stale epochs. Nothing stale can survive a mutation.
+  const auto erased = static_cast<int64_t>(results_.EraseMatching(
+      name + "|", [&retained_keys](const std::string& key) {
+        return retained_keys.find(key) == retained_keys.end();
+      }));
+
+  MutateEdgeResponse response;
+  response.name = name;
+  response.added = add;
+  response.u = u;
+  response.v = v;
+  response.edges = new_graph->num_edges();
+  response.graph_epoch = graph_epoch;
+  response.sub_epoch = new_sub;
+  response.results_retained = static_cast<int64_t>(retained_keys.size());
+  response.results_erased = erased;
+  return Response(response);
 }
 
 std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
     const std::string& name, const GraphSession& session,
     const SndOptions& options, const std::string& signature) {
-  const std::string key =
-      name + "|g" + std::to_string(session.graph_epoch) + "|" + signature;
+  // The sub-epoch is part of the key: an in-place edge mutation retires
+  // (or rebuilds) the old sub-epoch's calculators, so a lookup can
+  // never hit a calculator built on a pre-mutation graph.
+  const std::string key = name + "|g" + std::to_string(session.graph_epoch) +
+                          "." + std::to_string(session.graph_sub_epoch) +
+                          "|" + signature;
   std::shared_ptr<CalcEntry> entry;
   {
     const MutexLock lock(calc_mu_);
@@ -233,7 +635,8 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
         calculators_.erase(victim);
       }
       ++calc_builds_;
-      entry = std::make_shared<CalcEntry>(this, session.graph);
+      entry = std::make_shared<CalcEntry>(this, session.graph, options,
+                                          signature);
       calculators_.emplace(key, CalcSlot{entry, ++calc_ticks_});
     }
   }
@@ -254,14 +657,19 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
 std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
                                               CalcEntry* entry,
                                               const std::string& key_prefix,
-                                              const StatePairs& pairs) {
+                                              const StatePairs& pairs,
+                                              int64_t base_index) {
   std::vector<double> values(pairs.size(), 0.0);
   StatePairs missing;
   std::vector<size_t> missing_pos;
   std::vector<std::string> missing_keys;
   for (size_t k = 0; k < pairs.size(); ++k) {
-    std::string key = key_prefix + std::to_string(pairs[k].first) + "," +
-                      std::to_string(pairs[k].second);
+    // Keys carry GLOBAL indices (local + first_state_index): cached
+    // values survive retention trimming and graph sub-epoch retention
+    // can match them against certified states.
+    std::string key = key_prefix +
+                      std::to_string(base_index + pairs[k].first) + "," +
+                      std::to_string(base_index + pairs[k].second);
     const std::optional<double> cached = results_.Get(key);
     if (cached.has_value()) {
       values[k] = *cached;
@@ -323,15 +731,24 @@ StatusOr<Response> SndService::ComputeLocked(const Request& request,
     return Status::NotFound("unknown graph '" + base.name + "'");
   }
   const auto num_states = static_cast<int32_t>(session->states.size());
+  // Wire indices are global; the resident window is [first, first +
+  // num_states) once retention has trimmed (first stays 0 without it).
+  const int64_t first = session->first_state_index;
 
   const auto* distance = std::get_if<DistanceRequest>(&request);
   if (distance != nullptr) {
     for (const int32_t index : {distance->i, distance->j}) {
-      if (index < 0 || index >= num_states) {
+      if (index < 0 || index < first || index >= first + num_states) {
+        if (first == 0) {  // Legacy message, pinned by tests.
+          return Status::InvalidArgument(
+              "state index '" + std::to_string(index) +
+              "' out of range (have " + std::to_string(num_states) +
+              " states)");
+        }
         return Status::InvalidArgument(
             "state index '" + std::to_string(index) +
-            "' out of range (have " + std::to_string(num_states) +
-            " states)");
+            "' outside retained window [" + std::to_string(first) + ", " +
+            std::to_string(first + num_states) + ")");
       }
     }
   } else if (num_states < 2) {
@@ -361,10 +778,11 @@ StatusOr<Response> SndService::ComputeLocked(const Request& request,
     // SND is symmetric; evaluate the canonical (lower, higher)
     // orientation so reversed queries share cache entries with
     // `series` and `matrix`, which enumerate pairs as i < j.
+    const auto li = static_cast<int32_t>(distance->i - first);
+    const auto lj = static_cast<int32_t>(distance->j - first);
     const std::vector<double> values =
         EvaluatePairs(*session, entry.get(), key_prefix,
-                      {{std::min(distance->i, distance->j),
-                        std::max(distance->i, distance->j)}});
+                      {{std::min(li, lj), std::max(li, lj)}}, first);
     return Response(DistanceResponse{base.name, distance->i, distance->j,
                                      values[0]});
   }
@@ -372,16 +790,22 @@ StatusOr<Response> SndService::ComputeLocked(const Request& request,
   if (std::get_if<SeriesRequest>(&request) != nullptr) {
     SeriesResponse response;
     response.name = base.name;
-    response.pairs = AdjacentPairs(num_states);
+    const StatePairs pairs = AdjacentPairs(num_states);
     response.values =
-        EvaluatePairs(*session, entry.get(), key_prefix, response.pairs);
+        EvaluatePairs(*session, entry.get(), key_prefix, pairs, first);
+    // Report global transition labels.
+    response.pairs.reserve(pairs.size());
+    for (const auto& [a, b] : pairs) {
+      response.pairs.emplace_back(static_cast<int32_t>(first + a),
+                                  static_cast<int32_t>(first + b));
+    }
     return Response(std::move(response));
   }
 
   if (std::get_if<MatrixRequest>(&request) != nullptr) {
     const StatePairs pairs = AllUnorderedPairs(num_states);
     const std::vector<double> values =
-        EvaluatePairs(*session, entry.get(), key_prefix, pairs);
+        EvaluatePairs(*session, entry.get(), key_prefix, pairs, first);
     MatrixResponse response;
     response.name = base.name;
     response.num_states = num_states;
@@ -400,7 +824,7 @@ StatusOr<Response> SndService::ComputeLocked(const Request& request,
   // ScoreAdjacentDistances the CLI uses) over cache-served distances.
   const StatePairs pairs = AdjacentPairs(num_states);
   const std::vector<double> distances =
-      EvaluatePairs(*session, entry.get(), key_prefix, pairs);
+      EvaluatePairs(*session, entry.get(), key_prefix, pairs, first);
   const std::vector<double> scores =
       ScoreAdjacentDistances(distances, session->states, nullptr);
   std::vector<size_t> order(scores.size());
@@ -411,7 +835,8 @@ StatusOr<Response> SndService::ComputeLocked(const Request& request,
   AnomaliesResponse response;
   response.name = base.name;
   for (const size_t t : order) {
-    response.transitions.push_back(static_cast<int32_t>(t));
+    response.transitions.push_back(
+        static_cast<int32_t>(first + static_cast<int64_t>(t)));
     response.scores.push_back(scores[t]);
   }
   return Response(std::move(response));
@@ -429,6 +854,8 @@ StatusOr<Response> SndService::InfoCmd() {
       row.graph_epoch = session.graph_epoch;
       row.states = static_cast<int64_t>(session.states.size());
       row.states_epoch = session.states_epoch;
+      row.graph_sub_epoch = session.graph_sub_epoch;
+      row.first_state = session.first_state_index;
       info.sessions.push_back(std::move(row));
     }
     // Read under the shared lock: a --threads request swaps the global
@@ -454,13 +881,164 @@ StatusOr<Response> SndService::InfoCmd() {
 }
 
 StatusOr<Response> SndService::EvictCmd(const EvictRequest& request) {
-  const WriterMutexLock lock(session_mu_);
-  if (registry_.Find(request.name) == nullptr) {
-    return Status::NotFound("unknown graph '" + request.name + "'");
+  StatusOr<Response> result = [&]() -> StatusOr<Response> {
+    const WriterMutexLock lock(session_mu_);
+    if (registry_.Find(request.name) == nullptr) {
+      return Status::NotFound("unknown graph '" + request.name + "'");
+    }
+    PurgeGraphArtifacts(request.name);
+    registry_.Evict(request.name);
+    return Response(EvictResponse{request.name});
+  }();
+  // Subscribers on the evicted session must wake and end ("evicted").
+  if (result.ok()) NotifyChange();
+  return result;
+}
+
+void SndService::NotifyChange() {
+  {
+    const MutexLock lock(change_mu_);
+    ++change_tick_;
   }
-  PurgeGraphArtifacts(request.name);
-  registry_.Evict(request.name);
-  return Response(EvictResponse{request.name});
+  change_cv_.NotifyAll();
+}
+
+StatusOr<SndService::SubscribeOutcome> SndService::Subscribe(
+    const SubscribeRequest& request,
+    const std::function<void(int64_t from)>& on_start,
+    const std::function<bool(const SubscribeEvent&)>& on_event) {
+  SND_CHECK(on_event != nullptr);
+  if (request.threads > 0) {
+    return Status::InvalidArgument("subscribe does not accept --threads");
+  }
+  if (!ValidSessionName(request.name)) {
+    return Status::InvalidArgument("invalid graph name '" + request.name +
+                                   "'");
+  }
+  // Resolve the starting transition and pin the epochs the stream is
+  // valid for; any epoch movement later ends it ("replaced").
+  uint64_t graph_epoch = 0;
+  uint64_t states_epoch = 0;
+  int64_t next = 0;
+  {
+    const ReaderMutexLock lock(session_mu_);
+    const GraphSession* session = registry_.Find(request.name);
+    if (session == nullptr) {
+      return Status::NotFound("unknown graph '" + request.name + "'");
+    }
+    graph_epoch = session->graph_epoch;
+    states_epoch = session->states_epoch;
+    const int64_t window_first = session->first_state_index;
+    if (request.from < 0) {
+      // Next future transition: the one the next append completes.
+      next = window_first +
+             std::max<int64_t>(
+                 static_cast<int64_t>(session->states.size()) - 1, 0);
+    } else if (request.from < window_first) {
+      return Status::InvalidArgument(
+          "transition '" + std::to_string(request.from) +
+          "' below retained window (first resident state " +
+          std::to_string(window_first) + ")");
+    } else {
+      next = request.from;
+    }
+  }
+  {
+    const MutexLock lock(change_mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+    ++active_subscribers_;
+  }
+  if (on_start) on_start(next);
+
+  SubscribeOutcome outcome;
+  std::string reason;
+  // Per-iteration: snapshot the tick, drain a bounded batch under the
+  // reader lock, deliver outside every lock, then wait for the tick to
+  // move. Snapshot-before-drain means anything appended during the
+  // drain bumps the tick past the snapshot, so no wakeup is lost; the
+  // batch cap keeps writers from starving behind a huge backlog.
+  constexpr int64_t kMaxBatch = 64;
+  while (reason.empty()) {
+    uint64_t tick = 0;
+    {
+      const MutexLock lock(change_mu_);
+      tick = change_tick_;
+      if (shutting_down_) reason = "shutdown";
+    }
+    if (!reason.empty()) break;
+    std::vector<SubscribeEvent> batch;
+    {
+      const ReaderMutexLock lock(session_mu_);
+      const GraphSession* session = registry_.Find(request.name);
+      if (session == nullptr) {
+        reason = "evicted";
+      } else if (session->graph_epoch != graph_epoch ||
+                 session->states_epoch != states_epoch) {
+        reason = "replaced";
+      } else if (next < session->first_state_index) {
+        // Retention outran this consumer: the next transition's states
+        // are gone, and silently skipping ahead would hide data loss.
+        reason = "trimmed";
+      } else {
+        const int64_t window_first = session->first_state_index;
+        const auto resident = static_cast<int64_t>(session->states.size());
+        if (next + 1 < window_first + resident) {
+          const std::string signature = SndOptionsSignature(request.options);
+          const std::shared_ptr<CalcEntry> entry = GetCalculator(
+              request.name, *session, request.options, signature);
+          const std::string key_prefix =
+              request.name + "|g" + std::to_string(session->graph_epoch) +
+              "|s" + std::to_string(session->states_epoch) + "|" +
+              signature + "|";
+          while (static_cast<int64_t>(batch.size()) < kMaxBatch &&
+                 next + 1 < window_first + resident &&
+                 (request.count == 0 ||
+                  outcome.delivered + static_cast<int64_t>(batch.size()) <
+                      request.count)) {
+            const auto li = static_cast<int32_t>(next - window_first);
+            const std::vector<double> values =
+                EvaluatePairs(*session, entry.get(), key_prefix,
+                              {{li, li + 1}}, window_first);
+            SubscribeEvent event;
+            event.transition = next;
+            event.value = values[0];
+            event.graph_epoch = session->graph_epoch;
+            event.graph_sub_epoch = session->graph_sub_epoch;
+            event.states_epoch = session->states_epoch;
+            batch.push_back(event);
+            ++next;
+          }
+        }
+      }
+    }
+    const bool drained_all = static_cast<int64_t>(batch.size()) < kMaxBatch;
+    for (const SubscribeEvent& event : batch) {
+      if (!on_event(event)) {
+        reason = "closed";
+        break;
+      }
+      ++outcome.delivered;
+      if (request.count > 0 && outcome.delivered >= request.count) break;
+    }
+    if (reason.empty() && request.count > 0 &&
+        outcome.delivered >= request.count) {
+      reason = "count";
+    }
+    if (!reason.empty()) break;
+    if (!drained_all) continue;  // Backlog remains; do not sleep on it.
+    MutexLock lock(change_mu_);
+    while (change_tick_ == tick && !shutting_down_) change_cv_.Wait(lock);
+    if (shutting_down_) reason = "shutdown";
+  }
+  {
+    const MutexLock lock(change_mu_);
+    --active_subscribers_;
+  }
+  change_cv_.NotifyAll();  // The destructor may be waiting on us.
+  outcome.reason = reason;
+  return outcome;
 }
 
 void SndService::PurgeGraphArtifacts(const std::string& name) {
@@ -528,6 +1106,63 @@ void SndService::WriteResponse(const ServiceResponse& response,
   WriteTextResponse(response, out);
 }
 
+void SndService::ServeSubscribe(const SubscribeRequest& request,
+                                std::ostream& out, WireFormat format) {
+  // Framing: the text header deliberately does NOT end in "rows <n>" or
+  // "count <n>" — subscribe is the one open-ended response, delimited
+  // by its subscribe_end line instead of a row count. Session names are
+  // [A-Za-z0-9_.-] and reasons are fixed tokens, so the JSON lines need
+  // no escaping.
+  const auto on_start = [&](int64_t from) {
+    if (format == WireFormat::kText) {
+      out << "ok subscribe " << request.name << " from " << from << '\n';
+    } else {
+      out << "{\"ok\":true,\"cmd\":\"subscribe\",\"name\":\""
+          << request.name << "\",\"from\":" << from << "}\n";
+    }
+    out.flush();
+  };
+  const auto on_event = [&](const SubscribeEvent& event) -> bool {
+    if (format == WireFormat::kText) {
+      out << event.transition << ' ' << event.transition + 1 << ' '
+          << FormatDouble(event.value) << '\n';
+    } else {
+      out << "{\"ok\":true,\"cmd\":\"subscribe_event\",\"name\":\""
+          << request.name << "\",\"transition\":" << event.transition
+          << ",\"i\":" << event.transition
+          << ",\"j\":" << event.transition + 1
+          << ",\"value\":" << FormatDouble(event.value)
+          << ",\"graph_epoch\":" << event.graph_epoch
+          << ",\"sub_epoch\":" << event.graph_sub_epoch
+          << ",\"states_epoch\":" << event.states_epoch << "}\n";
+    }
+    out.flush();
+    // A dead peer (stream in a failed state) closes the subscription;
+    // otherwise an unbounded stream would spin forever unread.
+    return static_cast<bool>(out);
+  };
+  const StatusOr<SubscribeOutcome> outcome =
+      Subscribe(request, on_start, on_event);
+  if (!outcome.ok()) {
+    if (format == WireFormat::kText) {
+      WriteTextResponse(RenderTextError(outcome.status()), out);
+    } else {
+      out << RenderJsonError(outcome.status()) << '\n';
+    }
+    out.flush();
+    return;
+  }
+  if (format == WireFormat::kText) {
+    out << "ok subscribe_end " << request.name << " count "
+        << outcome->delivered << " reason " << outcome->reason << '\n';
+  } else {
+    out << "{\"ok\":true,\"cmd\":\"subscribe_end\",\"name\":\""
+        << request.name << "\",\"count\":" << outcome->delivered
+        << ",\"reason\":\"" << outcome->reason << "\"}\n";
+  }
+  out.flush();
+}
+
 void SndService::ServeStream(std::istream& in, std::ostream& out,
                              WireFormat format) {
   std::string line;
@@ -537,6 +1172,13 @@ void SndService::ServeStream(std::istream& in, std::ostream& out,
     if (start == std::string::npos) continue;
     if (format == WireFormat::kText && line[start] == '#') continue;
     if (format == WireFormat::kText) {
+      const StatusOr<Request> request = ParseTextRequest(line);
+      if (request.ok() &&
+          std::holds_alternative<SubscribeRequest>(*request)) {
+        // Streaming command: serve it here (Dispatch rejects it).
+        ServeSubscribe(std::get<SubscribeRequest>(*request), out, format);
+        continue;
+      }
       const ServiceResponse response = Call(line);
       WriteTextResponse(response, out);
       out.flush();
@@ -546,6 +1188,10 @@ void SndService::ServeStream(std::istream& in, std::ostream& out,
       if (!request.ok()) {
         out << RenderJsonError(request.status()) << '\n';
         out.flush();
+        continue;
+      }
+      if (std::holds_alternative<SubscribeRequest>(*request)) {
+        ServeSubscribe(std::get<SubscribeRequest>(*request), out, format);
         continue;
       }
       const StatusOr<Response> response = Dispatch(*request);

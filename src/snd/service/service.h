@@ -20,8 +20,12 @@
 //  * A std::shared_mutex guards the sessions. Read requests (distance /
 //    series / matrix / anomalies / info / version / help) hold the
 //    shared lock and run concurrently; mutations (load_graph /
-//    load_states / append_state / evict) take the writer lock and bump
-//    epochs, so a reader can never observe a torn graph/states pair.
+//    load_states / append_state / add_edge / remove_edge / evict) take
+//    the writer lock and bump epochs, so a reader can never observe a
+//    torn graph/states pair. Graph mutations bump a *sub-epoch* and
+//    invalidate only the cached results the edge change can affect
+//    (see MutateEdgeLocked) instead of retiring the session; subscribe
+//    streams the adjacent-SND series live (see Subscribe).
 //    A read request carrying --threads is dispatched as a writer: it
 //    swaps the global thread pool, which must not race with in-flight
 //    parallel compute.
@@ -53,6 +57,7 @@
 #define SND_SERVICE_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -84,6 +89,14 @@ struct SndServiceConfig {
   // Bound on resident calculators (each holds banks + reversed graph +
   // an edge-cost cache over the series).
   size_t max_calculators = 8;
+  // Sliding-window retention (`--retain=N`): keep at most N resident
+  // states per session, trimming the oldest after each append. 0 (the
+  // default) retains everything. Values below 2 are treated as 2 — a
+  // single state would make every series/transition undefined. State
+  // indices on the wire are *global* (they survive trimming; see
+  // session.h), so million-state streams stay bounded without index
+  // churn.
+  int64_t state_retention = 0;
 };
 
 // Snapshot of the service's cache effectiveness, also printed by `info`.
@@ -133,6 +146,44 @@ class SndService {
   static void WriteResponse(const ServiceResponse& response,
                             std::ostream& out);
 
+  // One streamed adjacent-SND value: SND(state t, state t+1) by global
+  // transition index t, stamped with the epochs it was computed under
+  // (graph_sub_epoch moves on add_edge/remove_edge, so a consumer can
+  // attribute each value to the exact graph version that produced it).
+  struct SubscribeEvent {
+    int64_t transition = 0;  // Global index t; the pair is (t, t+1).
+    double value = 0.0;
+    uint64_t graph_epoch = 0;
+    uint64_t graph_sub_epoch = 0;
+    uint64_t states_epoch = 0;
+  };
+
+  struct SubscribeOutcome {
+    int64_t delivered = 0;
+    // Why the stream ended: "count" (limit reached), "closed" (the
+    // observer returned false), "evicted" (session evicted), "replaced"
+    // (graph or states reloaded — epochs moved, indices restarted),
+    // "trimmed" (retention dropped the next transition before it was
+    // delivered), or "shutdown" (service destruction).
+    std::string reason;
+  };
+
+  // Serves a SubscribeRequest by streaming events to `on_event`,
+  // blocking the calling thread until the stream ends (reasons above).
+  // `on_start`, if non-null, is invoked once with the resolved starting
+  // transition before any event. `on_event` returning false closes the
+  // stream. Both callbacks run with NO service lock held, so they may
+  // block on I/O; events are delivered in strictly increasing
+  // transition order with epochs monotone. Thread-safe: any number of
+  // subscribers may run concurrently with writers; each value is
+  // computed (or served from cache) under the shared session lock, so
+  // it is never torn and is bitwise identical to a `distance` request
+  // at the same epochs.
+  StatusOr<SubscribeOutcome> Subscribe(
+      const SubscribeRequest& request,
+      const std::function<void(int64_t from)>& on_start,
+      const std::function<bool(const SubscribeEvent&)>& on_event);
+
   ServiceCounters counters() const;
 
  private:
@@ -144,8 +195,12 @@ class SndService {
   // in-flight reader after its entry was evicted are never lost and
   // `info` stays exactly cumulative.
   struct CalcEntry {
-    CalcEntry(SndService* owner, std::shared_ptr<const Graph> graph)
-        : owner(owner), graph(std::move(graph)) {}
+    CalcEntry(SndService* owner, std::shared_ptr<const Graph> graph,
+              SndOptions options, std::string signature)
+        : owner(owner),
+          graph(std::move(graph)),
+          options(std::move(options)),
+          signature(std::move(signature)) {}
     ~CalcEntry();
     CalcEntry(const CalcEntry&) = delete;
     CalcEntry& operator=(const CalcEntry&) = delete;
@@ -153,6 +208,11 @@ class SndService {
     SndService* const owner;  // Outlives every entry (Dispatch contract).
     // Keeps the epoch's graph alive; const after construction.
     const std::shared_ptr<const Graph> graph;
+    // The options the calculator was built with and their signature —
+    // const after construction; the mutation path uses them to rebuild
+    // the same calculator on the post-mutation graph.
+    const SndOptions options;
+    const std::string signature;
     // Guards construction of `calc` and the edge_costs swap. NOT held
     // during BatchDistances — compute runs lock-free on a pointer read
     // under mu (SndCalculator's batch path is const and internally
@@ -177,6 +237,13 @@ class SndService {
   StatusOr<Response> LoadGraphCmd(const LoadGraphRequest& request);
   StatusOr<Response> LoadStatesCmd(const LoadStatesRequest& request);
   StatusOr<Response> AppendStateCmd(const AppendStateRequest& request);
+  // Shared body of add_edge (`add` true) and remove_edge: stages the
+  // mutation on a GraphDelta, compacts to a fresh CSR, bumps the
+  // session's graph sub-epoch, rebuilds live calculators with patched
+  // edge-cost caches, and erases exactly the cached results the
+  // mutation may have changed (certificate below).
+  StatusOr<Response> MutateEdgeCmd(const std::string& name, int32_t u,
+                                   int32_t v, bool add);
   StatusOr<Response> ComputeCmd(const Request& request,
                                 const ComputeRequestBase& base);
   StatusOr<Response> InfoCmd();
@@ -203,16 +270,52 @@ class SndService {
   // SND values for `pairs` over the session's states: cached values are
   // served from the result LRU, the rest go through one BatchDistances
   // call sharing the entry's edge-cost cache, then populate the LRU.
+  // `pairs` hold LOCAL (resident-window) indices; result keys use
+  // GLOBAL indices (local + `base_index`, the session's
+  // first_state_index) so cached values survive retention trimming.
   std::vector<double> EvaluatePairs(const GraphSession& session,
                                     CalcEntry* entry,
                                     const std::string& key_prefix,
-                                    const StatePairs& pairs)
+                                    const StatePairs& pairs,
+                                    int64_t base_index)
       SND_REQUIRES_SHARED(session_mu_);
+
+  // The writer-locked body of MutateEdgeCmd: the delta-compact +
+  // sub-epoch bump + targeted invalidation. Retention certificate (per
+  // calculator, per (state, opinion) edge-cost side):
+  //   add_edge(u, v):    source s is unaffected iff
+  //                      d_old(s, u) + cost_new(u, v) >= d_old(s, v);
+  //   remove_edge(u, v): source s is unaffected iff
+  //                      d_new(s, v) == d_old(s, v);
+  // both computed with one reverse SSSP per target on the old (and for
+  // remove, new) calculator. A cached pair is retained iff every SSSP
+  // row source of all four of its EMD* terms (SndCalculator::
+  // TermRowSources) is unaffected on its (state, opinion) side, the
+  // bank structures of the old and new calculators are identical, and
+  // the model patched every built edge-cost buffer
+  // (OpinionModel::PatchEdgeCosts). Everything else is erased; nothing
+  // stale can survive, and every retained value is bitwise identical
+  // to a from-scratch rebuild.
+  StatusOr<Response> MutateEdgeLocked(const std::string& name, int32_t u,
+                                      int32_t v, bool add)
+      SND_REQUIRES(session_mu_);
 
   // Drops every calculator and cached result of `name` (reload/evict),
   // folding retired calculators' work counters into retired_work_.
   void PurgeGraphArtifacts(const std::string& name)
       SND_REQUIRES(session_mu_);
+
+  // Streaming body of `subscribe` for ServeStream connections: renders
+  // the header / events / terminator of Subscribe() onto `out` in
+  // `format`, flushing per event.
+  void ServeSubscribe(const SubscribeRequest& request, std::ostream& out,
+                      WireFormat format);
+
+  // Bumps change_tick_ and wakes subscribers; called (with no service
+  // lock held) after every successful writer mutation a subscriber
+  // could care about: append_state, add_edge/remove_edge, load_graph,
+  // load_states, evict.
+  void NotifyChange();
 
   SndServiceConfig config_;
 
@@ -238,6 +341,20 @@ class SndService {
   uint64_t calc_ticks_ SND_GUARDED_BY(calc_mu_) = 0;
   int64_t calc_builds_ SND_GUARDED_BY(calc_mu_) = 0;
   int64_t calc_hits_ SND_GUARDED_BY(calc_mu_) = 0;
+
+  // Subscriber wakeup state. change_mu_ is a leaf: NotifyChange takes
+  // it only after the writer lock is released, and a subscriber never
+  // holds it while acquiring session_mu_ (it snapshots the tick, drops
+  // the lock, then drains under the reader lock — the tick comparison
+  // on the next iteration catches anything appended during the drain,
+  // so no wakeup is lost). The destructor sets shutting_down_, wakes
+  // everyone, and waits for active_subscribers_ to reach zero before
+  // tearing down the registry.
+  mutable Mutex change_mu_ SND_ACQUIRED_AFTER(session_mu_);
+  CondVar change_cv_;
+  uint64_t change_tick_ SND_GUARDED_BY(change_mu_) = 0;
+  int64_t active_subscribers_ SND_GUARDED_BY(change_mu_) = 0;
+  bool shutting_down_ SND_GUARDED_BY(change_mu_) = false;
 };
 
 }  // namespace snd

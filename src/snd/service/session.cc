@@ -23,8 +23,10 @@ GraphSession& SessionRegistry::LoadGraph(const std::string& name,
   GraphSession& session = sessions_[name];
   session.graph = std::make_shared<const Graph>(std::move(graph));
   session.graph_epoch = ++next_epoch_;
+  session.graph_sub_epoch = 0;
   session.states.clear();
   session.states_epoch = ++next_epoch_;
+  session.first_state_index = 0;
   return session;
 }
 
@@ -36,12 +38,32 @@ void SessionRegistry::ReplaceStates(GraphSession* session,
   }
   session->states = std::move(states);
   session->states_epoch = ++next_epoch_;
+  session->first_state_index = 0;
 }
 
 void SessionRegistry::AppendState(GraphSession* session, NetworkState state) {
   SND_CHECK(session != nullptr);
   SND_CHECK(state.num_users() == session->graph->num_nodes());
   session->states.push_back(std::move(state));
+}
+
+void SessionRegistry::MutateGraph(GraphSession* session,
+                                  std::shared_ptr<const Graph> graph) {
+  SND_CHECK(session != nullptr);
+  SND_CHECK(graph != nullptr);
+  SND_CHECK(session->graph != nullptr);
+  SND_CHECK(graph->num_nodes() == session->graph->num_nodes());
+  session->graph = std::move(graph);
+  session->graph_sub_epoch = ++next_epoch_;
+}
+
+void SessionRegistry::TrimStates(GraphSession* session, int64_t count) {
+  SND_CHECK(session != nullptr);
+  SND_CHECK(count >= 0);
+  SND_CHECK(count <= static_cast<int64_t>(session->states.size()));
+  session->states.erase(session->states.begin(),
+                        session->states.begin() + count);
+  session->first_state_index += count;
 }
 
 GraphSession* SessionRegistry::Find(const std::string& name) {

@@ -12,6 +12,18 @@
 //    state does NOT bump it: an append-only series keeps every existing
 //    state index meaning the same state, so results cached under the
 //    current epoch stay valid.
+//  * graph_sub_epoch bumps (from the same global counter) when the graph
+//    is mutated *in place* by an incremental edge add/remove
+//    (MutateGraph). The session keeps its identity — graph_epoch, the
+//    state series and states_epoch are untouched — so the dispatcher can
+//    invalidate only the affected calculators/results instead of
+//    retiring the whole session.
+//
+// Sliding-window retention (TrimStates) drops the oldest states while
+// first_state_index advances by the same amount, so *global* state
+// indices — the ones on the wire and inside result-cache keys — keep
+// naming the same states forever; only the window of resident indices
+// moves.
 //
 // Graphs are held through shared_ptr so calculators built against an
 // epoch keep their graph alive after a reload replaces it in the
@@ -48,11 +60,20 @@ bool ValidSessionName(const std::string& name);
 struct GraphSession {
   std::shared_ptr<const Graph> graph;
   uint64_t graph_epoch = 0;
+  // In-place mutation version of the current graph_epoch: 0 right after
+  // a (re)load, a fresh global epoch value after every MutateGraph.
+  // Calculator cache keys include it; result keys deliberately do not
+  // (the dispatcher erases exactly the invalidated results instead).
+  uint64_t graph_sub_epoch = 0;
   // The resident state series. Lives at a stable address (inside the
   // registry's node-based map), so long-lived edge-cost caches may hold
   // a pointer to it across appends.
   std::vector<NetworkState> states;
   uint64_t states_epoch = 0;
+  // Global index of states[0]; advanced by TrimStates. Wire-visible
+  // state indices are global: states[k] is global index
+  // first_state_index + k.
+  int64_t first_state_index = 0;
 };
 
 class SessionRegistry {
@@ -67,6 +88,18 @@ class SessionRegistry {
 
   // Appends one state; states_epoch is unchanged (see file comment).
   void AppendState(GraphSession* session, NetworkState state);
+
+  // Replaces the session's graph in place after an incremental mutation
+  // (the compacted successor of the current graph). Bumps graph_sub_epoch
+  // from the global counter; graph_epoch, the states and states_epoch are
+  // untouched. The node count must match (mutations never resize the
+  // network).
+  void MutateGraph(GraphSession* session, std::shared_ptr<const Graph> graph);
+
+  // Drops the first `count` resident states (sliding-window retention)
+  // and advances first_state_index by `count`; states_epoch is unchanged
+  // because surviving *global* indices keep their meaning.
+  void TrimStates(GraphSession* session, int64_t count);
 
   // The session under `name`, or nullptr.
   GraphSession* Find(const std::string& name);

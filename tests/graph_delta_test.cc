@@ -1,0 +1,187 @@
+#include "snd/graph/graph_delta.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snd/graph/graph.h"
+#include "snd/util/random.h"
+#include "test_util.h"
+
+namespace snd {
+namespace {
+
+using testing_util::RandomDirectedGraph;
+
+Graph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  return Graph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+// The reference semantics of the overlay: the base's edge set with the
+// staged operations applied, rebuilt from scratch through FromEdges.
+Graph ReferenceRebuild(const Graph& base,
+                       const std::set<std::pair<int32_t, int32_t>>& edges) {
+  std::vector<Edge> list;
+  list.reserve(edges.size());
+  for (const auto& [u, v] : edges) list.push_back({u, v});
+  return Graph::FromEdges(base.num_nodes(), std::move(list));
+}
+
+std::set<std::pair<int32_t, int32_t>> EdgeSet(const Graph& g) {
+  std::set<std::pair<int32_t, int32_t>> edges;
+  for (const Edge& e : g.ToEdgeList()) edges.insert({e.src, e.dst});
+  return edges;
+}
+
+TEST(GraphDeltaTest, StagesAddAndRemove) {
+  const Graph base = Diamond();
+  GraphDelta delta(&base);
+  EXPECT_EQ(delta.num_edges(), 4);
+  EXPECT_EQ(delta.num_pending(), 0);
+
+  EXPECT_TRUE(delta.AddEdge(3, 0));
+  EXPECT_TRUE(delta.HasEdge(3, 0));
+  EXPECT_EQ(delta.num_edges(), 5);
+
+  EXPECT_TRUE(delta.RemoveEdge(0, 1));
+  EXPECT_FALSE(delta.HasEdge(0, 1));
+  EXPECT_EQ(delta.num_edges(), 4);
+  EXPECT_EQ(delta.num_pending(), 2);
+}
+
+TEST(GraphDeltaTest, RejectsInvalidStaging) {
+  const Graph base = Diamond();
+  GraphDelta delta(&base);
+  EXPECT_FALSE(delta.AddEdge(0, 1));   // Already in the base.
+  EXPECT_FALSE(delta.AddEdge(2, 2));   // Self-loop.
+  EXPECT_FALSE(delta.AddEdge(0, 4));   // Out of range.
+  EXPECT_FALSE(delta.AddEdge(-1, 0));  // Out of range.
+  EXPECT_FALSE(delta.RemoveEdge(1, 0));  // Absent from the overlay view.
+  EXPECT_EQ(delta.num_pending(), 0);
+
+  // Adding a staged-removed edge (and vice versa) just unstages it.
+  EXPECT_TRUE(delta.RemoveEdge(0, 1));
+  EXPECT_TRUE(delta.AddEdge(0, 1));
+  EXPECT_EQ(delta.num_pending(), 0);
+  EXPECT_TRUE(delta.AddEdge(3, 0));
+  EXPECT_TRUE(delta.RemoveEdge(3, 0));
+  EXPECT_EQ(delta.num_pending(), 0);
+  EXPECT_EQ(delta.num_edges(), base.num_edges());
+}
+
+TEST(GraphDeltaTest, CompactMatchesReferenceAndReportsSummary) {
+  const Graph base = Diamond();
+  GraphDelta delta(&base);
+  ASSERT_TRUE(delta.AddEdge(3, 0));
+  ASSERT_TRUE(delta.RemoveEdge(0, 2));
+
+  MutationSummary summary;
+  const Graph compacted = delta.Compact(&summary);
+  auto edges = EdgeSet(base);
+  edges.insert({3, 0});
+  edges.erase({0, 2});
+  EXPECT_EQ(EdgeSet(compacted), edges);
+
+  EXPECT_EQ(summary.num_nodes, 4);
+  ASSERT_EQ(summary.added_edges.size(), 1u);
+  EXPECT_EQ(summary.added_edges[0].src, 3);
+  EXPECT_EQ(summary.added_edges[0].dst, 0);
+  ASSERT_EQ(summary.removed_edges.size(), 1u);
+  EXPECT_EQ(summary.removed_edges[0].src, 0);
+  EXPECT_EQ(summary.removed_edges[0].dst, 2);
+  EXPECT_EQ(summary.touched_nodes, (std::vector<int32_t>{0, 3}));
+  EXPECT_FALSE(summary.empty());
+
+  // The delta is untouched by Compact: staging survives.
+  EXPECT_EQ(delta.num_pending(), 2);
+  delta.Reset();
+  EXPECT_EQ(delta.num_pending(), 0);
+  EXPECT_TRUE(delta.Compact().HasEdge(0, 2));
+}
+
+TEST(GraphDeltaTest, EmptyDeltaCompactsToTheBase) {
+  const Graph base = Diamond();
+  GraphDelta delta(&base);
+  MutationSummary summary;
+  const Graph compacted = delta.Compact(&summary);
+  EXPECT_EQ(EdgeSet(compacted), EdgeSet(base));
+  EXPECT_TRUE(summary.empty());
+  EXPECT_TRUE(summary.touched_nodes.empty());
+  ASSERT_EQ(static_cast<int64_t>(summary.old_edge_of_new.size()),
+            base.num_edges());
+  for (int64_t e = 0; e < base.num_edges(); ++e) {
+    EXPECT_EQ(summary.old_edge_of_new[static_cast<size_t>(e)], e);
+  }
+}
+
+TEST(GraphDeltaTest, FuzzCompactAgainstReferenceRebuild) {
+  Rng rng(20260807);
+  for (int round = 0; round < 30; ++round) {
+    const auto n = static_cast<int32_t>(rng.UniformInt(2, 24));
+    const auto m = static_cast<int32_t>(rng.UniformInt(0, 3 * n));
+    const Graph base = RandomDirectedGraph(n, m, &rng);
+    GraphDelta delta(&base);
+    auto expected = EdgeSet(base);
+
+    const int ops = static_cast<int>(rng.UniformInt(1, 40));
+    for (int k = 0; k < ops; ++k) {
+      const auto u = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+      const auto v = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+      if (rng.Bernoulli(0.5)) {
+        const bool want = u != v && !expected.count({u, v});
+        EXPECT_EQ(delta.AddEdge(u, v), want);
+        if (want) expected.insert({u, v});
+      } else {
+        const bool want = expected.count({u, v}) != 0;
+        EXPECT_EQ(delta.RemoveEdge(u, v), want);
+        if (want) expected.erase({u, v});
+      }
+      EXPECT_EQ(delta.HasEdge(u, v), expected.count({u, v}) != 0);
+    }
+    EXPECT_EQ(delta.num_edges(), static_cast<int64_t>(expected.size()));
+
+    MutationSummary summary;
+    const Graph compacted = delta.Compact(&summary);
+    const Graph reference = ReferenceRebuild(base, expected);
+    ASSERT_EQ(EdgeSet(compacted), EdgeSet(reference)) << "round " << round;
+
+    // Summary invariants: the edge remap is a faithful bijection between
+    // surviving edges, added edges map to -1, and every added/removed
+    // index points at the edge the parallel vector names.
+    ASSERT_EQ(static_cast<int64_t>(summary.old_edge_of_new.size()),
+              compacted.num_edges());
+    std::set<std::pair<int32_t, int32_t>> added_set;
+    for (const Edge& e : summary.added_edges) added_set.insert({e.src, e.dst});
+    for (int64_t e = 0; e < compacted.num_edges(); ++e) {
+      const int32_t src = compacted.EdgeSource(e);
+      const int32_t dst = compacted.EdgeTarget(e);
+      const int64_t old = summary.old_edge_of_new[static_cast<size_t>(e)];
+      if (added_set.count({src, dst})) {
+        EXPECT_EQ(old, -1);
+      } else {
+        ASSERT_GE(old, 0);
+        EXPECT_EQ(base.EdgeSource(old), src);
+        EXPECT_EQ(base.EdgeTarget(old), dst);
+      }
+    }
+    for (size_t k = 0; k < summary.added_edges.size(); ++k) {
+      const int64_t e = summary.added_new_indices[k];
+      EXPECT_EQ(compacted.EdgeSource(e), summary.added_edges[k].src);
+      EXPECT_EQ(compacted.EdgeTarget(e), summary.added_edges[k].dst);
+    }
+    for (size_t k = 0; k < summary.removed_edges.size(); ++k) {
+      const int64_t e = summary.removed_old_indices[k];
+      EXPECT_EQ(base.EdgeSource(e), summary.removed_edges[k].src);
+      EXPECT_EQ(base.EdgeTarget(e), summary.removed_edges[k].dst);
+    }
+    EXPECT_TRUE(std::is_sorted(summary.touched_nodes.begin(),
+                               summary.touched_nodes.end()));
+  }
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,212 @@
+// Randomized end-to-end check of the incremental mutation path
+// (satellite of the mutable-epoch refactor): a long mixed sequence of
+// add_edge / remove_edge / append_state requests against one warm
+// session must answer every query bitwise identically to a fresh
+// session rebuilt from scratch over the mirrored edge set and state
+// series — across SSSP backends and thread counts. This is the
+// determinism contract that lets the targeted cache invalidation in
+// SndService::MutateEdgeLocked retain anything at all.
+#include <cstdio>
+#include <iterator>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smoke_util.h"
+#include "snd/graph/graph.h"
+#include "snd/graph/io.h"
+#include "snd/opinion/network_state.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/service.h"
+#include "snd/util/random.h"
+#include "snd/util/thread_pool.h"
+
+namespace snd {
+namespace {
+
+constexpr int32_t kNodes = 16;
+
+std::string FuzzTempPath(const std::string& suffix) {
+  return testing_util::SmokeTempPath("mutation_fuzz", suffix);
+}
+
+// The mirrored session: the plain edge set and state series the warm
+// service should be equivalent to at every step.
+struct Mirror {
+  std::set<std::pair<int32_t, int32_t>> edges;
+  std::vector<NetworkState> states;
+
+  Graph BuildGraph() const {
+    std::vector<Edge> list;
+    list.reserve(edges.size());
+    for (const auto& [u, v] : edges) list.push_back({u, v});
+    return Graph::FromEdges(kNodes, std::move(list));
+  }
+};
+
+// Loads a fresh single-use service from the mirror via the same
+// load-by-path requests a cold client would issue.
+void LoadMirror(const Mirror& mirror, SndService* fresh,
+                const std::string& graph_path,
+                const std::string& states_path) {
+  ASSERT_TRUE(WriteEdgeList(mirror.BuildGraph(), graph_path));
+  ASSERT_TRUE(WriteStateSeries(mirror.states, states_path));
+  ASSERT_TRUE(fresh->Call("load_graph m " + graph_path).ok);
+  ASSERT_TRUE(fresh->Call("load_states m " + states_path).ok);
+}
+
+// Byte-level equality of two text-codec responses (headers and data
+// rows carry FormatDouble-rendered values, so this is bitwise identity
+// of the underlying doubles).
+void ExpectSameResponse(const ServiceResponse& warm,
+                        const ServiceResponse& fresh,
+                        const std::string& context) {
+  EXPECT_EQ(warm.ok, fresh.ok) << context;
+  EXPECT_EQ(warm.header, fresh.header) << context;
+  EXPECT_EQ(warm.rows, fresh.rows) << context;
+}
+
+class MutationFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = FuzzTempPath("graph.edges");
+    states_path_ = FuzzTempPath("states.txt");
+  }
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(states_path_.c_str());
+    ThreadPool::SetGlobalThreads(1);
+  }
+
+  // One fuzz sequence under the given request flags. The warm service
+  // sees `ops` mutations interleaved with queries; every query is
+  // diffed byte-for-byte against a fresh rebuild of the mirror.
+  void RunSequence(const std::string& flags, uint64_t seed, int ops) {
+    Rng rng(seed);
+    Mirror mirror;
+    // Seed session: a directed ring with a few chords and 3 states.
+    for (int32_t u = 0; u < kNodes; ++u) {
+      mirror.edges.insert({u, (u + 1) % kNodes});
+      mirror.edges.insert({(u + 1) % kNodes, u});
+    }
+    mirror.edges.insert({0, kNodes / 2});
+    mirror.edges.insert({kNodes / 2, 1});
+    for (int s = 0; s < 3; ++s) {
+      std::vector<int8_t> values(kNodes, 0);
+      for (int32_t u = 0; u < kNodes; ++u) {
+        values[static_cast<size_t>(u)] =
+            static_cast<int8_t>(rng.UniformInt(-1, 1));
+      }
+      mirror.states.push_back(NetworkState::FromValues(std::move(values)));
+    }
+
+    SndService warm;
+    LoadMirror(mirror, &warm, graph_path_, states_path_);
+    // The warm session keeps the name the mirror loader used ("m").
+
+    for (int op = 0; op < ops; ++op) {
+      const std::string context =
+          "flags '" + flags + "' seed " + std::to_string(seed) + " op " +
+          std::to_string(op);
+      const double dice = rng.UniformReal();
+      if (dice < 0.40) {
+        // add_edge: a uniformly random absent non-loop pair (skip the
+        // op if the graph happens to be complete).
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const auto u = static_cast<int32_t>(rng.UniformInt(0, kNodes - 1));
+          const auto v = static_cast<int32_t>(rng.UniformInt(0, kNodes - 1));
+          if (u == v || mirror.edges.count({u, v})) continue;
+          ASSERT_TRUE(warm.Call("add_edge m " + std::to_string(u) + " " +
+                                std::to_string(v))
+                          .ok)
+              << context;
+          mirror.edges.insert({u, v});
+          break;
+        }
+      } else if (dice < 0.70) {
+        // remove_edge: a uniformly random existing edge, keeping the
+        // graph non-empty.
+        if (mirror.edges.size() > 1) {
+          auto it = mirror.edges.begin();
+          std::advance(it, rng.UniformInt(
+                               0, static_cast<int64_t>(mirror.edges.size()) -
+                                      1));
+          const auto [u, v] = *it;
+          ASSERT_TRUE(warm.Call("remove_edge m " + std::to_string(u) + " " +
+                                std::to_string(v))
+                          .ok)
+              << context;
+          mirror.edges.erase(it);
+        }
+      } else {
+        // append_state: random opinions.
+        std::vector<int8_t> values(kNodes, 0);
+        std::string request = "append_state m";
+        for (int32_t u = 0; u < kNodes; ++u) {
+          values[static_cast<size_t>(u)] =
+              static_cast<int8_t>(rng.UniformInt(-1, 1));
+          request += " " + std::to_string(values[static_cast<size_t>(u)]);
+        }
+        ASSERT_TRUE(warm.Call(request).ok) << context;
+        mirror.states.push_back(NetworkState::FromValues(std::move(values)));
+      }
+
+      // Per-op spot check: the newest transition plus one random pair.
+      SndService fresh;
+      LoadMirror(mirror, &fresh, graph_path_, states_path_);
+      const auto num_states = static_cast<int64_t>(mirror.states.size());
+      std::vector<std::string> queries;
+      queries.push_back("distance m " + std::to_string(num_states - 2) + " " +
+                        std::to_string(num_states - 1) + flags);
+      const int64_t i = rng.UniformInt(0, num_states - 1);
+      const int64_t j = rng.UniformInt(0, num_states - 1);
+      queries.push_back("distance m " + std::to_string(i) + " " +
+                        std::to_string(j) + flags);
+      // Periodically (and at the end) diff the whole adjacent series
+      // and the anomaly report.
+      if (op % 16 == 15 || op == ops - 1) {
+        queries.push_back("series m" + flags);
+        queries.push_back("anomalies m" + flags);
+      }
+      for (const std::string& query : queries) {
+        ExpectSameResponse(warm.Call(query), fresh.Call(query),
+                           context + " query '" + query + "'");
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+  }
+
+  std::string graph_path_;
+  std::string states_path_;
+};
+
+// ~1k mixed mutations in total, split across the SSSP backend x thread
+// grid so every engine sees every op class.
+TEST_F(MutationFuzzTest, WarmSessionMatchesFreshRebuildAuto) {
+  RunSequence("", 0xA11CE, 120);
+  RunSequence(" --threads=2", 0xA11CF, 120);
+}
+
+TEST_F(MutationFuzzTest, WarmSessionMatchesFreshRebuildDijkstra) {
+  RunSequence(" --sssp=dijkstra", 0xD11C5, 120);
+  RunSequence(" --sssp=dijkstra --threads=2", 0xD11C6, 120);
+}
+
+TEST_F(MutationFuzzTest, WarmSessionMatchesFreshRebuildDial) {
+  RunSequence(" --sssp=dial", 0xD1A1, 120);
+  RunSequence(" --sssp=dial --threads=2", 0xD1A2, 120);
+}
+
+TEST_F(MutationFuzzTest, WarmSessionMatchesFreshRebuildHardwareThreads) {
+  const int hw = ThreadPool::DefaultThreads();
+  RunSequence(" --threads=" + std::to_string(hw), 0x4A4D, 120);
+  RunSequence(" --sssp=dial --threads=" + std::to_string(hw), 0x4A4E, 120);
+  RunSequence(" --sssp=dijkstra --threads=" + std::to_string(hw), 0x4A4F,
+              120);
+}
+
+}  // namespace
+}  // namespace snd

@@ -424,6 +424,128 @@ TEST_F(ServiceStressTest, EvictRacesReadsReturnExactValuesOrCleanErrors) {
   EXPECT_EQ(std::get<DistanceResponse>(*final_distance).value, expected_01_);
 }
 
+// Subscribe streams racing append_state and add_edge/remove_edge
+// writers: every delivered event must carry a value the stamped graph
+// version actually produces (base or chord edge set — the mutation
+// writer toggles one chord), transitions must arrive strictly in
+// order, epochs must be monotone, and once the writers retire the
+// chord the session must answer bitwise like the untouched fixture.
+// Runs under the tsan preset in CI.
+TEST_F(ServiceStressTest, SubscribeRacesAppendAndEdgeMutationWriters) {
+  SndService service;
+  ASSERT_TRUE(service.Call("load_graph g " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_states g " + states_path_).ok);
+
+  const size_t base_transitions = states_.size() - 1;
+  constexpr int kAppends = 10;
+  const auto total =
+      static_cast<int64_t>(base_transitions) + kAppends;
+
+  // The two graph versions the mutation writer alternates between, and
+  // the exact series each one produces. (Appended states are copies of
+  // the last state, so appended transitions are exactly 0 under any
+  // graph — SND is a metric.)
+  std::vector<double> chord_series;
+  {
+    std::vector<Edge> chord_edges = graph_.ToEdgeList();
+    chord_edges.push_back({0, 8});
+    const Graph chord(
+        Graph::FromEdges(graph_.num_nodes(), std::move(chord_edges)));
+    const SndCalculator direct(&chord, SndOptions());
+    chord_series = direct.AdjacentDistanceSeries(states_);
+  }
+
+  FailureLog failures;
+  std::vector<std::thread> threads;
+
+  // Subscribers: stream every transition from 0 and validate each
+  // event against the two admissible graph versions.
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&] {
+      SubscribeRequest request;
+      request.name = "g";
+      request.from = 0;
+      request.count = total;
+      int64_t last_transition = -1;
+      uint64_t last_sub_epoch = 0;
+      const auto result = service.Subscribe(
+          request, nullptr, [&](const SndService::SubscribeEvent& event) {
+            if (event.transition != last_transition + 1) {
+              failures.Record("transition order broke at " +
+                              std::to_string(event.transition));
+            }
+            last_transition = event.transition;
+            if (event.graph_sub_epoch < last_sub_epoch) {
+              failures.Record("sub_epoch went backwards");
+            }
+            last_sub_epoch = event.graph_sub_epoch;
+            const auto t = static_cast<size_t>(event.transition);
+            if (t < base_transitions) {
+              if (event.value != expected_series_[t] &&
+                  event.value != chord_series[t]) {
+                failures.Record("event value matches neither graph at t=" +
+                                std::to_string(t));
+              }
+            } else if (event.value != 0.0) {
+              failures.Record("appended transition not exactly zero");
+            }
+            return true;
+          });
+      if (!result.ok()) {
+        failures.Record("subscribe failed: " + result.status().ToString());
+      } else if (result->delivered != total || result->reason != "count") {
+        failures.Record("subscribe ended " + result->reason + " after " +
+                        std::to_string(result->delivered));
+      }
+    });
+  }
+
+  // Writer 1: appends copies of the last state.
+  threads.emplace_back([&] {
+    AppendStateRequest append;
+    append.name = "g";
+    for (int32_t u = 0; u < states_.back().num_users(); ++u) {
+      append.values.push_back(states_.back().value(u));
+    }
+    for (int k = 0; k < kAppends; ++k) {
+      const StatusOr<Response> response = service.Dispatch(Request(append));
+      if (!response.ok()) {
+        failures.Record("append failed: " + response.status().ToString());
+      }
+    }
+  });
+
+  // Writer 2: toggles the chord 0->8, ending with it removed.
+  threads.emplace_back([&] {
+    for (int k = 0; k < 6; ++k) {
+      const StatusOr<Response> added =
+          service.Dispatch(Request(AddEdgeRequest{"g", 0, 8}));
+      if (!added.ok()) {
+        failures.Record("add_edge failed: " + added.status().ToString());
+      }
+      const StatusOr<Response> removed =
+          service.Dispatch(Request(RemoveEdgeRequest{"g", 0, 8}));
+      if (!removed.ok()) {
+        failures.Record("remove_edge failed: " + removed.status().ToString());
+      }
+    }
+  });
+
+  for (std::thread& thread : threads) thread.join();
+  failures.ExpectEmpty();
+
+  // The chord is gone: the warm session must answer bitwise like the
+  // untouched fixture, cached or recomputed.
+  const ServiceResponse series = service.Call("series g");
+  ASSERT_TRUE(series.ok) << series.header;
+  ASSERT_EQ(series.values.size(), base_transitions + kAppends);
+  for (size_t t = 0; t < series.values.size(); ++t) {
+    const double expected =
+        t < base_transitions ? expected_series_[t] : 0.0;
+    EXPECT_EQ(series.values[t], expected) << t;
+  }
+}
+
 #if !defined(_WIN32)
 
 // A line-oriented TCP client for the stress test.

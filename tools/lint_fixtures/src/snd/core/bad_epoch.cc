@@ -1,0 +1,22 @@
+// Fixture: epoch-bump must fire on the counter reference, the field
+// advance, and the invalidation call below.
+#include <cstdint>
+
+struct FakeSession {
+  uint64_t graph_sub_epoch = 0;  // Default initializer must NOT fire.
+};
+struct FakeCache {
+  int EraseMatchingPrefix(const char*);
+};
+
+uint64_t next_epoch_ = 0;
+
+void Fixture(FakeSession* session, FakeCache* results) {
+  session->graph_sub_epoch = next_epoch_;
+  session->graph_sub_epoch += 1;
+  results->EraseMatchingPrefix("g|");
+  // A comment mentioning ++next_epoch_ must NOT fire, and neither must
+  // a plain copy out of the field:
+  const uint64_t snapshot = session->graph_sub_epoch;
+  (void)snapshot;
+}

@@ -40,6 +40,21 @@ nodiscard-status
     API contract that error returns cannot be silently dropped is
     enforced at the type, and this rule keeps it from regressing.
 
+epoch-bump
+    Epoch counters may only be minted or advanced inside the session
+    registry (src/snd/service/session.*) or the graph delta overlay
+    (src/snd/graph/graph_delta.*): any reference to the global
+    `next_epoch_` counter, or ++/+=/fetch_add on the
+    graph_epoch/graph_sub_epoch/states_epoch fields, elsewhere is a
+    finding.  Cache-key uniqueness relies on every epoch value coming
+    from the one monotone counter; a second mint site could alias keys
+    across reloads.  Likewise the cache-invalidation entry points
+    (EraseMatching / EraseMatchingPrefix / TrimEdgeCostCache) may only
+    be driven from src/snd/service/ (or their defining module,
+    src/snd/core/snd.*) — targeted invalidation is a service-layer
+    decision, not something arbitrary code may trigger.  Copying an
+    epoch value into a response struct is data-plane and not flagged.
+
 Waivers
 -------
 A finding on a specific line can be waived with a trailing comment
@@ -163,6 +178,14 @@ _TO_STRING_FLOAT = re.compile(
     r"\bstd::to_string\s*\(\s*[^()]*\b(?:double|float)\b"
     r"|\bstd::to_string\s*\(\s*[0-9]*\.[0-9]")
 _USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+_EPOCH_COUNTER = re.compile(r"\bnext_epoch_\b")
+_EPOCH_ADVANCE = re.compile(
+    r"(?:\+\+|--)\s*(?:\w+(?:->|\.))?"
+    r"(?:graph_epoch|graph_sub_epoch|states_epoch)\b"
+    r"|\b(?:graph_epoch|graph_sub_epoch|states_epoch)\s*"
+    r"(?:\+\+|--|\+=|-=|\.fetch_add)")
+_CACHE_INVALIDATE = re.compile(
+    r"\b(?:EraseMatchingPrefix|EraseMatching|TrimEdgeCostCache)\s*\(")
 _STATUS_CLASS = re.compile(r"^\s*class\s+(Status|StatusOr)\b")
 _STATUS_ACCESSOR = re.compile(r"\bconst\s+Status&\s+status\s*\(\s*\)\s*const")
 
@@ -218,6 +241,39 @@ def check_nodiscard_status(rel, raw, code):
             yield i, "StatusOr::status() must be [[nodiscard]]"
 
 
+_EPOCH_MINT_FILES = {
+    os.path.join("src", "snd", "service", "session.h"),
+    os.path.join("src", "snd", "service", "session.cc"),
+    os.path.join("src", "snd", "graph", "graph_delta.h"),
+    os.path.join("src", "snd", "graph", "graph_delta.cc"),
+}
+_INVALIDATE_MODULE_FILES = {
+    os.path.join("src", "snd", "core", "snd.h"),
+    os.path.join("src", "snd", "core", "snd.cc"),
+}
+
+
+def check_epoch_bump(rel, raw, code):
+    epoch_ok = rel in _EPOCH_MINT_FILES
+    invalidate_ok = (
+        epoch_ok or
+        rel.startswith(os.path.join("src", "snd", "service") + os.sep) or
+        rel in _INVALIDATE_MODULE_FILES)
+    if epoch_ok and invalidate_ok:
+        return
+    for i, line in enumerate(code, start=1):
+        if not epoch_ok and (_EPOCH_COUNTER.search(line) or
+                             _EPOCH_ADVANCE.search(line)):
+            yield i, ("epoch counter minted/advanced outside the session "
+                      "registry; epochs may only move in "
+                      "src/snd/service/session.* or the delta overlay "
+                      "(src/snd/graph/graph_delta.*)")
+        elif not invalidate_ok and _CACHE_INVALIDATE.search(line):
+            yield i, ("cache invalidation outside the service layer; "
+                      "EraseMatching*/TrimEdgeCostCache may only be driven "
+                      "from src/snd/service/")
+
+
 class Rule:
     def __init__(self, rule_id, applies, check):
         self.rule_id = rule_id
@@ -245,6 +301,10 @@ RULES = [
          lambda rel: rel.endswith(".h") and
          _in(rel, os.path.join("src", "snd", "api")),
          check_nodiscard_status),
+    Rule("epoch-bump",
+         lambda rel: rel.endswith(_CPP_EXT) and
+         _in(rel, "src", "tools", "bench"),
+         check_epoch_bump),
 ]
 
 
@@ -301,6 +361,7 @@ EXPECTED_VIOLATIONS = {
     "using-namespace-header": os.path.join("src", "snd", "core",
                                            "bad_header.h"),
     "nodiscard-status": os.path.join("src", "snd", "api", "bad_status.h"),
+    "epoch-bump": os.path.join("src", "snd", "core", "bad_epoch.cc"),
 }
 CLEAN_FIXTURES = [
     os.path.join("src", "snd", "util", "thread_pool.cc"),  # scope exemption

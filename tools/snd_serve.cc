@@ -14,6 +14,9 @@
 //                      (port 0 picks a free port and prints it)
 //   --format=text|json wire format (default text)
 //   --cache=N          result-LRU capacity in entries (default 65536)
+//   --retain=N         keep only the newest N states per session (N >= 2;
+//                      default 0 = unbounded) — enables bounded-memory
+//                      streaming with `append_state` + `subscribe`
 //   --version          print the version and exit
 //   --help, -h         print this message
 #include <cerrno>
@@ -51,6 +54,8 @@ constexpr char kUsage[] =
     "                     reads run concurrently, mutations exclusively\n"
     "  --format=text|json wire format (default text)\n"
     "  --cache=N          result-LRU capacity in entries (default 65536)\n"
+    "  --retain=N         keep only the newest N states per session\n"
+    "                     (N >= 2; default 0 = unbounded)\n"
     "  --version          print the version and exit\n"
     "  --help, -h         print this message\n"
     "Protocol: send `help` (or see the README's Serving section).\n";
@@ -116,7 +121,8 @@ class FdStreamBuf : public std::streambuf {
   char out_[4096];
 };
 
-int ServeTcp(int port, size_t cache_capacity, snd::WireFormat format) {
+int ServeTcp(int port, size_t cache_capacity, long long state_retention,
+             snd::WireFormat format) {
   // A client closing its socket mid-response must not kill the server:
   // without this, FdStreamBuf's write() raises SIGPIPE whose default
   // disposition terminates the process.
@@ -152,6 +158,7 @@ int ServeTcp(int port, size_t cache_capacity, snd::WireFormat format) {
   // are served concurrently, each on its own detached thread.
   snd::SndServiceConfig config;
   config.result_cache_capacity = cache_capacity;
+  config.state_retention = state_retention;
   snd::SndService service(config);
   // One thread per live connection, bounded so a crowd of idle clients
   // cannot exhaust process resources.
@@ -219,6 +226,7 @@ int ServeTcp(int port, size_t cache_capacity, snd::WireFormat format) {
 int main(int argc, char** argv) {
   int listen_port = -1;
   size_t cache_capacity = snd::SndServiceConfig().result_cache_capacity;
+  long long state_retention = 0;
   snd::WireFormat format = snd::WireFormat::kText;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
@@ -253,6 +261,16 @@ int main(int argc, char** argv) {
         return Fail("invalid --cache value '" + value + "'");
       }
       cache_capacity = static_cast<size_t>(capacity);
+    } else if (snd::SplitSndFlag(arg, "retain", &value)) {
+      long long retain = 0;
+      int consumed = 0;
+      if (std::sscanf(value.c_str(), "%lld%n", &retain, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || retain < 0 ||
+          (retain > 0 && retain < 2)) {
+        return Fail("invalid --retain value '" + value +
+                    "' (want 0 or N >= 2)");
+      }
+      state_retention = retain;
     } else {
       return Fail("unrecognized flag '" + arg + "'");
     }
@@ -262,12 +280,13 @@ int main(int argc, char** argv) {
 #if defined(_WIN32)
     return Fail("--listen is not supported on this platform");
 #else
-    return ServeTcp(listen_port, cache_capacity, format);
+    return ServeTcp(listen_port, cache_capacity, state_retention, format);
 #endif
   }
 
   snd::SndServiceConfig config;
   config.result_cache_capacity = cache_capacity;
+  config.state_retention = state_retention;
   snd::SndService service(config);
   service.ServeStream(std::cin, std::cout, format);
   return 0;
