@@ -20,6 +20,14 @@ inline bool FullScale() {
   return value != nullptr && std::strcmp(value, "0") != 0;
 }
 
+// Emits a machine-readable metric line. RunBench.cmake scrapes these
+// into the per-bench JSON fragment's "metrics" object, which the
+// perf-budget check (tools/check_perf_budget.py) compares against
+// bench/budgets.json. Names are dot-separated lowercase tokens.
+inline void PrintMetric(const char* name, double value) {
+  std::printf("BENCH_METRIC %s %.6f\n", name, value);
+}
+
 inline void PrintHeader(const char* experiment, const char* description) {
   std::printf("==================================================\n");
   std::printf("%s\n", experiment);

@@ -41,10 +41,27 @@ elseif(_ncpu GREATER 0)
   set(_threads ${_ncpu})
 endif()
 
+# Metric lines ("BENCH_METRIC <name> <value>", printed via
+# snd::bench::PrintMetric) become a "metrics" object keyed by name; the
+# perf-budget check compares them against bench/budgets.json.
+set(_metrics "")
+string(REGEX MATCHALL "BENCH_METRIC [a-z0-9._-]+ [0-9.eE+-]+" _metric_lines
+       "${_log_text}")
+foreach(_line IN LISTS _metric_lines)
+  string(REGEX REPLACE "BENCH_METRIC ([a-z0-9._-]+) ([0-9.eE+-]+)"
+         "\"\\1\": \\2" _pair "${_line}")
+  if(_metrics STREQUAL "")
+    set(_metrics "${_pair}")
+  else()
+    set(_metrics "${_metrics}, ${_pair}")
+  endif()
+endforeach()
+
 file(WRITE ${BENCH_LOG}.json
   "{\"name\": \"${_name}\", \"wall_seconds\": ${_wall}, "
   "\"reported_seconds\": ${_reported}, \"n\": ${_n}, "
-  "\"threads\": ${_threads}, \"exit_code\": ${_rc}}\n")
+  "\"threads\": ${_threads}, \"exit_code\": ${_rc}, "
+  "\"metrics\": {${_metrics}}}\n")
 
 if(NOT _rc EQUAL 0)
   message(FATAL_ERROR "${BENCH_BIN} exited with ${_rc}; see ${BENCH_LOG}")

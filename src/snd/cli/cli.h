@@ -14,7 +14,7 @@
 //   --model=agnostic|icc|lt           ground-distance model
 //   --solver=simplex|ssp|cost-scaling transportation solver
 //   --banks=per-bin|per-cluster|global  EMD* bank placement
-//   --sssp=auto|dijkstra|dial         shortest-path backend
+//   --sssp=auto|dijkstra|dial|delta   shortest-path backend
 //   --threads=N                       worker threads (any N, same values)
 //
 // Graph files are WriteEdgeList format, state files WriteStateSeries

@@ -293,7 +293,8 @@ SndCalculator::SndCalculator(const Graph* graph, SndOptions options)
   SND_CHECK(graph != nullptr);
   sssp_backend_ = ResolveSsspBackend(options_.sssp_backend,
                                      graph_->num_nodes(),
-                                     model_->MaxEdgeCost());
+                                     model_->MaxEdgeCost(),
+                                     ThreadPool::GlobalThreads());
   reversed_ = graph_->Reversed(&reverse_origin_);
 
   // Bank clustering.
@@ -357,7 +358,7 @@ std::unique_ptr<SsspEngine> SndCalculator::MakeEngine() const {
   // forward and the reversed (permuted-forward) cost buffers, so one
   // engine serves every search of the calculator.
   return MakeSsspEngine(sssp_backend_, graph_->num_nodes(),
-                        model_->MaxEdgeCost());
+                        model_->MaxEdgeCost(), ThreadPool::GlobalThreads());
 }
 
 int64_t SndCalculator::DisconnectionCost() const {

@@ -242,8 +242,9 @@ class SndCalculator {
   const SndOptions& options() const { return options_; }
 
   // The concrete SSSP backend behind every ground-distance search
-  // (SndOptions::sssp_backend with kAuto resolved against the graph size
-  // and the model's MaxEdgeCost()).
+  // (SndOptions::sssp_backend with kAuto resolved against the graph size,
+  // the model's MaxEdgeCost() and the construction-time global thread
+  // count).
   SsspBackend sssp_backend() const { return sssp_backend_; }
 
  private:

@@ -12,6 +12,8 @@ const char* SsspBackendName(SsspBackend backend) {
       return "dijkstra";
     case SsspBackend::kDial:
       return "dial";
+    case SsspBackend::kDeltaStepping:
+      return "delta";
   }
   return "unknown";
 }
@@ -153,30 +155,42 @@ std::span<const int64_t> DialEngine::Run(const Graph& g,
 }
 
 SsspBackend ResolveSsspBackend(SsspBackend requested, int32_t num_nodes,
-                               int32_t max_edge_cost) {
+                               int32_t max_edge_cost,
+                               int32_t available_threads) {
   if (requested != SsspBackend::kAuto) return requested;
   // Dial allocates max_edge_cost + 1 buckets and its sweep walks every
   // distance value up to the search radius (<= hops * U), so it pays off
   // exactly in Assumption 2's regime: U small relative to n. The absolute
   // cap keeps the bucket array bounded on huge-U configurations; the
   // measured crossover is printed by bench_sssp.
-  constexpr int32_t kDialAutoCostCap = 1 << 16;
   if (max_edge_cost <= kDialAutoCostCap &&
       static_cast<int64_t>(max_edge_cost) <=
           static_cast<int64_t>(num_nodes) / 2) {
     return SsspBackend::kDial;
+  }
+  // Outside the Dial regime (large U), delta-stepping's width-Delta
+  // buckets replace both the heap's log factor and Dial's per-distance
+  // sweep, and its relaxation rounds parallelize; it needs enough nodes
+  // per bucket round and enough threads to amortize the round overhead.
+  if (num_nodes >= kDeltaAutoMinNodes &&
+      available_threads >= kDeltaAutoMinThreads) {
+    return SsspBackend::kDeltaStepping;
   }
   return SsspBackend::kDijkstra;
 }
 
 std::unique_ptr<SsspEngine> MakeSsspEngine(SsspBackend backend,
                                            int32_t num_nodes,
-                                           int32_t max_edge_cost) {
+                                           int32_t max_edge_cost,
+                                           int32_t available_threads) {
   SND_CHECK(num_nodes >= 0);
   SND_CHECK(max_edge_cost >= 0);
-  switch (ResolveSsspBackend(backend, num_nodes, max_edge_cost)) {
+  switch (ResolveSsspBackend(backend, num_nodes, max_edge_cost,
+                             available_threads)) {
     case SsspBackend::kDial:
       return std::make_unique<DialEngine>(num_nodes, max_edge_cost);
+    case SsspBackend::kDeltaStepping:
+      return std::make_unique<DeltaSteppingEngine>(num_nodes, max_edge_cost);
     case SsspBackend::kDijkstra:
     case SsspBackend::kAuto:  // Unreachable: resolution is concrete.
       break;

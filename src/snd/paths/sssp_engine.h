@@ -11,6 +11,13 @@
 //    the paper's Assumption 2 (every cost <= U). O(n + m + radius) per
 //    search; this plays the role of the radix-heap Dijkstra of Ahuja et
 //    al. behind Theorem 4's complexity bound.
+//  * DeltaSteppingEngine - Meyer & Sanders bucketed delta-stepping:
+//    buckets of width Delta keyed by floor(dist / Delta), light edges
+//    (cost <= Delta) relaxed in per-bucket rounds, heavy edges once per
+//    settled bucket. Rounds with large frontiers fan the relaxation out
+//    over the shared ThreadPool with per-thread request buffers; the
+//    merged result is the unique shortest-path distances, so values are
+//    bitwise identical to Dijkstra/Dial at any thread count.
 //
 // Engines own reusable workspaces: the distance array, heap/buckets and
 // target bitmap are allocated once and recycled across Run calls, so the
@@ -41,6 +48,7 @@ enum class SsspBackend {
   kAuto,
   kDijkstra,
   kDial,
+  kDeltaStepping,
 };
 
 const char* SsspBackendName(SsspBackend backend);
@@ -172,20 +180,97 @@ class DialEngine : public SsspEngine {
   SsspTargetSet targets_;
 };
 
+// Meyer & Sanders delta-stepping. Buckets of width `delta` keyed by
+// floor(dist / delta); light edges (cost <= delta) are relaxed in
+// repeated per-bucket rounds, heavy edges once when the bucket settles.
+// Large relaxation rounds run on the shared ThreadPool (per-thread
+// request buffers, merged on the calling thread); inside an enclosing
+// ParallelFor region the engine degrades to fully sequential rounds, so
+// the row-parallel SND fan-out never nests pool dispatches.
+class DeltaSteppingEngine : public SsspEngine {
+ public:
+  // `delta` == 0 picks ChooseSsspDelta(n, m, max_cost) per Run from the
+  // actual graph density.
+  DeltaSteppingEngine(int32_t num_nodes, int32_t max_cost, int64_t delta = 0);
+
+  std::span<const int64_t> Run(const Graph& g,
+                               std::span<const int32_t> edge_costs,
+                               std::span<const SsspSource> sources,
+                               const SsspGoal& goal) override;
+
+  SsspBackend backend() const override { return SsspBackend::kDeltaStepping; }
+  const char* name() const override { return "delta"; }
+  int32_t max_cost() const { return max_cost_; }
+  // The bucket width of the most recent Run (the configured value, or the
+  // per-graph heuristic choice when configured as 0).
+  int64_t last_delta() const { return last_delta_; }
+
+ private:
+  // A relaxation produced by a light/heavy round, applied during the
+  // deterministic merge on the calling thread.
+  struct Request {
+    int32_t node;
+    int64_t dist;
+  };
+
+  void RelaxFrontier(const Graph& g, std::span<const int32_t> edge_costs,
+                     const std::vector<int32_t>& frontier, bool light,
+                     int64_t delta, int64_t num_buckets, int64_t* pending);
+  void ApplyRequest(int32_t node, int64_t nd, int64_t delta,
+                    int64_t num_buckets, int64_t* pending);
+
+  int32_t max_cost_;
+  int64_t configured_delta_;  // 0 = per-run heuristic.
+  int64_t last_delta_ = 0;
+  std::vector<int64_t> dist_;
+  // Absolute bucket index each node currently sits in (kNotQueued when
+  // none); dedupes bucket insertion and filters stale entries on pop.
+  std::vector<int64_t> in_bucket_;
+  std::vector<std::vector<int32_t>> buckets_;  // Cyclic by bucket index.
+  std::vector<int32_t> frontier_;   // Valid pops of the current round.
+  std::vector<int32_t> settled_;    // R: nodes settled by current bucket.
+  std::vector<uint64_t> settled_stamp_;  // == phase_: already in settled_.
+  uint64_t phase_ = 0;
+  std::vector<std::vector<Request>> requests_;  // One buffer per pool slot.
+  SsspTargetSet targets_;
+};
+
+// The bucket width heuristic for delta-stepping: Delta ~ U / avg_degree
+// (Meyer & Sanders' Theta(1/d) for unit-scaled weights), clamped to
+// [1, max(1, U)]. Wide enough that a bucket's light rounds amortize the
+// per-round sweep, narrow enough to bound re-relaxation work.
+int64_t ChooseSsspDelta(int32_t num_nodes, int64_t num_edges,
+                        int32_t max_edge_cost);
+
 // Resolves kAuto to a concrete backend for a graph of `num_nodes` nodes
-// whose costs are bounded by `max_edge_cost`: Dial when the bound is small
-// relative to n (its bucket array has max_edge_cost + 1 entries and its
-// sweep walks every distance value up to the search radius), Dijkstra
-// otherwise. Concrete requests pass through unchanged.
+// whose costs are bounded by `max_edge_cost`, given `available_threads`
+// of pool parallelism (ThreadPool::GlobalThreads() for callers without a
+// better bound):
+//
+//  * Dial when the bound is small relative to n (U <= min(2^16, n/2) -
+//    Assumption 2's regime; its bucket array has max_edge_cost + 1
+//    entries and its sweep walks every distance value up to the radius),
+//  * delta-stepping when the graph and the thread budget are both large
+//    enough for parallel relaxation rounds to pay off (n >=
+//    kDeltaAutoMinNodes and available_threads >= kDeltaAutoMinThreads),
+//  * Dijkstra otherwise.
+//
+// Concrete requests pass through unchanged. The boundary values are
+// pinned by sssp_engine_test.
+inline constexpr int32_t kDialAutoCostCap = 1 << 16;
+inline constexpr int32_t kDeltaAutoMinNodes = 1 << 14;
+inline constexpr int32_t kDeltaAutoMinThreads = 4;
 SsspBackend ResolveSsspBackend(SsspBackend requested, int32_t num_nodes,
-                               int32_t max_edge_cost);
+                               int32_t max_edge_cost,
+                               int32_t available_threads);
 
 // Builds a reusable engine for searches over graphs of `num_nodes` nodes
 // with costs in [0, max_edge_cost]. kAuto resolves via
-// ResolveSsspBackend.
+// ResolveSsspBackend against `available_threads`.
 std::unique_ptr<SsspEngine> MakeSsspEngine(SsspBackend backend,
                                            int32_t num_nodes,
-                                           int32_t max_edge_cost);
+                                           int32_t max_edge_cost,
+                                           int32_t available_threads);
 
 }  // namespace snd
 

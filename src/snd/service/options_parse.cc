@@ -19,10 +19,11 @@ const char kSndFlagUsage[] =
     "  --model=agnostic|icc|lt\n"
     "  --solver=simplex|ssp|cost-scaling\n"
     "  --banks=per-bin|per-cluster|global\n"
-    "  --sssp=auto|dijkstra|dial\n"
+    "  --sssp=auto|dijkstra|dial|delta\n"
     "                     shortest-path backend (auto picks Dial's bucket\n"
     "                     queue when the model's max edge cost is small\n"
-    "                     relative to n; results are identical for all)\n"
+    "                     relative to n, delta-stepping on large graphs\n"
+    "                     with many threads; results are identical for all)\n"
     "  --threads=N        worker threads (default: SND_THREADS or all\n"
     "                     cores; results are identical for any N)\n";
 
@@ -76,6 +77,8 @@ StatusOr<ParsedSndFlags> ParseSndFlags(
         parsed.options.sssp_backend = SsspBackend::kDijkstra;
       } else if (value == "dial") {
         parsed.options.sssp_backend = SsspBackend::kDial;
+      } else if (value == "delta") {
+        parsed.options.sssp_backend = SsspBackend::kDeltaStepping;
       } else {
         return Status::InvalidArgument("unknown --sssp value '" + value +
                                        "'");

@@ -7,7 +7,7 @@
 //   --model=agnostic|icc|lt
 //   --solver=simplex|ssp|cost-scaling
 //   --banks=per-bin|per-cluster|global
-//   --sssp=auto|dijkstra|dial
+//   --sssp=auto|dijkstra|dial|delta
 //   --threads=N
 // kSndFlagUsage below is the canonical help text for this block; front
 // ends append it to their own usage so documentation and parser stay in

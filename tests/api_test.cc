@@ -346,7 +346,7 @@ TEST_F(ApiTriPathTest, AllThreePathsReturnBitwiseIdenticalValues) {
   const int32_t hw = ThreadPool::DefaultThreads();
   const std::vector<int32_t> thread_counts =
       hw > 2 ? std::vector<int32_t>{1, 2, hw} : std::vector<int32_t>{1, 2};
-  for (const char* backend : {"auto", "dijkstra", "dial"}) {
+  for (const char* backend : {"auto", "dijkstra", "dial", "delta"}) {
     const std::string flag = std::string("--sssp=") + backend;
     const auto parsed = ParseSndFlags({flag});
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();

@@ -66,7 +66,8 @@ TEST_F(CliTest, FlagsAreAccepted) {
 }
 
 TEST_F(CliTest, SsspFlagSelectsBackend) {
-  for (const char* flag : {"--sssp=auto", "--sssp=dijkstra", "--sssp=dial"}) {
+  for (const char* flag :
+       {"--sssp=auto", "--sssp=dijkstra", "--sssp=dial", "--sssp=delta"}) {
     EXPECT_EQ(SndCliMain({"distance", graph_path_, states_path_, "0", "1",
                           flag}),
               0)

@@ -13,6 +13,7 @@
 #include "snd/analysis/state_clustering.h"
 #include "snd/baselines/baselines.h"
 #include "snd/core/snd.h"
+#include "snd/paths/sssp_engine.h"
 #include "snd/util/random.h"
 #include "snd/util/thread_pool.h"
 #include "test_util.h"
@@ -241,7 +242,8 @@ TEST_F(SndParallelTest, SndIsBitwiseIdenticalAcrossSsspBackends) {
       reference_calc.AdjacentDistanceSeries(states);
 
   for (const SsspBackend backend :
-       {SsspBackend::kAuto, SsspBackend::kDijkstra, SsspBackend::kDial}) {
+       {SsspBackend::kAuto, SsspBackend::kDijkstra, SsspBackend::kDial,
+        SsspBackend::kDeltaStepping}) {
     SndOptions options;
     options.sssp_backend = backend;
     const SndCalculator calc(&graph, options);
@@ -267,7 +269,8 @@ TEST_F(SndParallelTest, BackendsMatchTheDenseReferencePath) {
   const NetworkState a = RandomState(n, 0.4, &rng);
   const NetworkState b = RandomState(n, 0.5, &rng);
   for (const SsspBackend backend :
-       {SsspBackend::kAuto, SsspBackend::kDijkstra, SsspBackend::kDial}) {
+       {SsspBackend::kAuto, SsspBackend::kDijkstra, SsspBackend::kDial,
+        SsspBackend::kDeltaStepping}) {
     SndOptions options;
     options.sssp_backend = backend;
     const SndCalculator calc(&graph, options);
@@ -289,13 +292,72 @@ TEST_F(SndParallelTest, AutoBackendResolvesAgainstModelCostBound) {
   const SndCalculator auto_calc(&graph, options);
   EXPECT_EQ(auto_calc.sssp_backend(),
             ResolveSsspBackend(SsspBackend::kAuto, n,
-                               auto_calc.model().MaxEdgeCost()));
+                               auto_calc.model().MaxEdgeCost(),
+                               ThreadPool::GlobalThreads()));
   options.sssp_backend = SsspBackend::kDijkstra;
   const SndCalculator dijkstra_calc(&graph, options);
   EXPECT_EQ(dijkstra_calc.sssp_backend(), SsspBackend::kDijkstra);
   options.sssp_backend = SsspBackend::kDial;
   const SndCalculator dial_calc(&graph, options);
   EXPECT_EQ(dial_calc.sssp_backend(), SsspBackend::kDial);
+}
+
+TEST_F(SndParallelTest, DeltaSteppingDegradesToSequentialWhenNested) {
+  // Satellite regression: a DeltaSteppingEngine running inside an
+  // enclosing ParallelFor (the row-parallel ComputeTermFast fan-out) must
+  // not dispatch a nested parallel region - the pool's nested-inline rule
+  // makes its rounds sequential - and must still return exact distances.
+  // The graph is big enough that a top-level run would cross the
+  // parallel-frontier cutoff, so this exercises the InParallelRegion
+  // guard rather than the small-frontier fallback.
+  Rng rng(24);
+  const int32_t n = 1500;
+  const Graph graph = RandomSymmetricGraph(n, 12 * n, &rng);
+  std::vector<int32_t> costs(static_cast<size_t>(graph.num_edges()));
+  for (auto& c : costs) {
+    c = 1 + static_cast<int32_t>(rng.UniformInt(0, (1 << 18) - 1));
+  }
+  const SsspSource source{0, 0};
+  DijkstraEngine reference(n);
+  const auto ref_span =
+      reference.Run(graph, costs, std::span<const SsspSource>(&source, 1),
+                    SsspGoal::AllNodes());
+  const std::vector<int64_t> expected(ref_span.begin(), ref_span.end());
+
+  ThreadPool::SetGlobalThreads(2);
+  // One engine per lane: engines hold per-run workspaces and are not
+  // thread-safe across concurrent Run calls.
+  std::vector<DeltaSteppingEngine> engines;
+  engines.reserve(2);
+  for (int32_t i = 0; i < 2; ++i) engines.emplace_back(n, 1 << 18);
+  std::atomic<int32_t> mismatches{0};
+  ThreadPool::Global().ParallelFor(2, [&](int64_t, int32_t slot) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    const auto dist = engines[static_cast<size_t>(slot)].Run(
+        graph, costs, std::span<const SsspSource>(&source, 1),
+        SsspGoal::AllNodes());
+    for (size_t v = 0; v < expected.size(); ++v) {
+      if (dist[v] != expected[v]) mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // End to end: the row-parallel SND fast path with the delta backend
+  // completes (no deadlock) and matches the Dijkstra reference bitwise.
+  const std::vector<NetworkState> states = MakeSeries(60, 4, &rng);
+  const Graph small = RandomSymmetricGraph(60, 120, &rng);
+  SndOptions dijkstra_options;
+  dijkstra_options.sssp_backend = SsspBackend::kDijkstra;
+  SndOptions delta_options;
+  delta_options.sssp_backend = SsspBackend::kDeltaStepping;
+  delta_options.parallel_terms = true;
+  const SndCalculator reference_calc(&small, dijkstra_options);
+  const SndCalculator delta_calc(&small, delta_options);
+  const StatePairs pairs = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  const std::vector<double> want = reference_calc.BatchDistances(states, pairs);
+  const std::vector<double> got = delta_calc.BatchDistances(states, pairs);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], want[k]);
 }
 
 TEST_F(SndParallelTest, GroundDistanceMatrixIsDeterministic) {

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""check_perf_budget: compare a bench-all JSON record against the budget.
+
+The bench-all target (cmake --build build --target bench-all) merges
+per-bench fragments into <build>/BENCH_PR2.json; each fragment carries a
+"metrics" object scraped from the bench's BENCH_METRIC lines (see
+snd::bench::PrintMetric).  bench/budgets.json pins tolerance-banded
+floors/ceilings on a subset of those metrics — mostly machine-portable
+ratios (delta-vs-Dijkstra speedup, pruned-vs-full speedup) rather than
+absolute times — so a perf regression fails CI instead of silently
+landing.
+
+    python3 tools/check_perf_budget.py --bench-json build/BENCH_PR2.json \
+        --budgets bench/budgets.json
+    python3 tools/check_perf_budget.py --self-test
+
+Budget file shape (bench/budgets.json):
+
+    {
+      "schema": "snd-perf-budget-v1",
+      "budgets": {
+        "<bench binary name>": {
+          "<metric name>": {"min": 2.0},
+          "<metric name>": {"min": 0.5, "max": 8.0}
+        }
+      }
+    }
+
+Every budgeted metric must be present in the bench record — a missing
+bench or missing metric is a failure, so sweeps cannot silently shrink
+out from under their budget.  Findings are machine-greppable
+`bench/metric: message` lines.  Exit codes: 0 clean, 1 budget
+violations, 2 usage/format errors.
+
+--self-test runs the checker against seeded fixtures under
+tools/perf_fixtures/: a passing record must come back clean and a
+seeded-regression record must produce exactly the expected violations,
+so a checker regressed into never failing cannot land.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path, what):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as err:
+        print(f"check_perf_budget: cannot read {what} {path}: {err}",
+              file=sys.stderr)
+        return None
+    except json.JSONDecodeError as err:
+        print(f"check_perf_budget: {what} {path} is not valid JSON: {err}",
+              file=sys.stderr)
+        return None
+
+
+def check(bench_record, budgets):
+    """Returns a list of violation strings (empty when clean)."""
+    violations = []
+    if budgets.get("schema") != "snd-perf-budget-v1":
+        return [f"budgets: unknown schema {budgets.get('schema')!r}"]
+    benches = {}
+    for entry in bench_record.get("benches", []):
+        name = entry.get("name")
+        if isinstance(name, str):
+            benches[name] = entry
+
+    for bench_name, metric_budgets in sorted(budgets.get("budgets",
+                                                         {}).items()):
+        entry = benches.get(bench_name)
+        if entry is None:
+            violations.append(
+                f"{bench_name}: bench missing from the bench-all record")
+            continue
+        metrics = entry.get("metrics", {})
+        for metric, band in sorted(metric_budgets.items()):
+            value = metrics.get(metric)
+            if value is None:
+                violations.append(
+                    f"{bench_name}/{metric}: metric missing from the "
+                    f"bench-all record (sweep shrank or metric renamed?)")
+                continue
+            lo = band.get("min")
+            hi = band.get("max")
+            if lo is not None and value < lo:
+                violations.append(
+                    f"{bench_name}/{metric}: {value:.4f} below budget "
+                    f"floor {lo:.4f}")
+            if hi is not None and value > hi:
+                violations.append(
+                    f"{bench_name}/{metric}: {value:.4f} above budget "
+                    f"ceiling {hi:.4f}")
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Self-test fixtures
+# --------------------------------------------------------------------------
+
+# Seeded fixtures under tools/perf_fixtures/: the passing record must be
+# clean, and the regression record must trip exactly these budget keys.
+_FIXTURE_DIR = os.path.join("tools", "perf_fixtures")
+_EXPECTED_REGRESSIONS = [
+    "bench_sssp/sssp.speedup.delta.thw.n30000.u1048576",  # below floor
+    "bench_sssp/sssp.speedup.pruned.dijkstra.k1",         # metric missing
+]
+
+
+def self_test(repo_root):
+    fixture_dir = os.path.join(repo_root, _FIXTURE_DIR)
+    budgets = load_json(os.path.join(fixture_dir, "budgets.json"), "budgets")
+    passing = load_json(os.path.join(fixture_dir, "bench_passing.json"),
+                        "bench record")
+    regressed = load_json(os.path.join(fixture_dir, "bench_regressed.json"),
+                          "bench record")
+    if budgets is None or passing is None or regressed is None:
+        return 2
+
+    failures = []
+    clean = check(passing, budgets)
+    for violation in clean:
+        failures.append(f"passing fixture produced: {violation}")
+
+    violations = check(regressed, budgets)
+    tripped = {v.split(":")[0] for v in violations}
+    for expected in _EXPECTED_REGRESSIONS:
+        if expected not in tripped:
+            failures.append(
+                f"regression fixture did not trip {expected}")
+    for violation in violations:
+        print(f"{violation}  [expected]")
+
+    if failures:
+        for failure in failures:
+            print(f"check_perf_budget: self-test FAILED: {failure}",
+                  file=sys.stderr)
+        return 1
+    print(f"check_perf_budget: self-test OK (clean record passes, "
+          f"{len(_EXPECTED_REGRESSIONS)} seeded regressions caught)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-json",
+                        help="bench-all record (build/BENCH_PR2.json)")
+    parser.add_argument("--budgets", default=os.path.join("bench",
+                                                          "budgets.json"),
+                        help="budget file (default: bench/budgets.json)")
+    parser.add_argument("--root", default=".",
+                        help="repository root for --self-test fixtures")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker against seeded fixtures")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(os.path.abspath(args.root))
+    if not args.bench_json:
+        parser.error("--bench-json is required (or use --self-test)")
+
+    bench_record = load_json(args.bench_json, "bench record")
+    budgets = load_json(args.budgets, "budgets")
+    if bench_record is None or budgets is None:
+        return 2
+
+    violations = check(bench_record, budgets)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"check_perf_budget: {len(violations)} budget violation(s)",
+              file=sys.stderr)
+        return 1
+    budget_count = sum(
+        len(m) for m in budgets.get("budgets", {}).values())
+    print(f"check_perf_budget: OK ({budget_count} budgeted metrics within "
+          f"band)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

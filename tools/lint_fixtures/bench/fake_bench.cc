@@ -1,0 +1,14 @@
+// Fixture for the budget-keys rule: this bench emits one literal metric
+// and one formatted metric; the budgets.json beside it additionally
+// references a metric nothing emits and a bench that does not exist, so
+// the rule must fire on exactly those stale entries.
+#include <cstdio>
+
+void PrintMetric(const char* name, double value);
+
+void Emit() {
+  char name[64];
+  PrintMetric("fake.ratio.warm", 1.5);
+  std::snprintf(name, sizeof(name), "fake.speedup.n%d.u%d", 10, 64);
+  PrintMetric(name, 2.0);
+}

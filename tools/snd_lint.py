@@ -55,6 +55,16 @@ epoch-bump
     decision, not something arbitrary code may trigger.  Copying an
     epoch value into a response struct is data-plane and not flagged.
 
+budget-keys
+    Every key in bench/budgets.json (the perf-budget file that
+    tools/check_perf_budget.py enforces in CI) must correspond to a
+    bench binary that exists under bench/ and a metric name that some
+    bench actually emits — metric names are recovered statically from
+    the PrintMetric/snprintf format strings in bench/*.cc, with %d/%s
+    holes treated as wildcards.  A renamed sweep or deleted bench
+    therefore fails lint instead of leaving a stale budget that can
+    never be checked again.
+
 Waivers
 -------
 A finding on a specific line can be waived with a trailing comment
@@ -73,6 +83,7 @@ never fires cannot land.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -274,6 +285,84 @@ def check_epoch_bump(rel, raw, code):
                       "from src/snd/service/")
 
 
+# --------------------------------------------------------------------------
+# budget-keys: bench/budgets.json must reference real benches/metrics
+# --------------------------------------------------------------------------
+
+_BUDGETS_REL = os.path.join("bench", "budgets.json")
+# Calls that carry metric-name format strings; spans end at ';' so
+# multi-line snprintf calls are covered.
+_METRIC_CALL = re.compile(r"(?:PrintMetric|snprintf)\s*\(([^;]*?)\)\s*;",
+                          re.DOTALL)
+# A quoted metric name / format: dot-separated lowercase tokens with
+# optional %d / %s holes.
+_METRIC_STRING = re.compile(r'"([a-z0-9%-]+(?:\.[a-z0-9%-]+)+)"')
+
+
+def _bench_metric_patterns(root):
+    """(compiled patterns, bench binary names) from bench/*.cc sources."""
+    patterns, bench_names = [], set()
+    bench_dir = os.path.join(root, "bench")
+    if not os.path.isdir(bench_dir):
+        return patterns, bench_names
+    for name in sorted(os.listdir(bench_dir)):
+        if not name.endswith(".cc"):
+            continue
+        bench_names.add(name[:-3])
+        try:
+            with open(os.path.join(bench_dir, name), encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            continue
+        for call in _METRIC_CALL.finditer(text):
+            for fmt in _METRIC_STRING.findall(call.group(1)):
+                escaped = re.escape(fmt)
+                escaped = escaped.replace("%d", "[0-9]+")
+                escaped = escaped.replace("%s", "[a-z0-9-]+")
+                patterns.append(re.compile(escaped))
+    return patterns, bench_names
+
+
+def check_budget_keys(root):
+    """Findings for budget entries no bench source can ever emit."""
+    path = os.path.join(root, _BUDGETS_REL)
+    if not os.path.isfile(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        budgets = json.loads(raw)
+    except (OSError, json.JSONDecodeError) as err:
+        return [Finding(path, 1, "budget-keys",
+                        f"cannot parse {_BUDGETS_REL}: {err}")]
+    lines = raw.splitlines()
+
+    def line_of(key):
+        needle = f'"{key}"'
+        for i, line in enumerate(lines, start=1):
+            if needle in line:
+                return i
+        return 1
+
+    findings = []
+    patterns, bench_names = _bench_metric_patterns(root)
+    for bench_name, metrics in budgets.get("budgets", {}).items():
+        if bench_name not in bench_names:
+            findings.append(Finding(
+                path, line_of(bench_name), "budget-keys",
+                f"budgeted bench '{bench_name}' has no bench/"
+                f"{bench_name}.cc; stale budget entry"))
+            continue
+        for metric in metrics:
+            if not any(p.fullmatch(metric) for p in patterns):
+                findings.append(Finding(
+                    path, line_of(metric), "budget-keys",
+                    f"no bench emits metric '{metric}' (checked "
+                    f"PrintMetric/snprintf format strings in bench/*.cc); "
+                    f"stale budget key"))
+    return findings
+
+
 class Rule:
     def __init__(self, rule_id, applies, check):
         self.rule_id = rule_id
@@ -329,8 +418,15 @@ def source_files(root):
 
 def lint_tree(root, files=None):
     findings = []
+    # budget-keys is cross-file (budgets.json against every bench
+    # source), so it runs once per tree rather than per file.
+    if files is None or any(
+            os.path.relpath(p, root) == _BUDGETS_REL for p in files):
+        findings.extend(check_budget_keys(root))
     for path in (files if files is not None else source_files(root)):
         rel = os.path.relpath(path, root)
+        if rel == _BUDGETS_REL:
+            continue  # Handled by check_budget_keys above.
         try:
             with open(path, encoding="utf-8") as f:
                 raw = f.read().splitlines()
@@ -362,6 +458,7 @@ EXPECTED_VIOLATIONS = {
                                            "bad_header.h"),
     "nodiscard-status": os.path.join("src", "snd", "api", "bad_status.h"),
     "epoch-bump": os.path.join("src", "snd", "core", "bad_epoch.cc"),
+    "budget-keys": os.path.join("bench", "budgets.json"),
 }
 CLEAN_FIXTURES = [
     os.path.join("src", "snd", "util", "thread_pool.cc"),  # scope exemption
