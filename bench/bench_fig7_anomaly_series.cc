@@ -82,6 +82,14 @@ int main() {
       parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0,
       identical ? "yes" : "NO (BUG)",
       std::thread::hardware_concurrency());
+  snd::bench::PrintMetric(
+      "fig7.series.pairs_per_s",
+      static_cast<double>(num_states - 1) /
+          std::max(parallel_seconds, 1e-9));
+  snd::bench::PrintMetric(
+      "fig7.series.speedup.t4",
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
+  snd::bench::PrintMetric("fig7.series.identical", identical ? 1.0 : 0.0);
 
   struct Method {
     const char* name;

@@ -73,7 +73,7 @@ ServiceResponse MustCall(SndService* service, const std::string& request) {
 // One regime: warm a session, apply k additions picked from
 // [pick_lo, pick_hi), re-ask `series`, and compare against a cold
 // session over the mutated edge list.
-void RunRegime(const char* regime, const Graph& graph,
+void RunRegime(const char* regime, const char* slug, const Graph& graph,
                const std::string& graph_path, const std::string& states_path,
                int32_t pick_lo, int32_t pick_hi) {
   const int32_t n = graph.num_nodes();
@@ -149,14 +149,30 @@ void RunRegime(const char* regime, const Graph& graph,
                 static_cast<long long>(reload.edge_cost_builds),
                 reload.wall_ms,
                 reload.wall_ms / std::max(incremental.wall_ms, 1e-6));
+    const double sssp_ratio =
+        static_cast<double>(incremental.sssp_runs) /
+        std::max<int64_t>(reload.sssp_runs, 1);
+    const double build_ratio =
+        static_cast<double>(incremental.edge_cost_builds) /
+        std::max<int64_t>(reload.edge_cost_builds, 1);
     std::printf(
         "     work ratio: sssp %.3f, edge_cost_builds %.3f "
         "(incremental patched %lld cost sides instead)\n",
-        static_cast<double>(incremental.sssp_runs) /
-            std::max<int64_t>(reload.sssp_runs, 1),
-        static_cast<double>(incremental.edge_cost_builds) /
-            std::max<int64_t>(reload.edge_cost_builds, 1),
+        sssp_ratio, build_ratio,
         static_cast<long long>(incremental.edge_cost_patches));
+    // snprintf format literals, so snd_lint's budget-keys extractor can
+    // statically match budget keys against the %s/%d holes.
+    char metric[64];
+    std::snprintf(metric, sizeof(metric), "mutation.sssp_ratio.%s.k%d",
+                  slug, k);
+    bench::PrintMetric(metric, sssp_ratio);
+    std::snprintf(metric, sizeof(metric), "mutation.build_ratio.%s.k%d",
+                  slug, k);
+    bench::PrintMetric(metric, build_ratio);
+    std::snprintf(metric, sizeof(metric), "mutation.speedup.%s.k%d", slug,
+                  k);
+    bench::PrintMetric(metric,
+                       reload.wall_ms / std::max(incremental.wall_ms, 1e-6));
   }
   std::printf("\n");
   std::remove(mutated_path.c_str());
@@ -211,9 +227,10 @@ int Run() {
               series_length, static_cast<long long>(graph.num_edges()),
               ThreadPool::GlobalThreads());
 
-  RunRegime("periphery (remote from all activity)", graph, graph_path,
-            states_path, n, n + kPeriphery);
-  RunRegime("random (scale-free core)", graph, graph_path, states_path, 0, n);
+  RunRegime("periphery (remote from all activity)", "periphery", graph,
+            graph_path, states_path, n, n + kPeriphery);
+  RunRegime("random (scale-free core)", "random", graph, graph_path,
+            states_path, 0, n);
 
   std::printf("total time: %.3f s\n", total.ElapsedSeconds());
   std::remove(graph_path.c_str());

@@ -8,12 +8,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "snd/graph/generators.h"
 #include "snd/graph/io.h"
+#include "snd/obs/event_log.h"
 #include "snd/opinion/evolution.h"
 #include "snd/opinion/state_io.h"
 #include "snd/service/service.h"
@@ -34,6 +36,51 @@ double TimedCall(SndService* service, const std::string& request) {
     std::exit(1);
   }
   return millis;
+}
+
+// One timed pass over a fixed warm request list. Minimum-of-trials over
+// this is the noise-robust estimator for the events-overhead ratio.
+double WarmSweepSeconds(SndService* service,
+                        const std::vector<std::string>& requests,
+                        int sweeps) {
+  Stopwatch watch;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (const std::string& request : requests) {
+      if (!service->Call(request).ok) {
+        std::fprintf(stderr, "bench_service: warm sweep request failed\n");
+        std::exit(1);
+      }
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+// One serving-mix pass: evict the session, reload it, answer a handful
+// of cold distances (real SSSP + transport work), then re-answer them
+// warm. This is the workload the ≤2% events-overhead budget is pinned
+// on — requests that compute — while the pure-cache-hit sweep above
+// gives the adversarial per-request ceiling.
+double MixedSweepSeconds(SndService* service, const std::string& graph_path,
+                         const std::string& states_path,
+                         const std::vector<std::string>& pairs) {
+  Stopwatch watch;
+  const std::string setup[] = {"evict g", "load_graph g " + graph_path,
+                               "load_states g " + states_path};
+  for (const std::string& request : setup) {
+    if (!service->Call(request).ok) {
+      std::fprintf(stderr, "bench_service: mixed sweep setup failed\n");
+      std::exit(1);
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {  // cold, then warm
+    for (const std::string& request : pairs) {
+      if (!service->Call(request).ok) {
+        std::fprintf(stderr, "bench_service: mixed sweep request failed\n");
+        std::exit(1);
+      }
+    }
+  }
+  return watch.ElapsedSeconds();
 }
 
 int Run() {
@@ -104,24 +151,99 @@ int Run() {
               overlap_ms);
 
   // Warm throughput over all distinct pairs, twice (all hits).
-  const int32_t sweeps = 2;
-  int64_t requests = 0;
-  Stopwatch throughput;
-  for (int32_t sweep = 0; sweep < sweeps; ++sweep) {
-    for (int32_t i = 0; i < series_length; ++i) {
-      for (int32_t j = i + 1; j < series_length; ++j) {
-        TimedCall(&service, "distance g " + std::to_string(i) + " " +
-                                std::to_string(j));
-        ++requests;
-      }
+  std::vector<std::string> pair_requests;
+  for (int32_t i = 0; i < series_length; ++i) {
+    for (int32_t j = i + 1; j < series_length; ++j) {
+      pair_requests.push_back("distance g " + std::to_string(i) + " " +
+                              std::to_string(j));
     }
   }
-  const double throughput_seconds = throughput.ElapsedSeconds();
+  const int32_t sweeps = 2;
+  const int64_t requests =
+      sweeps * static_cast<int64_t>(pair_requests.size());
+  const double throughput_seconds =
+      WarmSweepSeconds(&service, pair_requests, sweeps);
+  const double warm_req_per_s =
+      static_cast<double>(requests) / std::max(throughput_seconds, 1e-9);
   std::printf("warm throughput: %.0f req/s (%lld distance requests in "
               "%.3f s)\n",
-              static_cast<double>(requests) /
-                  std::max(throughput_seconds, 1e-9),
-              static_cast<long long>(requests), throughput_seconds);
+              warm_req_per_s, static_cast<long long>(requests),
+              throughput_seconds);
+
+  // Instrumentation overhead: the same warm sweep against a second
+  // session whose config attaches a JSONL event log, so every Dispatch
+  // additionally formats and enqueues a request event. Interleaved
+  // min-of-trials keeps a background hiccup on either side from
+  // masquerading as overhead; the budget pins the ratio near 1.
+  const std::string events_path = "bench_service.events.jsonl";
+  double events_ratio = 0.0;
+  double events_per_req_us = 0.0;
+  double serving_ratio = 0.0;
+  {
+    const std::unique_ptr<obs::EventLog> event_log =
+        obs::EventLog::OpenFile(events_path);
+    if (event_log == nullptr) {
+      std::fprintf(stderr, "bench_service: cannot open %s\n",
+                   events_path.c_str());
+      return 1;
+    }
+    SndServiceConfig config;
+    config.event_log = event_log.get();
+    SndService with_events(config);
+    TimedCall(&with_events, "load_graph g " + graph_path);
+    TimedCall(&with_events, "load_states g " + states_path);
+    TimedCall(&with_events, "matrix g");  // Warm every pair.
+
+    const int32_t overhead_sweeps = full ? 50 : 200;
+    const int32_t trials = 5;
+    double base_seconds = 1e300;
+    double events_seconds = 1e300;
+    for (int32_t trial = 0; trial < trials; ++trial) {
+      base_seconds = std::min(
+          base_seconds,
+          WarmSweepSeconds(&service, pair_requests, overhead_sweeps));
+      events_seconds = std::min(
+          events_seconds,
+          WarmSweepSeconds(&with_events, pair_requests, overhead_sweeps));
+    }
+    events_ratio = events_seconds / std::max(base_seconds, 1e-12);
+    const long long sweep_requests =
+        static_cast<long long>(overhead_sweeps) *
+        static_cast<long long>(pair_requests.size());
+    events_per_req_us = (events_seconds - base_seconds) * 1e6 /
+                        static_cast<double>(sweep_requests);
+    std::printf("events overhead (pure cache hits): %.4fx warm Call time, "
+                "%+.3f us/request (%.3f s vs %.3f s over %lld "
+                "requests/trial)\n",
+                events_ratio, events_per_req_us, events_seconds,
+                base_seconds, sweep_requests);
+
+    // The serving-mix ratio: sessions that actually compute.
+    std::vector<std::string> cold_pairs;
+    for (int32_t i = 0; i < 4; ++i) {
+      for (int32_t j = i + 1; j < 4; ++j) {
+        cold_pairs.push_back("distance g " + std::to_string(i) + " " +
+                             std::to_string(j));
+      }
+    }
+    // 9 interleaved trials: the ≤2% budget ceiling leaves little room,
+    // so the min on each side must be a genuine quiet-machine sample.
+    double base_mixed = 1e300;
+    double events_mixed = 1e300;
+    for (int32_t trial = 0; trial < 9; ++trial) {
+      base_mixed = std::min(
+          base_mixed,
+          MixedSweepSeconds(&service, graph_path, states_path, cold_pairs));
+      events_mixed = std::min(
+          events_mixed, MixedSweepSeconds(&with_events, graph_path,
+                                          states_path, cold_pairs));
+    }
+    serving_ratio = events_mixed / std::max(base_mixed, 1e-12);
+    std::printf("events overhead (serving mix, cold+warm): %.4fx "
+                "(%.3f s vs %.3f s per sweep)\n",
+                serving_ratio, events_mixed, base_mixed);
+  }  // EventLog drains and joins before the file is removed.
+  std::remove(events_path.c_str());
 
   const ServiceCounters counters = service.counters();
   std::printf("counters: result hits %lld misses %lld, calc builds %lld "
@@ -132,6 +254,18 @@ int Run() {
               static_cast<long long>(counters.calc_hits),
               static_cast<long long>(counters.work.sssp_runs),
               static_cast<long long>(counters.work.transport_solves));
+
+  bench::PrintMetric("service.speedup.distance.warm",
+                     distance_cold / std::max(distance_warm, 1e-6));
+  bench::PrintMetric("service.speedup.series.warm",
+                     series_cold / std::max(series_warm, 1e-6));
+  bench::PrintMetric("service.warm.req_per_s", warm_req_per_s);
+  bench::PrintMetric("service.events.overhead.ratio", events_ratio);
+  bench::PrintMetric("service.events.overhead.per_req_us",
+                     events_per_req_us);
+  bench::PrintMetric("service.events.overhead.serving.ratio",
+                     serving_ratio);
+
   std::printf("\ntotal time: %.3f s\n", total.ElapsedSeconds());
 
   std::remove(graph_path.c_str());

@@ -532,11 +532,12 @@ StatusOr<Request> ParseJsonRequest(const std::string& line) {
     return Request(EvictRequest{*std::move(name)});
   }
 
-  if (*cmd == "info" || *cmd == "version" || *cmd == "help" ||
-      *cmd == "quit") {
+  if (*cmd == "info" || *cmd == "stats" || *cmd == "version" ||
+      *cmd == "help" || *cmd == "quit") {
     const Status extra = UnexpectedFields(object, {"cmd"});
     if (!extra.ok()) return extra;
     if (*cmd == "info") return Request(InfoRequest{});
+    if (*cmd == "stats") return Request(StatsRequest{});
     if (*cmd == "version") return Request(VersionRequest{});
     if (*cmd == "help") return Request(HelpRequest{});
     return Request(QuitRequest{});
@@ -656,6 +657,15 @@ std::string RenderJsonResponse(const Response& response) {
                  ",\"edge_cost_patches\":" +
                  std::to_string(typed.work.edge_cost_patches) + '}';
           out += ",\"threads\":" + std::to_string(typed.threads);
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          AppendField(&out, "cmd", "stats");
+          out += ",\"metrics\":{";
+          for (size_t k = 0; k < typed.metrics.size(); ++k) {
+            if (k > 0) out += ',';
+            out += '"' + JsonEscaped(typed.metrics[k].name) +
+                   "\":" + std::to_string(typed.metrics[k].value);
+          }
+          out += '}';
         } else if constexpr (std::is_same_v<T, EvictResponse>) {
           AppendField(&out, "cmd", "evict");
           out += ',';

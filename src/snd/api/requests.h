@@ -109,6 +109,12 @@ struct SubscribeRequest : ComputeRequestBase {
 // documented deterministic ordering).
 struct InfoRequest {};
 
+// Full observability snapshot: every registered metric of the service's
+// registry (request counters, phase times, work counters, cache and
+// session gauges, latency quantiles), sorted by metric name. The
+// superset of `info`'s counters; see StatsResponse.
+struct StatsRequest {};
+
 // Drops a session and every artifact derived from it.
 struct EvictRequest {
   std::string name;
@@ -127,8 +133,8 @@ using Request =
     std::variant<LoadGraphRequest, LoadStatesRequest, AppendStateRequest,
                  AddEdgeRequest, RemoveEdgeRequest, SubscribeRequest,
                  DistanceRequest, SeriesRequest, MatrixRequest,
-                 AnomaliesRequest, InfoRequest, EvictRequest, VersionRequest,
-                 HelpRequest, QuitRequest>;
+                 AnomaliesRequest, InfoRequest, StatsRequest, EvictRequest,
+                 VersionRequest, HelpRequest, QuitRequest>;
 
 }  // namespace snd
 

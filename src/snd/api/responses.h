@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "snd/core/snd.h"  // SndWorkCounters.
+#include "snd/obs/metrics.h"  // MetricRow.
 #include "snd/opinion/distance_types.h"  // StatePairs.
 
 namespace snd {
@@ -97,6 +98,15 @@ struct InfoResponse {
   int32_t threads = 0;
 };
 
+// The `stats` snapshot: every registered metric, sorted by name (the
+// registry's snapshot order), all values int64. Ordering and the name
+// list are contract — scripted diffs, the JSONL stats events, and the
+// service tests all pin them. Histograms appear flattened as
+// <name>.count / .p50_ns / .p90_ns / .p99_ns / .sum_ns rows.
+struct StatsResponse {
+  std::vector<obs::MetricRow> metrics;
+};
+
 // Answer to add_edge and remove_edge: the graph's new shape plus the
 // outcome of the targeted invalidation (how many cached SND values the
 // mutation kept vs erased), so clients and tests can observe the
@@ -132,8 +142,8 @@ struct ByeResponse {};
 using Response =
     std::variant<LoadGraphResponse, LoadStatesResponse, MutateEdgeResponse,
                  DistanceResponse, SeriesResponse, MatrixResponse,
-                 AnomaliesResponse, InfoResponse, EvictResponse,
-                 VersionResponse, HelpResponse, ByeResponse>;
+                 AnomaliesResponse, InfoResponse, StatsResponse,
+                 EvictResponse, VersionResponse, HelpResponse, ByeResponse>;
 
 // The numeric payload of `response` in canonical (text-wire print)
 // order: distance -> {value}, series -> values, matrix -> the full

@@ -255,6 +255,11 @@ StatusOr<Request> ParseTextRequest(const std::string& line) {
     if (!extra.ok()) return extra;
     return Request(InfoRequest{});
   }
+  if (command == "stats") {
+    const Status extra = ExpectNoExtraTokens(tokens);
+    if (!extra.ok()) return extra;
+    return Request(StatsRequest{});
+  }
   if (command == "version") {
     const Status extra = ExpectNoExtraTokens(tokens);
     if (!extra.ok()) return extra;
@@ -373,6 +378,14 @@ ServiceResponse RenderTextResponse(const Response& response) {
                                   std::to_string(typed.threads));
           rendered.header =
               "info rows " + std::to_string(rendered.rows.size());
+          return rendered;
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          ServiceResponse rendered =
+              OkResponse("stats rows " + std::to_string(typed.metrics.size()));
+          for (const auto& row : typed.metrics) {
+            rendered.rows.push_back(row.name + " " +
+                                    std::to_string(row.value));
+          }
           return rendered;
         } else if constexpr (std::is_same_v<T, EvictResponse>) {
           return OkResponse("evict " + typed.name);

@@ -10,6 +10,7 @@
 #include "snd/cluster/label_propagation.h"
 #include "snd/emd/emd_star.h"
 #include "snd/emd/reductions.h"
+#include "snd/obs/trace.h"
 #include "snd/paths/sssp_engine.h"
 #include "snd/util/mutex.h"
 #include "snd/util/stopwatch.h"
@@ -76,7 +77,9 @@ class SndCalculator::EdgeCostCache {
   const std::vector<int32_t>& Costs(int32_t state, Opinion op) {
     Entry& entry = EntryFor(state, op);
     std::call_once(entry.costs_once, [&] {
+      const obs::ObsSpan span(obs::ObsPhase::kEdgeCost);
       calc_.edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceCountEdgeCostBuild();
       calc_.model_->ComputeEdgeCosts(
           *calc_.graph_, (*states_)[static_cast<size_t>(state)], op,
           &entry.costs);
@@ -172,6 +175,7 @@ SndCalculator::MakeEdgeCostCachePatched(
     std::vector<std::pair<int32_t, Opinion>>* patched) const {
   SND_CHECK(states != nullptr);
   SND_CHECK(old_cache.states() == states);
+  const obs::ObsSpan span(obs::ObsPhase::kEdgeCost);
   auto cache = std::make_shared<EdgeCostCache>(*this, states);
   if (patched != nullptr) patched->clear();
   const auto count = static_cast<int32_t>(states->size());
@@ -186,6 +190,7 @@ SndCalculator::MakeEdgeCostCachePatched(
         continue;
       }
       edge_cost_patches_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceCountEdgeCostPatch();
       cache->InstallPatched(state, op, std::move(costs));
       if (patched != nullptr) patched->emplace_back(state, op);
     }
@@ -214,6 +219,7 @@ std::vector<int64_t> SndCalculator::DistancesToNode(
   const std::vector<int32_t>& rev_costs = cache->RevCosts(state, op);
   const std::unique_ptr<SsspEngine> engine = MakeEngine();
   sssp_runs_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceCountSsspRun();
   const SsspSource source{target, 0};
   const std::span<const int64_t> dist =
       engine->Run(reversed_, rev_costs, std::span<const SsspSource>(&source, 1),
@@ -508,12 +514,17 @@ DenseMatrix SndCalculator::GroundDistanceMatrix(const NetworkState& state,
                                                 Opinion op) const {
   const int32_t n = graph_->num_nodes();
   std::vector<int32_t> costs;
-  edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
-  model_->ComputeEdgeCosts(*graph_, state, op, &costs);
+  {
+    const obs::ObsSpan span(obs::ObsPhase::kEdgeCost);
+    edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceCountEdgeCostBuild();
+    model_->ComputeEdgeCosts(*graph_, state, op, &costs);
+  }
   const auto disconnection = static_cast<double>(DisconnectionCost());
   DenseMatrix d(n, n, 0.0);
   auto compute_row = [&](int32_t u, SsspEngine* engine) {
     sssp_runs_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceCountSsspRun();
     const SsspSource source{u, 0};
     const std::span<const int64_t> dist =
         engine->Run(*graph_, costs, std::span<const SsspSource>(&source, 1),
@@ -553,7 +564,9 @@ SndTermResult SndCalculator::ComputeTermReference(const TermSpec& spec) const {
   EmdStarOptions emd_options;
   emd_options.apportionment = options_.apportionment;
   Stopwatch watch;
+  const obs::ObsSpan transport_span(obs::ObsPhase::kTransport);
   transport_solves_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceCountTransportSolve();
   result.cost = ComputeEmdStar(p, q, ground, banks_, *solver_, emd_options);
   result.transport_seconds = watch.ElapsedSeconds();
   return result;
@@ -572,7 +585,9 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
   if (ctx.cache != nullptr) {
     costs_ptr = &ctx.cache->Costs(ctx.distance_state_index, spec.op);
   } else {
+    const obs::ObsSpan span(obs::ObsPhase::kEdgeCost);
     edge_cost_builds_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceCountEdgeCostBuild();
     model_->ComputeEdgeCosts(*graph_, *spec.distance_state, spec.op,
                              &local_costs);
     costs_ptr = &local_costs;
@@ -705,6 +720,7 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
     cost.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
     for_each_row(rows, [&](int64_t r, TermScratch* scratch) {
       sssp_runs_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceCountSsspRun();
       const SsspSource source{sup[static_cast<size_t>(r)], 0};
       const std::span<const int64_t> dist = scratch->engine->Run(
           *graph_, costs, std::span<const SsspSource>(&source, 1), row_goal);
@@ -749,6 +765,7 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
     for_each_row(static_cast<int64_t>(con.size()),
                  [&](int64_t jc, TermScratch* scratch) {
       sssp_runs_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceCountSsspRun();
       const SsspSource source{con[static_cast<size_t>(jc)], 0};
       const std::span<const int64_t> dist = scratch->engine->Run(
           reversed_, rev_costs, std::span<const SsspSource>(&source, 1),
@@ -772,7 +789,9 @@ SndTermResult SndCalculator::ComputeTermFast(const TermSpec& spec,
   const TransportProblem problem(std::move(supply), std::move(demand),
                                  std::move(cost));
   Stopwatch transport_watch;
+  const obs::ObsSpan transport_span(obs::ObsPhase::kTransport);
   transport_solves_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceCountTransportSolve();
   result.cost = solver_->Solve(problem).total_cost;
   result.transport_seconds = transport_watch.ElapsedSeconds();
   return result;

@@ -1,0 +1,285 @@
+#include "snd/obs/event_log.h"
+
+#include <charconv>
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "snd/obs/names.h"
+
+namespace snd {
+namespace obs {
+namespace {
+
+// Events never block a request: past this depth Emit drops + counts.
+constexpr size_t kMaxQueue = size_t{1} << 16;
+
+// The writer drains on this timer instead of being kicked awake by
+// every Emit: a futex wake on the request thread costs more than the
+// entire warm-hit Dispatch path, so the enqueue fast path must stay a
+// plain lock + push_back. Emit only signals when the queue crosses the
+// high-water mark below; Flush() and shutdown signal unconditionally.
+constexpr auto kDrainInterval = std::chrono::milliseconds(5);
+constexpr size_t kWakeDepth = kMaxQueue / 2;
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, int64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, end);
+  (void)ec;  // int64 always fits.
+}
+
+void AppendNumber(std::string& out, uint64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, end);
+  (void)ec;
+}
+
+void AppendEventField(std::string& out, const char* key, int64_t value) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  AppendNumber(out, value);
+}
+
+void AppendEventField(std::string& out, const char* key, uint64_t value) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  AppendNumber(out, value);
+}
+
+void AppendEventField(std::string& out, const char* key,
+                      const std::string& value) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  AppendJsonString(out, value);
+}
+
+}  // namespace
+
+namespace {
+
+// Appends the request-event line body (no trailing newline) to `out`
+// in place: the writer thread formats whole batches into one reused
+// buffer, so the steady state does zero allocations per event.
+void AppendRequestEvent(std::string& out, const RequestEvent& event) {
+  out += '{';
+  AppendEventField(out, kEvEvent, std::string(kEvTypeRequest));
+  AppendEventField(out, kEvTraceId, event.trace_id);
+  AppendEventField(out, kEvKind, event.kind);
+  AppendEventField(out, kEvName, event.name);
+  AppendEventField(out, kEvStatus, event.status);
+  AppendEventField(out, kEvGraphEpoch, event.graph_epoch);
+  AppendEventField(out, kEvSubEpoch, event.sub_epoch);
+  AppendEventField(out, kEvStatesEpoch, event.states_epoch);
+  AppendEventField(out, kEvParseNs,
+                   event.phase_ns[static_cast<int>(ObsPhase::kParse)]);
+  AppendEventField(out, kEvDispatchNs,
+                   event.phase_ns[static_cast<int>(ObsPhase::kDispatch)]);
+  AppendEventField(out, kEvEdgeCostNs,
+                   event.phase_ns[static_cast<int>(ObsPhase::kEdgeCost)]);
+  AppendEventField(out, kEvSsspNs,
+                   event.phase_ns[static_cast<int>(ObsPhase::kSssp)]);
+  AppendEventField(out, kEvTransportNs,
+                   event.phase_ns[static_cast<int>(ObsPhase::kTransport)]);
+  AppendEventField(out, kEvEncodeNs,
+                   event.phase_ns[static_cast<int>(ObsPhase::kEncode)]);
+  AppendEventField(out, kEvSsspRuns, event.sssp_runs);
+  AppendEventField(out, kEvSsspSettled, event.sssp_settled);
+  AppendEventField(out, kEvTransportSolves, event.transport_solves);
+  AppendEventField(out, kEvEdgeCostBuilds, event.edge_cost_builds);
+  AppendEventField(out, kEvEdgeCostPatches, event.edge_cost_patches);
+  AppendEventField(out, kEvResultHits, event.result_hits);
+  AppendEventField(out, kEvResultMisses, event.result_misses);
+  AppendEventField(out, kEvResultsRetained, event.results_retained);
+  AppendEventField(out, kEvResultsErased, event.results_erased);
+  out += '}';
+}
+
+}  // namespace
+
+std::string EventLog::FormatRequestEvent(const RequestEvent& event) {
+  std::string out;
+  out.reserve(384);
+  AppendRequestEvent(out, event);
+  return out;
+}
+
+std::string EventLog::FormatStatsEvent(const std::vector<MetricRow>& rows) {
+  std::string out;
+  out.reserve(64 + 48 * rows.size());
+  out += '{';
+  AppendEventField(out, kEvEvent, std::string(kEvTypeStats));
+  out += ",\"";
+  out += kEvMetrics;
+  out += "\":{";
+  bool first = true;
+  for (const MetricRow& row : rows) {
+    if (!first) out += ',';
+    first = false;
+    // Metric names come from the registry, which only admits the
+    // obs/names.h vocabulary — no escaping needed beyond quoting.
+    out += '"';
+    out += row.name;
+    out += "\":";
+    AppendNumber(out, row.value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::unique_ptr<EventLog> EventLog::OpenFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return nullptr;
+  // One write syscall per line (O_APPEND semantics from "a" mode), so
+  // concurrent processes and log rotation never interleave mid-line.
+  std::setvbuf(file, nullptr, _IONBF, 0);
+  return std::unique_ptr<EventLog>(new EventLog(file, nullptr));
+}
+
+EventLog::EventLog(std::ostream* sink) : EventLog(nullptr, sink) {}
+
+EventLog::EventLog(std::FILE* file, std::ostream* sink)
+    : file_(file), sink_(sink) {
+  // Dedicated log-writer thread: drains the queue so the request path
+  // never formats or writes.
+  writer_ = std::thread([this] { WriterMain(); });  // snd-lint: allow(raw-thread) -- I/O drain loop, not compute
+}
+
+EventLog::~EventLog() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.NotifyAll();
+  if (writer_.joinable()) writer_.join();
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool EventLog::Emit(RequestEvent event) {
+  Item item;
+  item.event = std::move(event);
+  return Enqueue(std::move(item));
+}
+
+bool EventLog::EmitStats(const std::vector<MetricRow>& rows) {
+  Item item;
+  item.stats_line = FormatStatsEvent(rows);
+  return Enqueue(std::move(item));
+}
+
+bool EventLog::Enqueue(Item item) {
+  bool wake = false;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_ || queue_.size() >= kMaxQueue) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(std::move(item));
+    ++enqueued_seq_;
+    wake = queue_.size() >= kWakeDepth;
+  }
+  if (wake) queue_cv_.NotifyOne();
+  return true;
+}
+
+void EventLog::Flush() {
+  MutexLock lock(mu_);
+  const int64_t target = enqueued_seq_;
+  queue_cv_.NotifyOne();  // Don't wait out the writer's drain timer.
+  while (written_seq_ < target) written_cv_.Wait(lock);
+}
+
+int64_t EventLog::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+void EventLog::WriterMain() {
+  std::vector<Item> batch;
+  std::string buffer;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutdown_) {
+        queue_cv_.WaitFor(lock, kDrainInterval);  // timed self-wake
+      }
+      if (queue_.empty() && shutdown_) return;
+      batch.swap(queue_);
+    }
+    // Format the whole batch into one buffer and write it with one
+    // call: whole '\n'-terminated lines only, so an external
+    // rotate/truncate still never tears a line, but the request
+    // threads no longer share the core with one syscall per event.
+    buffer.clear();
+    for (const Item& item : batch) {
+      if (item.stats_line.empty()) {
+        AppendRequestEvent(buffer, item.event);
+      } else {
+        buffer += item.stats_line;
+      }
+      buffer += '\n';
+    }
+    WriteBuffer(buffer);
+    {
+      MutexLock lock(mu_);
+      written_seq_ += static_cast<int64_t>(batch.size());
+    }
+    written_cv_.NotifyAll();
+    batch.clear();
+  }
+}
+
+void EventLog::WriteBuffer(const std::string& lines) {
+  if (lines.empty()) return;
+  if (file_ != nullptr) {
+    std::fwrite(lines.data(), 1, lines.size(), file_);
+  }
+  if (sink_ != nullptr) {
+    *sink_ << lines;
+    sink_->flush();
+  }
+}
+
+}  // namespace obs
+}  // namespace snd

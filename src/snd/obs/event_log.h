@@ -1,0 +1,116 @@
+// Structured JSONL event log for the serving tier: one self-describing
+// JSON object per line, either a per-request event (trace id, request
+// kind, epochs, per-phase durations, work-counter deltas, cache
+// outcomes, status) or a periodic stats snapshot.
+//
+// The emit path is designed to stay off the request's critical path:
+// Emit() enqueues the event under a mutex (a struct move, no
+// formatting, no I/O, and no condvar signal — the writer thread drains
+// on a short timer, so the request thread never pays a futex wake) and
+// the dedicated writer thread formats and writes the lines.  When the
+// queue is full the event is dropped and counted rather than ever
+// blocking a request.  Writes are rotation-safe: the file is opened in
+// append mode and each drained batch is written as one unbuffered
+// write of whole '\n'-terminated lines, so an external rotate/truncate
+// never tears a line.
+//
+// Field order within an event is fixed (see obs/names.h kEv*); the
+// golden-schema test and tools/check_event_log.py byte-pin it.
+#ifndef SND_OBS_EVENT_LOG_H_
+#define SND_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "snd/obs/metrics.h"
+#include "snd/obs/trace.h"
+#include "snd/util/mutex.h"
+#include "snd/util/thread_annotations.h"
+
+namespace snd {
+namespace obs {
+
+// Snapshot of one completed request, copied out of its RequestTrace by
+// the service. Plain data: safe to move across the writer thread.
+struct RequestEvent {
+  uint64_t trace_id = 0;
+  std::string kind;    // request kind token ("distance", "invalid", ...)
+  std::string name;    // session name, "" when the request names none
+  std::string status;  // "ok" or the canonical status code token
+  uint64_t graph_epoch = 0;  // 0 = request touched no session
+  uint64_t sub_epoch = 0;
+  uint64_t states_epoch = 0;
+  int64_t phase_ns[kNumObsPhases] = {};
+  int64_t sssp_runs = 0;
+  int64_t sssp_settled = 0;
+  int64_t transport_solves = 0;
+  int64_t edge_cost_builds = 0;
+  int64_t edge_cost_patches = 0;
+  int64_t result_hits = 0;
+  int64_t result_misses = 0;
+  int64_t results_retained = -1;  // -1 = not a mutation
+  int64_t results_erased = -1;
+};
+
+class EventLog {
+ public:
+  // Opens `path` for appending (creating it if needed); nullptr when
+  // the file cannot be opened.
+  static std::unique_ptr<EventLog> OpenFile(const std::string& path);
+  // Test sink: lines go to *sink (not owned, must outlive the log).
+  explicit EventLog(std::ostream* sink);
+  ~EventLog();  // drains the queue, joins the writer, closes the file
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Enqueue one request event. Returns false when the bounded queue
+  // was full and the event was dropped (also counted in dropped()).
+  bool Emit(RequestEvent event) SND_EXCLUDES(mu_);
+  // Enqueue one {"event":"stats",...} snapshot line.
+  bool EmitStats(const std::vector<MetricRow>& rows) SND_EXCLUDES(mu_);
+  // Blocks until every previously enqueued event has been written.
+  void Flush() SND_EXCLUDES(mu_);
+
+  int64_t dropped() const SND_EXCLUDES(mu_);
+
+  // The exact line bodies, exposed for the golden-schema test.
+  static std::string FormatRequestEvent(const RequestEvent& event);
+  static std::string FormatStatsEvent(const std::vector<MetricRow>& rows);
+
+ private:
+  EventLog(std::FILE* file, std::ostream* sink);
+
+  struct Item {
+    RequestEvent event;
+    std::string stats_line;  // non-empty: pre-formatted stats snapshot
+  };
+
+  bool Enqueue(Item item) SND_EXCLUDES(mu_);
+  void WriterMain() SND_EXCLUDES(mu_);
+  void WriteBuffer(const std::string& lines);
+
+  std::FILE* file_ = nullptr;   // owned when non-null
+  std::ostream* sink_ = nullptr;
+
+  mutable Mutex mu_;
+  CondVar queue_cv_;    // signaled on enqueue and shutdown
+  CondVar written_cv_;  // signaled when written_seq_ advances
+  std::vector<Item> queue_ SND_GUARDED_BY(mu_);
+  int64_t enqueued_seq_ SND_GUARDED_BY(mu_) = 0;
+  int64_t written_seq_ SND_GUARDED_BY(mu_) = 0;
+  int64_t dropped_ SND_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SND_GUARDED_BY(mu_) = false;
+
+  std::thread writer_;
+};
+
+}  // namespace obs
+}  // namespace snd
+
+#endif  // SND_OBS_EVENT_LOG_H_

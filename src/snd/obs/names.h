@@ -1,0 +1,143 @@
+// The observability name vocabulary: every metric name and JSONL event
+// field key in the process lives here as a named constant, and nowhere
+// else as a string literal.  Registration / emit sites reference these
+// constants so the snd_lint `metric-name` rule can statically prove no
+// ad-hoc metric name ever reaches the registry or the event log, and so
+// the README schema table, the Stats wire snapshot, and the emitted
+// events can never drift apart silently.
+//
+// Naming contract (checked by snd_lint over this file):
+//   - kMetric* constants are lowercase dotted identifiers
+//     ("snd.work.sssp_runs"): [a-z0-9_]+(\.[a-z0-9_]+)+
+//   - kEv* constants are single lowercase tokens ("trace_id"):
+//     [a-z0-9_]+
+#ifndef SND_OBS_NAMES_H_
+#define SND_OBS_NAMES_H_
+
+namespace snd {
+namespace obs {
+
+// -- Per-request-kind counters (one per Request variant alternative,
+// plus `invalid` for lines that fail to parse at the wire layer).
+inline constexpr char kMetricReqLoadGraph[] = "snd.req.load_graph";
+inline constexpr char kMetricReqLoadStates[] = "snd.req.load_states";
+inline constexpr char kMetricReqAppendState[] = "snd.req.append_state";
+inline constexpr char kMetricReqAddEdge[] = "snd.req.add_edge";
+inline constexpr char kMetricReqRemoveEdge[] = "snd.req.remove_edge";
+inline constexpr char kMetricReqSubscribe[] = "snd.req.subscribe";
+inline constexpr char kMetricReqDistance[] = "snd.req.distance";
+inline constexpr char kMetricReqSeries[] = "snd.req.series";
+inline constexpr char kMetricReqMatrix[] = "snd.req.matrix";
+inline constexpr char kMetricReqAnomalies[] = "snd.req.anomalies";
+inline constexpr char kMetricReqInfo[] = "snd.req.info";
+inline constexpr char kMetricReqEvict[] = "snd.req.evict";
+inline constexpr char kMetricReqVersion[] = "snd.req.version";
+inline constexpr char kMetricReqHelp[] = "snd.req.help";
+inline constexpr char kMetricReqQuit[] = "snd.req.quit";
+inline constexpr char kMetricReqStats[] = "snd.req.stats";
+inline constexpr char kMetricReqInvalid[] = "snd.req.invalid";
+
+// -- Request outcomes and end-to-end latency (histogram: flattened into
+// .count / .sum_ns / .p50_ns / .p90_ns / .p99_ns snapshot rows).
+inline constexpr char kMetricReqOk[] = "snd.req.ok";
+inline constexpr char kMetricReqError[] = "snd.req.error";
+inline constexpr char kMetricReqLatency[] = "snd.req.latency";
+
+// -- Per-phase wall time, summed across requests (and across pool
+// threads within a request, so a parallel SSSP phase can exceed the
+// request's wall time).
+inline constexpr char kMetricPhaseParse[] = "snd.phase.parse.ns";
+inline constexpr char kMetricPhaseDispatch[] = "snd.phase.dispatch.ns";
+inline constexpr char kMetricPhaseEdgeCost[] = "snd.phase.edge_cost.ns";
+inline constexpr char kMetricPhaseSssp[] = "snd.phase.sssp.ns";
+inline constexpr char kMetricPhaseTransport[] = "snd.phase.transport.ns";
+inline constexpr char kMetricPhaseEncode[] = "snd.phase.encode.ns";
+
+// -- Work counters, folded from per-request traces at request
+// completion so `info`/`stats` report a consistent cut (never a
+// half-finished request's partial work).
+inline constexpr char kMetricWorkSsspRuns[] = "snd.work.sssp_runs";
+inline constexpr char kMetricWorkSsspSettled[] = "snd.work.sssp_settled";
+inline constexpr char kMetricWorkTransportSolves[] =
+    "snd.work.transport_solves";
+inline constexpr char kMetricWorkEdgeCostBuilds[] =
+    "snd.work.edge_cost_builds";
+inline constexpr char kMetricWorkEdgeCostPatches[] =
+    "snd.work.edge_cost_patches";
+
+// -- Per-SSSP-backend engine activity (every engine Run, including the
+// model-internal searches that the calculator-level sssp_runs counter
+// deliberately excludes).
+inline constexpr char kMetricSsspDijkstraRuns[] = "snd.sssp.dijkstra.runs";
+inline constexpr char kMetricSsspDijkstraSettled[] =
+    "snd.sssp.dijkstra.settled";
+inline constexpr char kMetricSsspDialRuns[] = "snd.sssp.dial.runs";
+inline constexpr char kMetricSsspDialSettled[] = "snd.sssp.dial.settled";
+inline constexpr char kMetricSsspDeltaRuns[] = "snd.sssp.delta.runs";
+inline constexpr char kMetricSsspDeltaSettled[] = "snd.sssp.delta.settled";
+
+// -- Caches (registry-backed: the ResultCache and the calculator LRU
+// feed these counters directly instead of keeping private stats).
+inline constexpr char kMetricCacheResultHits[] = "snd.cache.result.hits";
+inline constexpr char kMetricCacheResultMisses[] = "snd.cache.result.misses";
+inline constexpr char kMetricCacheResultEvictions[] =
+    "snd.cache.result.evictions";
+inline constexpr char kMetricCacheResultSize[] = "snd.cache.result.size";
+inline constexpr char kMetricCacheResultCapacity[] =
+    "snd.cache.result.capacity";
+inline constexpr char kMetricCacheCalcBuilds[] = "snd.cache.calc.builds";
+inline constexpr char kMetricCacheCalcHits[] = "snd.cache.calc.hits";
+inline constexpr char kMetricCacheCalcSize[] = "snd.cache.calc.size";
+inline constexpr char kMetricCacheCalcCapacity[] = "snd.cache.calc.capacity";
+
+// -- Sessions, mutations, streaming.
+inline constexpr char kMetricSessionCount[] = "snd.session.count";
+inline constexpr char kMetricSessionMutations[] = "snd.session.mutations";
+inline constexpr char kMetricMutateResultsRetained[] =
+    "snd.mutate.results_retained";
+inline constexpr char kMetricMutateResultsErased[] =
+    "snd.mutate.results_erased";
+inline constexpr char kMetricSubscribeStreams[] = "snd.subscribe.streams";
+inline constexpr char kMetricSubscribeEvents[] = "snd.subscribe.events";
+
+// -- The observability layer observing itself.
+inline constexpr char kMetricObsEventsEmitted[] = "snd.obs.events.emitted";
+inline constexpr char kMetricObsEventsDropped[] = "snd.obs.events.dropped";
+
+// -- JSONL event field keys, in the exact order they are emitted.  The
+// golden-schema test and tools/check_event_log.py both pin this order;
+// adding a field means touching this block, the emitter, the checker
+// fixture, and the README schema table together.
+inline constexpr char kEvEvent[] = "event";
+inline constexpr char kEvTraceId[] = "trace_id";
+inline constexpr char kEvKind[] = "kind";
+inline constexpr char kEvName[] = "name";
+inline constexpr char kEvStatus[] = "status";
+inline constexpr char kEvGraphEpoch[] = "graph_epoch";
+inline constexpr char kEvSubEpoch[] = "sub_epoch";
+inline constexpr char kEvStatesEpoch[] = "states_epoch";
+inline constexpr char kEvParseNs[] = "parse_ns";
+inline constexpr char kEvDispatchNs[] = "dispatch_ns";
+inline constexpr char kEvEdgeCostNs[] = "edge_cost_ns";
+inline constexpr char kEvSsspNs[] = "sssp_ns";
+inline constexpr char kEvTransportNs[] = "transport_ns";
+inline constexpr char kEvEncodeNs[] = "encode_ns";
+inline constexpr char kEvSsspRuns[] = "sssp_runs";
+inline constexpr char kEvSsspSettled[] = "sssp_settled";
+inline constexpr char kEvTransportSolves[] = "transport_solves";
+inline constexpr char kEvEdgeCostBuilds[] = "edge_cost_builds";
+inline constexpr char kEvEdgeCostPatches[] = "edge_cost_patches";
+inline constexpr char kEvResultHits[] = "result_hits";
+inline constexpr char kEvResultMisses[] = "result_misses";
+inline constexpr char kEvResultsRetained[] = "results_retained";
+inline constexpr char kEvResultsErased[] = "results_erased";
+inline constexpr char kEvMetrics[] = "metrics";
+
+// Values of the "event" field.
+inline constexpr char kEvTypeRequest[] = "request";
+inline constexpr char kEvTypeStats[] = "stats";
+
+}  // namespace obs
+}  // namespace snd
+
+#endif  // SND_OBS_NAMES_H_

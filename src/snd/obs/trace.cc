@@ -1,0 +1,38 @@
+#include "snd/obs/trace.h"
+
+namespace snd {
+namespace obs {
+namespace {
+
+thread_local constinit RequestTrace* g_current_trace = nullptr;
+
+}  // namespace
+
+const char* ObsPhaseName(ObsPhase phase) {
+  switch (phase) {
+    case ObsPhase::kParse:
+      return "parse";
+    case ObsPhase::kDispatch:
+      return "dispatch";
+    case ObsPhase::kEdgeCost:
+      return "edge_cost";
+    case ObsPhase::kSssp:
+      return "sssp";
+    case ObsPhase::kTransport:
+      return "transport";
+    case ObsPhase::kEncode:
+      return "encode";
+  }
+  return "unknown";
+}
+
+RequestTrace* CurrentRequestTrace() { return g_current_trace; }
+
+RequestTrace* SetCurrentRequestTrace(RequestTrace* trace) {
+  RequestTrace* previous = g_current_trace;
+  g_current_trace = trace;
+  return previous;
+}
+
+}  // namespace obs
+}  // namespace snd

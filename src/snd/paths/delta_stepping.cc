@@ -24,6 +24,7 @@
 // oversubscribe.
 #include <algorithm>
 
+#include "snd/obs/trace.h"
 #include "snd/paths/sssp_engine.h"
 #include "snd/util/thread_pool.h"
 
@@ -140,6 +141,7 @@ std::span<const int64_t> DeltaSteppingEngine::Run(
     std::span<const SsspSource> sources, const SsspGoal& goal) {
   SND_CHECK(static_cast<int64_t>(edge_costs.size()) == g.num_edges());
   SND_CHECK(dist_.size() == static_cast<size_t>(g.num_nodes()));
+  obs::EngineRunScope obs_run(obs::kSsspSlotDelta);
   std::fill(dist_.begin(), dist_.end(), kUnreachableDistance);
   std::fill(in_bucket_.begin(), in_bucket_.end(), kNotQueued);
   const bool pruned = !goal.settle_all();
@@ -200,6 +202,7 @@ std::span<const int64_t> DeltaSteppingEngine::Run(
     // The bucket stayed empty: every node whose final distance lies in
     // [b*delta, (b+1)*delta) is settled now, and settled_ holds exactly
     // those nodes (each last queued - hence last popped - in bucket b).
+    obs_run.AddSettled(static_cast<int64_t>(settled_.size()));
     if (pruned) {
       bool done = false;
       for (const int32_t u : settled_) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snd/obs/trace.h"
+
 namespace snd {
 
 const char* SsspBackendName(SsspBackend backend) {
@@ -27,6 +29,7 @@ std::span<const int64_t> DijkstraEngine::Run(
     std::span<const SsspSource> sources, const SsspGoal& goal) {
   SND_CHECK(static_cast<int64_t>(edge_costs.size()) == g.num_edges());
   SND_CHECK(dist_.size() == static_cast<size_t>(g.num_nodes()));
+  obs::EngineRunScope obs_run(obs::kSsspSlotDijkstra);
   std::fill(dist_.begin(), dist_.end(), kUnreachableDistance);
   heap_.clear();
   const bool pruned = !goal.settle_all();
@@ -53,6 +56,7 @@ std::span<const int64_t> DijkstraEngine::Run(
     heap_.pop_back();
     const int64_t d = -neg_d;
     if (d != dist_[static_cast<size_t>(u)]) continue;  // Stale entry.
+    obs_run.AddSettled();
     // u is settled here: dist_[u] can only shrink, and every remaining
     // heap entry is >= d while costs are >= 0. The last settled target
     // ends the search before u's (irrelevant) out-edges are relaxed.
@@ -85,6 +89,7 @@ std::span<const int64_t> DialEngine::Run(const Graph& g,
                                          const SsspGoal& goal) {
   SND_CHECK(static_cast<int64_t>(edge_costs.size()) == g.num_edges());
   SND_CHECK(dist_.size() == static_cast<size_t>(g.num_nodes()));
+  obs::EngineRunScope obs_run(obs::kSsspSlotDial);
   std::fill(dist_.begin(), dist_.end(), kUnreachableDistance);
   const bool pruned = !goal.settle_all();
   if (pruned) targets_.Reset(goal.targets());
@@ -130,6 +135,7 @@ std::span<const int64_t> DialEngine::Run(const Graph& g,
       for (int32_t u : current) {
         --pending;
         if (dist_[static_cast<size_t>(u)] != d) continue;
+        obs_run.AddSettled();
         // u is settled (swept at its final distance); see the Dijkstra
         // engine for the target-pruning rationale.
         if (pruned && targets_.Settle(u)) {

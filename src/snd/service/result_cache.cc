@@ -5,16 +5,23 @@
 namespace snd {
 
 ResultCache::ResultCache(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {}
+    : ResultCache(capacity, CounterSinks()) {}
+
+ResultCache::ResultCache(size_t capacity, CounterSinks sinks)
+    : capacity_(std::max<size_t>(1, capacity)), sinks_(sinks) {
+  if (sinks_.hits == nullptr) sinks_.hits = &owned_hits_;
+  if (sinks_.misses == nullptr) sinks_.misses = &owned_misses_;
+  if (sinks_.evictions == nullptr) sinks_.evictions = &owned_evictions_;
+}
 
 std::optional<double> ResultCache::Get(const std::string& key) {
   const MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++stats_.misses;
+    sinks_.misses->Add(1);
     return std::nullopt;
   }
-  ++stats_.hits;
+  sinks_.hits->Add(1);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -32,7 +39,7 @@ void ResultCache::Put(const std::string& key, double value) {
   while (map_.size() > capacity_) {
     map_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    sinks_.evictions->Add(1);
   }
 }
 
@@ -88,8 +95,11 @@ size_t ResultCache::CountMatchingPrefix(const std::string& prefix) const {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  const MutexLock lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.hits = sinks_.hits->Value();
+  stats.misses = sinks_.misses->Value();
+  stats.evictions = sinks_.evictions->Value();
+  return stats;
 }
 
 size_t ResultCache::size() const {

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "snd/obs/metrics.h"
 #include "snd/util/mutex.h"
 #include "snd/util/thread_annotations.h"
 
@@ -41,8 +42,22 @@ class ResultCache {
     int64_t evictions = 0;  // Capacity evictions only, not invalidations.
   };
 
-  // Capacity in entries, clamped to >= 1.
+  // Counter sinks for the cache's hit/miss/eviction accounting. The
+  // service injects registry-backed counters (snd.cache.result.*) so
+  // `info`, `stats`, and the JSONL events all read the one set of
+  // numbers; a cache constructed without sinks owns private counters
+  // with identical semantics.
+  struct CounterSinks {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+  };
+
+  // Capacity in entries, clamped to >= 1. (Two overloads rather than a
+  // defaulted CounterSinks argument: gcc rejects an in-class default of
+  // a nested aggregate before the enclosing class is complete.)
   explicit ResultCache(size_t capacity);
+  ResultCache(size_t capacity, CounterSinks sinks);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -87,11 +102,15 @@ class ResultCache {
   using LruList = std::list<std::pair<std::string, double>>;
 
   const size_t capacity_;
+  // Fallback counters when no sinks are injected; unused otherwise.
+  obs::Counter owned_hits_;
+  obs::Counter owned_misses_;
+  obs::Counter owned_evictions_;
+  CounterSinks sinks_;  // Always fully populated after construction.
   mutable Mutex mu_;
   LruList lru_ SND_GUARDED_BY(mu_);  // Front = most recently used.
   std::unordered_map<std::string, LruList::iterator> map_
       SND_GUARDED_BY(mu_);
-  Stats stats_ SND_GUARDED_BY(mu_);
 };
 
 }  // namespace snd

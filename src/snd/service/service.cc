@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdint>
+#include <iterator>
 #include <cstdlib>
 #include <istream>
 #include <map>
@@ -19,6 +21,7 @@
 #include "snd/emd/banks.h"
 #include "snd/graph/graph_delta.h"
 #include "snd/graph/io.h"
+#include "snd/obs/names.h"
 #include "snd/opinion/state_io.h"
 #include "snd/paths/sssp.h"
 #include "snd/service/options_parse.h"
@@ -46,6 +49,7 @@ constexpr char kCommandUsage[] =
     "  matrix <name> [flags]               full pairwise SND matrix\n"
     "  anomalies <name> [flags]            transitions by anomaly score\n"
     "  info                                sessions, caches, counters\n"
+    "  stats                               full metrics snapshot by name\n"
     "  evict <name>                        drop a graph and its artifacts\n"
     "  version                             protocol/library version\n"
     "  help                                this summary\n"
@@ -83,11 +87,79 @@ bool SameBankStructure(const BankSpec& a, const BankSpec& b) {
          a.gammas == b.gammas;
 }
 
+// Wire token of each Request alternative, indexed by variant index,
+// plus the trailing "invalid" slot for unparseable lines. The matching
+// static_asserts below keep the table and the variant in lockstep.
+constexpr const char* kRequestKindNames[] = {
+    "load_graph", "load_states", "append_state", "add_edge", "remove_edge",
+    "subscribe",  "distance",    "series",       "matrix",   "anomalies",
+    "info",       "stats",       "evict",        "version",  "help",
+    "quit",       "invalid"};
+static_assert(std::size(kRequestKindNames) == std::variant_size_v<Request> + 1,
+              "kind-name table out of sync with the Request variant");
+
+// Per-kind counter metric names, in the same variant order.
+constexpr const char* kRequestKindMetrics[] = {
+    obs::kMetricReqLoadGraph, obs::kMetricReqLoadStates,
+    obs::kMetricReqAppendState, obs::kMetricReqAddEdge,
+    obs::kMetricReqRemoveEdge, obs::kMetricReqSubscribe,
+    obs::kMetricReqDistance, obs::kMetricReqSeries, obs::kMetricReqMatrix,
+    obs::kMetricReqAnomalies, obs::kMetricReqInfo, obs::kMetricReqStats,
+    obs::kMetricReqEvict, obs::kMetricReqVersion, obs::kMetricReqHelp,
+    obs::kMetricReqQuit, obs::kMetricReqInvalid};
+static_assert(std::size(kRequestKindMetrics) ==
+                  std::variant_size_v<Request> + 1,
+              "kind-metric table out of sync with the Request variant");
+
+constexpr size_t kSubscribeKindIndex = 5;
+static_assert(
+    std::is_same_v<std::variant_alternative_t<kSubscribeKindIndex, Request>,
+                   SubscribeRequest>,
+    "subscribe moved in the Request variant");
+
+// The session name a request addresses ("" for the global commands) —
+// the `name` field of its JSONL event.
+std::string RequestSessionName(const Request& request) {
+  return std::visit(
+      [](const auto& typed) -> std::string {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, InfoRequest> ||
+                      std::is_same_v<T, StatsRequest> ||
+                      std::is_same_v<T, VersionRequest> ||
+                      std::is_same_v<T, HelpRequest> ||
+                      std::is_same_v<T, QuitRequest>) {
+          return std::string();
+        } else {
+          return typed.name;
+        }
+      },
+      request);
+}
+
+// Stamps the session's epochs onto the current trace (no-op untraced);
+// every command that resolves a session calls this so its event can be
+// attributed to the exact graph/states version it ran against.
+void StampTraceEpochs(uint64_t graph_epoch, uint64_t sub_epoch,
+                      uint64_t states_epoch) {
+  if (obs::RequestTrace* trace = obs::CurrentRequestTrace()) {
+    trace->graph_epoch = graph_epoch;
+    trace->sub_epoch = sub_epoch;
+    trace->states_epoch = states_epoch;
+  }
+}
+
 }  // namespace
 
 SndService::SndService(SndServiceConfig config)
-    : config_(config), results_(config.result_cache_capacity) {
+    : config_(config),
+      obs_(RegisterObsMetrics(&obs_registry_)),
+      results_(config.result_cache_capacity,
+               ResultCache::CounterSinks{obs_.result_hits,
+                                         obs_.result_misses,
+                                         obs_.result_evictions}) {
   config_.max_calculators = std::max<size_t>(1, config_.max_calculators);
+  obs_.result_capacity->Set(static_cast<int64_t>(results_.capacity()));
+  obs_.calc_capacity->Set(static_cast<int64_t>(config_.max_calculators));
 }
 
 SndService::~SndService() {
@@ -99,13 +171,154 @@ SndService::~SndService() {
   while (active_subscribers_ > 0) change_cv_.Wait(lock);
 }
 
-SndService::CalcEntry::~CalcEntry() {
-  // The last reference is gone, so `calc` is quiescent: this snapshot
-  // is the calculator's final, complete work count. (No lock on `mu`
-  // needed for `calc` itself — nothing else can reference this entry.)
-  if (calc != nullptr) {
-    const MutexLock lock(owner->retired_mu_);
-    owner->retired_work_ += calc->work_counters();
+SndService::ObsMetrics SndService::RegisterObsMetrics(
+    obs::MetricsRegistry* registry) {
+  ObsMetrics m;
+  for (size_t k = 0; k < std::size(kRequestKindMetrics); ++k) {
+    m.req_kind[k] = registry->RegisterCounter(kRequestKindMetrics[k]);
+  }
+  m.req_ok = registry->RegisterCounter(obs::kMetricReqOk);
+  m.req_error = registry->RegisterCounter(obs::kMetricReqError);
+  m.req_latency = registry->RegisterHistogram(obs::kMetricReqLatency);
+  constexpr const char* kPhaseMetrics[obs::kNumObsPhases] = {
+      obs::kMetricPhaseParse,     obs::kMetricPhaseDispatch,
+      obs::kMetricPhaseEdgeCost,  obs::kMetricPhaseSssp,
+      obs::kMetricPhaseTransport, obs::kMetricPhaseEncode};
+  for (int p = 0; p < obs::kNumObsPhases; ++p) {
+    m.phase_ns[p] = registry->RegisterCounter(kPhaseMetrics[p]);
+  }
+  m.work_sssp_runs = registry->RegisterCounter(obs::kMetricWorkSsspRuns);
+  m.work_sssp_settled =
+      registry->RegisterCounter(obs::kMetricWorkSsspSettled);
+  m.work_transport_solves =
+      registry->RegisterCounter(obs::kMetricWorkTransportSolves);
+  m.work_edge_cost_builds =
+      registry->RegisterCounter(obs::kMetricWorkEdgeCostBuilds);
+  m.work_edge_cost_patches =
+      registry->RegisterCounter(obs::kMetricWorkEdgeCostPatches);
+  m.backend_runs[obs::kSsspSlotDijkstra] =
+      registry->RegisterCounter(obs::kMetricSsspDijkstraRuns);
+  m.backend_settled[obs::kSsspSlotDijkstra] =
+      registry->RegisterCounter(obs::kMetricSsspDijkstraSettled);
+  m.backend_runs[obs::kSsspSlotDial] =
+      registry->RegisterCounter(obs::kMetricSsspDialRuns);
+  m.backend_settled[obs::kSsspSlotDial] =
+      registry->RegisterCounter(obs::kMetricSsspDialSettled);
+  m.backend_runs[obs::kSsspSlotDelta] =
+      registry->RegisterCounter(obs::kMetricSsspDeltaRuns);
+  m.backend_settled[obs::kSsspSlotDelta] =
+      registry->RegisterCounter(obs::kMetricSsspDeltaSettled);
+  m.result_hits = registry->RegisterCounter(obs::kMetricCacheResultHits);
+  m.result_misses =
+      registry->RegisterCounter(obs::kMetricCacheResultMisses);
+  m.result_evictions =
+      registry->RegisterCounter(obs::kMetricCacheResultEvictions);
+  m.result_size = registry->RegisterGauge(obs::kMetricCacheResultSize);
+  m.result_capacity =
+      registry->RegisterGauge(obs::kMetricCacheResultCapacity);
+  m.calc_builds = registry->RegisterCounter(obs::kMetricCacheCalcBuilds);
+  m.calc_hits = registry->RegisterCounter(obs::kMetricCacheCalcHits);
+  m.calc_size = registry->RegisterGauge(obs::kMetricCacheCalcSize);
+  m.calc_capacity = registry->RegisterGauge(obs::kMetricCacheCalcCapacity);
+  m.session_count = registry->RegisterGauge(obs::kMetricSessionCount);
+  m.session_mutations =
+      registry->RegisterCounter(obs::kMetricSessionMutations);
+  m.mutate_retained =
+      registry->RegisterCounter(obs::kMetricMutateResultsRetained);
+  m.mutate_erased =
+      registry->RegisterCounter(obs::kMetricMutateResultsErased);
+  m.subscribe_streams =
+      registry->RegisterCounter(obs::kMetricSubscribeStreams);
+  m.subscribe_events =
+      registry->RegisterCounter(obs::kMetricSubscribeEvents);
+  m.events_emitted =
+      registry->RegisterCounter(obs::kMetricObsEventsEmitted);
+  m.events_dropped =
+      registry->RegisterCounter(obs::kMetricObsEventsDropped);
+  return m;
+}
+
+void SndService::BeginTrace(obs::RequestTrace* trace) {
+  trace->trace_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace->start = std::chrono::steady_clock::now();
+}
+
+void SndService::FinishTrace(const obs::RequestTrace& trace,
+                             size_t kind_index, std::string name,
+                             const Status& status) {
+  const auto latency = std::chrono::steady_clock::now() - trace.start;
+  // Fold into the registry before emitting (and before the response is
+  // returned): a snapshot taken by any later request includes this one
+  // in full, never partially.
+  obs_.req_kind[kind_index]->Add(1);
+  (status.ok() ? obs_.req_ok : obs_.req_error)->Add(1);
+  obs_.req_latency->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(latency)
+          .count());
+  int64_t phase_ns[obs::kNumObsPhases];
+  for (int p = 0; p < obs::kNumObsPhases; ++p) {
+    phase_ns[p] = trace.phase_ns[p].load(std::memory_order_relaxed);
+    if (phase_ns[p] != 0) obs_.phase_ns[p]->Add(phase_ns[p]);
+  }
+  const int64_t sssp_runs =
+      trace.sssp_runs.load(std::memory_order_relaxed);
+  const int64_t sssp_settled =
+      trace.sssp_settled.load(std::memory_order_relaxed);
+  const int64_t transport_solves =
+      trace.transport_solves.load(std::memory_order_relaxed);
+  const int64_t edge_cost_builds =
+      trace.edge_cost_builds.load(std::memory_order_relaxed);
+  const int64_t edge_cost_patches =
+      trace.edge_cost_patches.load(std::memory_order_relaxed);
+  if (sssp_runs != 0) obs_.work_sssp_runs->Add(sssp_runs);
+  if (sssp_settled != 0) obs_.work_sssp_settled->Add(sssp_settled);
+  if (transport_solves != 0) {
+    obs_.work_transport_solves->Add(transport_solves);
+  }
+  if (edge_cost_builds != 0) {
+    obs_.work_edge_cost_builds->Add(edge_cost_builds);
+  }
+  if (edge_cost_patches != 0) {
+    obs_.work_edge_cost_patches->Add(edge_cost_patches);
+  }
+  for (int s = 0; s < obs::kNumSsspSlots; ++s) {
+    const int64_t runs = trace.backend_runs[s].load(std::memory_order_relaxed);
+    const int64_t settled =
+        trace.backend_settled[s].load(std::memory_order_relaxed);
+    if (runs != 0) obs_.backend_runs[s]->Add(runs);
+    if (settled != 0) obs_.backend_settled[s]->Add(settled);
+  }
+  if (trace.results_retained >= 0) {
+    obs_.session_mutations->Add(1);
+    obs_.mutate_retained->Add(trace.results_retained);
+    obs_.mutate_erased->Add(trace.results_erased);
+  }
+  if (config_.event_log == nullptr) return;
+  obs::RequestEvent event;
+  event.trace_id = trace.trace_id;
+  event.kind = kRequestKindNames[kind_index];
+  event.name = std::move(name);
+  event.status = StatusCodeName(status.code());
+  event.graph_epoch = trace.graph_epoch;
+  event.sub_epoch = trace.sub_epoch;
+  event.states_epoch = trace.states_epoch;
+  for (int p = 0; p < obs::kNumObsPhases; ++p) {
+    event.phase_ns[p] = phase_ns[p];
+  }
+  event.sssp_runs = sssp_runs;
+  event.sssp_settled = sssp_settled;
+  event.transport_solves = transport_solves;
+  event.edge_cost_builds = edge_cost_builds;
+  event.edge_cost_patches = edge_cost_patches;
+  event.result_hits = trace.result_hits;
+  event.result_misses = trace.result_misses;
+  event.results_retained = trace.results_retained;
+  event.results_erased = trace.results_erased;
+  if (config_.event_log->Emit(std::move(event))) {
+    obs_.events_emitted->Add(1);
+  } else {
+    obs_.events_dropped->Add(1);
   }
 }
 
@@ -117,6 +330,21 @@ StatusOr<Response> SndService::HelpCmd() {
 }
 
 StatusOr<Response> SndService::Dispatch(const Request& request) {
+  // Typed entry point: install a fresh trace so pipeline spans and work
+  // hooks attribute to this request, then fold + emit on the way out.
+  obs::RequestTrace trace;
+  BeginTrace(&trace);
+  const StatusOr<Response> response = [&] {
+    const obs::TraceScope scope(&trace);
+    const obs::ObsSpan span(obs::ObsPhase::kDispatch);
+    return DispatchInner(request);
+  }();
+  FinishTrace(trace, request.index(), RequestSessionName(request),
+              response.status());
+  return response;
+}
+
+StatusOr<Response> SndService::DispatchInner(const Request& request) {
   if (const auto* typed = std::get_if<LoadGraphRequest>(&request)) {
     return LoadGraphCmd(*typed);
   }
@@ -151,6 +379,7 @@ StatusOr<Response> SndService::Dispatch(const Request& request) {
     return ComputeCmd(request, *typed);
   }
   if (std::get_if<InfoRequest>(&request) != nullptr) return InfoCmd();
+  if (std::get_if<StatsRequest>(&request) != nullptr) return StatsCmd();
   if (const auto* typed = std::get_if<EvictRequest>(&request)) {
     return EvictCmd(*typed);
   }
@@ -183,6 +412,8 @@ StatusOr<Response> SndService::LoadGraphCmd(const LoadGraphRequest& request) {
     PurgeGraphArtifacts(request.name);
     const GraphSession& session =
         registry_.LoadGraph(request.name, *std::move(graph));
+    StampTraceEpochs(session.graph_epoch, session.graph_sub_epoch,
+                     session.states_epoch);
     return Response(LoadGraphResponse{request.name,
                                       session.graph->num_nodes(),
                                       session.graph->num_edges(),
@@ -236,6 +467,8 @@ StatusOr<Response> SndService::LoadStatesCmd(
       }
     }
     registry_.ReplaceStates(session, *std::move(states));
+    StampTraceEpochs(session->graph_epoch, session->graph_sub_epoch,
+                     session->states_epoch);
     return Response(LoadStatesResponse{
         request.name, static_cast<int64_t>(session->states.size()),
         session->graph->num_nodes(), session->states_epoch});
@@ -314,6 +547,8 @@ StatusOr<Response> SndService::AppendStateCmd(
       }
       registry_.TrimStates(session, excess);
     }
+    StampTraceEpochs(session->graph_epoch, session->graph_sub_epoch,
+                     session->states_epoch);
     return Response(LoadStatesResponse{
         request.name, static_cast<int64_t>(session->states.size()),
         session->graph->num_nodes(), session->states_epoch});
@@ -384,8 +619,8 @@ StatusOr<Response> SndService::MutateEdgeLocked(const std::string& name,
 
   // Detach every calculator of this session from the table. Entries of
   // the pre-mutation sub-epoch are candidates for rebuild+retention
-  // below; anything older is unreachable and simply retires
-  // (~CalcEntry folds its work counters into the cumulative total).
+  // below; anything older is unreachable and simply retires (its work
+  // was already folded into the registry per request).
   const std::string old_calc_prefix = name + "|g" +
                                       std::to_string(graph_epoch) + "." +
                                       std::to_string(old_sub) + "|";
@@ -406,6 +641,7 @@ StatusOr<Response> SndService::MutateEdgeLocked(const std::string& name,
 
   registry_.MutateGraph(session, new_graph);
   const uint64_t new_sub = session->graph_sub_epoch;
+  StampTraceEpochs(graph_epoch, new_sub, states_epoch);
 
   // Rebuild each live calculator on the new graph, patch its edge-cost
   // cache, and certify which cached SND values the mutation cannot have
@@ -551,7 +787,7 @@ StatusOr<Response> SndService::MutateEdgeLocked(const std::string& name,
 
     // Install the rebuilt entry under the new sub-epoch key.
     auto new_entry = std::make_shared<CalcEntry>(
-        this, new_graph, old_entry->options, old_entry->signature);
+        new_graph, old_entry->options, old_entry->signature);
     {
       const MutexLock entry_lock(new_entry->mu);
       new_entry->calc = std::move(new_calc_owned);
@@ -572,7 +808,7 @@ StatusOr<Response> SndService::MutateEdgeLocked(const std::string& name,
         }
         calculators_.erase(victim);
       }
-      ++calc_builds_;
+      obs_.calc_builds->Add(1);
       calculators_.emplace(name + "|g" + std::to_string(graph_epoch) +
                                "." + std::to_string(new_sub) + "|" +
                                old_entry->signature,
@@ -598,6 +834,10 @@ StatusOr<Response> SndService::MutateEdgeLocked(const std::string& name,
   response.sub_epoch = new_sub;
   response.results_retained = static_cast<int64_t>(retained_keys.size());
   response.results_erased = erased;
+  if (obs::RequestTrace* trace = obs::CurrentRequestTrace()) {
+    trace->results_retained = response.results_retained;
+    trace->results_erased = erased;
+  }
   return Response(response);
 }
 
@@ -615,15 +855,14 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
     const MutexLock lock(calc_mu_);
     const auto it = calculators_.find(key);
     if (it != calculators_.end()) {
-      ++calc_hits_;
+      obs_.calc_hits->Add(1);
       it->second.last_used = ++calc_ticks_;
       entry = it->second.entry;
     } else {
       // Over capacity: retire the least recently used calculator.
       // In-flight computations on the victim keep it alive through
-      // their shared_ptr; its work counters fold into the retired
-      // total when the last reference drops (~CalcEntry), so `info`
-      // stays exactly cumulative.
+      // their shared_ptr; its work is already folded into the registry
+      // per request, so `info` stays exactly cumulative.
       while (calculators_.size() >= config_.max_calculators) {
         auto victim = calculators_.begin();
         for (auto candidate = calculators_.begin();
@@ -634,9 +873,8 @@ std::shared_ptr<SndService::CalcEntry> SndService::GetCalculator(
         }
         calculators_.erase(victim);
       }
-      ++calc_builds_;
-      entry = std::make_shared<CalcEntry>(this, session.graph, options,
-                                          signature);
+      obs_.calc_builds->Add(1);
+      entry = std::make_shared<CalcEntry>(session.graph, options, signature);
       calculators_.emplace(key, CalcSlot{entry, ++calc_ticks_});
     }
   }
@@ -678,6 +916,11 @@ std::vector<double> SndService::EvaluatePairs(const GraphSession& session,
       missing_pos.push_back(k);
       missing_keys.push_back(std::move(key));
     }
+  }
+  if (obs::RequestTrace* trace = obs::CurrentRequestTrace()) {
+    trace->result_hits +=
+        static_cast<int64_t>(pairs.size() - missing.size());
+    trace->result_misses += static_cast<int64_t>(missing.size());
   }
   if (missing.empty()) return values;
   // Swap in a fresh edge-cost cache if the states epoch moved; compute
@@ -730,6 +973,8 @@ StatusOr<Response> SndService::ComputeLocked(const Request& request,
   if (session == nullptr) {
     return Status::NotFound("unknown graph '" + base.name + "'");
   }
+  StampTraceEpochs(session->graph_epoch, session->graph_sub_epoch,
+                   session->states_epoch);
   const auto num_states = static_cast<int32_t>(session->states.size());
   // Wire indices are global; the resident window is [first, first +
   // num_states) once retention has trimmed (first stays 0 without it).
@@ -907,6 +1152,26 @@ StatusOr<SndService::SubscribeOutcome> SndService::Subscribe(
     const SubscribeRequest& request,
     const std::function<void(int64_t from)>& on_start,
     const std::function<bool(const SubscribeEvent&)>& on_event) {
+  // One trace (and one JSONL event) per stream: its dispatch span is
+  // the stream's whole lifetime — including waits — and its work deltas
+  // are everything computed on behalf of this subscriber.
+  obs::RequestTrace trace;
+  BeginTrace(&trace);
+  obs_.subscribe_streams->Add(1);
+  const StatusOr<SubscribeOutcome> outcome = [&] {
+    const obs::TraceScope scope(&trace);
+    const obs::ObsSpan span(obs::ObsPhase::kDispatch);
+    return SubscribeInner(request, on_start, on_event);
+  }();
+  if (outcome.ok()) obs_.subscribe_events->Add(outcome->delivered);
+  FinishTrace(trace, kSubscribeKindIndex, request.name, outcome.status());
+  return outcome;
+}
+
+StatusOr<SndService::SubscribeOutcome> SndService::SubscribeInner(
+    const SubscribeRequest& request,
+    const std::function<void(int64_t from)>& on_start,
+    const std::function<bool(const SubscribeEvent&)>& on_event) {
   SND_CHECK(on_event != nullptr);
   if (request.threads > 0) {
     return Status::InvalidArgument("subscribe does not accept --threads");
@@ -928,6 +1193,7 @@ StatusOr<SndService::SubscribeOutcome> SndService::Subscribe(
     }
     graph_epoch = session->graph_epoch;
     states_epoch = session->states_epoch;
+    StampTraceEpochs(graph_epoch, session->graph_sub_epoch, states_epoch);
     const int64_t window_first = session->first_state_index;
     if (request.from < 0) {
       // Next future transition: the one the next append completes.
@@ -1047,8 +1313,8 @@ void SndService::PurgeGraphArtifacts(const std::string& name) {
     const MutexLock lock(calc_mu_);
     for (auto it = calculators_.begin(); it != calculators_.end();) {
       if (it->first.rfind(prefix, 0) == 0) {
-        // ~CalcEntry folds the work counters once the last reference
-        // (possibly an in-flight reader's) drops.
+        // In-flight readers keep the entry alive via their shared_ptr;
+        // its work is folded into the registry per request regardless.
         it = calculators_.erase(it);
       } else {
         ++it;
@@ -1059,46 +1325,80 @@ void SndService::PurgeGraphArtifacts(const std::string& name) {
 }
 
 ServiceCounters SndService::counters() const {
+  // Everything reads the obs registry: work counters are folded in at
+  // request completion (FinishTrace), so this snapshot is a consistent
+  // cut — a finished request's work is all here, an in-flight one's is
+  // not half-counted, and `info` and `stats` report the same numbers.
   ServiceCounters counters;
   const ResultCache::Stats result_stats = results_.stats();
   counters.result_hits = result_stats.hits;
   counters.result_misses = result_stats.misses;
   counters.result_evictions = result_stats.evictions;
   counters.result_size = static_cast<int64_t>(results_.size());
-  // Sequential (never nested) acquisition: retired_mu_ is a leaf lock a
-  // destructor may take while calc_mu_ is held.
-  {
-    const MutexLock lock(retired_mu_);
-    counters.work = retired_work_;
-  }
-  // Snapshot the table under calc_mu_, then release it before touching
-  // any entry->mu: an entry mid-build holds its mutex for the whole
-  // (possibly expensive) SndCalculator construction, and blocking on it
-  // with calc_mu_ held would stall every GetCalculator lookup behind
-  // one cold build.
-  std::vector<std::shared_ptr<CalcEntry>> entries;
-  {
-    const MutexLock lock(calc_mu_);
-    counters.calc_builds = calc_builds_;
-    counters.calc_hits = calc_hits_;
-    entries.reserve(calculators_.size());
-    for (const auto& [key, slot] : calculators_) {
-      entries.push_back(slot.entry);
-    }
-  }
-  for (const std::shared_ptr<CalcEntry>& entry : entries) {
-    const MutexLock entry_lock(entry->mu);
-    if (entry->calc != nullptr) counters.work += entry->calc->work_counters();
-  }
+  counters.calc_builds = obs_.calc_builds->Value();
+  counters.calc_hits = obs_.calc_hits->Value();
+  counters.work.sssp_runs = obs_.work_sssp_runs->Value();
+  counters.work.transport_solves = obs_.work_transport_solves->Value();
+  counters.work.edge_cost_builds = obs_.work_edge_cost_builds->Value();
+  counters.work.edge_cost_patches = obs_.work_edge_cost_patches->Value();
   return counters;
 }
 
+StatusOr<Response> SndService::StatsCmd() {
+  // Gauges are sampled at snapshot time (counters fold continuously).
+  {
+    const ReaderMutexLock lock(session_mu_);
+    obs_.session_count->Set(
+        static_cast<int64_t>(registry_.sessions().size()));
+  }
+  {
+    const MutexLock lock(calc_mu_);
+    obs_.calc_size->Set(static_cast<int64_t>(calculators_.size()));
+  }
+  obs_.result_size->Set(static_cast<int64_t>(results_.size()));
+  StatsResponse response;
+  response.metrics = obs_registry_.Snapshot();
+  if (config_.event_log != nullptr) {
+    if (config_.event_log->EmitStats(response.metrics)) {
+      obs_.events_emitted->Add(1);
+    } else {
+      obs_.events_dropped->Add(1);
+    }
+  }
+  return Response(std::move(response));
+}
+
 ServiceResponse SndService::Call(const std::string& request) {
-  const StatusOr<Request> parsed = ParseTextRequest(request);
-  if (!parsed.ok()) return RenderTextError(parsed.status());
-  const StatusOr<Response> response = Dispatch(*parsed);
-  if (!response.ok()) return RenderTextError(response.status());
-  return RenderTextResponse(*response);
+  // Legacy string entry point: one trace covers the full pipeline, so
+  // its event carries parse and encode time the typed Dispatch (which
+  // never sees wire bytes) cannot.
+  obs::RequestTrace trace;
+  BeginTrace(&trace);
+  const obs::TraceScope scope(&trace);
+  const StatusOr<Request> parsed = [&] {
+    const obs::ObsSpan span(obs::ObsPhase::kParse);
+    return ParseTextRequest(request);
+  }();
+  if (!parsed.ok()) {
+    ServiceResponse rendered = [&] {
+      const obs::ObsSpan span(obs::ObsPhase::kEncode);
+      return RenderTextError(parsed.status());
+    }();
+    FinishTrace(trace, kInvalidKindIndex, std::string(), parsed.status());
+    return rendered;
+  }
+  const StatusOr<Response> response = [&] {
+    const obs::ObsSpan span(obs::ObsPhase::kDispatch);
+    return DispatchInner(*parsed);
+  }();
+  ServiceResponse rendered = [&] {
+    const obs::ObsSpan span(obs::ObsPhase::kEncode);
+    return response.ok() ? RenderTextResponse(*response)
+                         : RenderTextError(response.status());
+  }();
+  FinishTrace(trace, parsed->index(), RequestSessionName(*parsed),
+              response.status());
+  return rendered;
 }
 
 void SndService::WriteResponse(const ServiceResponse& response,
@@ -1184,25 +1484,48 @@ void SndService::ServeStream(std::istream& in, std::ostream& out,
       out.flush();
       if (response.ok && response.header == "bye") return;
     } else {
-      const StatusOr<Request> request = ParseJsonRequest(line);
+      // Mirror of Call for the JSON wire: one per-line trace covering
+      // parse, dispatch and encode.
+      obs::RequestTrace trace;
+      BeginTrace(&trace);
+      const obs::TraceScope scope(&trace);
+      const StatusOr<Request> request = [&] {
+        const obs::ObsSpan span(obs::ObsPhase::kParse);
+        return ParseJsonRequest(line);
+      }();
       if (!request.ok()) {
-        out << RenderJsonError(request.status()) << '\n';
+        {
+          const obs::ObsSpan span(obs::ObsPhase::kEncode);
+          out << RenderJsonError(request.status()) << '\n';
+        }
         out.flush();
+        FinishTrace(trace, kInvalidKindIndex, std::string(),
+                    request.status());
         continue;
       }
       if (std::holds_alternative<SubscribeRequest>(*request)) {
+        // Subscribe traces itself (one event per stream); the outer
+        // trace is abandoned un-emitted so the line is not double
+        // counted. Its parse time goes unreported — harmless.
         ServeSubscribe(std::get<SubscribeRequest>(*request), out, format);
         continue;
       }
-      const StatusOr<Response> response = Dispatch(*request);
-      if (!response.ok()) {
-        out << RenderJsonError(response.status()) << '\n';
-        out.flush();
-        continue;
+      const StatusOr<Response> response = [&] {
+        const obs::ObsSpan span(obs::ObsPhase::kDispatch);
+        return DispatchInner(*request);
+      }();
+      {
+        const obs::ObsSpan span(obs::ObsPhase::kEncode);
+        out << (response.ok() ? RenderJsonResponse(*response)
+                              : RenderJsonError(response.status()))
+            << '\n';
       }
-      out << RenderJsonResponse(*response) << '\n';
       out.flush();
-      if (std::holds_alternative<ByeResponse>(*response)) return;
+      FinishTrace(trace, request->index(), RequestSessionName(*request),
+                  response.status());
+      if (response.ok() && std::holds_alternative<ByeResponse>(*response)) {
+        return;
+      }
     }
   }
 }

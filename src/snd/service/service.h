@@ -56,12 +56,14 @@
 #ifndef SND_SERVICE_SERVICE_H_
 #define SND_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "snd/api/requests.h"
@@ -69,6 +71,9 @@
 #include "snd/api/status.h"
 #include "snd/api/text_codec.h"  // ServiceResponse (legacy text shape).
 #include "snd/core/snd.h"
+#include "snd/obs/event_log.h"
+#include "snd/obs/metrics.h"
+#include "snd/obs/trace.h"
 #include "snd/service/result_cache.h"
 #include "snd/service/session.h"
 #include "snd/util/mutex.h"
@@ -97,6 +102,13 @@ struct SndServiceConfig {
   // session.h), so million-state streams stay bounded without index
   // churn.
   int64_t state_retention = 0;
+  // Structured JSONL event sink: when set, the service emits one
+  // self-describing event per completed request (trace id, kind,
+  // per-phase durations, work-counter deltas, cache outcomes, status).
+  // Not owned; must outlive the service. Null (the default) disables
+  // emission — tracing and metric folding still run, so `stats` is
+  // always live.
+  obs::EventLog* event_log = nullptr;
 };
 
 // Snapshot of the service's cache effectiveness, also printed by `info`.
@@ -186,26 +198,28 @@ class SndService {
 
   ServiceCounters counters() const;
 
+  // The process-wide metrics registry backing `stats`; exposed so
+  // embedding callers (snd_serve's --stats-interval loop, tests) can
+  // snapshot without issuing a request. Thread-safe.
+  const obs::MetricsRegistry& metrics() const { return obs_registry_; }
+
  private:
   // A resident calculator and its cross-request edge-cost cache, keyed
   // by (graph name, graph epoch, options signature). Held by shared_ptr
   // so table eviction cannot free an entry another thread is computing
-  // on; the destructor folds the calculator's *final* work counters
-  // into the service's retired total, so counts accumulated by an
-  // in-flight reader after its entry was evicted are never lost and
-  // `info` stays exactly cumulative.
+  // on. Cumulative work accounting does not live here: every work
+  // increment is mirrored into the current request's trace and folded
+  // into the metrics registry at request completion, so retiring an
+  // entry loses nothing.
   struct CalcEntry {
-    CalcEntry(SndService* owner, std::shared_ptr<const Graph> graph,
-              SndOptions options, std::string signature)
-        : owner(owner),
-          graph(std::move(graph)),
+    CalcEntry(std::shared_ptr<const Graph> graph, SndOptions options,
+              std::string signature)
+        : graph(std::move(graph)),
           options(std::move(options)),
           signature(std::move(signature)) {}
-    ~CalcEntry();
     CalcEntry(const CalcEntry&) = delete;
     CalcEntry& operator=(const CalcEntry&) = delete;
 
-    SndService* const owner;  // Outlives every entry (Dispatch contract).
     // Keeps the epoch's graph alive; const after construction.
     const std::shared_ptr<const Graph> graph;
     // The options the calculator was built with and their signature —
@@ -234,6 +248,69 @@ class SndService {
     uint64_t last_used = 0;
   };
 
+  // Pre-resolved handles into obs_registry_, one per name in
+  // obs/names.h the service maintains: the per-request hot path does
+  // pointer bumps only, never a registry lookup. req_kind is indexed by
+  // Request variant index, with one extra trailing slot for lines that
+  // fail to parse at the wire layer ("invalid").
+  struct ObsMetrics {
+    obs::Counter* req_kind[std::variant_size_v<Request> + 1] = {};
+    obs::Counter* req_ok = nullptr;
+    obs::Counter* req_error = nullptr;
+    obs::Histogram* req_latency = nullptr;
+    obs::Counter* phase_ns[obs::kNumObsPhases] = {};
+    obs::Counter* work_sssp_runs = nullptr;
+    obs::Counter* work_sssp_settled = nullptr;
+    obs::Counter* work_transport_solves = nullptr;
+    obs::Counter* work_edge_cost_builds = nullptr;
+    obs::Counter* work_edge_cost_patches = nullptr;
+    obs::Counter* backend_runs[obs::kNumSsspSlots] = {};
+    obs::Counter* backend_settled[obs::kNumSsspSlots] = {};
+    obs::Counter* result_hits = nullptr;
+    obs::Counter* result_misses = nullptr;
+    obs::Counter* result_evictions = nullptr;
+    obs::Gauge* result_size = nullptr;
+    obs::Gauge* result_capacity = nullptr;
+    obs::Counter* calc_builds = nullptr;
+    obs::Counter* calc_hits = nullptr;
+    obs::Gauge* calc_size = nullptr;
+    obs::Gauge* calc_capacity = nullptr;
+    obs::Gauge* session_count = nullptr;
+    obs::Counter* session_mutations = nullptr;
+    obs::Counter* mutate_retained = nullptr;
+    obs::Counter* mutate_erased = nullptr;
+    obs::Counter* subscribe_streams = nullptr;
+    obs::Counter* subscribe_events = nullptr;
+    obs::Counter* events_emitted = nullptr;
+    obs::Counter* events_dropped = nullptr;
+  };
+
+  // Registers every service metric under its obs/names.h name and
+  // resolves the handle struct; called once from the constructor.
+  static ObsMetrics RegisterObsMetrics(obs::MetricsRegistry* registry);
+
+  // Stamps a fresh trace id and the start time. The caller installs the
+  // trace with an obs::TraceScope for the request's duration.
+  void BeginTrace(obs::RequestTrace* trace);
+
+  // Request epilogue, called exactly once per traced request after the
+  // work is done (and before the response is returned): folds the
+  // trace's phase/work deltas into the registry — so any later stats
+  // snapshot sees requests only in full, a consistent cut at request
+  // boundaries — records the latency, bumps the kind/outcome counters,
+  // and (when config_.event_log is set) emits the request's JSONL
+  // event. `kind_index` is the Request variant index, or
+  // kInvalidKindIndex for unparseable wire lines.
+  void FinishTrace(const obs::RequestTrace& trace, size_t kind_index,
+                   std::string name, const Status& status);
+
+  static constexpr size_t kInvalidKindIndex = std::variant_size_v<Request>;
+
+  // The dispatch body (the pre-observability Dispatch): every traced
+  // entry point — Dispatch, Call, ServeStream — routes through it
+  // inside its own trace/span bracket.
+  StatusOr<Response> DispatchInner(const Request& request);
+
   StatusOr<Response> LoadGraphCmd(const LoadGraphRequest& request);
   StatusOr<Response> LoadStatesCmd(const LoadStatesRequest& request);
   StatusOr<Response> AppendStateCmd(const AppendStateRequest& request);
@@ -247,6 +324,12 @@ class SndService {
   StatusOr<Response> ComputeCmd(const Request& request,
                                 const ComputeRequestBase& base);
   StatusOr<Response> InfoCmd();
+  // Refreshes the size/occupancy gauges, snapshots the registry, and —
+  // when an event log is attached — emits the snapshot as a `stats`
+  // event. The snapshot is taken BEFORE this request's own trace folds
+  // (FinishTrace runs after the command body), so it covers exactly the
+  // requests that completed before this one.
+  StatusOr<Response> StatsCmd();
   StatusOr<Response> EvictCmd(const EvictRequest& request);
   StatusOr<Response> HelpCmd();
 
@@ -305,6 +388,14 @@ class SndService {
   void PurgeGraphArtifacts(const std::string& name)
       SND_REQUIRES(session_mu_);
 
+  // The pre-observability Subscribe body; the public Subscribe wraps it
+  // in a whole-stream trace (one JSONL event per stream, emitted when
+  // it ends, accounting every value the stream computed).
+  StatusOr<SubscribeOutcome> SubscribeInner(
+      const SubscribeRequest& request,
+      const std::function<void(int64_t from)>& on_start,
+      const std::function<bool(const SubscribeEvent&)>& on_event);
+
   // Streaming body of `subscribe` for ServeStream connections: renders
   // the header / events / terminator of Subscribe() onto `out` in
   // `format`, flushing per event.
@@ -319,6 +410,13 @@ class SndService {
 
   SndServiceConfig config_;
 
+  // The metrics registry and its pre-resolved handles. Declared FIRST
+  // among stateful members: results_ holds counter pointers into the
+  // registry, so it must be constructed after and destroyed before.
+  obs::MetricsRegistry obs_registry_;
+  ObsMetrics obs_;
+  std::atomic<uint64_t> next_trace_id_{0};
+
   // Lock order (outer to inner): session_mu_ -> calc_mu_ -> entry->mu.
   // results_ locks internally and is never held across another lock.
   mutable SharedMutex session_mu_;
@@ -326,21 +424,9 @@ class SndService {
 
   ResultCache results_;  // Internally synchronized.
 
-  // Work of destroyed calculators, folded in by ~CalcEntry. Guarded by
-  // its own leaf mutex (a destructor may run while calc_mu_ is held —
-  // table erase dropping the last reference — or on a reader thread
-  // holding no other lock); never acquire another lock under it.
-  // Declared BEFORE calculators_: members destroy in reverse order, and
-  // destroying the table runs ~CalcEntry, which must still find this
-  // mutex and accumulator alive.
-  mutable Mutex retired_mu_;
-  SndWorkCounters retired_work_ SND_GUARDED_BY(retired_mu_);
-
   mutable Mutex calc_mu_ SND_ACQUIRED_AFTER(session_mu_);
   std::map<std::string, CalcSlot> calculators_ SND_GUARDED_BY(calc_mu_);
   uint64_t calc_ticks_ SND_GUARDED_BY(calc_mu_) = 0;
-  int64_t calc_builds_ SND_GUARDED_BY(calc_mu_) = 0;
-  int64_t calc_hits_ SND_GUARDED_BY(calc_mu_) = 0;
 
   // Subscriber wakeup state. change_mu_ is a leaf: NotifyChange takes
   // it only after the writer lock is released, and a subscriber never

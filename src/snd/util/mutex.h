@@ -25,6 +25,7 @@
 #ifndef SND_UTIL_MUTEX_H_
 #define SND_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -133,6 +134,12 @@ class CondVar {
   // what the analysis assumes. Spurious wakeups happen — always wait in
   // a while loop re-checking the guarded condition.
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  // Timed wait: returns false on timeout, true when notified (or on a
+  // spurious wakeup — re-check the guarded condition either way).
+  bool WaitFor(MutexLock& lock, std::chrono::milliseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "snd/obs/trace.h"
 #include "snd/util/check.h"
 
 namespace snd {
@@ -82,7 +83,12 @@ void ThreadPool::WorkerMain(int32_t slot) {
     // the shared_ptr keeps the batch state alive for it regardless.
     batch->active.fetch_add(1, std::memory_order_relaxed);
     tls_in_parallel_region = true;
-    Drain(batch.get(), slot);
+    {
+      // Attribute this worker's share of the batch to the dispatching
+      // request's trace (no-op when the caller had none installed).
+      const obs::TraceScope trace_scope(batch->trace);
+      Drain(batch.get(), slot);
+    }
     tls_in_parallel_region = false;
     if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       const MutexLock lock(batch->mu);
@@ -108,6 +114,7 @@ void ThreadPool::ParallelFor(
   const int64_t chunk =
       std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
   auto batch = std::make_shared<Batch>(n, &fn, chunk);
+  batch->trace = obs::CurrentRequestTrace();
   {
     const MutexLock lock(mu_);
     batch_ = batch;

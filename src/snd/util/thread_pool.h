@@ -32,6 +32,10 @@
 
 namespace snd {
 
+namespace obs {
+struct RequestTrace;
+}  // namespace obs
+
 class ThreadPool {
  public:
   // Hard cap on the worker count of any pool (a safety valve against
@@ -88,6 +92,10 @@ class ThreadPool {
     const int64_t n;
     const std::function<void(int64_t, int32_t)>* fn;
     const int64_t chunk;
+    // The dispatching thread's observability trace (may be null):
+    // workers install it while draining this batch, so work done on
+    // pool threads is attributed to the request that asked for it.
+    obs::RequestTrace* trace = nullptr;
     std::atomic<int64_t> next{0};
     std::atomic<int32_t> active{0};
     Mutex mu;

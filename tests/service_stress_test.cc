@@ -7,8 +7,10 @@
 // and observed epochs must never be torn (states_epoch > graph_epoch is
 // a registry invariant for every live session). Runs under asan-ubsan
 // and under the tsan preset in CI.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -759,6 +761,128 @@ TEST_F(ServiceStressTest, TcpClientsShareOneResidentGraphConcurrently) {
 }
 
 #endif  // !defined(_WIN32)
+
+// Observability under contention: stats snapshots taken while readers,
+// writers, and mutators hammer one shared service must never show a
+// counter moving backwards (each row is an un-torn atomic read, and
+// work folds into the registry only at request completion), and the
+// final quiescent snapshot must account for exactly the traffic sent.
+// Runs under the tsan preset in CI like the rest of this suite.
+TEST_F(ServiceStressTest, StatsSnapshotsStayMonotoneUnderConcurrentTraffic) {
+  SndService service;
+  ASSERT_TRUE(service.Call("load_graph g " + graph_path_).ok);
+  ASSERT_TRUE(service.Call("load_states g " + states_path_).ok);
+
+  FailureLog failures;
+  std::atomic<bool> stop{false};
+
+  // Rows that may legitimately move down between snapshots: gauges
+  // (sizes, capacities, session count) and interpolated quantile
+  // estimates. Everything else in the snapshot is a monotone counter.
+  const auto is_monotone_row = [](const std::string& name) {
+    if (name.ends_with(".size") || name.ends_with(".capacity")) return false;
+    if (name == "snd.session.count") return false;
+    if (name.ends_with(".p50_ns") || name.ends_with(".p90_ns") ||
+        name.ends_with(".p99_ns")) {
+      return false;
+    }
+    return true;
+  };
+
+  constexpr int kComputeThreads = 3;
+  constexpr int kComputesPerThread = 30;
+  constexpr int kMutations = 20;  // Alternating add/remove pairs.
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kComputeThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int k = 0; k < kComputesPerThread; ++k) {
+        DistanceRequest request;
+        request.name = "g";
+        request.i = (k + w) % 2;
+        request.j = 1 + (k + w) % 2;
+        const StatusOr<Response> response =
+            service.Dispatch(Request(request));
+        if (!response.ok()) {
+          failures.Record("distance failed: " +
+                          response.status().message());
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int k = 0; k < kMutations; ++k) {
+      // 0 -> 8 is not a ring edge, so the pair add/remove always
+      // succeeds; each one counts one snd.session.mutations.
+      const char* line = (k % 2 == 0) ? "add_edge g 0 8" : "remove_edge g 0 8";
+      const ServiceResponse response = service.Call(line);
+      if (!response.ok) {
+        failures.Record("mutation failed: " + response.header);
+        return;
+      }
+    }
+  });
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      std::map<std::string, int64_t> previous;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const StatusOr<Response> response =
+            service.Dispatch(Request(StatsRequest{}));
+        if (!response.ok()) {
+          failures.Record("stats failed: " + response.status().message());
+          return;
+        }
+        const auto* stats = std::get_if<StatsResponse>(&*response);
+        if (stats == nullptr) {
+          failures.Record("stats returned a non-stats response");
+          return;
+        }
+        for (const auto& row : stats->metrics) {
+          if (!is_monotone_row(row.name)) continue;
+          const auto it = previous.find(row.name);
+          if (it != previous.end() && row.value < it->second) {
+            failures.Record(row.name + " moved backwards: " +
+                            std::to_string(it->second) + " -> " +
+                            std::to_string(row.value));
+            return;
+          }
+          previous[row.name] = row.value;
+        }
+      }
+    });
+  }
+  // Stop the snapshot readers once all traffic threads are done.
+  for (size_t t = 0; t < threads.size() - 2; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t t = threads.size() - 2; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  failures.ExpectEmpty();
+
+  // Quiescent: the final snapshot accounts for exactly the traffic.
+  const StatusOr<Response> final_response =
+      service.Dispatch(Request(StatsRequest{}));
+  ASSERT_TRUE(final_response.ok());
+  const auto* stats = std::get_if<StatsResponse>(&*final_response);
+  ASSERT_NE(stats, nullptr);
+  std::map<std::string, int64_t> rows;
+  for (const auto& row : stats->metrics) rows[row.name] = row.value;
+  EXPECT_EQ(rows["snd.req.distance"], kComputeThreads * kComputesPerThread);
+  EXPECT_EQ(rows["snd.req.add_edge"], kMutations / 2);
+  EXPECT_EQ(rows["snd.req.remove_edge"], kMutations / 2);
+  EXPECT_EQ(rows["snd.req.load_graph"], 1);
+  EXPECT_EQ(rows["snd.req.load_states"], 1);
+  EXPECT_EQ(rows["snd.session.mutations"], kMutations);
+  EXPECT_EQ(rows["snd.req.error"], 0);
+  // Every request folded exactly once into the latency histogram
+  // (requests completed so far == ok + error == latency.count).
+  EXPECT_EQ(rows["snd.req.ok"] + rows["snd.req.error"],
+            rows["snd.req.latency.count"]);
+  // Result-cache accounting balances: every distance lookup was a hit
+  // or a miss.
+  EXPECT_EQ(rows["snd.cache.result.hits"] + rows["snd.cache.result.misses"],
+            kComputeThreads * kComputesPerThread);
+}
 
 }  // namespace
 }  // namespace snd

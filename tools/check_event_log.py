@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""check_event_log: validate a JSONL event log from the serving tier.
+
+The snd service (snd_serve --log-events=FILE, or any SndService with
+SndServiceConfig::event_log set) emits one self-describing JSON object
+per line: per-request events and periodic stats snapshots.  This checker
+proves a captured file honors the wire contract pinned in
+src/snd/obs/names.h and the obs_test golden strings:
+
+  * every line parses as a JSON object whose "event" field is
+    "request" or "stats";
+  * request events carry exactly the 23 schema keys, in emission order,
+    with the right types and value ranges (counters non-negative,
+    results_retained/results_erased >= -1, trace ids unique);
+  * stats events carry exactly {"event","metrics"} with a metrics
+    object of lowercase dotted names and integer values;
+  * the consistent cut: each stats snapshot's foldable counters equal
+    the sums over the request events that precede it in the file.  A
+    completed request folds its trace into the registry before its
+    response (and its event line's enqueue slot) is released, and the
+    `stats` command snapshots before its own fold, so in a serial
+    session the equality is exact — this is the acceptance property
+    that per-request deltas and the Stats wire view can never drift.
+
+    python3 tools/check_event_log.py EVENTS.jsonl
+    python3 tools/check_event_log.py --no-sums EVENTS.jsonl
+    python3 tools/check_event_log.py --self-test
+
+--no-sums skips the consistent-cut equality, for logs captured from
+concurrent sessions or --stats-interval timers where snapshots race
+in-flight requests (the structural schema checks still run).  When a
+snapshot reports dropped events (snd.obs.events.dropped > 0) the sum
+check is skipped automatically — the file no longer sees every fold.
+
+Findings are machine-greppable `line N: category: message` lines.
+Exit codes: 0 clean, 1 findings, 2 usage/format errors.
+
+--self-test validates seeded fixtures under tools/event_fixtures/: a
+captured-good log must come back clean and a corrupted log must produce
+exactly the expected finding categories, so a checker regressed into
+never failing cannot land.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# The request-event schema: key order is the wire contract
+# (src/snd/obs/names.h kEv* block, byte-pinned by obs_test).
+REQUEST_KEYS = [
+    "event", "trace_id", "kind", "name", "status",
+    "graph_epoch", "sub_epoch", "states_epoch",
+    "parse_ns", "dispatch_ns", "edge_cost_ns", "sssp_ns", "transport_ns",
+    "encode_ns",
+    "sssp_runs", "sssp_settled", "transport_solves",
+    "edge_cost_builds", "edge_cost_patches",
+    "result_hits", "result_misses",
+    "results_retained", "results_erased",
+]
+STATS_KEYS = ["event", "metrics"]
+
+_STRING_KEYS = {"event", "kind", "name", "status"}
+# Fields allowed to be -1 (= "not a mutation"); everything else
+# numeric must be >= 0.
+_SENTINEL_KEYS = {"results_retained", "results_erased"}
+
+_METRIC_NAME = re.compile(r"[a-z0-9_]+(?:\.[a-z0-9_]+)+")
+_TOKEN = re.compile(r"[a-z_]+")
+
+# Stats-snapshot rows that are pure folds of request-event fields: the
+# consistent-cut check sums the event field (right) over preceding
+# request events and requires equality with the snapshot row (left).
+_SUMMED_ROWS = [
+    ("snd.work.sssp_runs", "sssp_runs"),
+    ("snd.work.sssp_settled", "sssp_settled"),
+    ("snd.work.transport_solves", "transport_solves"),
+    ("snd.work.edge_cost_builds", "edge_cost_builds"),
+    ("snd.work.edge_cost_patches", "edge_cost_patches"),
+    ("snd.cache.result.hits", "result_hits"),
+    ("snd.cache.result.misses", "result_misses"),
+]
+
+
+class LogCheck:
+    """Accumulates per-file state for the streaming checks."""
+
+    def __init__(self, check_sums):
+        self.check_sums = check_sums
+        self.findings = []
+        self.trace_ids = set()
+        self.request_count = 0
+        self.ok_count = 0
+        self.error_count = 0
+        self.kind_counts = {}
+        self.sums = {field: 0 for _, field in _SUMMED_ROWS}
+        self.retained_sum = 0
+        self.erased_sum = 0
+
+    def report(self, line_no, category, message):
+        self.findings.append(f"line {line_no}: {category}: {message}")
+
+    def _check_request(self, line_no, obj):
+        keys = list(obj.keys())
+        if keys != REQUEST_KEYS:
+            self.report(
+                line_no, "key-order",
+                f"request event keys {keys} != schema order {REQUEST_KEYS}")
+            return
+        for key, value in obj.items():
+            if key in _STRING_KEYS:
+                if not isinstance(value, str):
+                    self.report(line_no, "type",
+                                f"field '{key}' must be a string, got "
+                                f"{type(value).__name__}")
+                elif key != "name" and not _TOKEN.fullmatch(value):
+                    self.report(line_no, "type",
+                                f"field '{key}' value {value!r} is not a "
+                                "lowercase token")
+            else:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    self.report(line_no, "type",
+                                f"field '{key}' must be an integer, got "
+                                f"{value!r}")
+                elif value < (-1 if key in _SENTINEL_KEYS else 0):
+                    self.report(line_no, "range",
+                                f"field '{key}' = {value} out of range")
+        trace_id = obj.get("trace_id")
+        if isinstance(trace_id, int):
+            if trace_id in self.trace_ids:
+                self.report(line_no, "dup-trace",
+                            f"trace_id {trace_id} already seen")
+            self.trace_ids.add(trace_id)
+        # Fold into the running sums for the next stats line.
+        self.request_count += 1
+        if obj.get("status") == "ok":
+            self.ok_count += 1
+        else:
+            self.error_count += 1
+        kind = obj.get("kind")
+        if isinstance(kind, str):
+            self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        for _, field in _SUMMED_ROWS:
+            if isinstance(obj.get(field), int):
+                self.sums[field] += obj[field]
+        if isinstance(obj.get("results_retained"), int) and \
+                obj["results_retained"] >= 0:
+            self.retained_sum += obj["results_retained"]
+            self.erased_sum += max(obj.get("results_erased", 0), 0)
+
+    def _check_stats(self, line_no, obj):
+        keys = list(obj.keys())
+        if keys != STATS_KEYS:
+            self.report(line_no, "key-order",
+                        f"stats event keys {keys} != {STATS_KEYS}")
+            return
+        metrics = obj["metrics"]
+        if not isinstance(metrics, dict):
+            self.report(line_no, "type", "'metrics' must be an object")
+            return
+        for name, value in metrics.items():
+            if not _METRIC_NAME.fullmatch(name):
+                self.report(line_no, "metric-name",
+                            f"metric name {name!r} violates the grammar "
+                            "[a-z0-9_]+(.[a-z0-9_]+)+")
+            if not isinstance(value, int) or isinstance(value, bool):
+                self.report(line_no, "type",
+                            f"metric '{name}' value must be an integer, "
+                            f"got {value!r}")
+        if not self.check_sums:
+            return
+        if metrics.get("snd.obs.events.dropped", 0) > 0:
+            return  # Events were dropped; the file misses some folds.
+
+        def expect(row, want):
+            got = metrics.get(row)
+            if got is None:
+                self.report(line_no, "sum-mismatch",
+                            f"snapshot is missing row '{row}'")
+            elif got != want:
+                self.report(line_no, "sum-mismatch",
+                            f"snapshot {row} = {got} but the preceding "
+                            f"request events sum to {want}")
+
+        for row, field in _SUMMED_ROWS:
+            expect(row, self.sums[field])
+        expect("snd.req.ok", self.ok_count)
+        expect("snd.req.error", self.error_count)
+        expect("snd.req.latency.count", self.request_count)
+        expect("snd.mutate.results_retained", self.retained_sum)
+        expect("snd.mutate.results_erased", self.erased_sum)
+        for kind, count in sorted(self.kind_counts.items()):
+            expect(f"snd.req.{kind}", count)
+
+    def feed(self, line_no, line):
+        line = line.rstrip("\n")
+        if not line:
+            self.report(line_no, "json", "blank line in the event log")
+            return
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            self.report(line_no, "json", f"not valid JSON: {err}")
+            return
+        if not isinstance(obj, dict):
+            self.report(line_no, "json", "line is not a JSON object")
+            return
+        event = obj.get("event")
+        if event == "request":
+            self._check_request(line_no, obj)
+        elif event == "stats":
+            self._check_stats(line_no, obj)
+        else:
+            self.report(line_no, "event-type",
+                        f"unknown event type {event!r}")
+
+
+def check_file(path, check_sums):
+    """Returns the findings list, or None when the file is unreadable."""
+    checker = LogCheck(check_sums)
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, start=1):
+                checker.feed(line_no, line)
+    except OSError as err:
+        print(f"check_event_log: cannot read {path}: {err}",
+              file=sys.stderr)
+        return None
+    return checker.findings
+
+
+# --------------------------------------------------------------------------
+# Self-test fixtures
+# --------------------------------------------------------------------------
+
+_FIXTURE_DIR = os.path.join("tools", "event_fixtures")
+# The corrupted fixture must produce exactly these (line, category)
+# findings — one seeded fault per structural rule the checker owns.
+_EXPECTED_FAULTS = [
+    (1, "key-order"),      # two schema keys swapped
+    (2, "type"),           # string where an integer belongs
+    (3, "range"),          # negative work counter
+    (4, "dup-trace"),      # trace_id reused
+    (5, "event-type"),     # unknown "event" value
+    (6, "json"),           # truncated line
+    (7, "metric-name"),    # uppercase metric name in a snapshot
+    (7, "sum-mismatch"),   # snapshot disagrees with summed deltas
+]
+
+
+def self_test(repo_root):
+    fixture_dir = os.path.join(repo_root, _FIXTURE_DIR)
+    passing = os.path.join(fixture_dir, "events_passing.jsonl")
+    corrupt = os.path.join(fixture_dir, "events_corrupt.jsonl")
+
+    failures = []
+    clean = check_file(passing, check_sums=True)
+    if clean is None:
+        return 2
+    for finding in clean:
+        failures.append(f"passing fixture produced: {finding}")
+
+    findings = check_file(corrupt, check_sums=True)
+    if findings is None:
+        return 2
+    got = set()
+    for finding in findings:
+        match = re.match(r"line (\d+): ([a-z-]+):", finding)
+        if match:
+            got.add((int(match.group(1)), match.group(2)))
+        print(f"{finding}  [expected]")
+    for fault in _EXPECTED_FAULTS:
+        if fault not in got:
+            failures.append(
+                f"corrupt fixture did not trip line {fault[0]} "
+                f"category '{fault[1]}'")
+
+    if failures:
+        for failure in failures:
+            print(f"check_event_log: self-test FAILED: {failure}",
+                  file=sys.stderr)
+        return 1
+    print(f"check_event_log: self-test OK (captured log passes, "
+          f"{len(_EXPECTED_FAULTS)} seeded faults caught)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("log", nargs="?", help="JSONL event log to check")
+    parser.add_argument("--no-sums", action="store_true",
+                        help="skip the consistent-cut sum check (for "
+                             "concurrent or timer-sampled captures)")
+    parser.add_argument("--root", default=".",
+                        help="repository root for --self-test fixtures")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker against seeded fixtures")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(os.path.abspath(args.root))
+    if not args.log:
+        parser.error("an event log path is required (or use --self-test)")
+
+    findings = check_file(args.log, check_sums=not args.no_sums)
+    if findings is None:
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"check_event_log: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("check_event_log: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

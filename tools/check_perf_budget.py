@@ -12,7 +12,14 @@ landing.
 
     python3 tools/check_perf_budget.py --bench-json build/BENCH_PR2.json \
         --budgets bench/budgets.json
+    python3 tools/check_perf_budget.py --bench-json ... --report
     python3 tools/check_perf_budget.py --self-test
+
+--report prints the budget-history table instead of gating: every
+budgeted metric with its measured value, band, and remaining headroom
+to the nearest bound.  CI runs it after the gate and archives the
+table with the bench artifact, so in-band drift (headroom shrinking
+PR over PR) is visible before it ever violates.
 
 Budget file shape (bench/budgets.json):
 
@@ -97,6 +104,43 @@ def check(bench_record, budgets):
     return violations
 
 
+def report(bench_record, budgets):
+    """Prints the budget-history table: value vs band and headroom.
+
+    Headroom is the relative distance to the nearest violated-next
+    bound (negative when already out of band), the single number to
+    watch shrinking across PRs.
+    """
+    benches = {}
+    for entry in bench_record.get("benches", []):
+        name = entry.get("name")
+        if isinstance(name, str):
+            benches[name] = entry
+
+    print(f"{'bench/metric':58} {'value':>10} {'band':>18} {'headroom':>9}")
+    for bench_name, metric_budgets in sorted(budgets.get("budgets",
+                                                         {}).items()):
+        metrics = benches.get(bench_name, {}).get("metrics", {})
+        for metric, band in sorted(metric_budgets.items()):
+            key = f"{bench_name}/{metric}"
+            value = metrics.get(metric)
+            lo = band.get("min")
+            hi = band.get("max")
+            band_str = (f"[{'' if lo is None else f'{lo:g}'}, "
+                        f"{'' if hi is None else f'{hi:g}'}]")
+            if value is None:
+                print(f"{key:58} {'MISSING':>10} {band_str:>18} {'':>9}")
+                continue
+            headrooms = []
+            if lo is not None and lo != 0:
+                headrooms.append((value - lo) / abs(lo))
+            if hi is not None and hi != 0:
+                headrooms.append((hi - value) / abs(hi))
+            headroom = (f"{min(headrooms) * 100.0:+8.1f}%" if headrooms
+                        else "")
+            print(f"{key:58} {value:10.4f} {band_str:>18} {headroom:>9}")
+
+
 # --------------------------------------------------------------------------
 # Self-test fixtures
 # --------------------------------------------------------------------------
@@ -155,6 +199,9 @@ def main(argv):
                         help="repository root for --self-test fixtures")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the checker against seeded fixtures")
+    parser.add_argument("--report", action="store_true",
+                        help="print the budget-history table (value, band, "
+                             "headroom) instead of gating")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -166,6 +213,10 @@ def main(argv):
     budgets = load_json(args.budgets, "budgets")
     if bench_record is None or budgets is None:
         return 2
+
+    if args.report:
+        report(bench_record, budgets)
+        return 0
 
     violations = check(bench_record, budgets)
     for violation in violations:

@@ -1,0 +1,14 @@
+// Seeded metric-name violations for `snd_lint.py --self-test`: literal
+// names at registration/emit sites (the vocabulary must come from
+// src/snd/obs/names.h constants) and a malformed BENCH_METRIC key.
+#include <string>
+
+void RegisterCounter(const char* name);
+void AppendEventField(std::string& out, const char* key, int value);
+void PrintMetric(const char* name, double value);
+
+void Bad(std::string& out) {
+  RegisterCounter("snd.req.adhoc");     // literal at a registration site
+  AppendEventField(out, "traceId", 1);  // literal event field key
+  PrintMetric("NotDotted", 1.0);        // malformed bench metric name
+}

@@ -55,6 +55,20 @@ epoch-bump
     decision, not something arbitrary code may trigger.  Copying an
     epoch value into a response struct is data-plane and not flagged.
 
+metric-name
+    The observability name vocabulary lives in src/snd/obs/names.h and
+    nowhere else: Register(Counter|Gauge|Histogram) and
+    AppendEventField in src/ and tools/ must take a names.h constant,
+    never a string literal, so no ad-hoc metric name or event field key
+    can reach the registry or the JSONL schema.  Inside names.h the
+    constants are validated against the naming contract — kMetric*
+    values are lowercase dotted identifiers [a-z0-9_]+(\\.[a-z0-9_]+)+
+    and kEv* values are single lowercase tokens [a-z0-9_]+.  Bench
+    metric literals passed to snd::bench::PrintMetric must follow the
+    same dotted grammar (budget-keys then proves budgets.json only
+    names metrics a bench emits).  Tests are out of scope (they
+    register throwaway names on purpose).
+
 budget-keys
     Every key in bench/budgets.json (the perf-budget file that
     tools/check_perf_budget.py enforces in CI) must correspond to a
@@ -199,6 +213,14 @@ _CACHE_INVALIDATE = re.compile(
     r"\b(?:EraseMatchingPrefix|EraseMatching|TrimEdgeCostCache)\s*\(")
 _STATUS_CLASS = re.compile(r"^\s*class\s+(Status|StatusOr)\b")
 _STATUS_ACCESSOR = re.compile(r"\bconst\s+Status&\s+status\s*\(\s*\)\s*const")
+_METRIC_NAME_GRAMMAR = re.compile(r"[a-z0-9_]+(?:\.[a-z0-9_]+)+")
+_EV_FIELD_GRAMMAR = re.compile(r"[a-z0-9_]+")
+_METRIC_REGISTER_LITERAL = re.compile(
+    r"\bRegister(?:Counter|Gauge|Histogram)\s*\(\s*\"")
+_EV_FIELD_LITERAL = re.compile(r"\bAppendEventField\s*\([^,;]*,\s*\"")
+_PRINT_METRIC_LITERAL = re.compile(r"\bPrintMetric\s*\(\s*\"([^\"]*)\"")
+_OBS_NAMES_CONST = re.compile(r"\bk(Metric|Ev)\w*\s*\[\]\s*=\s*\"([^\"]*)\"")
+_OBS_NAMES_REL = os.path.join("src", "snd", "obs", "names.h")
 
 
 def _in(path, *prefixes):
@@ -285,6 +307,44 @@ def check_epoch_bump(rel, raw, code):
                       "from src/snd/service/")
 
 
+def check_metric_name(rel, raw, code):
+    # Names live inside string literals, so scan comment-stripped text
+    # with literals kept.
+    stripped = strip_comments_keep_strings(raw)
+    if rel == _OBS_NAMES_REL:
+        # The vocabulary itself: validate every constant against the
+        # naming contract declared at the top of names.h.
+        for i, line in enumerate(stripped, start=1):
+            match = _OBS_NAMES_CONST.search(line)
+            if match is None:
+                continue
+            kind, value = match.groups()
+            if kind == "Metric" and \
+                    not _METRIC_NAME_GRAMMAR.fullmatch(value):
+                yield i, (f"metric name '{value}' violates the grammar "
+                          "[a-z0-9_]+(.[a-z0-9_]+)+ declared in names.h")
+            elif kind == "Ev" and not _EV_FIELD_GRAMMAR.fullmatch(value):
+                yield i, (f"event field key '{value}' violates the "
+                          "grammar [a-z0-9_]+ declared in names.h")
+        return
+    for i, line in enumerate(stripped, start=1):
+        if _METRIC_REGISTER_LITERAL.search(line):
+            yield i, ("string-literal metric name at a registration "
+                      "site; register through a src/snd/obs/names.h "
+                      "constant so the vocabulary stays in one place")
+        elif _EV_FIELD_LITERAL.search(line):
+            yield i, ("string-literal event field key; emit through a "
+                      "src/snd/obs/names.h kEv* constant so the JSONL "
+                      "schema stays in one place")
+        else:
+            match = _PRINT_METRIC_LITERAL.search(line)
+            if match is not None and \
+                    not _METRIC_NAME_GRAMMAR.fullmatch(match.group(1)):
+                yield i, (f"BENCH_METRIC name '{match.group(1)}' is not "
+                          "a lowercase dotted identifier "
+                          "[a-z0-9_]+(.[a-z0-9_]+)+")
+
+
 # --------------------------------------------------------------------------
 # budget-keys: bench/budgets.json must reference real benches/metrics
 # --------------------------------------------------------------------------
@@ -296,7 +356,7 @@ _METRIC_CALL = re.compile(r"(?:PrintMetric|snprintf)\s*\(([^;]*?)\)\s*;",
                           re.DOTALL)
 # A quoted metric name / format: dot-separated lowercase tokens with
 # optional %d / %s holes.
-_METRIC_STRING = re.compile(r'"([a-z0-9%-]+(?:\.[a-z0-9%-]+)+)"')
+_METRIC_STRING = re.compile(r'"([a-z0-9_%-]+(?:\.[a-z0-9_%-]+)+)"')
 
 
 def _bench_metric_patterns(root):
@@ -318,7 +378,7 @@ def _bench_metric_patterns(root):
             for fmt in _METRIC_STRING.findall(call.group(1)):
                 escaped = re.escape(fmt)
                 escaped = escaped.replace("%d", "[0-9]+")
-                escaped = escaped.replace("%s", "[a-z0-9-]+")
+                escaped = escaped.replace("%s", "[a-z0-9_-]+")
                 patterns.append(re.compile(escaped))
     return patterns, bench_names
 
@@ -394,6 +454,10 @@ RULES = [
          lambda rel: rel.endswith(_CPP_EXT) and
          _in(rel, "src", "tools", "bench"),
          check_epoch_bump),
+    Rule("metric-name",
+         lambda rel: rel.endswith(_CPP_EXT) and
+         _in(rel, "src", "tools", "bench"),
+         check_metric_name),
 ]
 
 
@@ -458,6 +522,7 @@ EXPECTED_VIOLATIONS = {
                                            "bad_header.h"),
     "nodiscard-status": os.path.join("src", "snd", "api", "bad_status.h"),
     "epoch-bump": os.path.join("src", "snd", "core", "bad_epoch.cc"),
+    "metric-name": os.path.join("src", "snd", "obs", "bad_metric.cc"),
     "budget-keys": os.path.join("bench", "budgets.json"),
 }
 CLEAN_FIXTURES = [

@@ -17,17 +17,33 @@
 //   --retain=N         keep only the newest N states per session (N >= 2;
 //                      default 0 = unbounded) — enables bounded-memory
 //                      streaming with `append_state` + `subscribe`
+//   --log-events=FILE  append one JSONL observability event per request
+//                      to FILE (rotation-safe: a background writer
+//                      appends each drained batch as one unbuffered
+//                      write of whole lines; see README "Observability"
+//                      for the schema)
+//   --stats-interval=SECS
+//                      every SECS seconds take a full `stats` snapshot:
+//                      appended to --log-events when set, else printed
+//                      as one JSON object per line on stderr
 //   --version          print the version and exit
 //   --help, -h         print this message
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <variant>
 
+#include "snd/api/json_codec.h"  // Periodic stats lines reuse the codec.
+#include "snd/obs/event_log.h"
 #include "snd/service/options_parse.h"  // SplitSndFlag for --listen/--cache.
 #include "snd/service/service.h"
+#include "snd/util/mutex.h"
 #include "snd/util/version.h"
 
 #if !defined(_WIN32)
@@ -36,11 +52,8 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <chrono>
 #include <csignal>
-#include <memory>
 #include <system_error>
-#include <thread>
 #endif
 
 namespace {
@@ -56,6 +69,11 @@ constexpr char kUsage[] =
     "  --cache=N          result-LRU capacity in entries (default 65536)\n"
     "  --retain=N         keep only the newest N states per session\n"
     "                     (N >= 2; default 0 = unbounded)\n"
+    "  --log-events=FILE  append one JSONL observability event per\n"
+    "                     request to FILE (rotation-safe)\n"
+    "  --stats-interval=SECS\n"
+    "                     periodic full `stats` snapshot: to --log-events\n"
+    "                     when set, else one JSON line on stderr\n"
     "  --version          print the version and exit\n"
     "  --help, -h         print this message\n"
     "Protocol: send `help` (or see the README's Serving section).\n";
@@ -64,6 +82,62 @@ int Fail(const std::string& message) {
   std::fprintf(stderr, "snd_serve: %s\n%s", message.c_str(), kUsage);
   return 1;
 }
+
+// Periodically drives a `stats` request through the service. When an
+// event log is attached, StatsCmd itself appends the {"event":"stats"}
+// snapshot line; otherwise the full response is printed as one JSON
+// object per line on stderr. Joined before the service dies.
+class StatsReporter {
+ public:
+  StatsReporter(snd::SndService* service, long long interval_secs,
+                bool have_event_log)
+      : service_(service),
+        interval_(std::chrono::seconds(interval_secs)),
+        have_event_log_(have_event_log) {
+    thread_ = std::thread([this] { Run(); });  // snd-lint: allow(raw-thread) -- timer loop, not compute
+  }
+
+  ~StatsReporter() {
+    {
+      snd::MutexLock lock(mu_);
+      stop_ = true;
+    }
+    cv_.NotifyAll();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    for (;;) {
+      {
+        snd::MutexLock lock(mu_);
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(interval_);
+        while (!stop_ && remaining.count() > 0) {
+          const auto before = std::chrono::steady_clock::now();
+          cv_.WaitFor(lock, remaining);
+          remaining -= std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - before);
+        }
+        if (stop_) return;
+      }
+      const snd::StatusOr<snd::Response> response =
+          service_->Dispatch(snd::Request(snd::StatsRequest{}));
+      if (response.ok() && !have_event_log_) {
+        std::fprintf(stderr, "%s\n",
+                     snd::RenderJsonResponse(*response).c_str());
+      }
+    }
+  }
+
+  snd::SndService* const service_;
+  const std::chrono::milliseconds interval_;
+  const bool have_event_log_;
+  snd::Mutex mu_;
+  snd::CondVar cv_;
+  bool stop_ SND_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
 
 #if !defined(_WIN32)
 
@@ -121,8 +195,8 @@ class FdStreamBuf : public std::streambuf {
   char out_[4096];
 };
 
-int ServeTcp(int port, size_t cache_capacity, long long state_retention,
-             snd::WireFormat format) {
+int ServeTcp(int port, const snd::SndServiceConfig& service_config,
+             long long stats_interval, snd::WireFormat format) {
   // A client closing its socket mid-response must not kill the server:
   // without this, FdStreamBuf's write() raises SIGPIPE whose default
   // disposition terminates the process.
@@ -156,10 +230,12 @@ int ServeTcp(int port, size_t cache_capacity, long long state_retention,
   // same resident graphs and caches. SndService::Dispatch is
   // thread-safe (shared_mutex sessions, locked caches), so connections
   // are served concurrently, each on its own detached thread.
-  snd::SndServiceConfig config;
-  config.result_cache_capacity = cache_capacity;
-  config.state_retention = state_retention;
-  snd::SndService service(config);
+  snd::SndService service(service_config);
+  std::unique_ptr<StatsReporter> reporter;
+  if (stats_interval > 0) {
+    reporter = std::make_unique<StatsReporter>(
+        &service, stats_interval, service_config.event_log != nullptr);
+  }
   // One thread per live connection, bounded so a crowd of idle clients
   // cannot exhaust process resources.
   constexpr int kMaxConnections = 256;
@@ -227,6 +303,8 @@ int main(int argc, char** argv) {
   int listen_port = -1;
   size_t cache_capacity = snd::SndServiceConfig().result_cache_capacity;
   long long state_retention = 0;
+  long long stats_interval = 0;
+  std::string log_events_path;
   snd::WireFormat format = snd::WireFormat::kText;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
@@ -271,23 +349,51 @@ int main(int argc, char** argv) {
                     "' (want 0 or N >= 2)");
       }
       state_retention = retain;
+    } else if (snd::SplitSndFlag(arg, "log-events", &value)) {
+      if (value.empty()) return Fail("empty --log-events path");
+      log_events_path = value;
+    } else if (snd::SplitSndFlag(arg, "stats-interval", &value)) {
+      long long secs = 0;
+      int consumed = 0;
+      if (std::sscanf(value.c_str(), "%lld%n", &secs, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || secs < 1) {
+        return Fail("invalid --stats-interval value '" + value + "'");
+      }
+      stats_interval = secs;
     } else {
       return Fail("unrecognized flag '" + arg + "'");
     }
   }
 
+  std::unique_ptr<snd::obs::EventLog> event_log;
+  if (!log_events_path.empty()) {
+    event_log = snd::obs::EventLog::OpenFile(log_events_path);
+    if (event_log == nullptr) {
+      return Fail("cannot open --log-events file '" + log_events_path + "'");
+    }
+  }
+  snd::SndServiceConfig config;
+  config.result_cache_capacity = cache_capacity;
+  config.state_retention = state_retention;
+  config.event_log = event_log.get();
+
   if (listen_port >= 0) {
 #if defined(_WIN32)
     return Fail("--listen is not supported on this platform");
 #else
-    return ServeTcp(listen_port, cache_capacity, state_retention, format);
+    return ServeTcp(listen_port, config, stats_interval, format);
 #endif
   }
 
-  snd::SndServiceConfig config;
-  config.result_cache_capacity = cache_capacity;
-  config.state_retention = state_retention;
-  snd::SndService service(config);
-  service.ServeStream(std::cin, std::cout, format);
+  {
+    snd::SndService service(config);
+    std::unique_ptr<StatsReporter> reporter;
+    if (stats_interval > 0) {
+      reporter = std::make_unique<StatsReporter>(&service, stats_interval,
+                                                 event_log != nullptr);
+    }
+    service.ServeStream(std::cin, std::cout, format);
+    // Reporter joins, then the service dies, then the event log drains.
+  }
   return 0;
 }
