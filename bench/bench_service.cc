@@ -5,9 +5,11 @@
 // after `matrix`, every pair a cache hit). Always built; its record
 // lands in the bench-all JSON artifact.
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +24,21 @@
 #include "snd/util/random.h"
 #include "snd/util/stopwatch.h"
 #include "snd/util/thread_pool.h"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "snd/net/thread_server.h"
+#if defined(__linux__)
+#include "snd/net/shard_router.h"
+#endif
+#endif  // !defined(_WIN32)
 
 namespace snd {
 namespace {
@@ -82,6 +99,94 @@ double MixedSweepSeconds(SndService* service, const std::string& graph_path,
   }
   return watch.ElapsedSeconds();
 }
+
+#if !defined(_WIN32)
+
+// One blocking roundtrip client for the serving-tier sweep: text
+// request out, one reply line back. TCP_NODELAY keeps the measurement
+// about the tier, not Nagle.
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool Roundtrip(int fd, const std::string& request) {
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t put =
+        ::send(fd, request.data() + sent, request.size() - sent,
+               MSG_NOSIGNAL);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(put);
+  }
+  char chunk[512];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;
+    }
+    if (std::memchr(chunk, '\n', static_cast<size_t>(got)) != nullptr) {
+      return true;
+    }
+  }
+}
+
+// Wall time for `clients` concurrent connections each completing
+// `per_client` warm distance roundtrips. Returns <0 on socket failure.
+double ConcurrentSweepSeconds(int port, int clients, int per_client,
+                              const std::vector<std::string>& pool) {
+  std::vector<int> fds(clients, -1);
+  for (int c = 0; c < clients; ++c) {
+    fds[c] = ConnectLoopback(port);
+    if (fds[c] < 0) {
+      for (const int fd : fds) {
+        if (fd >= 0) ::close(fd);
+      }
+      return -1.0;
+    }
+  }
+  std::vector<char> failed(clients, 0);
+  Stopwatch watch;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (int r = 0; r < per_client; ++r) {
+          if (!Roundtrip(fds[c], pool[(c + r) % pool.size()] + "\n")) {
+            failed[c] = 1;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const double seconds = watch.ElapsedSeconds();
+  for (const int fd : fds) ::close(fd);
+  for (const char bad : failed) {
+    if (bad) return -1.0;
+  }
+  return seconds;
+}
+
+#endif  // !defined(_WIN32)
 
 int Run() {
   const bool full = bench::FullScale();
@@ -244,6 +349,75 @@ int Run() {
                 serving_ratio, events_mixed, base_mixed);
   }  // EventLog drains and joins before the file is removed.
   std::remove(events_path.c_str());
+
+  // Serving-tier throughput: the same warm distance pool driven over
+  // real TCP roundtrip clients, epoll tier vs legacy thread-per-conn.
+  // Budget-gated on the epoll side so the event loop cannot silently
+  // regress; the ratio floor keeps epoll honest against the baseline.
+#if !defined(_WIN32)
+  {
+    const int per_client = full ? 400 : 150;
+    auto sweep_req_per_s = [&](int port, int clients) {
+      // Untimed warm-up pass settles accept/adopt churn, then
+      // min-of-trials over two timed passes.
+      ConcurrentSweepSeconds(port, clients, 8, pair_requests);
+      double best = 1e300;
+      for (int trial = 0; trial < 2; ++trial) {
+        const double seconds = ConcurrentSweepSeconds(
+            port, clients, per_client, pair_requests);
+        if (seconds < 0) return -1.0;
+        best = std::min(best, seconds);
+      }
+      return static_cast<double>(clients) * per_client /
+             std::max(best, 1e-9);
+    };
+
+    double thread_c64 = -1.0;
+    {
+      net::ThreadServerConfig config;
+      StatusOr<std::unique_ptr<net::ThreadServer>> server =
+          net::ThreadServer::Start(&service, config);
+      if (server.ok()) {
+        thread_c64 = sweep_req_per_s((*server)->port(), 64);
+        (*server)->Shutdown();
+      }
+    }
+#if defined(__linux__)
+    double epoll_c1 = -1.0;
+    double epoll_c64 = -1.0;
+    {
+      net::NetServerConfig config;
+      config.shards = 2;
+      StatusOr<std::unique_ptr<net::NetServer>> server =
+          net::NetServer::Start(&service, config);
+      if (server.ok()) {
+        epoll_c1 = sweep_req_per_s((*server)->port(), 1);
+        epoll_c64 = sweep_req_per_s((*server)->port(), 64);
+        (*server)->Shutdown();
+      }
+    }
+    if (epoll_c1 < 0 || epoll_c64 < 0 || thread_c64 < 0) {
+      std::fprintf(stderr, "bench_service: serving-tier sweep failed\n");
+      return 1;
+    }
+    std::printf("serving throughput (TCP roundtrips, warm distance): "
+                "epoll c1 %.0f req/s, epoll c64 %.0f req/s, "
+                "thread c64 %.0f req/s\n",
+                epoll_c1, epoll_c64, thread_c64);
+    bench::PrintMetric("service.req_per_s.epoll.c1", epoll_c1);
+    bench::PrintMetric("service.req_per_s.epoll.c64", epoll_c64);
+    bench::PrintMetric("service.req_per_s.thread.c64", thread_c64);
+    bench::PrintMetric("service.req_per_s.epoll_vs_thread.c64",
+                       epoll_c64 / std::max(thread_c64, 1e-9));
+#else
+    if (thread_c64 > 0) {
+      std::printf("serving throughput (TCP roundtrips, warm distance): "
+                  "thread c64 %.0f req/s (epoll tier is Linux-only)\n",
+                  thread_c64);
+    }
+#endif
+  }
+#endif  // !defined(_WIN32)
 
   const ServiceCounters counters = service.counters();
   std::printf("counters: result hits %lld misses %lld, calc builds %lld "

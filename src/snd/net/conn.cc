@@ -1,0 +1,102 @@
+#include "snd/net/conn.h"
+
+#if !defined(_WIN32)
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace snd {
+namespace net {
+
+void LineFramer::Append(const char* data, size_t size) {
+  while (size > 0) {
+    const char* newline =
+        static_cast<const char*>(std::memchr(data, '\n', size));
+    if (newline == nullptr) {
+      partial_.append(data, size);
+      return;
+    }
+    partial_.append(data, static_cast<size_t>(newline - data));
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    frames_.push_back(std::move(partial_));
+    partial_.clear();
+    size -= static_cast<size_t>(newline - data) + 1;
+    data = newline + 1;
+  }
+}
+
+bool LineFramer::Next(std::string* frame) {
+  if (frames_.empty()) return false;
+  *frame = std::move(frames_.front());
+  frames_.pop_front();
+  return true;
+}
+
+void LineFramer::Eof() {
+  if (partial_.empty()) return;
+  if (partial_.back() == '\r') partial_.pop_back();
+  if (!partial_.empty()) frames_.push_back(std::move(partial_));
+  partial_.clear();
+}
+
+Conn::Conn(uint64_t id, int fd) : id(id), fd(fd) {}
+
+Conn::~Conn() { ::close(fd); }
+
+void Conn::QueueBytes(std::string_view bytes) {
+  // Compact lazily: once everything queued has been flushed, reclaim
+  // the storage instead of growing forever under a chatty client.
+  if (write_pos_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_pos_ = 0;
+  }
+  write_buf_.append(bytes);
+}
+
+Conn::IoResult Conn::ReadAvailable(size_t* bytes_read) {
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got > 0) {
+      framer.Append(chunk, static_cast<size_t>(got));
+      *bytes_read += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      peer_eof = true;
+      framer.Eof();
+      return IoResult::kEof;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    return IoResult::kError;
+  }
+}
+
+Conn::IoResult Conn::FlushWrites(size_t* bytes_written) {
+  while (WantsWrite()) {
+    const ssize_t put = ::write(fd, write_buf_.data() + write_pos_,
+                                write_buf_.size() - write_pos_);
+    if (put > 0) {
+      write_pos_ += static_cast<size_t>(put);
+      *bytes_written += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoResult::kOk;
+    }
+    return IoResult::kError;
+  }
+  write_buf_.clear();
+  write_pos_ = 0;
+  return IoResult::kOk;
+}
+
+}  // namespace net
+}  // namespace snd
+
+#endif  // !defined(_WIN32)

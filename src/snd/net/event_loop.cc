@@ -1,0 +1,200 @@
+#include "snd/net/event_loop.h"
+
+#if defined(__linux__)
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace snd {
+namespace net {
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal("epoll_create1 failed");
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::Internal("eventfd failed");
+  }
+  // The wakeup fd is the one edge-triggered registration: a Post writes
+  // the counter, the loop drains it once, and the next write re-arms
+  // it. Everything else is level-triggered.
+  epoll_event event{};
+  event.events = EPOLLIN | EPOLLET;
+  event.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return Status::Internal("epoll_ctl(wake) failed");
+  }
+  {
+    MutexLock lock(post_mu_);
+    accepting_posts_ = true;
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void EventLoop::Stop() {
+  {
+    MutexLock lock(post_mu_);
+    if (!accepting_posts_) return;  // Never started, or already stopped.
+    accepting_posts_ = false;
+  }
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  {
+    MutexLock lock(post_mu_);
+    posted_.clear();
+  }
+  handlers_.clear();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    MutexLock lock(post_mu_);
+    if (!accepting_posts_) return;
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  ssize_t put;
+  do {
+    put = ::write(wake_fd_, &one, sizeof(one));
+  } while (put < 0 && errno == EINTR);
+  // EAGAIN means the counter is already non-zero: the loop is awake.
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdHandler handler) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Status::Internal("epoll_ctl(add) failed");
+  }
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Status::Internal("epoll_ctl(mod) failed");
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::DrainPosted() {
+  // Swap the queue out so handlers posting further work (a completion
+  // that re-arms a read, which reads a frame, which posts again) run it
+  // on the NEXT drain, keeping each drain finite.
+  std::deque<std::function<void()>> batch;
+  {
+    MutexLock lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (std::function<void()>& fn : batch) fn();
+}
+
+void EventLoop::Run() {
+  std::vector<epoll_event> events(128);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int ready =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), /*timeout=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // A broken epoll fd: only teardown does this.
+    }
+    for (int k = 0; k < ready; ++k) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      const int fd = events[k].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Look up at dispatch time: a handler earlier in this batch may
+      // have Removed this fd (closing the peer of a doomed connection),
+      // and the copy keeps a self-removing handler alive while it runs.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<FdHandler> handler = it->second;
+      (*handler)(events[k].events);
+    }
+    DrainPosted();
+  }
+}
+
+DispatchPool::~DispatchPool() { Stop(); }
+
+void DispatchPool::Start(int threads) {
+  if (threads < 1) threads = 1;
+  threads_.reserve(static_cast<size_t>(threads));
+  for (int k = 0; k < threads; ++k) {
+    threads_.emplace_back([this] { Worker(); });
+  }
+}
+
+void DispatchPool::Submit(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.NotifyOne();
+}
+
+void DispatchPool::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+}
+
+void DispatchPool::Worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stop_) cv_.Wait(lock);
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace net
+}  // namespace snd
+
+#endif  // defined(__linux__)

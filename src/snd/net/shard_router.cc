@@ -1,0 +1,591 @@
+#include "snd/net/shard_router.h"
+
+#include <algorithm>
+
+namespace snd {
+namespace net {
+
+uint64_t HashName(std::string_view name) {
+  // FNV-1a 64-bit.
+  uint64_t hash = 14695981039346656037ull;
+  for (const char ch : name) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+// Avalanche finalizer (murmur3 fmix64). Raw FNV-1a clusters badly on
+// the near-identical vnode keys ("s0.0", "s0.1", ...): they share a
+// prefix, so their hashes differ by at most ~127 * prime — a sliver of
+// the 64-bit ring — and each shard's vnodes collapse into a handful of
+// points, skewing the load split several-fold. Mixing restores
+// near-uniform arcs.
+uint64_t MixHash(uint64_t hash) {
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(int shards, int vnodes_per_shard)
+    : shards_(shards < 1 ? 1 : shards) {
+  if (vnodes_per_shard < 1) vnodes_per_shard = 1;
+  ring_.reserve(static_cast<size_t>(shards_) *
+                static_cast<size_t>(vnodes_per_shard));
+  for (int shard = 0; shard < shards_; ++shard) {
+    for (int vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      const std::string key =
+          "s" + std::to_string(shard) + "." + std::to_string(vnode);
+      ring_.push_back(Point{MixHash(HashName(key)), shard});
+    }
+  }
+  // Tie-break on shard index so the mapping is deterministic even under
+  // a (vanishingly unlikely) 64-bit ring collision.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+int ShardRouter::ShardFor(std::string_view name) const {
+  const uint64_t hash = MixHash(HashName(name));
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const Point& point, uint64_t value) { return point.hash < value; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+}  // namespace net
+}  // namespace snd
+
+#if defined(__linux__)
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "snd/api/json_codec.h"
+#include "snd/api/text_codec.h"
+#include "snd/net/conn.h"
+#include "snd/net/event_loop.h"
+#include "snd/net/socket.h"
+#include "snd/obs/metrics.h"
+#include "snd/obs/names.h"
+#include "snd/util/mutex.h"
+
+namespace snd {
+namespace net {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ServeStream's transport-side skip rules, applied frame-at-a-time:
+// blank lines are dropped in both formats, '#' comments in text only.
+bool KeepFrame(const std::string& frame, WireFormat format) {
+  const size_t start = frame.find_first_not_of(" \t");
+  if (start == std::string::npos) return false;
+  if (format == WireFormat::kText && frame[start] == '#') return false;
+  return true;
+}
+
+// Extracts the session name for shard routing WITHOUT parsing the
+// request: the second text token, or the raw "name" field of the JSON
+// line (session names are [A-Za-z0-9_.-], so no unescaping is needed).
+// Routing-only: a mis-sniff on a malformed line costs shard affinity,
+// never correctness — the shared service answers identically anywhere,
+// and the real parse (with its typed error) happens in CallWire on the
+// dispatch worker.
+std::string SniffSessionName(const std::string& frame, WireFormat format) {
+  if (format == WireFormat::kText) {
+    size_t start = frame.find_first_not_of(" \t");
+    if (start == std::string::npos) return std::string();
+    start = frame.find_first_of(" \t", start);
+    if (start == std::string::npos) return std::string();
+    start = frame.find_first_not_of(" \t", start);
+    if (start == std::string::npos) return std::string();
+    const size_t end = frame.find_first_of(" \t", start);
+    return frame.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+  }
+  const size_t key = frame.find("\"name\"");
+  if (key == std::string::npos) return std::string();
+  size_t cursor = frame.find(':', key + 6);
+  if (cursor == std::string::npos) return std::string();
+  cursor = frame.find('"', cursor + 1);
+  if (cursor == std::string::npos) return std::string();
+  const size_t end = frame.find('"', cursor + 1);
+  if (end == std::string::npos) return std::string();
+  return frame.substr(cursor + 1, end - cursor - 1);
+}
+
+}  // namespace
+
+// One worker event loop plus its dispatch crew and the connections it
+// owns. `conns` is loop-thread-only; the counters are read from any
+// thread by Snapshot.
+struct NetServer::Shard {
+  EventLoop loop;
+  DispatchPool pool;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+  std::atomic<int64_t> conn_count{0};
+  std::atomic<int64_t> frames{0};
+};
+
+// The snd.net.* instrument family, registered into the shared service
+// registry so `stats`/`info` carry the tier next to the request
+// metrics. Registration is get-or-create: multiple servers over one
+// service (tests) aggregate into the same instruments.
+struct NetServer::Metrics {
+  explicit Metrics(obs::MetricsRegistry* registry)
+      : conns_accepted(
+            registry->RegisterCounter(obs::kMetricNetConnsAccepted)),
+        conns_active(registry->RegisterGauge(obs::kMetricNetConnsActive)),
+        conns_closed(registry->RegisterCounter(obs::kMetricNetConnsClosed)),
+        conns_shed(registry->RegisterCounter(obs::kMetricNetConnsShed)),
+        inflight(registry->RegisterGauge(obs::kMetricNetInflight)),
+        inflight_shed(
+            registry->RegisterCounter(obs::kMetricNetInflightShed)),
+        backpressure_shed(
+            registry->RegisterCounter(obs::kMetricNetBackpressureShed)),
+        frames(registry->RegisterCounter(obs::kMetricNetFrames)),
+        read_bytes(registry->RegisterCounter(obs::kMetricNetReadBytes)),
+        write_bytes(registry->RegisterCounter(obs::kMetricNetWriteBytes)),
+        frame_latency(
+            registry->RegisterHistogram(obs::kMetricNetFrameLatency)) {}
+
+  obs::Counter* const conns_accepted;
+  obs::Gauge* const conns_active;
+  obs::Counter* const conns_closed;
+  obs::Counter* const conns_shed;
+  obs::Gauge* const inflight;
+  obs::Counter* const inflight_shed;
+  obs::Counter* const backpressure_shed;
+  obs::Counter* const frames;
+  obs::Counter* const read_bytes;
+  obs::Counter* const write_bytes;
+  obs::Histogram* const frame_latency;
+};
+
+NetServer::NetServer(SndService* service, const NetServerConfig& config)
+    : service_(service),
+      config_(config),
+      router_(config.shards),
+      metrics_(std::make_unique<Metrics>(&service->metrics_registry())) {}
+
+StatusOr<std::unique_ptr<NetServer>> NetServer::Start(
+    SndService* service, const NetServerConfig& config) {
+  std::unique_ptr<NetServer> server(new NetServer(service, config));
+  Status status = server->Init();
+  if (!status.ok()) return status;
+  return server;
+}
+
+Status NetServer::Init() {
+  IgnoreSigpipe();
+  StatusOr<int> listener =
+      CreateListener(config_.bind_addr, config_.port, config_.backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = *listener;
+  port_ = BoundPort(listener_);
+  Status status = SetNonBlocking(listener_);
+  if (!status.ok()) {
+    ::close(listener_);
+    listener_ = -1;
+    return status;
+  }
+  const int shard_count = router_.shards();
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int k = 0; k < shard_count; ++k) {
+    auto shard = std::make_unique<Shard>();
+    status = shard->loop.Start();
+    if (!status.ok()) {
+      // Unwind what started; the destructor must not see a half-built
+      // tier.
+      for (auto& built : shards_) {
+        built->pool.Stop();
+        built->loop.Stop();
+      }
+      shards_.clear();
+      ::close(listener_);
+      listener_ = -1;
+      return status;
+    }
+    shard->pool.Start(config_.dispatch_threads);
+    shards_.push_back(std::move(shard));
+  }
+  // The listener lives on shard 0's loop; accepted fds are spread
+  // round-robin so no single loop owns all the read/write work.
+  Shard* shard0 = shards_[0].get();
+  shard0->loop.Post([this, shard0] {
+    const Status added =
+        shard0->loop.Add(listener_, EPOLLIN, [this](uint32_t) { OnAccept(); });
+    if (!added.ok()) {
+      std::fprintf(stderr, "snd net: cannot register listener: %s\n",
+                   added.ToString().c_str());
+    }
+  });
+  return Status::Ok();
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+void NetServer::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  if (shards_.empty()) {
+    if (listener_ >= 0) ::close(listener_);
+    listener_ = -1;
+    return;
+  }
+  // 1. Stop accepting: the listener is owned by shard 0's loop, so its
+  // teardown must run there (synchronously — new conns after this see
+  // ECONNREFUSED, not a hang).
+  {
+    Mutex mu;
+    CondVar cv;
+    bool done = false;
+    shards_[0]->loop.Post([this, &mu, &cv, &done] {
+      shards_[0]->loop.Remove(listener_);
+      ::close(listener_);
+      listener_ = -1;
+      // Notify UNDER the lock: the waiter owns these stack objects and
+      // destroys them the moment it wakes, so the broadcast must have
+      // returned before the waiter can re-acquire the mutex.
+      MutexLock lock(mu);
+      done = true;
+      cv.NotifyAll();
+    });
+    MutexLock lock(mu);
+    while (!done) cv.Wait(lock);
+  }
+  // 2. Drain the dispatch crews: every admitted frame completes and
+  // posts its reply (loops still alive, so best-effort final flushes
+  // still happen as those posts run).
+  for (auto& shard : shards_) shard->pool.Stop();
+  // 3. Stop the loops; remaining posted completions are dropped, then
+  // the conn maps die with the server and close every fd.
+  for (auto& shard : shards_) shard->loop.Stop();
+}
+
+std::string NetServer::RenderShedError(const std::string& message) const {
+  const Status status = Status::ResourceExhausted(message);
+  if (config_.format == WireFormat::kText) {
+    std::ostringstream out;
+    WriteTextResponse(RenderTextError(status), out);
+    return out.str();
+  }
+  return RenderJsonError(status) + "\n";
+}
+
+void NetServer::OnAccept() {
+  // Runs on shard 0's loop thread. Drain the accept queue; the listener
+  // is level-triggered, so a batch cut short by an error is re-reported.
+  for (;;) {
+    const int fd =
+        ::accept4(listener_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: queue drained. Anything else (ECONNABORTED handshake
+      // aborts, EMFILE pressure): give up on this batch and wait for
+      // the next readiness instead of spinning inside the loop thread.
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        std::perror("snd net: accept");
+      }
+      return;
+    }
+    metrics_->conns_accepted->Add(1);
+    // Admission: past --max-conns the client gets one typed
+    // resource_exhausted line and a close — never a silent drop, never
+    // an unbounded thread/buffer bill. The reply write is best-effort
+    // (the socket buffer of a fresh conn always has room for one line).
+    if (config_.max_conns > 0 &&
+        active_conns_.load(std::memory_order_relaxed) >= config_.max_conns) {
+      // Count before the close: anyone who watched this conn die must
+      // already see it in the shed counter.
+      metrics_->conns_shed->Add(1);
+      const std::string reply = RenderShedError(
+          "connection limit reached (--max-conns=" +
+          std::to_string(config_.max_conns) + ")");
+      ssize_t ignored;
+      do {
+        ignored = ::write(fd, reply.data(), reply.size());
+      } while (ignored < 0 && errno == EINTR);
+      (void)ignored;
+      ::close(fd);
+      continue;
+    }
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->conns_active->Set(
+        active_conns_.load(std::memory_order_relaxed));
+    Shard* shard =
+        shards_[next_accept_shard_.fetch_add(1, std::memory_order_relaxed) %
+                shards_.size()]
+            .get();
+    if (shard == shards_[0].get()) {
+      AdoptConn(shard, fd);
+    } else {
+      shard->loop.Post([this, shard, fd] { AdoptConn(shard, fd); });
+    }
+  }
+}
+
+void NetServer::AdoptConn(Shard* shard, int fd) {
+  // Runs on the owning shard's loop thread.
+  const uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<Conn>(id, fd);
+  conn->armed_events = EPOLLIN;
+  const Status added = shard->loop.Add(
+      fd, EPOLLIN,
+      [this, shard, id](uint32_t events) { OnConnEvent(shard, id, events); });
+  if (!added.ok()) {
+    active_conns_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_->conns_active->Set(
+        active_conns_.load(std::memory_order_relaxed));
+    return;  // ~Conn closes the fd.
+  }
+  shard->conns.emplace(id, std::move(conn));
+  shard->conn_count.store(static_cast<int64_t>(shard->conns.size()),
+                          std::memory_order_relaxed);
+}
+
+void NetServer::OnConnEvent(Shard* shard, uint64_t conn_id,
+                            uint32_t events) {
+  const auto it = shard->conns.find(conn_id);
+  if (it == shard->conns.end()) return;
+  Conn* conn = it->second.get();
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    // Full hangup: both directions are gone, every buffered or inflight
+    // reply is undeliverable. Closing now (an inflight dispatch's
+    // completion finds the id gone and drops the reply) also stops the
+    // level-triggered HUP from re-firing while a dispatch computes.
+    CloseConn(shard, conn_id);
+    return;
+  }
+  if ((events & EPOLLIN) && !conn->draining && !conn->peer_eof) {
+    size_t got = 0;
+    const Conn::IoResult result = conn->ReadAvailable(&got);
+    metrics_->read_bytes->Add(static_cast<int64_t>(got));
+    if (result == Conn::IoResult::kError) {
+      CloseConn(shard, conn_id);
+      return;
+    }
+    if (conn->framer.partial_bytes() > config_.max_frame_bytes) {
+      // A line that never ends is the read-side slow-consumer dual:
+      // bound it and shed with the typed error.
+      metrics_->backpressure_shed->Add(1);
+      conn->draining = true;
+      conn->QueueBytes(RenderShedError(
+          "request line exceeds " +
+          std::to_string(config_.max_frame_bytes) + " bytes"));
+    } else {
+      std::string frame;
+      while (conn->framer.Next(&frame)) {
+        // A completed frame can also exceed the bound: EOF promotes the
+        // unterminated partial before the partial-size check above runs
+        // again, so enforce the limit here too or it leaks through.
+        if (frame.size() > config_.max_frame_bytes) {
+          metrics_->backpressure_shed->Add(1);
+          conn->draining = true;
+          conn->pending.clear();
+          conn->QueueBytes(RenderShedError(
+              "request line exceeds " +
+              std::to_string(config_.max_frame_bytes) + " bytes"));
+          break;
+        }
+        shard->frames.fetch_add(1, std::memory_order_relaxed);
+        metrics_->frames->Add(1);
+        if (KeepFrame(frame, config_.format)) {
+          conn->pending.push_back(std::move(frame));
+        }
+      }
+    }
+  }
+  PumpDispatch(shard, conn);
+}
+
+void NetServer::PumpDispatch(Shard* shard, Conn* conn) {
+  // The per-connection step function: start the next dispatch if one
+  // may run, flush, close if finished, re-arm interest. Loop thread.
+  if (!conn->draining && !conn->inflight) {
+    while (!conn->pending.empty()) {
+      if (config_.max_inflight > 0 &&
+          inflight_.load(std::memory_order_relaxed) >=
+              config_.max_inflight) {
+        // Typed per-request shed: the client hears `resource_exhausted`
+        // for this frame NOW instead of silently queueing behind a
+        // saturated dispatch tier; the connection stays usable.
+        metrics_->inflight_shed->Add(1);
+        conn->pending.pop_front();
+        conn->QueueBytes(RenderShedError(
+            "server saturated (--max-inflight=" +
+            std::to_string(config_.max_inflight) + ")"));
+        continue;
+      }
+      std::string frame = std::move(conn->pending.front());
+      conn->pending.pop_front();
+      conn->inflight = true;
+      conn->dispatched_at_ns = NowNs();
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->inflight->Set(inflight_.load(std::memory_order_relaxed));
+      // Route by session name: one graph's heavy dispatches land on one
+      // shard's crew (lock/cache affinity); nameless requests (info,
+      // stats, ...) stay home. The reply is posted back to the OWNING
+      // loop either way.
+      const std::string name = SniffSessionName(frame, config_.format);
+      Shard* target =
+          name.empty() ? shard : shards_[router_.ShardFor(name)].get();
+      const uint64_t conn_id = conn->id;
+      const int64_t dispatched_ns = conn->dispatched_at_ns;
+      target->pool.Submit([this, shard, conn_id, dispatched_ns,
+                           frame = std::move(frame)] {
+        SndService::WireReply reply =
+            service_->CallWire(frame, config_.format);
+        shard->loop.Post(
+            [this, shard, conn_id, dispatched_ns,
+             reply = std::move(reply)]() mutable {
+              OnDispatchDone(shard, conn_id, std::move(reply),
+                             dispatched_ns);
+            });
+      });
+      break;  // One inflight per connection keeps replies in order.
+    }
+  }
+  if (conn->WantsWrite()) {
+    size_t flushed = 0;
+    const Conn::IoResult result = conn->FlushWrites(&flushed);
+    metrics_->write_bytes->Add(static_cast<int64_t>(flushed));
+    if (result == Conn::IoResult::kError) {
+      CloseConn(shard, conn->id);
+      return;
+    }
+  }
+  const bool flushed_out = !conn->WantsWrite();
+  if (conn->draining) {
+    // Doomed: ignore pending frames, wait only for the inflight reply
+    // (dropped on arrival) and the final error bytes to leave.
+    if (flushed_out && !conn->inflight) {
+      CloseConn(shard, conn->id);
+      return;
+    }
+  } else if (conn->peer_eof && flushed_out && !conn->inflight &&
+             conn->pending.empty()) {
+    CloseConn(shard, conn->id);
+    return;
+  }
+  UpdateInterest(shard, conn);
+}
+
+void NetServer::OnDispatchDone(Shard* shard, uint64_t conn_id,
+                               SndService::WireReply reply,
+                               int64_t dispatched_ns) {
+  // Posted to the owning loop by a dispatch worker.
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_->inflight->Set(inflight_.load(std::memory_order_relaxed));
+  metrics_->frame_latency->Record(NowNs() - dispatched_ns);
+  const auto it = shard->conns.find(conn_id);
+  if (it == shard->conns.end()) return;  // Closed while computing.
+  Conn* conn = it->second.get();
+  conn->inflight = false;
+  if (!conn->draining) {
+    if (conn->BufferedWriteBytes() + reply.bytes.size() >
+        config_.max_write_buffer) {
+      ShedSlowReader(shard, conn);
+    } else {
+      conn->QueueBytes(reply.bytes);
+      if (reply.close) conn->draining = true;
+    }
+  }
+  PumpDispatch(shard, conn);
+}
+
+void NetServer::ShedSlowReader(Shard* shard, Conn* conn) {
+  // The reader is not keeping up: its backlog passed --max-write-buf.
+  // Everything already queued is complete frames, so the wire is never
+  // torn — the new reply is dropped, one short typed error is appended,
+  // and the connection drains then closes.
+  (void)shard;
+  metrics_->backpressure_shed->Add(1);
+  conn->draining = true;
+  conn->QueueBytes(RenderShedError(
+      "write buffer overflow (--max-write-buf=" +
+      std::to_string(config_.max_write_buffer) + " bytes)"));
+}
+
+void NetServer::UpdateInterest(Shard* shard, Conn* conn) {
+  // Reads stay disarmed while a dispatch is inflight or frames are
+  // pending: the kernel socket buffer fills and the client blocks in
+  // write() — natural TCP backpressure, zero server-side memory.
+  const bool want_read = !conn->draining && !conn->peer_eof &&
+                         !conn->inflight && conn->pending.empty();
+  const bool want_write = conn->WantsWrite();
+  const uint32_t events = (want_read ? static_cast<uint32_t>(EPOLLIN) : 0) |
+                          (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0);
+  if (events == conn->armed_events) return;
+  const Status modified = shard->loop.Modify(conn->fd, events);
+  if (!modified.ok()) {
+    CloseConn(shard, conn->id);
+    return;
+  }
+  conn->armed_events = events;
+}
+
+void NetServer::CloseConn(Shard* shard, uint64_t conn_id) {
+  const auto it = shard->conns.find(conn_id);
+  if (it == shard->conns.end()) return;
+  shard->loop.Remove(it->second->fd);
+  shard->conns.erase(it);  // ~Conn closes the fd.
+  shard->conn_count.store(static_cast<int64_t>(shard->conns.size()),
+                          std::memory_order_relaxed);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_->conns_active->Set(active_conns_.load(std::memory_order_relaxed));
+  metrics_->conns_closed->Add(1);
+}
+
+NetStats NetServer::Snapshot() const {
+  NetStats stats;
+  stats.conns_accepted = metrics_->conns_accepted->Value();
+  stats.conns_active = active_conns_.load(std::memory_order_relaxed);
+  stats.conns_closed = metrics_->conns_closed->Value();
+  stats.conns_shed = metrics_->conns_shed->Value();
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.inflight_shed = metrics_->inflight_shed->Value();
+  stats.backpressure_shed = metrics_->backpressure_shed->Value();
+  stats.frames = metrics_->frames->Value();
+  stats.read_bytes = metrics_->read_bytes->Value();
+  stats.write_bytes = metrics_->write_bytes->Value();
+  return stats;
+}
+
+std::vector<ShardStats> NetServer::ShardSnapshot() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats entry;
+    entry.conns = shard->conn_count.load(std::memory_order_relaxed);
+    entry.frames = shard->frames.load(std::memory_order_relaxed);
+    stats.push_back(entry);
+  }
+  return stats;
+}
+
+}  // namespace net
+}  // namespace snd
+
+#endif  // defined(__linux__)

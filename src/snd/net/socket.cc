@@ -1,0 +1,113 @@
+#include "snd/net/socket.h"
+
+#if !defined(_WIN32)
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace snd {
+namespace net {
+
+void IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+StatusOr<int> CreateListener(const std::string& bind_addr, int port,
+                             int backlog) {
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("invalid bind address '" + bind_addr +
+                                   "' (want dotted-quad IPv4)");
+  }
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::Internal("cannot create socket");
+  }
+  const int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    ::close(listener);
+    return Status::Unavailable("cannot bind " + bind_addr + ":" +
+                               std::to_string(port));
+  }
+  if (::listen(listener, backlog > 0 ? backlog : SOMAXCONN) != 0) {
+    ::close(listener);
+    return Status::Unavailable("cannot listen on " + bind_addr + ":" +
+                               std::to_string(port));
+  }
+  return listener;
+}
+
+int BoundPort(int fd) {
+  sockaddr_in address;
+  socklen_t address_len = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address),
+                    &address_len) != 0) {
+    return -1;
+  }
+  return ntohs(address.sin_port);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("cannot set O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_, in_, in_);
+  setp(out_, out_ + sizeof(out_));
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t got;
+  do {
+    got = ::read(fd_, in_, sizeof(in_));
+  } while (got < 0 && errno == EINTR);
+  if (got <= 0) return traits_type::eof();
+  setg(in_, in_, in_ + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (Flush() != 0) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return Flush(); }
+
+int FdStreamBuf::Flush() {
+  const char* data = pbase();
+  size_t remaining = static_cast<size_t>(pptr() - pbase());
+  while (remaining > 0) {
+    const ssize_t put = ::write(fd_, data, remaining);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    data += put;
+    remaining -= static_cast<size_t>(put);
+  }
+  setp(out_, out_ + sizeof(out_));
+  return 0;
+}
+
+}  // namespace net
+}  // namespace snd
+
+#endif  // !defined(_WIN32)

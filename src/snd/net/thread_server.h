@@ -1,0 +1,86 @@
+// The legacy thread-per-connection TCP front end, factored out of
+// tools/snd_serve.cc and kept behind `--accept-mode=thread`: one
+// blocking accept loop, one detached thread per connection running
+// SndService::ServeStream over an FdStreamBuf iostream pair. Wire
+// behavior is pinned byte-for-byte to the pre-net-tier server — this is
+// the mode every historical transcript fixture runs against, and the
+// only mode that serves streaming `subscribe` (the epoll tier answers
+// it with the typed failed_precondition).
+#ifndef SND_NET_THREAD_SERVER_H_
+#define SND_NET_THREAD_SERVER_H_
+
+#if !defined(_WIN32)
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "snd/api/status.h"
+#include "snd/service/service.h"
+#include "snd/util/mutex.h"
+#include "snd/util/thread_annotations.h"
+
+namespace snd {
+namespace net {
+
+struct ThreadServerConfig {
+  std::string bind_addr = "127.0.0.1";
+  int port = 0;     // 0 picks a free port; read it back via port().
+  int backlog = 0;  // <= 0 -> SOMAXCONN.
+  // Excess connections are closed immediately (the historical silent
+  // shed: the client sees EOF and can retry). <= 0 disables the bound.
+  int max_conns = 256;
+  WireFormat format = WireFormat::kText;
+};
+
+class ThreadServer {
+ public:
+  // Binds and starts the accept loop on a background thread. `service`
+  // must outlive Shutdown().
+  static StatusOr<std::unique_ptr<ThreadServer>> Start(
+      SndService* service, const ThreadServerConfig& config);
+
+  ~ThreadServer();  // Shutdown().
+
+  ThreadServer(const ThreadServer&) = delete;
+  ThreadServer& operator=(const ThreadServer&) = delete;
+
+  int port() const { return port_; }
+
+  // Blocks until the accept loop exits. Returns true for a requested
+  // Shutdown, false when the listener broke underneath a live server —
+  // the caller decides whether that is fatal (snd_serve exits 1, like
+  // the pre-refactor loop).
+  bool WaitUntilStopped();
+
+  // Closes the listener, joins the accept thread, then waits (bounded)
+  // for in-flight connection threads to finish their current streams.
+  // Idempotent.
+  void Shutdown();
+
+ private:
+  ThreadServer(SndService* service, const ThreadServerConfig& config);
+
+  Status Init();
+  void AcceptLoop();
+
+  SndService* const service_;
+  const ThreadServerConfig config_;
+  int listener_ = -1;
+  int port_ = -1;
+  std::atomic<int> active_connections_{0};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread accept_thread_;
+
+  Mutex mu_;
+  CondVar cv_;
+  bool accept_loop_exited_ SND_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace net
+}  // namespace snd
+
+#endif  // !defined(_WIN32)
+
+#endif  // SND_NET_THREAD_SERVER_H_

@@ -100,6 +100,22 @@ inline constexpr char kMetricMutateResultsErased[] =
 inline constexpr char kMetricSubscribeStreams[] = "snd.subscribe.streams";
 inline constexpr char kMetricSubscribeEvents[] = "snd.subscribe.events";
 
+// -- Networking tier (src/snd/net/): the epoll serving front end.
+// Aggregated across shards; registered into the owning service's
+// registry so `stats`/`info` surface them next to the request metrics.
+inline constexpr char kMetricNetConnsAccepted[] = "snd.net.conns.accepted";
+inline constexpr char kMetricNetConnsActive[] = "snd.net.conns.active";
+inline constexpr char kMetricNetConnsClosed[] = "snd.net.conns.closed";
+inline constexpr char kMetricNetConnsShed[] = "snd.net.conns.shed";
+inline constexpr char kMetricNetInflight[] = "snd.net.inflight";
+inline constexpr char kMetricNetInflightShed[] = "snd.net.inflight.shed";
+inline constexpr char kMetricNetBackpressureShed[] =
+    "snd.net.backpressure.shed";
+inline constexpr char kMetricNetFrames[] = "snd.net.frames";
+inline constexpr char kMetricNetReadBytes[] = "snd.net.read.bytes";
+inline constexpr char kMetricNetWriteBytes[] = "snd.net.write.bytes";
+inline constexpr char kMetricNetFrameLatency[] = "snd.net.frame.latency";
+
 // -- The observability layer observing itself.
 inline constexpr char kMetricObsEventsEmitted[] = "snd.obs.events.emitted";
 inline constexpr char kMetricObsEventsDropped[] = "snd.obs.events.dropped";

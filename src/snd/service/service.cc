@@ -1401,6 +1401,54 @@ ServiceResponse SndService::Call(const std::string& request) {
   return rendered;
 }
 
+SndService::WireReply SndService::CallWire(const std::string& line,
+                                           WireFormat format) {
+  WireReply reply;
+  if (format == WireFormat::kText) {
+    // Call carries the full trace (parse, dispatch, encode); rendering
+    // the already-encoded ServiceResponse to bytes is pure formatting.
+    const ServiceResponse response = Call(line);
+    std::ostringstream out;
+    WriteTextResponse(response, out);
+    reply.bytes = out.str();
+    reply.close = response.ok && response.header == "bye";
+    return reply;
+  }
+  // JSON wire: the per-line mirror of ServeStream's JSON branch, one
+  // trace covering parse, dispatch and encode.
+  obs::RequestTrace trace;
+  BeginTrace(&trace);
+  const obs::TraceScope scope(&trace);
+  const StatusOr<Request> request = [&] {
+    const obs::ObsSpan span(obs::ObsPhase::kParse);
+    return ParseJsonRequest(line);
+  }();
+  if (!request.ok()) {
+    {
+      const obs::ObsSpan span(obs::ObsPhase::kEncode);
+      reply.bytes = RenderJsonError(request.status());
+      reply.bytes += '\n';
+    }
+    FinishTrace(trace, kInvalidKindIndex, std::string(), request.status());
+    return reply;
+  }
+  const StatusOr<Response> response = [&] {
+    const obs::ObsSpan span(obs::ObsPhase::kDispatch);
+    return DispatchInner(*request);
+  }();
+  {
+    const obs::ObsSpan span(obs::ObsPhase::kEncode);
+    reply.bytes = response.ok() ? RenderJsonResponse(*response)
+                                : RenderJsonError(response.status());
+    reply.bytes += '\n';
+  }
+  FinishTrace(trace, request->index(), RequestSessionName(*request),
+              response.status());
+  reply.close =
+      response.ok() && std::holds_alternative<ByeResponse>(*response);
+  return reply;
+}
+
 void SndService::WriteResponse(const ServiceResponse& response,
                                std::ostream& out) {
   WriteTextResponse(response, out);

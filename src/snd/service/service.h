@@ -153,6 +153,24 @@ class SndService {
   void ServeStream(std::istream& in, std::ostream& out,
                    WireFormat format = WireFormat::kText);
 
+  // One complete wire frame in, the complete wire reply out. `bytes` is
+  // every response line '\n'-terminated (multi-row text responses
+  // included), byte-identical to what ServeStream would have written
+  // for the same line; `close` is set by `quit`, mirroring ServeStream
+  // returning after `bye`. This is the entry point for frame-at-a-time
+  // transports (the epoll net tier), which cannot hand the service a
+  // blocking istream. The caller strips blank/comment lines first
+  // (ServeStream's skip rules are transport-side framing, not protocol).
+  // Streaming `subscribe` is the one line with no finite reply; Dispatch
+  // rejects it with the typed failed_precondition, which is exactly the
+  // wire behavior here. Thread-safe, traced like Call (parse, dispatch
+  // and encode spans all covered).
+  struct WireReply {
+    std::string bytes;
+    bool close = false;
+  };
+  WireReply CallWire(const std::string& line, WireFormat format);
+
   // Serializes a response in the text wire format (legacy name, kept
   // for in-process callers; identical to WriteTextResponse).
   static void WriteResponse(const ServiceResponse& response,
@@ -202,6 +220,12 @@ class SndService {
   // embedding callers (snd_serve's --stats-interval loop, tests) can
   // snapshot without issuing a request. Thread-safe.
   const obs::MetricsRegistry& metrics() const { return obs_registry_; }
+
+  // Mutable registry handle for co-located subsystems (the net tier)
+  // that register their own instrument families, so their counters ride
+  // the same `stats`/`info` snapshot as the request metrics. Thread-safe
+  // (registration is get-or-create under the registry's own lock).
+  obs::MetricsRegistry& metrics_registry() { return obs_registry_; }
 
  private:
   // A resident calculator and its cross-request edge-cost cache, keyed

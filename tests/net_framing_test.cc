@@ -1,0 +1,284 @@
+// The net tier's framing invariant, proven byte by byte: a request
+// stream split at EVERY byte boundary must frame — and therefore answer
+// — identically to a whole-line read, on both wire formats. The epoll
+// event loop depends on this (TCP hands it arbitrary fragments), so the
+// invariant gets its own suite rather than riding the stress test.
+// Also covers the consistent-hash shard router's stability properties.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snd/graph/generators.h"
+#include "snd/graph/io.h"
+#include "snd/net/conn.h"
+#include "snd/net/shard_router.h"
+#include "snd/opinion/evolution.h"
+#include "snd/opinion/state_io.h"
+#include "snd/service/service.h"
+#include "snd/util/random.h"
+#include "smoke_util.h"
+
+namespace snd {
+namespace {
+
+using net::LineFramer;
+using net::ShardRouter;
+using testing_util::SmokeTempPath;
+
+std::vector<std::string> Frames(LineFramer* framer) {
+  std::vector<std::string> frames;
+  std::string frame;
+  while (framer->Next(&frame)) frames.push_back(frame);
+  return frames;
+}
+
+TEST(LineFramerTest, WholeLine) {
+  LineFramer framer;
+  const std::string bytes = "distance g 0 1\n";
+  framer.Append(bytes.data(), bytes.size());
+  EXPECT_EQ(Frames(&framer), std::vector<std::string>{"distance g 0 1"});
+  EXPECT_EQ(framer.partial_bytes(), 0u);
+}
+
+TEST(LineFramerTest, ManyLinesOneChunk) {
+  LineFramer framer;
+  const std::string bytes = "a\nbb\n\nccc\n";
+  framer.Append(bytes.data(), bytes.size());
+  const std::vector<std::string> want = {"a", "bb", "", "ccc"};
+  EXPECT_EQ(Frames(&framer), want);
+}
+
+TEST(LineFramerTest, CrLfStripped) {
+  LineFramer framer;
+  const std::string bytes = "info\r\nstats\r\n";
+  framer.Append(bytes.data(), bytes.size());
+  const std::vector<std::string> want = {"info", "stats"};
+  EXPECT_EQ(Frames(&framer), want);
+}
+
+TEST(LineFramerTest, EofPromotesPartial) {
+  // getline also yields a final line with no trailing newline.
+  LineFramer framer;
+  const std::string bytes = "quit";
+  framer.Append(bytes.data(), bytes.size());
+  EXPECT_TRUE(Frames(&framer).empty());
+  EXPECT_EQ(framer.partial_bytes(), 4u);
+  framer.Eof();
+  EXPECT_EQ(Frames(&framer), std::vector<std::string>{"quit"});
+}
+
+TEST(LineFramerTest, EofOnEmptyPartialYieldsNothing) {
+  LineFramer framer;
+  const std::string bytes = "done\n";
+  framer.Append(bytes.data(), bytes.size());
+  framer.Eof();
+  EXPECT_EQ(Frames(&framer), std::vector<std::string>{"done"});
+}
+
+TEST(LineFramerTest, EveryByteSplitFramesIdentically) {
+  const std::string bytes = "load_graph g x.edges\r\ndistance g 0 1\n\nq\n";
+  LineFramer whole;
+  whole.Append(bytes.data(), bytes.size());
+  const std::vector<std::string> want = Frames(&whole);
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    LineFramer split;
+    split.Append(bytes.data(), cut);
+    split.Append(bytes.data() + cut, bytes.size() - cut);
+    EXPECT_EQ(Frames(&split), want) << "cut at byte " << cut;
+  }
+  // The degenerate fragmentation: one byte per read().
+  LineFramer trickle;
+  for (const char byte : bytes) trickle.Append(&byte, 1);
+  EXPECT_EQ(Frames(&trickle), want);
+}
+
+// The end-to-end form of the invariant: responses (not just frames)
+// from a byte-split session are bitwise identical to whole-line calls.
+class NetFramingServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = SmokeTempPath("net_framing", "graph.edges");
+    states_path_ = SmokeTempPath("net_framing", "states.txt");
+    const Graph graph = GenerateRing(12, 2);
+    SyntheticEvolution evolution(&graph, 7);
+    const std::vector<NetworkState> states =
+        evolution.GenerateSeries(4, 3, {0.2, 0.1}, {0.2, 0.1}, {});
+    ASSERT_TRUE(WriteEdgeList(graph, graph_path_));
+    ASSERT_TRUE(WriteStateSeries(states, states_path_));
+  }
+
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(states_path_.c_str());
+  }
+
+  // Replies for `lines` delivered whole, in order, concatenated.
+  static std::string WholeLineReplies(SndService* service,
+                                      const std::vector<std::string>& lines,
+                                      WireFormat format) {
+    std::string replies;
+    for (const std::string& line : lines) {
+      replies += service->CallWire(line, format).bytes;
+    }
+    return replies;
+  }
+
+  // Replies for the same session streamed as raw bytes cut at `cut`,
+  // pushed through the framer exactly as the event loop would.
+  static std::string SplitReplies(SndService* service,
+                                  const std::string& bytes, size_t cut,
+                                  WireFormat format) {
+    LineFramer framer;
+    framer.Append(bytes.data(), cut);
+    framer.Append(bytes.data() + cut, bytes.size() - cut);
+    framer.Eof();
+    std::string replies;
+    std::string frame;
+    while (framer.Next(&frame)) {
+      replies += service->CallWire(frame, format).bytes;
+    }
+    return replies;
+  }
+
+  std::string graph_path_;
+  std::string states_path_;
+};
+
+TEST_F(NetFramingServiceTest, TextResponsesIdenticalAtEveryByteSplit) {
+  const std::vector<std::string> lines = {
+      "load_graph g " + graph_path_,
+      "load_states g " + states_path_,
+      "distance g 0 1",
+      "series g",
+      "info",
+      "distance g 9 9 9",  // Typed error: framing must not eat errors.
+  };
+  std::string bytes;
+  for (const std::string& line : lines) bytes += line + "\n";
+
+  SndService reference;
+  const std::string want =
+      WholeLineReplies(&reference, lines, WireFormat::kText);
+  ASSERT_NE(want.find("ok distance g 0 1 "), std::string::npos);
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    // A fresh service per split keeps `info` epochs/counters identical.
+    SndService service;
+    EXPECT_EQ(SplitReplies(&service, bytes, cut, WireFormat::kText), want)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST_F(NetFramingServiceTest, JsonResponsesIdenticalAtEveryByteSplit) {
+  const std::vector<std::string> lines = {
+      "{\"cmd\":\"load_graph\",\"name\":\"g\",\"path\":\"" + graph_path_ +
+          "\"}",
+      "{\"cmd\":\"load_states\",\"name\":\"g\",\"path\":\"" + states_path_ +
+          "\"}",
+      "{\"cmd\":\"distance\",\"name\":\"g\",\"i\":0,\"j\":1}",
+      "{\"cmd\":\"series\",\"name\":\"g\"}",
+      "{\"cmd\":\"distance\",\"name\":\"g\",\"i\":9,\"j\":99}",
+      "not json at all",
+  };
+  std::string bytes;
+  for (const std::string& line : lines) bytes += line + "\n";
+
+  SndService reference;
+  const std::string want =
+      WholeLineReplies(&reference, lines, WireFormat::kJson);
+  ASSERT_NE(want.find("\"cmd\":\"distance\""), std::string::npos);
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    SndService service;
+    EXPECT_EQ(SplitReplies(&service, bytes, cut, WireFormat::kJson), want)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(CallWireTest, MatchesCallAndSignalsClose) {
+  SndService service;
+  const SndService::WireReply info =
+      service.CallWire("version", WireFormat::kText);
+  EXPECT_FALSE(info.close);
+  EXPECT_EQ(info.bytes.rfind("ok version ", 0), 0u);
+  EXPECT_EQ(info.bytes.back(), '\n');
+  const SndService::WireReply quit =
+      service.CallWire("quit", WireFormat::kText);
+  EXPECT_TRUE(quit.close);
+  EXPECT_EQ(quit.bytes, "ok bye\n");
+  const SndService::WireReply json_quit =
+      service.CallWire("{\"cmd\":\"quit\"}", WireFormat::kJson);
+  EXPECT_TRUE(json_quit.close);
+  EXPECT_EQ(json_quit.bytes, "{\"ok\":true,\"cmd\":\"bye\"}\n");
+}
+
+TEST(CallWireTest, SubscribeGetsTypedStreamingError) {
+  // The epoll tier answers frame-at-a-time; the streaming command must
+  // surface its typed rejection, not hang.
+  SndService service;
+  const SndService::WireReply reply =
+      service.CallWire("subscribe g", WireFormat::kText);
+  EXPECT_FALSE(reply.close);
+  EXPECT_EQ(reply.bytes,
+            "error subscribe requires a streaming connection\n");
+}
+
+TEST(ShardRouterTest, DeterministicAndStable) {
+  const ShardRouter router(4);
+  const ShardRouter again(4);
+  for (const std::string name :
+       {"g", "graph-a", "graph-b", "twitter", "x.y_z-42"}) {
+    const int shard = router.ShardFor(name);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, router.ShardFor(name)) << name;
+    EXPECT_EQ(shard, again.ShardFor(name)) << name;
+  }
+}
+
+TEST(ShardRouterTest, CoversAllShardsNearUniformly) {
+  const int kShards = 4;
+  const ShardRouter router(kShards);
+  std::vector<int> load(kShards, 0);
+  for (int k = 0; k < 4000; ++k) {
+    ++load[router.ShardFor("graph-" + std::to_string(k))];
+  }
+  for (int shard = 0; shard < kShards; ++shard) {
+    // Virtual nodes keep the split near 1000 +- a wide tolerance.
+    EXPECT_GT(load[shard], 500) << "shard " << shard << " starved";
+    EXPECT_LT(load[shard], 1500) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ShardRouterTest, ShardCountChangeMovesFewNames) {
+  // The consistent-hash property: going 4 -> 5 shards remaps roughly
+  // 1/5 of names, not all of them (modulo hashing would remap ~4/5).
+  const ShardRouter four(4);
+  const ShardRouter five(5);
+  int moved = 0;
+  const int kNames = 4000;
+  for (int k = 0; k < kNames; ++k) {
+    const std::string name = "graph-" + std::to_string(k);
+    if (four.ShardFor(name) != five.ShardFor(name)) ++moved;
+  }
+  EXPECT_LT(moved, kNames / 2) << "consistent hashing property lost";
+  EXPECT_GT(moved, 0) << "new shard never used";
+}
+
+TEST(ShardRouterTest, SingleShardTakesEverything) {
+  const ShardRouter router(1);
+  EXPECT_EQ(router.ShardFor("anything"), 0);
+  EXPECT_EQ(router.ShardFor(""), 0);
+}
+
+TEST(HashNameTest, Fnv1aKnownValues) {
+  // Pinned so the ring layout (a wire-visible property once shards have
+  // per-shard state) cannot drift silently.
+  EXPECT_EQ(net::HashName(""), 14695981039346656037ull);
+  EXPECT_EQ(net::HashName("a"), 12638187200555641996ull);
+  EXPECT_NE(net::HashName("g"), net::HashName("h"));
+}
+
+}  // namespace
+}  // namespace snd

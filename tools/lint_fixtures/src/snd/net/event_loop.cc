@@ -1,0 +1,9 @@
+// Fixture: raw-thread must NOT fire here — src/snd/net/event_loop.*
+// is the serving tier's sanctioned home of raw std::thread
+// construction (the epoll loop thread and its dispatch workers).
+#include <thread>
+
+void Fixture() {
+  std::thread loop([] {});
+  loop.join();
+}

@@ -1,17 +1,41 @@
 // The `snd_serve` front end of the serving subsystem
 // (snd/service/service.h): speaks the newline-delimited text protocol
 // (api/text_codec.h) or the one-object-per-line JSON protocol
-// (api/json_codec.h) over stdio by default, or over a loopback TCP
-// socket with --listen.
+// (api/json_codec.h) over stdio by default, or over a TCP socket with
+// --listen — served by the sharded epoll net tier (src/snd/net/, the
+// default) or the legacy thread-per-connection loop
+// (--accept-mode=thread).
 //
 // usage: snd_serve [flags]
 //   (no flags)         serve one session on stdin/stdout until EOF/quit
-//   --listen=PORT      accept TCP connections on 127.0.0.1:PORT, each
-//                      connection served on its own thread over ONE
+//   --listen=PORT      accept TCP connections on --bind:PORT over ONE
 //                      shared session registry — every client sees the
 //                      same resident graphs, states, and caches; reads
 //                      run concurrently, mutations take the writer lock
 //                      (port 0 picks a free port and prints it)
+//   --bind=ADDR        IPv4 address to bind (default 127.0.0.1)
+//   --backlog=N        listen(2) backlog (default SOMAXCONN)
+//   --accept-mode=epoll|thread
+//                      epoll (default): non-blocking event loops frame
+//                      requests incrementally, heavy dispatches run off
+//                      the loop threads, slow readers shed with a typed
+//                      resource_exhausted error. `subscribe` needs a
+//                      dedicated streaming connection and is answered
+//                      with its typed failed_precondition here.
+//                      thread: the legacy one-thread-per-connection
+//                      loop, byte-for-byte the historical wire behavior
+//                      including streaming `subscribe`.
+//   --shards=N         epoll mode: worker event loops; sessions get a
+//                      home shard by consistent-hashed graph name
+//                      (default 1)
+//   --max-conns=N      admission bound on open connections (default
+//                      256; 0 = unbounded). epoll mode sheds with a
+//                      typed resource_exhausted line; thread mode
+//                      closes silently (historical behavior)
+//   --max-inflight=N   epoll mode: bound on dispatches in flight
+//                      process-wide; excess requests are answered
+//                      resource_exhausted instead of queueing
+//                      (default 0 = unbounded)
 //   --format=text|json wire format (default text)
 //   --cache=N          result-LRU capacity in entries (default 65536)
 //   --retain=N         keep only the newest N states per session (N >= 2;
@@ -28,11 +52,9 @@
 //                      as one JSON object per line on stderr
 //   --version          print the version and exit
 //   --help, -h         print this message
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -47,13 +69,8 @@
 #include "snd/util/version.h"
 
 #if !defined(_WIN32)
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <csignal>
-#include <system_error>
+#include "snd/net/shard_router.h"
+#include "snd/net/thread_server.h"
 #endif
 
 namespace {
@@ -61,10 +78,21 @@ namespace {
 constexpr char kUsage[] =
     "usage: snd_serve [flags]\n"
     "  (no flags)         serve one session on stdin/stdout\n"
-    "  --listen=PORT      serve TCP sessions on 127.0.0.1:PORT (0 picks a\n"
-    "                     free port and prints it); one thread per\n"
-    "                     connection over one shared session registry —\n"
-    "                     reads run concurrently, mutations exclusively\n"
+    "  --listen=PORT      serve TCP sessions on --bind:PORT (0 picks a\n"
+    "                     free port and prints it) over one shared\n"
+    "                     session registry — reads run concurrently,\n"
+    "                     mutations exclusively\n"
+    "  --bind=ADDR        IPv4 address to bind (default 127.0.0.1)\n"
+    "  --backlog=N        listen(2) backlog (default SOMAXCONN)\n"
+    "  --accept-mode=epoll|thread\n"
+    "                     epoll (default): sharded event loops, typed\n"
+    "                     resource_exhausted admission/backpressure\n"
+    "                     shedding; thread: legacy one thread per\n"
+    "                     connection (streaming `subscribe` lives here)\n"
+    "  --shards=N         epoll mode: worker event loops (default 1)\n"
+    "  --max-conns=N      open-connection bound (default 256; 0 = off)\n"
+    "  --max-inflight=N   epoll mode: in-flight dispatch bound\n"
+    "                     (default 0 = off)\n"
     "  --format=text|json wire format (default text)\n"
     "  --cache=N          result-LRU capacity in entries (default 65536)\n"
     "  --retain=N         keep only the newest N states per session\n"
@@ -139,160 +167,78 @@ class StatsReporter {
   std::thread thread_;
 };
 
-#if !defined(_WIN32)
-
-// A std::streambuf over a POSIX fd, enough to hand the service's
-// ServeStream an istream/ostream pair speaking to a socket.
-class FdStreamBuf : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) {
-    setg(in_, in_, in_);
-    setp(out_, out_ + sizeof(out_));
-  }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    ssize_t got;
-    do {
-      got = ::read(fd_, in_, sizeof(in_));
-    } while (got < 0 && errno == EINTR);
-    if (got <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + got);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (Flush() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return Flush(); }
-
- private:
-  int Flush() {
-    const char* data = pbase();
-    size_t remaining = static_cast<size_t>(pptr() - pbase());
-    while (remaining > 0) {
-      const ssize_t put = ::write(fd_, data, remaining);
-      if (put < 0) {
-        if (errno == EINTR) continue;
-        return -1;
-      }
-      data += put;
-      remaining -= static_cast<size_t>(put);
-    }
-    setp(out_, out_ + sizeof(out_));
-    return 0;
-  }
-
-  int fd_;
-  char in_[4096];
-  char out_[4096];
+struct ServeFlags {
+  int listen_port = -1;
+  std::string bind_addr = "127.0.0.1";
+  int backlog = 0;  // 0 -> SOMAXCONN.
+  bool epoll_mode = true;
+  int shards = 1;
+  int max_conns = 256;
+  int max_inflight = 0;
+  long long stats_interval = 0;
+  snd::WireFormat format = snd::WireFormat::kText;
 };
 
-int ServeTcp(int port, const snd::SndServiceConfig& service_config,
-             long long stats_interval, snd::WireFormat format) {
-  // A client closing its socket mid-response must not kill the server:
-  // without this, FdStreamBuf's write() raises SIGPIPE whose default
-  // disposition terminates the process.
-  std::signal(SIGPIPE, SIG_IGN);
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return Fail("cannot create socket");
-  const int reuse = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in address;
-  std::memset(&address, 0, sizeof(address));
-  address.sin_family = AF_INET;
-  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  address.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0) {
-    ::close(listener);
-    return Fail("cannot bind 127.0.0.1:" + std::to_string(port));
-  }
-  if (::listen(listener, 16) != 0) {
-    ::close(listener);
-    return Fail("cannot listen on 127.0.0.1:" + std::to_string(port));
-  }
-  socklen_t address_len = sizeof(address);
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&address),
-                &address_len);
-  // The bound port on stdout (line-buffered by the flush) so scripts can
-  // use --listen=0.
-  std::printf("listening 127.0.0.1:%d\n", ntohs(address.sin_port));
-  std::fflush(stdout);
+#if !defined(_WIN32)
+
+int ServeTcp(const ServeFlags& flags,
+             const snd::SndServiceConfig& service_config) {
   // ONE shared service for the whole process: every connection sees the
   // same resident graphs and caches. SndService::Dispatch is
   // thread-safe (shared_mutex sessions, locked caches), so connections
-  // are served concurrently, each on its own detached thread.
+  // are served concurrently in both accept modes.
   snd::SndService service(service_config);
   std::unique_ptr<StatsReporter> reporter;
-  if (stats_interval > 0) {
+  if (flags.stats_interval > 0) {
     reporter = std::make_unique<StatsReporter>(
-        &service, stats_interval, service_config.event_log != nullptr);
+        &service, flags.stats_interval,
+        service_config.event_log != nullptr);
   }
-  // One thread per live connection, bounded so a crowd of idle clients
-  // cannot exhaust process resources.
-  constexpr int kMaxConnections = 256;
-  std::atomic<int> active_connections{0};
-  for (;;) {
-    const int connection = ::accept(listener, nullptr, nullptr);
-    if (connection < 0) {
-      // Only a broken listener is fatal. Transient, often client-induced
-      // errors (ECONNABORTED handshake aborts, EMFILE/ENFILE pressure)
-      // must not take the whole service down.
-      if (errno == EBADF || errno == EINVAL) {
-        // Exit without unwinding: detached connection threads may still
-        // be dispatching on `service`, so destroying it (or returning
-        // through main) would race them. The OS reclaims everything.
-        std::fprintf(stderr, "snd_serve: accept failed\n");
-        std::_Exit(1);
-      }
-      if (errno != EINTR) {
-        std::perror("snd_serve: accept");
-        // Persistent conditions (EMFILE under fd pressure) would
-        // otherwise busy-spin this loop at full CPU.
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-      }
-      continue;
-    }
-    // Admission control: a connection costs a thread, so a crowd of
-    // idle clients must not exhaust the process. Excess connections are
-    // closed immediately (the client sees EOF and can retry).
-    if (active_connections.load(std::memory_order_relaxed) >=
-        kMaxConnections) {
-      ::close(connection);
-      continue;
-    }
-    active_connections.fetch_add(1, std::memory_order_relaxed);
-    try {
-      // Thread-per-connection is this server's documented design (the
-      // epoll rewrite is a separate roadmap item), so the raw-thread
-      // repo rule is waived here and only here.
-      std::thread([connection, format, &service, &active_connections] {  // snd-lint: allow(raw-thread)
-        FdStreamBuf in_buf(connection), out_buf(connection);
-        std::istream in(&in_buf);
-        std::ostream out(&out_buf);
-        service.ServeStream(in, out, format);
-        out.flush();
-        ::close(connection);
-        active_connections.fetch_sub(1, std::memory_order_relaxed);
-      }).detach();
-    } catch (const std::system_error&) {
-      // Thread creation failed (EAGAIN under pressure): shed this
-      // connection, keep the server alive — same policy as the accept
-      // error handling above.
-      active_connections.fetch_sub(1, std::memory_order_relaxed);
-      ::close(connection);
-      std::perror("snd_serve: thread");
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
+  if (flags.epoll_mode) {
+#if !defined(__linux__)
+    return Fail(
+        "--accept-mode=epoll requires Linux; use --accept-mode=thread");
+#else
+    snd::net::NetServerConfig config;
+    config.bind_addr = flags.bind_addr;
+    config.port = flags.listen_port;
+    config.backlog = flags.backlog;
+    config.shards = flags.shards;
+    config.max_conns = flags.max_conns;
+    config.max_inflight = flags.max_inflight;
+    config.format = flags.format;
+    snd::StatusOr<std::unique_ptr<snd::net::NetServer>> server =
+        snd::net::NetServer::Start(&service, config);
+    if (!server.ok()) return Fail(server.status().message());
+    // The bound port on stdout (flushed) so scripts can use --listen=0.
+    std::printf("listening %s:%d\n", flags.bind_addr.c_str(),
+                (*server)->port());
+    std::fflush(stdout);
+    // The tier owns every serving thread; this thread just keeps the
+    // process (and the shared service) alive until it is killed.
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+#endif  // defined(__linux__)
   }
+  snd::net::ThreadServerConfig config;
+  config.bind_addr = flags.bind_addr;
+  config.port = flags.listen_port;
+  config.backlog = flags.backlog;
+  config.max_conns = flags.max_conns;
+  config.format = flags.format;
+  snd::StatusOr<std::unique_ptr<snd::net::ThreadServer>> server =
+      snd::net::ThreadServer::Start(&service, config);
+  if (!server.ok()) return Fail(server.status().message());
+  std::printf("listening %s:%d\n", flags.bind_addr.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+  if (!(*server)->WaitUntilStopped()) {
+    // The listener broke underneath a live server. Exit without
+    // unwinding: detached connection threads may still be dispatching
+    // on `service`, so destroying it would race them. The OS reclaims
+    // everything.
+    std::_Exit(1);
+  }
+  return 0;
 }
 
 #endif  // !defined(_WIN32)
@@ -300,12 +246,10 @@ int ServeTcp(int port, const snd::SndServiceConfig& service_config,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int listen_port = -1;
+  ServeFlags flags;
   size_t cache_capacity = snd::SndServiceConfig().result_cache_capacity;
   long long state_retention = 0;
-  long long stats_interval = 0;
   std::string log_events_path;
-  snd::WireFormat format = snd::WireFormat::kText;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     std::string value;
@@ -322,12 +266,54 @@ int main(int argc, char** argv) {
           port > 65535) {
         return Fail("invalid --listen value '" + value + "'");
       }
-      listen_port = port;
+      flags.listen_port = port;
+    } else if (snd::SplitSndFlag(arg, "bind", &value)) {
+      if (value.empty()) return Fail("empty --bind address");
+      flags.bind_addr = value;
+    } else if (snd::SplitSndFlag(arg, "backlog", &value)) {
+      int backlog = 0, consumed = 0;
+      if (std::sscanf(value.c_str(), "%d%n", &backlog, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || backlog < 1) {
+        return Fail("invalid --backlog value '" + value + "'");
+      }
+      flags.backlog = backlog;
+    } else if (snd::SplitSndFlag(arg, "accept-mode", &value)) {
+      if (value == "epoll") {
+        flags.epoll_mode = true;
+      } else if (value == "thread") {
+        flags.epoll_mode = false;
+      } else {
+        return Fail("invalid --accept-mode value '" + value +
+                    "' (want epoll or thread)");
+      }
+    } else if (snd::SplitSndFlag(arg, "shards", &value)) {
+      int shards = 0, consumed = 0;
+      if (std::sscanf(value.c_str(), "%d%n", &shards, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || shards < 1 ||
+          shards > 64) {
+        return Fail("invalid --shards value '" + value + "' (want 1..64)");
+      }
+      flags.shards = shards;
+    } else if (snd::SplitSndFlag(arg, "max-conns", &value)) {
+      int max_conns = -1, consumed = 0;
+      if (std::sscanf(value.c_str(), "%d%n", &max_conns, &consumed) != 1 ||
+          consumed != static_cast<int>(value.size()) || max_conns < 0) {
+        return Fail("invalid --max-conns value '" + value + "'");
+      }
+      flags.max_conns = max_conns;
+    } else if (snd::SplitSndFlag(arg, "max-inflight", &value)) {
+      int max_inflight = -1, consumed = 0;
+      if (std::sscanf(value.c_str(), "%d%n", &max_inflight, &consumed) !=
+              1 ||
+          consumed != static_cast<int>(value.size()) || max_inflight < 0) {
+        return Fail("invalid --max-inflight value '" + value + "'");
+      }
+      flags.max_inflight = max_inflight;
     } else if (snd::SplitSndFlag(arg, "format", &value)) {
       if (value == "text") {
-        format = snd::WireFormat::kText;
+        flags.format = snd::WireFormat::kText;
       } else if (value == "json") {
-        format = snd::WireFormat::kJson;
+        flags.format = snd::WireFormat::kJson;
       } else {
         return Fail("invalid --format value '" + value + "'");
       }
@@ -359,7 +345,7 @@ int main(int argc, char** argv) {
           consumed != static_cast<int>(value.size()) || secs < 1) {
         return Fail("invalid --stats-interval value '" + value + "'");
       }
-      stats_interval = secs;
+      flags.stats_interval = secs;
     } else {
       return Fail("unrecognized flag '" + arg + "'");
     }
@@ -377,22 +363,22 @@ int main(int argc, char** argv) {
   config.state_retention = state_retention;
   config.event_log = event_log.get();
 
-  if (listen_port >= 0) {
+  if (flags.listen_port >= 0) {
 #if defined(_WIN32)
     return Fail("--listen is not supported on this platform");
 #else
-    return ServeTcp(listen_port, config, stats_interval, format);
+    return ServeTcp(flags, config);
 #endif
   }
 
   {
     snd::SndService service(config);
     std::unique_ptr<StatsReporter> reporter;
-    if (stats_interval > 0) {
-      reporter = std::make_unique<StatsReporter>(&service, stats_interval,
-                                                 event_log != nullptr);
+    if (flags.stats_interval > 0) {
+      reporter = std::make_unique<StatsReporter>(
+          &service, flags.stats_interval, event_log != nullptr);
     }
-    service.ServeStream(std::cin, std::cout, format);
+    service.ServeStream(std::cin, std::cout, flags.format);
     // Reporter joins, then the service dies, then the event log drains.
   }
   return 0;

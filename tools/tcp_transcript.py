@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Scripted TCP transcript client for the snd serving tier.
+
+Reads a newline-delimited request script from stdin, sends it to
+HOST PORT in one shot, half-closes the write side, and copies every
+byte the server sends back to stdout until EOF. CI uses this to
+byte-diff an --accept-mode=epoll TCP session against the same script
+piped through snd_serve's stdio mode.
+
+Usage: tcp_transcript.py HOST PORT < script > transcript
+"""
+import socket
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    host, port = sys.argv[1], int(sys.argv[2])
+    script = sys.stdin.buffer.read()
+    with socket.create_connection((host, port), timeout=30) as sock:
+        sock.sendall(script)
+        sock.shutdown(socket.SHUT_WR)
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            sys.stdout.buffer.write(chunk)
+    sys.stdout.buffer.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
